@@ -1,0 +1,37 @@
+//! # gbdt-baselines — the systems the paper compares against
+//!
+//! The paper's evaluation (§4.1) pits the proposed GBDT-MO system
+//! against two families of baselines; this crate implements the
+//! algorithmic core of each so every table/figure has a real comparator:
+//!
+//! * **GPU single-output systems** ([`gbdt_so`]) — XGBoost-, LightGBM-
+//!   and CatBoost-style trainers that fit `d` single-output ensembles
+//!   (one per class/label/target), distinguished by their growth
+//!   policies ([`growers`]): level-wise, leaf-wise, and oblivious
+//!   (symmetric) trees. All run on the same simulated device, so the
+//!   timing comparison is apples-to-apples.
+//! * **CPU multi-output GBDT** ([`cpu`]) — the `mo-full` (dense) and
+//!   `mo-sparse` (CSC) trainers of Zhang & Jung's GBDT-MO, measured in
+//!   real host wall-clock.
+//! * **SketchBoost** ([`sketchboost`]) — Iosipoi & Vakhrushev's three
+//!   gradient sketches (Top-Outputs, Random Sampling, Random
+//!   Projections) that shrink the split-search dimension while keeping
+//!   full-dimensional leaf values.
+//! * **Exact greedy** ([`exact`]) — a non-histogram reference splitter
+//!   used to validate the histogram pipeline's split decisions.
+//! * **Multi-output random forest** ([`random_forest`]) — the bagging
+//!   comparator class from the paper's related work (§5).
+
+#![warn(missing_docs)]
+
+pub mod cpu;
+pub mod exact;
+pub mod gbdt_so;
+pub mod growers;
+pub mod random_forest;
+pub mod sketchboost;
+
+pub use cpu::{CpuMoTrainer, CpuStorage};
+pub use gbdt_so::{GbdtSoTrainer, GrowthPolicy, SoModel};
+pub use random_forest::{ForestConfig, ForestModel, RandomForestTrainer};
+pub use sketchboost::{SketchBoostTrainer, SketchStrategy};

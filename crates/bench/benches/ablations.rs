@@ -1,0 +1,99 @@
+//! Ablations of the design choices DESIGN.md calls out: adaptive
+//! method selection, warp-level bin packing, histogram subtraction,
+//! sparsity-aware accumulation, and multi-GPU scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbdt_bench::{bench_config, bench_dataset};
+use gbdt_core::{GpuTrainer, HistogramMethod, MultiGpuTrainer, TrainConfig};
+use gbdt_data::PaperDataset;
+use gpusim::{Device, DeviceGroup};
+use std::time::Duration;
+
+fn sim<F: Fn() -> f64>(b: &mut criterion::Bencher<'_>, run: F) {
+    b.iter_custom(|iters| {
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            total += Duration::from_secs_f64(run().max(1e-12));
+        }
+        total
+    })
+}
+
+fn single(cfg: &TrainConfig, train: &gbdt_data::Dataset) -> f64 {
+    GpuTrainer::new(Device::rtx4090(), cfg.clone())
+        .fit_report(train)
+        .sim_seconds
+}
+
+fn ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let (train, _test, _) = bench_dataset(PaperDataset::Caltech101, 1.0, 42);
+    let base = bench_config(5, 4, 64);
+
+    // Adaptive vs fixed histogram method.
+    for method in [
+        HistogramMethod::Adaptive,
+        HistogramMethod::GlobalMemory,
+        HistogramMethod::SharedMemory,
+        HistogramMethod::SortReduce,
+    ] {
+        let mut cfg = base.clone();
+        cfg.hist.method = method;
+        group.bench_with_input(
+            BenchmarkId::new("hist_method", format!("{method:?}")),
+            &cfg,
+            |b, cfg| sim(b, || single(cfg, &train)),
+        );
+    }
+
+    // Bin packing.
+    for packing in [true, false] {
+        let mut cfg = base.clone();
+        cfg.hist.warp_packing = packing;
+        group.bench_with_input(
+            BenchmarkId::new("bin_packing", packing),
+            &cfg,
+            |b, cfg| sim(b, || single(cfg, &train)),
+        );
+    }
+
+    // Histogram subtraction.
+    for subtraction in [true, false] {
+        let mut cfg = base.clone();
+        cfg.hist.subtraction = subtraction;
+        group.bench_with_input(
+            BenchmarkId::new("subtraction", subtraction),
+            &cfg,
+            |b, cfg| sim(b, || single(cfg, &train)),
+        );
+    }
+
+    // Sparsity-aware accumulation.
+    for sparse in [true, false] {
+        let mut cfg = base.clone();
+        cfg.hist.sparse_aware = sparse;
+        group.bench_with_input(
+            BenchmarkId::new("sparse_aware", sparse),
+            &cfg,
+            |b, cfg| sim(b, || single(cfg, &train)),
+        );
+    }
+
+    // Multi-GPU scaling.
+    for k in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("gpus", k), &k, |b, &k| {
+            sim(b, || {
+                MultiGpuTrainer::new(DeviceGroup::rtx4090s(k), base.clone())
+                    .fit_report(&train)
+                    .sim_seconds
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

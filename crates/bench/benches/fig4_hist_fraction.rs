@@ -1,0 +1,48 @@
+//! Fig. 4 — histogram building as a fraction of total training time.
+//! Two measurements per dataset: total simulated time and the
+//! histogram-phase share of it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbdt_bench::{bench_config, bench_dataset};
+use gbdt_core::GpuTrainer;
+use gbdt_data::PaperDataset;
+use gpusim::{Device, Phase};
+use std::time::Duration;
+
+fn fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_hist_fraction");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let cfg = bench_config(5, 4, 64);
+
+    for ds in [PaperDataset::Delicious, PaperDataset::Mnist, PaperDataset::Caltech101] {
+        let (train, _test, name) = bench_dataset(ds, 1.0, 42);
+        group.bench_with_input(BenchmarkId::new("total", &name), &(), |b, _| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let r = GpuTrainer::new(Device::rtx4090(), cfg.clone()).fit_report(&train);
+                    total += Duration::from_secs_f64(r.sim_seconds.max(1e-12));
+                }
+                total
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("histogram_phase", &name), &(), |b, _| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let r = GpuTrainer::new(Device::rtx4090(), cfg.clone()).fit_report(&train);
+                    let hist_ns =
+                        r.sim.by_phase.get(&Phase::Histogram).copied().unwrap_or(0.0);
+                    total += Duration::from_secs_f64((hist_ns * 1e-9).max(1e-12));
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

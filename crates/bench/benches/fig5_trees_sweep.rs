@@ -1,0 +1,39 @@
+//! Fig. 5 — training time vs the number of trees (near-linear scaling
+//! for our system; CPU baselines diverge much faster).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbdt_bench::{bench_config, bench_dataset, run_system, SystemId};
+use gbdt_data::PaperDataset;
+use std::time::Duration;
+
+fn fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_trees_sweep");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let (train, test, name) = bench_dataset(PaperDataset::Mnist, 1.0, 42);
+
+    for trees in [5usize, 10, 20] {
+        let cfg = bench_config(trees, 4, 64);
+        for system in [SystemId::Ours, SystemId::SkBoost, SystemId::XgBoost] {
+            group.bench_with_input(
+                BenchmarkId::new(system.name(), trees),
+                &system,
+                |b, &system| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..iters {
+                            let r = run_system(system, &name, &train, &test, &cfg);
+                            total += Duration::from_secs_f64(r.seconds.max(1e-12));
+                        }
+                        total
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Fig. 6a — the five histogram-building variants (gmem / smem /
+//! sort-and-reduce, ± warp-level optimization).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbdt_bench::{bench_config, bench_dataset};
+use gbdt_core::{GpuTrainer, HistogramMethod};
+use gbdt_data::PaperDataset;
+use gpusim::Device;
+use std::time::Duration;
+
+fn fig6a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6a_hist_methods");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let (train, _test, name) = bench_dataset(PaperDataset::NusWide, 1.0, 42);
+
+    let variants: [(&str, HistogramMethod, bool); 5] = [
+        ("gmem", HistogramMethod::GlobalMemory, false),
+        ("smem", HistogramMethod::SharedMemory, false),
+        ("all-reduce", HistogramMethod::SortReduce, false),
+        ("gmem+wo", HistogramMethod::GlobalMemory, true),
+        ("smem+wo", HistogramMethod::SharedMemory, true),
+    ];
+    for (label, method, packing) in variants {
+        let mut cfg = bench_config(5, 4, 64);
+        cfg.hist.method = method;
+        cfg.hist.warp_packing = packing;
+        group.bench_with_input(BenchmarkId::new(label, &name), &cfg, |b, cfg| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let r = GpuTrainer::new(Device::rtx4090(), cfg.clone()).fit_report(&train);
+                    total += Duration::from_secs_f64(r.sim_seconds.max(1e-12));
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6a);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Fig. 6b — training time vs the number of classes on synthetic data:
+//! the single-output baselines scale with `d`, GBDT-MO and SketchBoost
+//! do not (or barely).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbdt_bench::{bench_config, run_system, SystemId};
+use gbdt_data::synth::{make_classification, ClassificationSpec};
+use std::time::Duration;
+
+fn fig6b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6b_classes_sweep");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let cfg = bench_config(5, 4, 64);
+
+    for classes in [4usize, 16, 64] {
+        let data = make_classification(&ClassificationSpec {
+            instances: 1000,
+            features: 20,
+            classes,
+            informative: 10,
+            seed: 42,
+            ..Default::default()
+        });
+        let (train, test) = data.split(0.2, 42);
+        for system in [SystemId::Ours, SystemId::SkBoost, SystemId::XgBoost] {
+            group.bench_with_input(
+                BenchmarkId::new(system.name(), classes),
+                &system,
+                |b, &system| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..iters {
+                            let r = run_system(system, "synthetic", &train, &test, &cfg);
+                            total += Duration::from_secs_f64(r.seconds.max(1e-12));
+                        }
+                        total
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6b);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Fig. 7 — training time vs maximum tree depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbdt_bench::{bench_config, bench_dataset, run_system, SystemId};
+use gbdt_data::PaperDataset;
+use std::time::Duration;
+
+fn fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_depth_sweep");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let (train, test, name) = bench_dataset(PaperDataset::Caltech101, 1.0, 42);
+
+    for depth in [3usize, 5, 7] {
+        let cfg = bench_config(5, depth, 64);
+        for system in [SystemId::Ours, SystemId::SkBoost] {
+            group.bench_with_input(
+                BenchmarkId::new(system.name(), depth),
+                &system,
+                |b, &system| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..iters {
+                            let r = run_system(system, &name, &train, &test, &cfg);
+                            total += Duration::from_secs_f64(r.seconds.max(1e-12));
+                        }
+                        total
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

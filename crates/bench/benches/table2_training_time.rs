@@ -1,0 +1,55 @@
+//! Table 2 — training time of every GPU system on representative
+//! datasets. GPU rows report *simulated device seconds* (via
+//! `iter_custom`); re-run `repro table2` for the full 9-dataset table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbdt_bench::{bench_config, bench_dataset, run_system, SystemId};
+use gbdt_data::PaperDataset;
+use std::time::Duration;
+
+fn sim_duration(seconds: f64) -> Duration {
+    Duration::from_secs_f64(seconds.max(1e-12))
+}
+
+fn table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_training_time");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let cfg = bench_config(5, 4, 64);
+
+    for ds in [PaperDataset::Mnist, PaperDataset::NusWide, PaperDataset::Delicious] {
+        let (train, test, name) = bench_dataset(ds, 1.0, 42);
+        for system in SystemId::gpu_systems() {
+            group.bench_with_input(
+                BenchmarkId::new(system.name(), &name),
+                &system,
+                |b, &system| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..iters {
+                            let r = run_system(system, &name, &train, &test, &cfg);
+                            total += sim_duration(r.seconds);
+                        }
+                        total
+                    })
+                },
+            );
+        }
+        // Dual-GPU row.
+        group.bench_with_input(BenchmarkId::new("ours-dual", &name), &(), |b, _| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let r = run_system(SystemId::OursMultiGpu(2), &name, &train, &test, &cfg);
+                    total += sim_duration(r.seconds);
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table2);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Table 4 — CPU GBDT-MO (mo-fu / mo-sp, measured wall-clock) against
+//! the GPU system (simulated seconds).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbdt_baselines::{CpuMoTrainer, CpuStorage};
+use gbdt_bench::{bench_config, bench_dataset, run_system, SystemId};
+use gbdt_data::PaperDataset;
+use std::time::Duration;
+
+fn table4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_cpu_vs_gpu");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let cfg = bench_config(5, 4, 64);
+
+    for ds in [PaperDataset::Mnist, PaperDataset::NusWide] {
+        let (train, test, name) = bench_dataset(ds, 0.5, 42);
+
+        // CPU rows: ordinary wall-clock measurement of the real fit.
+        for storage in [CpuStorage::Dense, CpuStorage::Sparse] {
+            let label = if storage == CpuStorage::Dense { "mo-fu" } else { "mo-sp" };
+            group.bench_with_input(BenchmarkId::new(label, &name), &storage, |b, &storage| {
+                b.iter(|| CpuMoTrainer::new(cfg.clone(), storage).fit(&train))
+            });
+        }
+        // GPU row: simulated seconds.
+        group.bench_with_input(BenchmarkId::new("ours", &name), &(), |b, _| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let r = run_system(SystemId::Ours, &name, &train, &test, &cfg);
+                    total += Duration::from_secs_f64(r.seconds.max(1e-12));
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table4);
+criterion_main!(benches);

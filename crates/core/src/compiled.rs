@@ -1,0 +1,244 @@
+//! Compiled (structure-of-arrays) inference ensembles.
+//!
+//! [`crate::tree::Tree`]'s `Vec<Node>` enum layout is convenient for
+//! growth but branchy and pointer-chasing for serving. A
+//! [`CompiledEnsemble`] flattens every tree into parallel primitive
+//! arrays — the layout a GPU inference kernel would consume (§3.4.2's
+//! instance-level parallel prediction walks exactly such arrays) — and
+//! encodes leaves as negative child indices so traversal is a tight
+//! loop with no enum matching.
+
+use crate::model::Model;
+use crate::tree::{Node, Tree};
+use gbdt_data::DenseMatrix;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One tree in flattened SoA form.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CompiledTree {
+    /// Split feature per node (undefined for leaves).
+    feature: Vec<u32>,
+    /// Split threshold per node (undefined for leaves).
+    threshold: Vec<f32>,
+    /// Child indices: `≥ 0` → node index, `< 0` → leaf, whose values
+    /// start at `(-child − 1) × d` in `leaf_values`.
+    left: Vec<i32>,
+    right: Vec<i32>,
+    /// Root marker: `< 0` if the whole tree is one leaf.
+    root: i32,
+    /// Concatenated leaf value vectors (`num_leaves × d`).
+    leaf_values: Vec<f32>,
+}
+
+impl CompiledTree {
+    fn from_tree(tree: &Tree) -> Self {
+        let n = tree.num_nodes();
+        let d = tree.d();
+        let mut feature = vec![0u32; n];
+        let mut threshold = vec![0.0f32; n];
+        let mut left = vec![0i32; n];
+        let mut right = vec![0i32; n];
+        let mut leaf_values: Vec<f32> = Vec::new();
+        // Leaf slot id per node (dense numbering of leaves).
+        let mut leaf_slot = vec![-1i32; n];
+        for (at, node) in tree.nodes().iter().enumerate() {
+            if let Node::Leaf { value } = node {
+                leaf_slot[at] = (leaf_values.len() / d) as i32;
+                leaf_values.extend_from_slice(value);
+            }
+        }
+        let encode = |at: usize, leaf_slot: &[i32]| -> i32 {
+            if leaf_slot[at] >= 0 {
+                -(leaf_slot[at] + 1)
+            } else {
+                at as i32
+            }
+        };
+        for (at, node) in tree.nodes().iter().enumerate() {
+            if let Node::Split {
+                feature: f,
+                threshold: t,
+                left: l,
+                right: r,
+                ..
+            } = node
+            {
+                feature[at] = *f;
+                threshold[at] = *t;
+                left[at] = encode(*l as usize, &leaf_slot);
+                right[at] = encode(*r as usize, &leaf_slot);
+            }
+        }
+        CompiledTree {
+            feature,
+            threshold,
+            left,
+            right,
+            root: encode(0, &leaf_slot),
+            leaf_values,
+        }
+    }
+
+    /// Index into `leaf_values` (element offset) for `row`.
+    #[inline]
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(v > t)` routes NaN left
+    fn leaf_offset(&self, row: &[f32], d: usize) -> usize {
+        let mut at = self.root;
+        while at >= 0 {
+            let i = at as usize;
+            let v = row[self.feature[i] as usize];
+            at = if !(v > self.threshold[i]) {
+                self.left[i]
+            } else {
+                self.right[i]
+            };
+        }
+        ((-at - 1) as usize) * d
+    }
+}
+
+/// A whole model compiled for serving.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompiledEnsemble {
+    trees: Vec<CompiledTree>,
+    base: Vec<f32>,
+    d: usize,
+}
+
+impl CompiledEnsemble {
+    /// Compile a trained model.
+    pub fn compile(model: &Model) -> Self {
+        CompiledEnsemble {
+            trees: model.trees.iter().map(CompiledTree::from_tree).collect(),
+            base: model.base.clone(),
+            d: model.d,
+        }
+    }
+
+    /// Output dimension.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Number of trees.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Raw scores for one instance, written into `out` (length `d`).
+    pub fn predict_row_into(&self, row: &[f32], out: &mut [f32]) {
+        out.copy_from_slice(&self.base);
+        for t in &self.trees {
+            let off = t.leaf_offset(row, self.d);
+            for (o, v) in out.iter_mut().zip(&t.leaf_values[off..off + self.d]) {
+                *o += v;
+            }
+        }
+    }
+
+    /// Raw scores for a batch (`n × d`, instance-parallel).
+    pub fn predict(&self, features: &DenseMatrix) -> Vec<f32> {
+        let d = self.d;
+        let mut scores = vec![0.0f32; features.rows() * d];
+        scores
+            .par_chunks_mut(d)
+            .enumerate()
+            .for_each(|(i, out)| self.predict_row_into(features.row(i), out));
+        scores
+    }
+
+    /// Resident bytes of the compiled form.
+    pub fn memory_bytes(&self) -> usize {
+        self.trees
+            .iter()
+            .map(|t| {
+                t.feature.len() * 4
+                    + t.threshold.len() * 4
+                    + t.left.len() * 4
+                    + t.right.len() * 4
+                    + t.leaf_values.len() * 4
+            })
+            .sum::<usize>()
+            + self.base.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrainConfig;
+    use crate::trainer::GpuTrainer;
+    use gbdt_data::synth::{make_classification, ClassificationSpec};
+    use gpusim::Device;
+
+    fn trained() -> (Model, gbdt_data::Dataset) {
+        let ds = make_classification(&ClassificationSpec {
+            instances: 400,
+            features: 10,
+            classes: 4,
+            informative: 7,
+            seed: 30,
+            ..Default::default()
+        });
+        let cfg = TrainConfig {
+            num_trees: 8,
+            max_depth: 5,
+            max_bins: 32,
+            min_instances: 5,
+            ..TrainConfig::default()
+        };
+        (GpuTrainer::new(Device::rtx4090(), cfg).fit(&ds), ds)
+    }
+
+    #[test]
+    fn compiled_predictions_match_interpreter_exactly() {
+        let (model, ds) = trained();
+        let compiled = CompiledEnsemble::compile(&model);
+        assert_eq!(compiled.predict(ds.features()), model.predict(ds.features()));
+        assert_eq!(compiled.num_trees(), model.num_trees());
+        assert_eq!(compiled.d(), 4);
+    }
+
+    #[test]
+    fn single_leaf_tree_compiles() {
+        let model = Model {
+            trees: vec![Tree::new(2)],
+            base: vec![1.0, -1.0],
+            d: 2,
+            task: gbdt_data::Task::MultiRegression,
+            config: TrainConfig::default(),
+        };
+        let compiled = CompiledEnsemble::compile(&model);
+        let x = DenseMatrix::from_rows(&[vec![9.0]]);
+        // Root leaf holds zeros → prediction is the base.
+        assert_eq!(compiled.predict(&x), vec![1.0, -1.0]);
+    }
+
+    #[test]
+    fn nan_routes_like_interpreter() {
+        let (model, _) = trained();
+        let compiled = CompiledEnsemble::compile(&model);
+        let row = vec![f32::NAN; 10];
+        let x = DenseMatrix::from_rows(&[row]);
+        assert_eq!(compiled.predict(&x), model.predict(&x));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (model, ds) = trained();
+        let compiled = CompiledEnsemble::compile(&model);
+        let json = serde_json::to_string(&compiled).unwrap();
+        let back: CompiledEnsemble = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.predict(ds.features()), compiled.predict(ds.features()));
+    }
+
+    #[test]
+    fn memory_accounting_is_positive_and_flat_layout_is_compact() {
+        let (model, _) = trained();
+        let compiled = CompiledEnsemble::compile(&model);
+        assert!(compiled.memory_bytes() > 0);
+        // SoA form should not blow up versus the enum representation.
+        assert!(compiled.memory_bytes() < model.memory_bytes() * 3);
+    }
+}

@@ -1,0 +1,662 @@
+//! Level-wise tree growth (paper Algorithm 1).
+//!
+//! The frontier of open nodes is processed one depth level at a time:
+//! build each node's histogram (adaptive method selection per node),
+//! find its best split via segmented reductions, partition its
+//! instances into the children, repeat until the depth limit or until
+//! no node has a valid split. Instances end up assigned to exactly one
+//! leaf; the assignments feed the incremental score update of §3.1.1.
+
+use crate::config::{HistogramMethod, TrainConfig};
+use crate::grad::Gradients;
+use crate::hist::{accumulate_only, charge_method, method_cost, resolve_method, HistContext, NodeHistogram};
+use crate::split::{find_best_split_constrained, leaf_values, ConstraintState, LevelSplitCharges, SplitParams};
+use crate::tree::Tree;
+use gbdt_data::BinnedDataset;
+use gpusim::cost::KernelCost;
+use gpusim::{Device, Phase};
+use std::collections::BTreeMap;
+
+/// Charging policy for per-node histogram kernels: serialized onto the
+/// device's single stream (streams = 1), or overlapped across CUDA-style
+/// streams — one level's node histograms are mutually independent, so a
+/// level's simulated time becomes the *longest stream*, assigned
+/// greedily (LPT) as a real multi-stream scheduler would.
+struct HistCharges {
+    stream_loads: Vec<f64>,
+}
+
+impl HistCharges {
+    fn new(streams: usize) -> Self {
+        HistCharges {
+            stream_loads: vec![0.0; streams.max(1)],
+        }
+    }
+
+    fn charge(&mut self, ctx: &HistContext<'_>, idx: &[u32], method: HistogramMethod) {
+        if self.stream_loads.len() == 1 {
+            charge_method(ctx, idx, method);
+        } else {
+            let ns = ctx.device.model().kernel_ns(&method_cost(ctx, idx, method));
+            // Least-loaded stream first (greedy LPT scheduling).
+            let min = self
+                .stream_loads
+                .iter_mut()
+                .min_by(|a, b| a.partial_cmp(b).expect("finite loads"))
+                .expect("at least one stream");
+            *min += ns;
+        }
+    }
+
+    /// End of level: the device waits for the slowest stream.
+    fn flush(&mut self, device: &Device) {
+        let max = self.stream_loads.iter().cloned().fold(0.0, f64::max);
+        if max > 0.0 {
+            device.charge_ns("hist_level_streamed", Phase::Histogram, max);
+        }
+        self.stream_loads.iter_mut().for_each(|l| *l = 0.0);
+    }
+}
+
+/// Stable in-order partition of `idx` by `flags` (`true` → left). The
+/// functional core of the scan-based partition kernel; its cost is
+/// charged level-batched by the grower.
+pub fn partition_stable(idx: &[u32], flags: &[bool]) -> (Vec<u32>, Vec<u32>) {
+    debug_assert_eq!(idx.len(), flags.len());
+    let mut left = Vec::with_capacity(idx.len());
+    let mut right = Vec::with_capacity(idx.len());
+    for (&i, &f) in idx.iter().zip(flags) {
+        if f {
+            left.push(i);
+        } else {
+            right.push(i);
+        }
+    }
+    (left, right)
+}
+
+/// One open node during growth.
+struct NodeWork {
+    /// Index of this node in the tree.
+    tree_node: usize,
+    /// Instances resident in the node.
+    instances: Vec<u32>,
+    /// Per-output gradient totals.
+    g: Vec<f64>,
+    /// Per-output Hessian totals.
+    h: Vec<f64>,
+    /// Histogram inherited via subtraction (when enabled).
+    inherited: Option<NodeHistogram>,
+    /// Per-output leaf-value bounds from constrained ancestors (only
+    /// allocated when monotone constraints are active).
+    bounds: Option<Vec<(f64, f64)>>,
+}
+
+/// Clamp raw leaf values into a node's monotonicity bounds (before the
+/// learning-rate scaling that `leaf_values` applies uniformly).
+fn clamp_leaf(values: &mut [f32], bounds: &[(f64, f64)], learning_rate: f32) {
+    for (v, &(lo, hi)) in values.iter_mut().zip(bounds) {
+        let unscaled = (*v / learning_rate) as f64;
+        *v = (unscaled.clamp(lo, hi) as f32) * learning_rate;
+    }
+}
+
+/// Result of growing one tree.
+pub struct GrowResult {
+    /// The finished tree.
+    pub tree: Tree,
+    /// `(instances, leaf value)` per leaf — input to the incremental
+    /// score update.
+    pub leaf_assignments: Vec<(Vec<u32>, Vec<f32>)>,
+    /// Tree-node index of each entry in `leaf_assignments` (lets
+    /// post-processing — e.g. SketchBoost's full-dimensional leaf
+    /// refit — rewrite leaf values in place).
+    pub leaf_nodes: Vec<usize>,
+    /// How many nodes each histogram method handled (adaptive
+    /// selection telemetry, reported by the ablation benches).
+    pub methods_used: BTreeMap<HistogramMethod, usize>,
+}
+
+/// Grow one tree over `features` (global IDs) on `device`, rooting at
+/// all instances.
+pub fn grow_tree(
+    device: &Device,
+    data: &BinnedDataset,
+    grads: &Gradients,
+    config: &TrainConfig,
+    features: &[u32],
+) -> GrowResult {
+    let root_idx: Vec<u32> = (0..grads.n as u32).collect();
+    grow_tree_on(device, data, grads, config, features, root_idx)
+}
+
+/// Grow one tree rooted at an explicit instance subset (stochastic
+/// gradient boosting's per-tree row sample).
+pub fn grow_tree_on(
+    device: &Device,
+    data: &BinnedDataset,
+    grads: &Gradients,
+    config: &TrainConfig,
+    features: &[u32],
+    root_idx: Vec<u32>,
+) -> GrowResult {
+    let d = grads.d;
+    let ctx = HistContext {
+        device,
+        data,
+        grads,
+        features,
+        bins: config.max_bins,
+        opts: config.hist,
+    };
+    let params = SplitParams {
+        lambda: config.lambda,
+        min_gain: config.min_gain,
+        min_instances: config.min_instances,
+        segments_c: config.segments_per_block_c,
+    };
+
+    let mut tree = Tree::new(d);
+    let mut leaf_assignments: Vec<(Vec<u32>, Vec<f32>)> = Vec::new();
+    let mut leaf_nodes: Vec<usize> = Vec::new();
+    let mut methods_used: BTreeMap<HistogramMethod, usize> = BTreeMap::new();
+
+    let constrained = !config.monotone_constraints.is_empty();
+    if constrained {
+        assert_eq!(
+            config.monotone_constraints.len(),
+            data.m(),
+            "monotone_constraints must have one entry per feature"
+        );
+    }
+    let (root_g, root_h) = grads.sums(&root_idx);
+    let mut frontier = vec![NodeWork {
+        tree_node: 0,
+        instances: root_idx,
+        g: root_g,
+        h: root_h,
+        inherited: None,
+        bounds: constrained.then(|| vec![(f64::NEG_INFINITY, f64::INFINITY); d]),
+    }];
+
+    // Reusable histogram buffer (multi-MB for wide × deep outputs;
+    // reallocation per node would dominate host time).
+    let mut hist = NodeHistogram::new(features.len(), d, config.max_bins);
+
+    for depth in 0..config.max_depth {
+        let mut next = Vec::new();
+        // Split evaluation and partitioning are charged once per level
+        // as batched kernels (paper §3.1.3) — per-node launches would
+        // dominate at depth.
+        let mut split_charges = LevelSplitCharges::new();
+        let mut hist_charges = HistCharges::new(config.streams);
+        let mut partition_elems = 0usize;
+        for work in frontier {
+            let NodeWork {
+                tree_node,
+                instances,
+                g,
+                h,
+                inherited,
+                bounds,
+            } = work;
+
+            let leaf_bounds = bounds.clone();
+            let mut finalize_leaf = |tree: &mut Tree, instances: Vec<u32>, g: &[f64], h: &[f64]| {
+                let mut v = leaf_values(g, h, config.lambda, config.learning_rate);
+                if let Some(b) = &leaf_bounds {
+                    clamp_leaf(&mut v, b, config.learning_rate);
+                }
+                tree.set_leaf(tree_node, v.clone());
+                leaf_assignments.push((instances, v));
+                leaf_nodes.push(tree_node);
+            };
+
+            if instances.len() < 2 * config.min_instances {
+                finalize_leaf(&mut tree, instances, &g, &h);
+                continue;
+            }
+
+            // Histogram: inherited via subtraction, or built fresh.
+            if let Some(inherited) = inherited {
+                hist = inherited;
+            } else {
+                let m = resolve_method(&ctx, instances.len());
+                accumulate_only(&ctx, &instances, &g, &h, &mut hist);
+                hist_charges.charge(&ctx, &instances, m);
+                *methods_used.entry(m).or_insert(0) += 1;
+            }
+
+            let state = bounds.as_ref().map(|b| ConstraintState {
+                monotone: &config.monotone_constraints,
+                bounds: b,
+            });
+            let split = find_best_split_constrained(
+                &mut split_charges,
+                &hist,
+                features,
+                &g,
+                &h,
+                instances.len() as u32,
+                &params,
+                state.as_ref(),
+            );
+            let Some(split) = split else {
+                finalize_leaf(&mut tree, instances, &g, &h);
+                continue;
+            };
+
+            // Partition instances by the winning condition (Algorithm 1
+            // lines 16–17); the scan-based partition kernel for all of
+            // the level's nodes is charged once below.
+            let col = data.bins.col(split.feature as usize);
+            let flags: Vec<bool> = instances
+                .iter()
+                .map(|&i| col[i as usize] <= split.bin)
+                .collect();
+            partition_elems += instances.len();
+            let (left_idx, right_idx) = partition_stable(&instances, &flags);
+            debug_assert_eq!(left_idx.len(), split.left_count as usize);
+            debug_assert_eq!(right_idx.len(), split.right_count as usize);
+
+            let threshold = data.cuts.threshold(split.feature as usize, split.bin);
+            let (l, r) = tree.split_node(tree_node, split.feature, split.bin, threshold);
+
+            let right_g: Vec<f64> = g.iter().zip(&split.left_g).map(|(a, b)| a - b).collect();
+            let right_h: Vec<f64> = h.iter().zip(&split.left_h).map(|(a, b)| a - b).collect();
+
+            // Monotone bound propagation: a constrained split fixes the
+            // midpoint of the two (clamped) child values as the new
+            // boundary between the children's admissible intervals.
+            let (left_bounds, right_bounds) = if let Some(parent_bounds) = &bounds {
+                let c = config.monotone_constraints[split.feature as usize];
+                let mut lb = parent_bounds.clone();
+                let mut rb = parent_bounds.clone();
+                if c != 0 {
+                    for k in 0..d {
+                        let (lo, hi) = parent_bounds[k];
+                        let vl = (-(split.left_g[k] / (split.left_h[k] + config.lambda)))
+                            .clamp(lo, hi);
+                        let vr = (-(right_g[k] / (right_h[k] + config.lambda))).clamp(lo, hi);
+                        let mid = 0.5 * (vl + vr);
+                        if c > 0 {
+                            lb[k].1 = lb[k].1.min(mid);
+                            rb[k].0 = rb[k].0.max(mid);
+                        } else {
+                            lb[k].0 = lb[k].0.max(mid);
+                            rb[k].1 = rb[k].1.min(mid);
+                        }
+                    }
+                }
+                (Some(lb), Some(rb))
+            } else {
+                (None, None)
+            };
+
+            // Histogram subtraction: rebuild only the smaller child; the
+            // larger inherits `parent − smaller` (computed next level
+            // when the smaller child's histogram exists — here we derive
+            // it eagerly from the parent's, which we still hold).
+            let (mut left_inherit, mut right_inherit) = (None, None);
+            if config.hist.subtraction && depth + 1 < config.max_depth {
+                let smaller_is_left = left_idx.len() <= right_idx.len();
+                let smaller_idx = if smaller_is_left { &left_idx } else { &right_idx };
+                if smaller_idx.len() >= 2 * config.min_instances {
+                    let mut small = NodeHistogram::new(features.len(), d, config.max_bins);
+                    let (sg, sh) = if smaller_is_left {
+                        (split.left_g.clone(), split.left_h.clone())
+                    } else {
+                        (right_g.clone(), right_h.clone())
+                    };
+                    let m = resolve_method(&ctx, smaller_idx.len());
+                    accumulate_only(&ctx, smaller_idx, &sg, &sh, &mut small);
+                    hist_charges.charge(&ctx, smaller_idx, m);
+                    *methods_used.entry(m).or_insert(0) += 1;
+                    let mut large = small.clone();
+                    large.subtract_from(&hist);
+                    // `subtract` is one streaming pass over the histogram.
+                    device.charge_kernel(
+                        "hist_subtract",
+                        Phase::Histogram,
+                        &gpusim::cost::KernelCost::streaming(
+                            large.g.len() as f64 * 2.0,
+                            (large.g.len() * 3 * 8) as f64,
+                        ),
+                    );
+                    if smaller_is_left {
+                        left_inherit = Some(small);
+                        right_inherit = Some(large);
+                    } else {
+                        right_inherit = Some(small);
+                        left_inherit = Some(large);
+                    }
+                }
+            }
+
+            next.push(NodeWork {
+                tree_node: l,
+                instances: left_idx,
+                g: split.left_g,
+                h: split.left_h,
+                inherited: left_inherit,
+                bounds: left_bounds,
+            });
+            next.push(NodeWork {
+                tree_node: r,
+                instances: right_idx,
+                g: right_g,
+                h: right_h,
+                inherited: right_inherit,
+                bounds: right_bounds,
+            });
+        }
+        hist_charges.flush(device);
+        split_charges.flush(device, device.model().params.sm_count, params.segments_c);
+        if partition_elems > 0 {
+            device.charge_kernel(
+                "partition_level",
+                Phase::Partition,
+                &KernelCost {
+                    flops: 3.0 * partition_elems as f64,
+                    // flag read + index read + scan traffic + scatter
+                    dram_bytes: (partition_elems * 17) as f64,
+                    launches: 2.0,
+                    ..Default::default()
+                },
+            );
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+
+    // Depth limit reached: everything still open becomes a leaf.
+    for work in frontier {
+        let mut v = leaf_values(&work.g, &work.h, config.lambda, config.learning_rate);
+        if let Some(b) = &work.bounds {
+            clamp_leaf(&mut v, b, config.learning_rate);
+        }
+        tree.set_leaf(work.tree_node, v.clone());
+        leaf_assignments.push((work.instances, v));
+        leaf_nodes.push(work.tree_node);
+    }
+
+    GrowResult {
+        tree,
+        leaf_assignments,
+        leaf_nodes,
+        methods_used,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grad::compute_gradients;
+    use crate::loss::MseLoss;
+    use gbdt_data::synth::{make_regression, RegressionSpec};
+    use gbdt_data::Dataset;
+
+    fn setup(n: usize, m: usize, d: usize) -> (Dataset, BinnedDataset, Gradients) {
+        let ds = make_regression(&RegressionSpec {
+            instances: n,
+            features: m,
+            outputs: d,
+            informative: (m / 2).max(1),
+            noise: 0.05,
+            seed: 42,
+            ..Default::default()
+        });
+        let binned = BinnedDataset::build(ds.features(), 32);
+        let device = Device::rtx4090();
+        let scores = vec![0.0f32; n * d];
+        let grads = compute_gradients(&device, &MseLoss, &scores, ds.targets(), n, d);
+        (ds, binned, grads)
+    }
+
+    fn config() -> TrainConfig {
+        TrainConfig {
+            max_depth: 4,
+            min_instances: 5,
+            max_bins: 32,
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn leaves_partition_all_instances() {
+        let (_, data, grads) = setup(300, 6, 3);
+        let device = Device::rtx4090();
+        let features: Vec<u32> = (0..6).collect();
+        let res = grow_tree(&device, &data, &grads, &config(), &features);
+        let mut seen = vec![false; 300];
+        for (instances, _) in &res.leaf_assignments {
+            for &i in instances {
+                assert!(!seen[i as usize], "instance {i} in two leaves");
+                seen[i as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every instance must land in a leaf");
+        assert_eq!(res.leaf_assignments.len(), res.tree.num_leaves());
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        let (_, data, grads) = setup(400, 6, 2);
+        let device = Device::rtx4090();
+        let features: Vec<u32> = (0..6).collect();
+        for depth in [1, 2, 3] {
+            let mut cfg = config();
+            cfg.max_depth = depth;
+            let res = grow_tree(&device, &data, &grads, &cfg, &features);
+            assert!(res.tree.depth() <= depth, "depth {} > limit {depth}", res.tree.depth());
+        }
+    }
+
+    #[test]
+    fn tree_reduces_training_loss() {
+        let (ds, data, grads) = setup(400, 6, 3);
+        let device = Device::rtx4090();
+        let features: Vec<u32> = (0..6).collect();
+        let res = grow_tree(&device, &data, &grads, &config(), &features);
+
+        // Applying the tree's leaf values must reduce squared error
+        // against the targets (scores started at zero).
+        let d = 3;
+        let mut scores = vec![0.0f32; 400 * d];
+        for (instances, value) in &res.leaf_assignments {
+            for &i in instances {
+                for k in 0..d {
+                    scores[i as usize * d + k] += value[k];
+                }
+            }
+        }
+        let before: f64 = ds.targets().iter().map(|&t| (t as f64).powi(2)).sum();
+        let after: f64 = scores
+            .iter()
+            .zip(ds.targets())
+            .map(|(&s, &t)| ((s - t) as f64).powi(2))
+            .sum();
+        assert!(after < before * 0.9, "loss {after} not reduced from {before}");
+    }
+
+    #[test]
+    fn min_instances_bounds_leaf_sizes() {
+        let (_, data, grads) = setup(300, 6, 2);
+        let device = Device::rtx4090();
+        let features: Vec<u32> = (0..6).collect();
+        let mut cfg = config();
+        cfg.min_instances = 30;
+        let res = grow_tree(&device, &data, &grads, &cfg, &features);
+        for (instances, _) in &res.leaf_assignments {
+            assert!(
+                instances.len() >= 30,
+                "leaf of size {} violates min_instances",
+                instances.len()
+            );
+        }
+    }
+
+    #[test]
+    fn subtraction_grows_equivalent_tree() {
+        let (_, data, grads) = setup(500, 8, 2);
+        let device = Device::rtx4090();
+        let features: Vec<u32> = (0..8).collect();
+        let plain = grow_tree(&device, &data, &grads, &config(), &features);
+        let mut cfg = config();
+        cfg.hist.subtraction = true;
+        let sub = grow_tree(&device, &data, &grads, &cfg, &features);
+        // Identical split structure and (up to fp noise) leaf values.
+        assert_eq!(plain.tree.num_nodes(), sub.tree.num_nodes());
+        assert_eq!(plain.tree.num_leaves(), sub.tree.num_leaves());
+        for ((ia, va), (ib, vb)) in plain.leaf_assignments.iter().zip(&sub.leaf_assignments) {
+            assert_eq!(ia, ib);
+            for (a, b) in va.iter().zip(vb) {
+                assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn charges_land_in_expected_phases() {
+        let (_, data, grads) = setup(4000, 12, 6);
+        let device = Device::rtx4090();
+        let features: Vec<u32> = (0..12).collect();
+        let _ = grow_tree(&device, &data, &grads, &config(), &features);
+        let s = device.summary();
+        for phase in [Phase::Histogram, Phase::SplitEval, Phase::Partition] {
+            assert!(
+                s.by_phase.contains_key(&phase),
+                "missing charges for {phase:?}"
+            );
+        }
+        // Histogram must dominate split evaluation (the paper's Fig. 4).
+        assert!(s.fraction(Phase::Histogram) > s.fraction(Phase::SplitEval));
+    }
+
+    #[test]
+    fn monotone_constraint_makes_predictions_monotone() {
+        use gbdt_data::{Dataset, DenseMatrix, Task};
+        // y = x + noise on a single feature: a +1 constraint must yield
+        // a globally non-decreasing prediction function (bound
+        // propagation guarantees it, not just local ordering).
+        let n = 500;
+        let xs: Vec<f32> = (0..n).map(|i| i as f32 / 50.0).collect();
+        let targets: Vec<f32> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x + ((i * 37) % 11) as f32 * 0.2 - 1.0)
+            .collect();
+        let ds = Dataset::new(
+            DenseMatrix::new(n, 1, xs.clone()),
+            targets,
+            1,
+            Task::MultiRegression,
+        );
+        let binned = BinnedDataset::build(ds.features(), 32);
+        let device = Device::rtx4090();
+        let scores = vec![0.0f32; n];
+        let grads = compute_gradients(&device, &MseLoss, &scores, ds.targets(), n, 1);
+        let mut cfg = config();
+        cfg.max_depth = 5;
+        cfg.min_instances = 3;
+        cfg.monotone_constraints = vec![1];
+        let res = grow_tree(&device, &binned, &grads, &cfg, &[0]);
+        assert!(res.tree.num_leaves() > 2, "constraint should still allow splits");
+
+        let mut last = f32::NEG_INFINITY;
+        for &x in &xs {
+            let mut out = [0.0f32];
+            res.tree.predict_into(&[x], &mut out);
+            assert!(
+                out[0] >= last - 1e-6,
+                "prediction decreased at x={x}: {} < {last}",
+                out[0]
+            );
+            last = out[0];
+        }
+    }
+
+    #[test]
+    fn opposing_constraint_suppresses_splits() {
+        use gbdt_data::{Dataset, DenseMatrix, Task};
+        // y strictly increasing in x, but we demand non-increasing: no
+        // admissible split exists, so the tree must stay (nearly) a stump.
+        let n = 300;
+        let xs: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let targets: Vec<f32> = xs.clone();
+        let ds = Dataset::new(
+            DenseMatrix::new(n, 1, xs),
+            targets,
+            1,
+            Task::MultiRegression,
+        );
+        let binned = BinnedDataset::build(ds.features(), 32);
+        let device = Device::rtx4090();
+        let scores = vec![0.0f32; n];
+        let grads = compute_gradients(&device, &MseLoss, &scores, ds.targets(), n, 1);
+        let mut cfg = config();
+        cfg.monotone_constraints = vec![-1];
+        let res = grow_tree(&device, &binned, &grads, &cfg, &[0]);
+        assert_eq!(
+            res.tree.num_leaves(),
+            1,
+            "a −1 constraint on increasing data must forbid every split"
+        );
+    }
+
+    #[test]
+    fn unconstrained_features_are_unaffected() {
+        let (_, data, grads) = setup(400, 6, 2);
+        let device = Device::rtx4090();
+        let features: Vec<u32> = (0..6).collect();
+        let plain = grow_tree(&device, &data, &grads, &config(), &features);
+        let mut cfg = config();
+        cfg.monotone_constraints = vec![0; 6];
+        let zeroed = grow_tree(&device, &data, &grads, &cfg, &features);
+        assert_eq!(plain.tree, zeroed.tree, "all-zero constraints must be a no-op");
+    }
+
+    #[test]
+    fn streams_shorten_levels_without_changing_the_model() {
+        let (_, data, grads) = setup(2000, 10, 4);
+        let features: Vec<u32> = (0..10).collect();
+        let mut serial_cfg = config();
+        serial_cfg.max_depth = 6;
+        let mut streamed_cfg = serial_cfg.clone();
+        streamed_cfg.streams = 4;
+
+        let d1 = Device::rtx4090();
+        let serial = grow_tree(&d1, &data, &grads, &serial_cfg, &features);
+        let d2 = Device::rtx4090();
+        let streamed = grow_tree(&d2, &data, &grads, &streamed_cfg, &features);
+
+        // Identical model: streams are a scheduling change only.
+        assert_eq!(serial.tree, streamed.tree);
+        // Deep levels have many independent node kernels → overlap wins.
+        assert!(
+            d2.now_ns() < d1.now_ns(),
+            "4 streams ({}) should beat serial ({})",
+            d2.now_ns(),
+            d1.now_ns()
+        );
+        // Never better than perfect 4× overlap of the histogram phase.
+        let hist_serial = d1.summary().by_phase[&Phase::Histogram];
+        let hist_streamed = d2.summary().by_phase[&Phase::Histogram];
+        assert!(hist_streamed * 4.2 > hist_serial, "superlinear overlap");
+    }
+
+    #[test]
+    fn methods_used_reports_selection() {
+        let (_, data, grads) = setup(300, 6, 2);
+        let device = Device::rtx4090();
+        let features: Vec<u32> = (0..6).collect();
+        let mut cfg = config();
+        cfg.hist.method = HistogramMethod::GlobalMemory;
+        let res = grow_tree(&device, &data, &grads, &cfg, &features);
+        let total: usize = res.methods_used.values().sum();
+        assert!(total > 0);
+        assert!(res.methods_used.contains_key(&HistogramMethod::GlobalMemory));
+    }
+}

@@ -1,0 +1,128 @@
+//! Adaptive histogram-method selection (paper §3.3: "our system
+//! dynamically selects the most appropriate histogram building method
+//! from multiple optimized approaches based on the dataset
+//! characteristics and training stage").
+//!
+//! Before building a node's histogram, each strategy's cost is predicted
+//! from the analytical model with closed-form contention estimates —
+//! node size, feature/output counts, bin budget, dataset sparsity — and
+//! the cheapest wins. Large contended roots favour shared memory; small
+//! deep nodes favour global memory (the smem flush is a fixed cost);
+//! sort-and-reduce wins only when contention is extreme relative to the
+//! output width.
+
+use super::{gmem, smem, sortreduce, HistContext};
+use crate::config::HistogramMethod;
+
+/// Predicted cost of every concrete method, in nanoseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct MethodCosts {
+    /// Global-memory atomics.
+    pub gmem_ns: f64,
+    /// Shared-memory tiling.
+    pub smem_ns: f64,
+    /// Sort-and-reduce.
+    pub sort_ns: f64,
+}
+
+impl MethodCosts {
+    /// The cheapest method under these predictions.
+    pub fn best(&self) -> HistogramMethod {
+        if self.gmem_ns <= self.smem_ns && self.gmem_ns <= self.sort_ns {
+            HistogramMethod::GlobalMemory
+        } else if self.smem_ns <= self.sort_ns {
+            HistogramMethod::SharedMemory
+        } else {
+            HistogramMethod::SortReduce
+        }
+    }
+}
+
+/// Predict all three methods' costs for a node of `node_size` instances.
+pub fn predict_costs(ctx: &HistContext<'_>, node_size: usize) -> MethodCosts {
+    MethodCosts {
+        gmem_ns: gmem::estimate_ns(ctx, node_size),
+        smem_ns: smem::estimate_ns(ctx, node_size),
+        sort_ns: sortreduce::estimate_ns(ctx, node_size),
+    }
+}
+
+/// Select the method to use for a node of `node_size` instances.
+pub fn select_method(ctx: &HistContext<'_>, node_size: usize) -> HistogramMethod {
+    predict_costs(ctx, node_size).best()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::fixture;
+    use super::*;
+    use crate::config::HistOptions;
+    use gpusim::Device;
+
+    fn make_ctx<'a>(
+        device: &'a gpusim::Device,
+        data: &'a gbdt_data::BinnedDataset,
+        grads: &'a crate::grad::Gradients,
+        features: &'a [u32],
+        bins: usize,
+    ) -> HistContext<'a> {
+        HistContext {
+            device,
+            data,
+            grads,
+            features,
+            bins,
+            opts: HistOptions::default(),
+        }
+    }
+
+    #[test]
+    fn selection_is_never_worse_than_either_fixed_choice() {
+        let (_, data, grads) = fixture(3000, 8, 8, 1);
+        let device = Device::rtx4090();
+        let features: Vec<u32> = (0..8).collect();
+        let ctx = make_ctx(&device, &data, &grads, &features, 256);
+        for size in [50, 500, 3000] {
+            let c = predict_costs(&ctx, size);
+            let best = match c.best() {
+                HistogramMethod::GlobalMemory => c.gmem_ns,
+                HistogramMethod::SharedMemory => c.smem_ns,
+                HistogramMethod::SortReduce => c.sort_ns,
+                HistogramMethod::Adaptive => unreachable!(),
+            };
+            assert!(best <= c.gmem_ns && best <= c.smem_ns && best <= c.sort_ns);
+        }
+    }
+
+    #[test]
+    fn stage_dependence_small_nodes_prefer_gmem() {
+        // With a 256-bin × d histogram, tiny nodes must avoid the smem
+        // flush (a fixed bins×d×2 global-atomic cost).
+        let (_, data, grads) = fixture(4000, 8, 8, 2);
+        let device = Device::rtx4090();
+        let features: Vec<u32> = (0..8).collect();
+        let ctx = make_ctx(&device, &data, &grads, &features, 256);
+        assert_eq!(select_method(&ctx, 30), HistogramMethod::GlobalMemory);
+    }
+
+    #[test]
+    fn contended_roots_prefer_smem() {
+        // A large sparse root with many outputs: zero-bin collisions
+        // make global atomics replay-heavy.
+        let (_, data, grads) = fixture(4000, 8, 8, 3);
+        let device = Device::rtx4090();
+        let features: Vec<u32> = (0..8).collect();
+        let ctx = make_ctx(&device, &data, &grads, &features, 32);
+        assert_eq!(select_method(&ctx, 4000), HistogramMethod::SharedMemory);
+    }
+
+    #[test]
+    fn costs_are_finite_for_degenerate_nodes() {
+        let (_, data, grads) = fixture(100, 4, 2, 4);
+        let device = Device::rtx4090();
+        let features: Vec<u32> = (0..4).collect();
+        let ctx = make_ctx(&device, &data, &grads, &features, 32);
+        let c = predict_costs(&ctx, 0);
+        assert!(c.gmem_ns.is_finite() && c.smem_ns.is_finite() && c.sort_ns.is_finite());
+    }
+}

@@ -1,0 +1,156 @@
+//! Global-memory histogram strategy (paper §3.3.2).
+//!
+//! One simulated thread per (instance, feature) pair: fetch the bin ID,
+//! then `atomicAdd` the instance's `d` gradient and `d` Hessian values
+//! into the global histogram. Simple and launch-cheap, but every update
+//! is a global atomic: intra-warp bin collisions serialize into replays,
+//! so skewed bin distributions (sparse data funnelling into the zero
+//! bin) degrade it sharply — the motivation for the other strategies.
+
+use super::stats::{self, ContentionStats};
+use super::HistContext;
+use gpusim::cost::KernelCost;
+use gpusim::Phase;
+
+/// Build the kernel-cost descriptor from contention statistics.
+pub fn cost_descriptor(ctx: &HistContext<'_>, nn: usize, s: &ContentionStats) -> KernelCost {
+    let mf = ctx.features.len();
+    let d = ctx.d();
+    let p = &ctx.device.model().params;
+    // Sparsity-aware kernels (§3.2) visit only CSC-present entries and
+    // fill the implicit-zero bin in closed form, so the per-pair work
+    // scales with the data's density (plus one zero-bin pass per
+    // (feature, output), negligible against the entry stream).
+    let density = super::density_factor(ctx);
+    let pairs = nn as f64 * mf as f64 * density;
+    let updates = pairs * d as f64 * 2.0; // g and h per output
+
+    let (bin_trans, issue_per_pair, aggregation) = if ctx.opts.warp_packing {
+        // Packed: one u32 serves 4 instances, and each thread
+        // pre-aggregates same-bin contributions of its 4 instances in
+        // registers before issuing atomics.
+        (s.bin_transactions_packed, 1.0, s.packed_aggregation_ratio)
+    } else {
+        // Byte-granular loads: 4× the load instructions for the same data.
+        (s.bin_transactions_unpacked, 4.0, 1.0)
+    };
+
+    KernelCost {
+        flops: pairs * (2.0 * d as f64 + issue_per_pair),
+        dram_bytes: bin_trans * p.sector_bytes as f64
+            + stats::gh_bytes(nn, mf, d, stats::pair_bytes(ctx)),
+        gmem_atomics: updates * aggregation,
+        gmem_atomic_replays: s.replay_excess * d as f64 * 2.0 * aggregation * density,
+        launches: 1.0,
+        ..Default::default()
+    }
+}
+
+/// Charge one node's gmem histogram build using measured statistics.
+pub fn charge(ctx: &HistContext<'_>, idx: &[u32]) {
+    let s = stats::measure(ctx, idx);
+    let name = if ctx.opts.warp_packing {
+        "hist_gmem_packed"
+    } else {
+        "hist_gmem"
+    };
+    ctx.device
+        .charge_kernel(name, Phase::Histogram, &cost_descriptor(ctx, idx.len(), &s));
+}
+
+/// Predicted cost (ns) for the adaptive selector.
+pub fn estimate_ns(ctx: &HistContext<'_>, node_size: usize) -> f64 {
+    let s = stats::expect(ctx, node_size);
+    ctx.device
+        .model()
+        .kernel_ns(&cost_descriptor(ctx, node_size, &s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::fixture;
+    use super::*;
+    use crate::config::HistOptions;
+    use gpusim::Device;
+
+    fn make_ctx<'a>(
+        device: &'a gpusim::Device,
+        data: &'a gbdt_data::BinnedDataset,
+        grads: &'a crate::grad::Gradients,
+        features: &'a [u32],
+        packing: bool,
+    ) -> HistContext<'a> {
+        HistContext {
+            device,
+            data,
+            grads,
+            features,
+            bins: 32,
+            opts: HistOptions {
+                warp_packing: packing,
+                ..HistOptions::default()
+            },
+        }
+    }
+
+    #[test]
+    fn charge_accumulates_histogram_phase_time() {
+        let (_, data, grads) = fixture(400, 6, 3, 1);
+        let device = Device::rtx4090();
+        let features: Vec<u32> = (0..6).collect();
+        let ctx = make_ctx(&device, &data, &grads, &features, true);
+        let idx: Vec<u32> = (0..400).collect();
+        charge(&ctx, &idx);
+        let s = device.summary();
+        assert!(s.by_phase.contains_key(&Phase::Histogram));
+        assert!(s.total_ns > 0.0);
+    }
+
+    #[test]
+    fn cost_scales_with_outputs() {
+        // Large enough that the d-proportional atomic/replay terms
+        // dominate fixed launch overhead.
+        let (_, data, grads) = fixture(10_000, 8, 2, 2);
+        let device = Device::rtx4090();
+        let features: Vec<u32> = (0..8).collect();
+        let ctx = make_ctx(&device, &data, &grads, &features, true);
+        let t_small = estimate_ns(&ctx, 10_000);
+
+        let (_, data8, grads8) = fixture(10_000, 8, 8, 2);
+        let ctx8 = make_ctx(&device, &data8, &grads8, &features, true);
+        let t_big = estimate_ns(&ctx8, 10_000);
+        assert!(
+            t_big > t_small * 2.0,
+            "d=8 ({t_big}) should cost ≫ d=2 ({t_small})"
+        );
+    }
+
+    #[test]
+    fn warp_packing_does_not_increase_cost() {
+        let (_, data, grads) = fixture(500, 6, 4, 3);
+        let device = Device::rtx4090();
+        let features: Vec<u32> = (0..6).collect();
+        let idx: Vec<u32> = (0..500).filter(|i| i % 2 == 0).collect();
+
+        let d1 = Device::rtx4090();
+        let ctx = make_ctx(&d1, &data, &grads, &features, false);
+        charge(&ctx, &idx);
+        let d2 = Device::rtx4090();
+        let ctx_wo = make_ctx(&d2, &data, &grads, &features, true);
+        charge(&ctx_wo, &idx);
+        assert!(d2.now_ns() <= d1.now_ns(), "+wo {} vs {}", d2.now_ns(), d1.now_ns());
+        let _ = device;
+    }
+
+    #[test]
+    fn estimate_is_positive_and_monotone_in_node_size() {
+        let (_, data, grads) = fixture(1000, 5, 3, 4);
+        let device = Device::rtx4090();
+        let features: Vec<u32> = (0..5).collect();
+        let ctx = make_ctx(&device, &data, &grads, &features, true);
+        let t100 = estimate_ns(&ctx, 100);
+        let t1000 = estimate_ns(&ctx, 1000);
+        assert!(t100 > 0.0);
+        assert!(t1000 > t100);
+    }
+}

@@ -1,0 +1,541 @@
+//! Histogram building (paper §3.3) — the dominant cost of GBDT-MO
+//! training (67–89 % of total time in the paper's Fig. 4).
+//!
+//! A node histogram aggregates, for every (feature, bin, output), the
+//! sums of first and second loss derivatives over the node's instances,
+//! plus a per-(feature, bin) instance count. Three kernels produce the
+//! identical histogram with different hardware cost profiles:
+//!
+//! * [`gmem`] — global-memory atomics (§3.3.2);
+//! * [`smem`] — shared-memory tiled atomics (§3.3.3);
+//! * [`sortreduce`] — sort-and-reduce (§3.3.4);
+//!
+//! each with and without the warp-level bin-packing optimization
+//! (§3.4.1). [`adaptive`] predicts each kernel's cost from the model and
+//! picks the cheapest per node — the paper's "dynamically selects the
+//! most appropriate histogram building method … based on the dataset
+//! characteristics and training stage".
+//!
+//! All builders share one deterministic functional accumulation
+//! ([`accumulate_dense`] / [`accumulate_sparse`]); only the charged cost
+//! differs. Histogram **subtraction** (`sibling = parent − child`) is
+//! available as an option.
+
+pub mod adaptive;
+pub mod gmem;
+pub mod smem;
+pub mod sortreduce;
+pub mod stats;
+
+use crate::config::{HistOptions, HistogramMethod};
+use crate::grad::Gradients;
+use gbdt_data::BinnedDataset;
+use gpusim::cost::KernelCost;
+use gpusim::Device;
+use rayon::prelude::*;
+
+/// Effective L2 hit rate for gradient rows re-read across feature
+/// columns within one histogram kernel. Gradient rows are touched once
+/// per feature; caches capture most of the reuse.
+pub(crate) const GH_L2_HIT: f64 = 0.92;
+
+/// A node's gradient histogram over a set of features.
+///
+/// Layout (all contiguous per segment, enabling uniform segmented
+/// scans): `g[(f_local*d + k)*bins + b]`, `counts[f_local*bins + b]`.
+#[derive(Debug, Clone)]
+pub struct NodeHistogram {
+    /// Per-(feature, output, bin) gradient sums.
+    pub g: Vec<f64>,
+    /// Per-(feature, output, bin) Hessian sums.
+    pub h: Vec<f64>,
+    /// Per-(feature, bin) instance counts.
+    pub counts: Vec<u32>,
+    /// Number of (local) features covered.
+    pub num_features: usize,
+    /// Output dimension.
+    pub d: usize,
+    /// Bin stride (uniform across features).
+    pub bins: usize,
+}
+
+impl NodeHistogram {
+    /// Allocate a zeroed histogram.
+    pub fn new(num_features: usize, d: usize, bins: usize) -> Self {
+        NodeHistogram {
+            g: vec![0.0; num_features * d * bins],
+            h: vec![0.0; num_features * d * bins],
+            counts: vec![0; num_features * bins],
+            num_features,
+            d,
+            bins,
+        }
+    }
+
+    /// Zero all accumulators (reuse between nodes, avoiding
+    /// reallocation of multi-MB buffers). `fill` lowers to `memset`,
+    /// which matters: these buffers are re-zeroed once per node.
+    pub fn reset(&mut self) {
+        self.g.fill(0.0);
+        self.h.fill(0.0);
+        self.counts.fill(0);
+    }
+
+    /// Flat index of `(f_local, k, b)` into `g`/`h`.
+    #[inline]
+    pub fn gh_index(&self, f_local: usize, k: usize, b: usize) -> usize {
+        (f_local * self.d + k) * self.bins + b
+    }
+
+    /// Flat index of `(f_local, b)` into `counts`.
+    #[inline]
+    pub fn cnt_index(&self, f_local: usize, b: usize) -> usize {
+        f_local * self.bins + b
+    }
+
+    /// The contiguous `bins`-long gradient segment of `(f_local, k)`.
+    pub fn g_segment(&self, f_local: usize, k: usize) -> &[f64] {
+        let s = self.gh_index(f_local, k, 0);
+        &self.g[s..s + self.bins]
+    }
+
+    /// The contiguous `bins`-long Hessian segment of `(f_local, k)`.
+    pub fn h_segment(&self, f_local: usize, k: usize) -> &[f64] {
+        let s = self.gh_index(f_local, k, 0);
+        &self.h[s..s + self.bins]
+    }
+
+    /// Replace `self` (a child histogram) by `parent − self`: the
+    /// sibling's histogram, obtained without touching instance data.
+    pub fn subtract_from(&mut self, parent: &NodeHistogram) {
+        assert_eq!(self.g.len(), parent.g.len(), "histogram shape mismatch");
+        for (s, p) in self.g.iter_mut().zip(&parent.g) {
+            *s = p - *s;
+        }
+        for (s, p) in self.h.iter_mut().zip(&parent.h) {
+            *s = p - *s;
+        }
+        for (s, p) in self.counts.iter_mut().zip(&parent.counts) {
+            *s = p
+                .checked_sub(*s)
+                .expect("child count exceeds parent count");
+        }
+    }
+
+    /// Total bytes of the accumulators (drives tiling decisions and the
+    /// memory reporting in the depth experiment, Fig. 7).
+    pub fn memory_bytes(&self) -> usize {
+        self.g.len() * 8 + self.h.len() * 8 + self.counts.len() * 4
+    }
+}
+
+/// Everything a histogram builder needs about the training state.
+pub struct HistContext<'a> {
+    /// The device charged for the work.
+    pub device: &'a Device,
+    /// Preprocessed (binned) features.
+    pub data: &'a BinnedDataset,
+    /// Current-iteration gradients.
+    pub grads: &'a Gradients,
+    /// Global feature IDs this builder covers (all features on single
+    /// GPU; a partition of them per device in multi-GPU mode).
+    pub features: &'a [u32],
+    /// Uniform bin stride (the configured `max_bins`).
+    pub bins: usize,
+    /// Pipeline options.
+    pub opts: HistOptions,
+}
+
+impl HistContext<'_> {
+    /// Output dimension.
+    pub fn d(&self) -> usize {
+        self.grads.d
+    }
+}
+
+/// Fraction of (instance, feature) pairs the histogram kernel actually
+/// touches: 1.0 on the dense path, the data's non-zero density when the
+/// sparsity-aware CSC path is enabled. The sparse path also scales the
+/// measured contention (zero-bin collisions vanish when zeros are
+/// handled in closed form — an approximation noted in DESIGN.md).
+pub(crate) fn density_factor(ctx: &HistContext<'_>) -> f64 {
+    if ctx.opts.sparse_aware {
+        let total = (ctx.data.n() * ctx.data.m()).max(1);
+        (ctx.data.sparse.nnz() as f64 / total as f64).clamp(0.001, 1.0)
+    } else {
+        1.0
+    }
+}
+
+/// Reference functional accumulation over the dense binned matrix:
+/// deterministic (parallel over features, sequential over instances).
+pub fn accumulate_dense(ctx: &HistContext<'_>, idx: &[u32], out: &mut NodeHistogram) {
+    let d = ctx.d();
+    let bins = ctx.bins;
+    debug_assert_eq!(out.d, d);
+    debug_assert_eq!(out.bins, bins);
+    debug_assert_eq!(out.num_features, ctx.features.len());
+
+    let g = &ctx.grads.g;
+    let h = &ctx.grads.h;
+    let gh_stride = d * bins;
+    out.g
+        .par_chunks_mut(gh_stride)
+        .zip(out.h.par_chunks_mut(gh_stride))
+        .zip(out.counts.par_chunks_mut(bins))
+        .enumerate()
+        .for_each(|(f_local, ((gh, hh), cnt))| {
+            let f = ctx.features[f_local] as usize;
+            let col = ctx.data.bins.col(f);
+            for &i in idx {
+                let i = i as usize;
+                let b = col[i] as usize;
+                cnt[b] += 1;
+                let grow = &g[i * d..(i + 1) * d];
+                let hrow = &h[i * d..(i + 1) * d];
+                for k in 0..d {
+                    gh[k * bins + b] += grow[k] as f64;
+                    hh[k * bins + b] += hrow[k] as f64;
+                }
+            }
+        });
+}
+
+/// Sparsity-aware accumulation (paper §3.2's CSC storage): explicit
+/// entries accumulate individually; each feature's implicit-zero bin
+/// receives the node remainder `node_totals − Σ explicit` in closed
+/// form, so cost scales with non-zeros instead of `n × m`.
+///
+/// `node_g`/`node_h` are the node's per-output gradient totals and
+/// `idx` the node's instances.
+pub fn accumulate_sparse(
+    ctx: &HistContext<'_>,
+    idx: &[u32],
+    node_g: &[f64],
+    node_h: &[f64],
+    out: &mut NodeHistogram,
+) {
+    let d = ctx.d();
+    let bins = ctx.bins;
+    let n = ctx.grads.n;
+
+    // Node membership bitmap (one pass over the node's instances).
+    let mut in_node = vec![false; n];
+    for &i in idx {
+        in_node[i as usize] = true;
+    }
+
+    let g = &ctx.grads.g;
+    let h = &ctx.grads.h;
+    let gh_stride = d * bins;
+    let sparse = &ctx.data.sparse;
+    out.g
+        .par_chunks_mut(gh_stride)
+        .zip(out.h.par_chunks_mut(gh_stride))
+        .zip(out.counts.par_chunks_mut(bins))
+        .enumerate()
+        .for_each(|(f_local, ((gh, hh), cnt))| {
+            let f = ctx.features[f_local] as usize;
+            let (rows, ebins) = sparse.col(f);
+            let zb = sparse.zero_bin(f) as usize;
+            let mut explicit_in_node = 0u32;
+            for (&r, &b) in rows.iter().zip(ebins) {
+                let i = r as usize;
+                if !in_node[i] {
+                    continue;
+                }
+                let b = b as usize;
+                explicit_in_node += 1;
+                cnt[b] += 1;
+                let grow = &g[i * d..(i + 1) * d];
+                let hrow = &h[i * d..(i + 1) * d];
+                for k in 0..d {
+                    gh[k * bins + b] += grow[k] as f64;
+                    hh[k * bins + b] += hrow[k] as f64;
+                }
+            }
+            // Implicit entries: everything in the node not explicit here.
+            cnt[zb] += idx.len() as u32 - explicit_in_node;
+            for k in 0..d {
+                let mut eg = 0.0;
+                let mut eh = 0.0;
+                for b in 0..bins {
+                    if b != zb {
+                        eg += gh[k * bins + b];
+                        eh += hh[k * bins + b];
+                    }
+                }
+                // zero-bin currently holds explicit zero-valued? entries
+                // accumulated above; add the implicit remainder.
+                gh[k * bins + zb] = node_g[k] - eg;
+                hh[k * bins + zb] = node_h[k] - eh;
+            }
+        });
+}
+
+/// Resolve the configured method for a node of `node_size` instances
+/// (runs the adaptive selector when configured).
+pub fn resolve_method(ctx: &HistContext<'_>, node_size: usize) -> HistogramMethod {
+    match ctx.opts.method {
+        HistogramMethod::Adaptive => adaptive::select_method(ctx, node_size),
+        m => m,
+    }
+}
+
+/// Kernel-cost descriptor of building one node's histogram with
+/// `method`, from measured access-pattern statistics.
+pub fn method_cost(ctx: &HistContext<'_>, idx: &[u32], method: HistogramMethod) -> KernelCost {
+    match method {
+        HistogramMethod::GlobalMemory => {
+            gmem::cost_descriptor(ctx, idx.len(), &stats::measure(ctx, idx))
+        }
+        HistogramMethod::SharedMemory => {
+            smem::cost_descriptor(ctx, idx.len(), &stats::measure(ctx, idx))
+        }
+        HistogramMethod::SortReduce => sortreduce::cost_descriptor(ctx, idx.len()),
+        HistogramMethod::Adaptive => {
+            method_cost(ctx, idx, resolve_method(ctx, idx.len()))
+        }
+    }
+}
+
+/// Charge one node's histogram build with `method` to the device.
+pub fn charge_method(ctx: &HistContext<'_>, idx: &[u32], method: HistogramMethod) {
+    match method {
+        HistogramMethod::GlobalMemory => gmem::charge(ctx, idx),
+        HistogramMethod::SharedMemory => smem::charge(ctx, idx),
+        HistogramMethod::SortReduce => sortreduce::charge(ctx, idx),
+        HistogramMethod::Adaptive => charge_method(ctx, idx, resolve_method(ctx, idx.len())),
+    }
+}
+
+/// Build one node's histogram with the configured method, charging the
+/// device. Returns the method actually used (after adaptive selection).
+///
+/// `node_g`/`node_h` are the node's per-output totals (required by the
+/// sparse path and by adaptive prediction).
+pub fn build_node_histogram(
+    ctx: &HistContext<'_>,
+    idx: &[u32],
+    node_g: &[f64],
+    node_h: &[f64],
+    out: &mut NodeHistogram,
+) -> HistogramMethod {
+    let method = resolve_method(ctx, idx.len());
+    accumulate_only(ctx, idx, node_g, node_h, out);
+    charge_method(ctx, idx, method);
+    method
+}
+
+/// Functional accumulation without any device charge (the charging
+/// policy — immediate vs stream-batched — is the caller's).
+pub fn accumulate_only(
+    ctx: &HistContext<'_>,
+    idx: &[u32],
+    node_g: &[f64],
+    node_h: &[f64],
+    out: &mut NodeHistogram,
+) {
+    out.reset();
+    if ctx.opts.sparse_aware {
+        accumulate_sparse(ctx, idx, node_g, node_h, out);
+    } else {
+        accumulate_dense(ctx, idx, out);
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use crate::loss::MseLoss;
+    use gbdt_data::synth::{make_classification, ClassificationSpec};
+    use gbdt_data::Dataset;
+
+    /// A small deterministic fixture: dataset, binned view, gradients.
+    pub fn fixture(n: usize, m: usize, d: usize, seed: u64) -> (Dataset, BinnedDataset, Gradients) {
+        fixture_with_sparsity(n, m, d, seed, 0.4)
+    }
+
+    /// Fixture over fully dense features (no zero-bin skew).
+    pub fn fixture_dense(n: usize, m: usize, d: usize, seed: u64) -> (Dataset, BinnedDataset, Gradients) {
+        fixture_with_sparsity(n, m, d, seed, 0.0)
+    }
+
+    /// Fixture with an explicit zero fraction in the features.
+    pub fn fixture_with_sparsity(
+        n: usize,
+        m: usize,
+        d: usize,
+        seed: u64,
+        sparsity: f64,
+    ) -> (Dataset, BinnedDataset, Gradients) {
+        let ds = make_classification(&ClassificationSpec {
+            instances: n,
+            features: m,
+            classes: d.max(2),
+            informative: (m / 2).max(1),
+            sparsity,
+            seed,
+            ..Default::default()
+        });
+        let binned = BinnedDataset::build(ds.features(), 32);
+        let device = Device::rtx4090();
+        let scores = vec![0.0f32; n * ds.d()];
+        let grads =
+            crate::grad::compute_gradients(&device, &MseLoss, &scores, ds.targets(), n, ds.d());
+        (ds, binned, grads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use test_support::fixture;
+
+    fn ctx<'a>(
+        device: &'a Device,
+        data: &'a BinnedDataset,
+        grads: &'a Gradients,
+        features: &'a [u32],
+        opts: HistOptions,
+    ) -> HistContext<'a> {
+        HistContext {
+            device,
+            data,
+            grads,
+            features,
+            bins: 32,
+            opts,
+        }
+    }
+
+    #[test]
+    fn histogram_totals_match_node_sums() {
+        let (_, data, grads) = fixture(200, 6, 3, 1);
+        let device = Device::rtx4090();
+        let features: Vec<u32> = (0..6).collect();
+        let c = ctx(&device, &data, &grads, &features, HistOptions::default());
+        let idx: Vec<u32> = (0..200).collect();
+        let mut out = NodeHistogram::new(6, grads.d, 32);
+        accumulate_dense(&c, &idx, &mut out);
+
+        let (node_g, node_h) = grads.sums(&idx);
+        for f in 0..6 {
+            // Counts per feature sum to node size.
+            let cnt: u32 = out.counts[f * 32..(f + 1) * 32].iter().sum();
+            assert_eq!(cnt as usize, idx.len());
+            for k in 0..grads.d {
+                let sg: f64 = out.g_segment(f, k).iter().sum();
+                let sh: f64 = out.h_segment(f, k).iter().sum();
+                assert!((sg - node_g[k]).abs() < 1e-6, "f={f} k={k}: {sg} vs {}", node_g[k]);
+                assert!((sh - node_h[k]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_accumulation_matches_dense() {
+        let (_, data, grads) = fixture(300, 8, 3, 2);
+        let device = Device::rtx4090();
+        let features: Vec<u32> = (0..8).collect();
+        let c = ctx(&device, &data, &grads, &features, HistOptions::default());
+        // A scattered subset of instances, as after several splits.
+        let idx: Vec<u32> = (0..300).filter(|i| i % 3 != 1).collect();
+        let (node_g, node_h) = grads.sums(&idx);
+
+        let mut dense = NodeHistogram::new(8, grads.d, 32);
+        accumulate_dense(&c, &idx, &mut dense);
+        let mut sparse = NodeHistogram::new(8, grads.d, 32);
+        accumulate_sparse(&c, &idx, &node_g, &node_h, &mut sparse);
+
+        assert_eq!(dense.counts, sparse.counts);
+        for (a, b) in dense.g.iter().zip(&sparse.g) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+        for (a, b) in dense.h.iter().zip(&sparse.h) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn subtraction_reconstructs_sibling() {
+        let (_, data, grads) = fixture(150, 5, 2, 3);
+        let device = Device::rtx4090();
+        let features: Vec<u32> = (0..5).collect();
+        let c = ctx(&device, &data, &grads, &features, HistOptions::default());
+
+        let all: Vec<u32> = (0..150).collect();
+        let left: Vec<u32> = (0..150).filter(|i| i % 2 == 0).collect();
+        let right: Vec<u32> = (0..150).filter(|i| i % 2 == 1).collect();
+
+        let mut parent = NodeHistogram::new(5, grads.d, 32);
+        accumulate_dense(&c, &all, &mut parent);
+        let mut derived = NodeHistogram::new(5, grads.d, 32);
+        accumulate_dense(&c, &left, &mut derived);
+        derived.subtract_from(&parent); // now = parent − left = right
+
+        let mut direct = NodeHistogram::new(5, grads.d, 32);
+        accumulate_dense(&c, &right, &mut direct);
+        assert_eq!(derived.counts, direct.counts);
+        for (a, b) in derived.g.iter().zip(&direct.g) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn all_methods_build_identical_histograms() {
+        let (_, data, grads) = fixture(250, 6, 4, 4);
+        let device = Device::rtx4090();
+        let features: Vec<u32> = (0..6).collect();
+        let idx: Vec<u32> = (0..250).collect();
+        let (node_g, node_h) = grads.sums(&idx);
+
+        let mut results = Vec::new();
+        for method in [
+            HistogramMethod::GlobalMemory,
+            HistogramMethod::SharedMemory,
+            HistogramMethod::SortReduce,
+            HistogramMethod::Adaptive,
+        ] {
+            let opts = HistOptions {
+                method,
+                ..HistOptions::default()
+            };
+            let c = ctx(&device, &data, &grads, &features, opts);
+            let mut out = NodeHistogram::new(6, grads.d, 32);
+            let _ = build_node_histogram(&c, &idx, &node_g, &node_h, &mut out);
+            results.push(out);
+        }
+        for r in &results[1..] {
+            assert_eq!(results[0].counts, r.counts);
+            assert_eq!(results[0].g, r.g); // same accumulation → bitwise equal
+            assert_eq!(results[0].h, r.h);
+        }
+    }
+
+    #[test]
+    fn reset_allows_buffer_reuse() {
+        let mut h = NodeHistogram::new(2, 2, 8);
+        h.g[5] = 1.0;
+        h.counts[3] = 7;
+        h.reset();
+        assert!(h.g.iter().all(|&x| x == 0.0));
+        assert!(h.counts.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn memory_bytes_scales_with_outputs() {
+        let small = NodeHistogram::new(10, 2, 256);
+        let big = NodeHistogram::new(10, 20, 256);
+        assert!(big.memory_bytes() > small.memory_bytes() * 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "child count exceeds parent")]
+    fn subtraction_detects_inconsistent_histograms() {
+        let mut child = NodeHistogram::new(1, 1, 4);
+        child.counts[0] = 5;
+        let parent = NodeHistogram::new(1, 1, 4);
+        child.subtract_from(&parent);
+    }
+}

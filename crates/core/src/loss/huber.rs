@@ -1,0 +1,110 @@
+//! Pseudo-Huber loss — robust regression for multi-output targets.
+//!
+//! `l(r) = δ²(√(1 + (r/δ)²) − 1)` behaves quadratically near zero and
+//! linearly in the tails, so outlier targets stop dominating the
+//! gradients (a practical necessity the paper's MSE demo loss lacks).
+
+use super::MultiOutputLoss;
+
+/// Pseudo-Huber loss with transition scale `delta`.
+#[derive(Debug, Clone, Copy)]
+pub struct HuberLoss {
+    /// Residual scale at which the loss transitions from quadratic to
+    /// linear behaviour.
+    pub delta: f32,
+}
+
+impl HuberLoss {
+    /// Create with the given transition scale (must be positive).
+    pub fn new(delta: f32) -> Self {
+        assert!(delta > 0.0, "delta must be positive");
+        HuberLoss { delta }
+    }
+}
+
+impl Default for HuberLoss {
+    fn default() -> Self {
+        HuberLoss::new(1.0)
+    }
+}
+
+impl MultiOutputLoss for HuberLoss {
+    fn name(&self) -> &'static str {
+        "pseudo-huber"
+    }
+
+    fn grad_hess_row(&self, scores: &[f32], targets: &[f32], g: &mut [f32], h: &mut [f32]) {
+        let d2 = self.delta * self.delta;
+        for k in 0..scores.len() {
+            let r = scores[k] - targets[k];
+            let s = (1.0 + r * r / d2).sqrt();
+            g[k] = r / s;
+            // h = (1 + (r/δ)²)^(-3/2), floored for leaf stability.
+            h[k] = (1.0 / (s * s * s)).max(1e-4);
+        }
+    }
+
+    fn loss_row(&self, scores: &[f32], targets: &[f32]) -> f64 {
+        let d2 = (self.delta * self.delta) as f64;
+        scores
+            .iter()
+            .zip(targets)
+            .map(|(&s, &t)| {
+                let r = (s - t) as f64;
+                d2 * ((1.0 + r * r / d2).sqrt() - 1.0)
+            })
+            .sum()
+    }
+
+    fn transform_row(&self, _scores: &mut [f32]) {}
+
+    fn flops_per_output(&self) -> f64 {
+        10.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_near_zero_linear_in_tails() {
+        let l = HuberLoss::new(1.0);
+        // Near zero ≈ r²/2.
+        let small = l.loss_row(&[0.1], &[0.0]);
+        assert!((small - 0.005).abs() < 5e-4, "near-zero loss {small}");
+        // Far out: slope ≈ δ (gradient saturates at ±δ… here ±1 scaled).
+        let mut g = [0.0f32];
+        let mut h = [0.0f32];
+        l.grad_hess_row(&[100.0], &[0.0], &mut g, &mut h);
+        assert!(g[0] > 0.95 && g[0] <= 1.0, "tail gradient {}", g[0]);
+        l.grad_hess_row(&[-100.0], &[0.0], &mut g, &mut h);
+        assert!(g[0] < -0.95 && g[0] >= -1.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let l = HuberLoss::new(0.7);
+        let scores = [0.5f32, -2.0, 10.0];
+        let targets = [0.0f32, 0.0, 0.0];
+        let mut g = [0.0f32; 3];
+        let mut h = [0.0f32; 3];
+        l.grad_hess_row(&scores, &targets, &mut g, &mut h);
+        for k in 0..3 {
+            let eps = 1e-3f32;
+            let mut p = scores;
+            p[k] += eps;
+            let mut m = scores;
+            m[k] -= eps;
+            let num = (l.loss_row(&p, &targets) - l.loss_row(&m, &targets)) / (2.0 * eps as f64);
+            assert!((num - g[k] as f64).abs() < 1e-2, "k={k}: {num} vs {}", g[k]);
+            assert!(h[k] > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be positive")]
+    fn rejects_nonpositive_delta() {
+        let _ = HuberLoss::new(0.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Mean squared error — the paper's demonstration loss (§3.1.1):
+//! `g_i = 2(ŷ_i − y_i)`, `h_i = 2`.
+
+use super::MultiOutputLoss;
+
+/// Squared-error loss, summed over outputs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MseLoss;
+
+impl MultiOutputLoss for MseLoss {
+    fn name(&self) -> &'static str {
+        "mse"
+    }
+
+    fn grad_hess_row(&self, scores: &[f32], targets: &[f32], g: &mut [f32], h: &mut [f32]) {
+        for k in 0..scores.len() {
+            g[k] = 2.0 * (scores[k] - targets[k]);
+            h[k] = 2.0;
+        }
+    }
+
+    fn loss_row(&self, scores: &[f32], targets: &[f32]) -> f64 {
+        scores
+            .iter()
+            .zip(targets)
+            .map(|(&s, &t)| {
+                let e = (s - t) as f64;
+                e * e
+            })
+            .sum()
+    }
+
+    fn transform_row(&self, _scores: &mut [f32]) {}
+
+    fn flops_per_output(&self) -> f64 {
+        4.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_papers_formulas() {
+        let mut g = [0.0f32; 2];
+        let mut h = [0.0f32; 2];
+        MseLoss.grad_hess_row(&[3.0, -1.0], &[1.0, -1.0], &mut g, &mut h);
+        assert_eq!(g, [4.0, 0.0]); // 2(ŷ−y)
+        assert_eq!(h, [2.0, 2.0]);
+    }
+
+    #[test]
+    fn loss_is_sum_of_squares() {
+        assert_eq!(MseLoss.loss_row(&[1.0, 2.0], &[0.0, 0.0]), 5.0);
+        assert_eq!(MseLoss.loss_row(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn transform_is_identity() {
+        let mut s = [0.5f32, -2.0];
+        MseLoss.transform_row(&mut s);
+        assert_eq!(s, [0.5, -2.0]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Per-label sigmoid binary cross-entropy for multilabel tasks
+//! (Delicious / NUS-WIDE in Table 1): each output is an independent
+//! binary label sharing one tree structure.
+
+use super::MultiOutputLoss;
+
+/// Minimum Hessian value.
+const MIN_HESS: f32 = 1e-6;
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Independent per-output logistic loss: `g = σ(ŷ) − y`,
+/// `h = σ(ŷ)(1 − σ(ŷ))`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SigmoidLoss;
+
+impl MultiOutputLoss for SigmoidLoss {
+    fn name(&self) -> &'static str {
+        "sigmoid-bce"
+    }
+
+    fn grad_hess_row(&self, scores: &[f32], targets: &[f32], g: &mut [f32], h: &mut [f32]) {
+        for k in 0..scores.len() {
+            let p = sigmoid(scores[k]);
+            g[k] = p - targets[k];
+            h[k] = (p * (1.0 - p)).max(MIN_HESS);
+        }
+    }
+
+    fn loss_row(&self, scores: &[f32], targets: &[f32]) -> f64 {
+        scores
+            .iter()
+            .zip(targets)
+            .map(|(&s, &t)| {
+                let p = sigmoid(s).clamp(1e-7, 1.0 - 1e-7) as f64;
+                -(t as f64 * p.ln() + (1.0 - t as f64) * (1.0 - p).ln())
+            })
+            .sum()
+    }
+
+    fn transform_row(&self, scores: &mut [f32]) {
+        for s in scores.iter_mut() {
+            *s = sigmoid(*s);
+        }
+    }
+
+    fn flops_per_output(&self) -> f64 {
+        10.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_range_and_symmetry() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(10.0) > 0.999);
+        assert!(sigmoid(-10.0) < 0.001);
+        assert!((sigmoid(2.0) + sigmoid(-2.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_signs_point_toward_targets() {
+        let mut g = [0.0f32; 2];
+        let mut h = [0.0f32; 2];
+        SigmoidLoss.grad_hess_row(&[0.0, 0.0], &[1.0, 0.0], &mut g, &mut h);
+        assert!(g[0] < 0.0, "positive label pushes score up");
+        assert!(g[1] > 0.0, "negative label pushes score down");
+        assert!(h.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn loss_decreases_with_confidence_in_truth() {
+        let t = [1.0f32];
+        assert!(
+            SigmoidLoss.loss_row(&[3.0], &t) < SigmoidLoss.loss_row(&[0.0], &t)
+        );
+        assert!(SigmoidLoss.loss_row(&[0.0], &t) < SigmoidLoss.loss_row(&[-3.0], &t));
+    }
+
+    #[test]
+    fn extreme_scores_stay_finite() {
+        let l = SigmoidLoss.loss_row(&[100.0, -100.0], &[0.0, 1.0]);
+        assert!(l.is_finite());
+        let mut g = [0.0f32; 2];
+        let mut h = [0.0f32; 2];
+        SigmoidLoss.grad_hess_row(&[100.0, -100.0], &[0.0, 1.0], &mut g, &mut h);
+        assert!(g.iter().all(|x| x.is_finite()));
+        assert!(h.iter().all(|&x| x >= MIN_HESS));
+    }
+
+    #[test]
+    fn transform_maps_to_probabilities() {
+        let mut s = [0.0f32, 4.0];
+        SigmoidLoss.transform_row(&mut s);
+        assert!((s[0] - 0.5).abs() < 1e-6);
+        assert!(s[1] > 0.9);
+    }
+}

@@ -1,0 +1,114 @@
+//! Softmax cross-entropy for multiclass tasks: the leaf outputs are
+//! per-class logits of a single tree ensemble (the GBDT-MO advantage of
+//! Fig. 1 — one tree carries all classes).
+
+use super::MultiOutputLoss;
+
+/// Minimum Hessian value; keeps leaf denominators away from zero when a
+/// class probability saturates.
+const MIN_HESS: f32 = 1e-6;
+
+/// Softmax + cross-entropy: `g_k = p_k − y_k`, `h_k = p_k (1 − p_k)`
+/// with `p = softmax(ŷ)` and one-hot `y`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoftmaxLoss;
+
+/// Numerically stable in-place softmax.
+fn softmax(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    let inv = 1.0 / sum;
+    for v in row.iter_mut() {
+        *v *= inv;
+    }
+}
+
+impl MultiOutputLoss for SoftmaxLoss {
+    fn name(&self) -> &'static str {
+        "softmax"
+    }
+
+    fn grad_hess_row(&self, scores: &[f32], targets: &[f32], g: &mut [f32], h: &mut [f32]) {
+        let mut p = scores.to_vec();
+        softmax(&mut p);
+        for k in 0..p.len() {
+            g[k] = p[k] - targets[k];
+            h[k] = (p[k] * (1.0 - p[k])).max(MIN_HESS);
+        }
+    }
+
+    fn loss_row(&self, scores: &[f32], targets: &[f32]) -> f64 {
+        let mut p = scores.to_vec();
+        softmax(&mut p);
+        -targets
+            .iter()
+            .zip(&p)
+            .map(|(&t, &pk)| t as f64 * (pk.max(1e-12) as f64).ln())
+            .sum::<f64>()
+    }
+
+    fn transform_row(&self, scores: &mut [f32]) {
+        softmax(scores);
+    }
+
+    fn flops_per_output(&self) -> f64 {
+        12.0 // exp + normalization + grad/hess arithmetic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_normalizes() {
+        let mut row = [1.0f32, 2.0, 3.0];
+        softmax(&mut row);
+        let sum: f32 = row.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(row[2] > row[1] && row[1] > row[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let mut a = [1000.0f32, 1001.0, 1002.0];
+        softmax(&mut a);
+        let mut b = [0.0f32, 1.0, 2.0];
+        softmax(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+            assert!(x.is_finite());
+        }
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_for_one_hot_targets() {
+        // Σ_k g_k = Σ p_k − Σ y_k = 1 − 1 = 0.
+        let mut g = [0.0f32; 3];
+        let mut h = [0.0f32; 3];
+        SoftmaxLoss.grad_hess_row(&[0.5, -1.0, 2.0], &[0.0, 1.0, 0.0], &mut g, &mut h);
+        let sum: f32 = g.iter().sum();
+        assert!(sum.abs() < 1e-6);
+        assert!(h.iter().all(|&x| x >= MIN_HESS));
+    }
+
+    #[test]
+    fn perfect_prediction_has_low_loss() {
+        let confident = [10.0f32, -10.0, -10.0];
+        let target = [1.0f32, 0.0, 0.0];
+        assert!(SoftmaxLoss.loss_row(&confident, &target) < 1e-3);
+        let wrong = [-10.0f32, 10.0, -10.0];
+        assert!(SoftmaxLoss.loss_row(&wrong, &target) > 5.0);
+    }
+
+    #[test]
+    fn transform_produces_probabilities() {
+        let mut s = [0.0f32, 0.0];
+        SoftmaxLoss.transform_row(&mut s);
+        assert!((s[0] - 0.5).abs() < 1e-6);
+    }
+}

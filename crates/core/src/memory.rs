@@ -1,0 +1,190 @@
+//! Device-memory footprint estimation.
+//!
+//! GBDT-MO's memory appetite is a central concern of the paper ("memory
+//! usage substantially escalates during the histogram building phase
+//! because of the inclusion of the output dimension"; CPU baselines
+//! "often run out of memory at greater depths", Fig. 7). This module
+//! predicts the device-resident footprint of a training configuration
+//! so callers can check it against a device's VRAM *before* committing
+//! — and so the harness can report, at full paper shapes, which
+//! configurations would not fit.
+
+use crate::config::TrainConfig;
+use serde::{Deserialize, Serialize};
+
+/// Byte-level breakdown of a training run's device residency.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemoryEstimate {
+    /// Column-major `u8` bin matrix.
+    pub binned_bytes: usize,
+    /// Packed 4-per-`u32` bins (kept alongside for the +wo kernels).
+    pub packed_bytes: usize,
+    /// Gradient + Hessian storage (`n × d` each).
+    pub gradient_bytes: usize,
+    /// Raw score matrix (`n × d` f32).
+    pub score_bytes: usize,
+    /// Histogram accumulators: one reusable buffer, or one per open
+    /// frontier node when subtraction retains parents.
+    pub histogram_bytes: usize,
+    /// Instance-index lists across the widest frontier.
+    pub index_bytes: usize,
+    /// Sum of the above.
+    pub total_bytes: usize,
+}
+
+impl MemoryEstimate {
+    /// Human-readable size.
+    pub fn total_human(&self) -> String {
+        human(self.total_bytes)
+    }
+
+    /// Whether the estimate fits a device with `vram_bytes` of memory,
+    /// leaving 10% headroom for the allocator and kernel scratch.
+    pub fn fits(&self, vram_bytes: usize) -> bool {
+        (self.total_bytes as f64) <= vram_bytes as f64 * 0.9
+    }
+}
+
+/// Render bytes with binary units.
+pub fn human(bytes: usize) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = bytes as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u + 1 < UNITS.len() {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{v:.2} {}", UNITS[u])
+    }
+}
+
+/// Estimate the training footprint of `config` on an `n × m` dataset
+/// with `d` outputs.
+pub fn estimate_training_bytes(
+    n: usize,
+    m: usize,
+    d: usize,
+    config: &TrainConfig,
+) -> MemoryEstimate {
+    let bins = config.max_bins;
+    let binned_bytes = n * m;
+    let packed_bytes = n.div_ceil(4) * 4 * m;
+    let grad_elem = if config.hist.quantized_gradients { 2 } else { 4 };
+    let gradient_bytes = n * d * 2 * grad_elem;
+    let score_bytes = n * d * 4;
+    // One histogram = m × bins × d × 2 gradient sums (f64 accumulators)
+    // + m × bins counts.
+    let one_hist = m * bins * d * 2 * 8 + m * bins * 4;
+    let live_hists = if config.hist.subtraction {
+        // Parent histograms ride along to the next level: up to half the
+        // frontier inherits, so ~2^(depth−1) + 1 buffers peak.
+        (1usize << config.max_depth.saturating_sub(1)) + 1
+    } else {
+        1
+    };
+    let histogram_bytes = one_hist * live_hists;
+    // Widest frontier holds every instance exactly once, twice over
+    // during partition (in + out).
+    let index_bytes = n * 4 * 2;
+    let total_bytes = binned_bytes
+        + packed_bytes
+        + gradient_bytes
+        + score_bytes
+        + histogram_bytes
+        + index_bytes;
+    MemoryEstimate {
+        binned_bytes,
+        packed_bytes,
+        gradient_bytes,
+        score_bytes,
+        histogram_bytes,
+        index_bytes,
+        total_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(bins: usize) -> TrainConfig {
+        TrainConfig {
+            max_bins: bins,
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn components_sum_to_total() {
+        let e = estimate_training_bytes(10_000, 100, 10, &cfg(256));
+        assert_eq!(
+            e.total_bytes,
+            e.binned_bytes
+                + e.packed_bytes
+                + e.gradient_bytes
+                + e.score_bytes
+                + e.histogram_bytes
+                + e.index_bytes
+        );
+    }
+
+    #[test]
+    fn histograms_scale_with_outputs_the_papers_concern() {
+        let small = estimate_training_bytes(10_000, 100, 10, &cfg(256));
+        let large = estimate_training_bytes(10_000, 100, 100, &cfg(256));
+        assert!(large.histogram_bytes >= small.histogram_bytes * 9);
+    }
+
+    #[test]
+    fn quantized_gradients_halve_gradient_storage() {
+        let mut c = cfg(256);
+        let full = estimate_training_bytes(10_000, 50, 20, &c);
+        c.hist.quantized_gradients = true;
+        let quant = estimate_training_bytes(10_000, 50, 20, &c);
+        assert_eq!(quant.gradient_bytes * 2, full.gradient_bytes);
+    }
+
+    #[test]
+    fn subtraction_multiplies_histogram_residency() {
+        let mut c = cfg(64);
+        c.max_depth = 7;
+        let plain = estimate_training_bytes(5_000, 50, 10, &c);
+        c.hist.subtraction = true;
+        let sub = estimate_training_bytes(5_000, 50, 10, &c);
+        assert!(sub.histogram_bytes > plain.histogram_bytes * 32);
+    }
+
+    #[test]
+    fn paper_scale_delicious_histograms_are_gigabytes() {
+        // Delicious at full shape: 500 features × 256 bins × 983 outputs
+        // — the "magnitude larger than GBDT-SO" claim of §5.
+        let e = estimate_training_bytes(16_105, 500, 983, &cfg(256));
+        assert!(
+            e.histogram_bytes > 1 << 30,
+            "histogram {} should exceed 1 GiB",
+            human(e.histogram_bytes)
+        );
+        // And it does NOT fit subtraction mode on a 24 GB card.
+        let mut c = cfg(256);
+        c.hist.subtraction = true;
+        let e2 = estimate_training_bytes(16_105, 500, 983, &c);
+        assert!(!e2.fits(24 * (1 << 30)));
+    }
+
+    #[test]
+    fn small_config_fits_a_4090() {
+        let e = estimate_training_bytes(50_000, 200, 10, &cfg(256));
+        assert!(e.fits(24 * (1 << 30)), "footprint {}", e.total_human());
+    }
+
+    #[test]
+    fn human_units() {
+        assert_eq!(human(512), "512 B");
+        assert_eq!(human(2048), "2.00 KiB");
+        assert_eq!(human(3 * 1024 * 1024), "3.00 MiB");
+        assert!(human(5 * 1024 * 1024 * 1024).contains("GiB"));
+    }
+}

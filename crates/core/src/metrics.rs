@@ -1,0 +1,123 @@
+//! Evaluation metrics matching the paper's Tables 3–4 ("accuracy or
+//! RMSE depending on task types").
+
+/// Classification accuracy of raw (or transformed) scores against class
+/// labels: fraction of rows whose argmax equals the label.
+pub fn accuracy(scores: &[f32], labels: &[u32]) -> f64 {
+    assert!(!labels.is_empty(), "empty label set");
+    assert_eq!(scores.len() % labels.len(), 0, "scores not divisible by n");
+    let d = scores.len() / labels.len();
+    let correct = scores
+        .chunks(d)
+        .zip(labels)
+        .filter(|(row, &label)| {
+            let mut best = (0usize, f32::NEG_INFINITY);
+            for (k, &v) in row.iter().enumerate() {
+                if v > best.1 {
+                    best = (k, v);
+                }
+            }
+            best.0 as u32 == label
+        })
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+/// Root mean squared error over all `n × d` entries.
+pub fn rmse(predictions: &[f32], targets: &[f32]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "length mismatch");
+    assert!(!predictions.is_empty(), "empty prediction set");
+    let mse: f64 = predictions
+        .iter()
+        .zip(targets)
+        .map(|(&p, &t)| {
+            let e = (p - t) as f64;
+            e * e
+        })
+        .sum::<f64>()
+        / predictions.len() as f64;
+    mse.sqrt()
+}
+
+/// Top-`k` accuracy: the true label appears among the `k` highest
+/// scores.
+pub fn top_k_accuracy(scores: &[f32], labels: &[u32], k: usize) -> f64 {
+    assert!(!labels.is_empty(), "empty label set");
+    assert_eq!(scores.len() % labels.len(), 0);
+    let d = scores.len() / labels.len();
+    let k = k.min(d);
+    let hits = scores
+        .chunks(d)
+        .zip(labels)
+        .filter(|(row, &label)| {
+            let target_score = row[label as usize];
+            let higher = row.iter().filter(|&&v| v > target_score).count();
+            higher < k
+        })
+        .count();
+    hits as f64 / labels.len() as f64
+}
+
+/// Mean cross-entropy (log-loss) of probability rows against class
+/// labels; probabilities are clamped away from 0.
+pub fn logloss(probs: &[f32], labels: &[u32]) -> f64 {
+    assert!(!labels.is_empty(), "empty label set");
+    assert_eq!(probs.len() % labels.len(), 0);
+    let d = probs.len() / labels.len();
+    let total: f64 = probs
+        .chunks(d)
+        .zip(labels)
+        .map(|(row, &label)| -(row[label as usize].max(1e-12) as f64).ln())
+        .sum();
+    total / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_argmax_hits() {
+        let scores = [0.9f32, 0.1, /**/ 0.2, 0.8, /**/ 0.6, 0.4];
+        assert!((accuracy(&scores, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(accuracy(&scores, &[0, 1, 0]), 1.0);
+    }
+
+    #[test]
+    fn rmse_basic() {
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((rmse(&[3.0, 1.0], &[0.0, 1.0]) - (9.0f64 / 2.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_monotone_in_k() {
+        let scores = [0.5f32, 0.3, 0.2, /**/ 0.1, 0.6, 0.3];
+        let labels = [2u32, 2];
+        let t1 = top_k_accuracy(&scores, &labels, 1);
+        let t2 = top_k_accuracy(&scores, &labels, 2);
+        let t3 = top_k_accuracy(&scores, &labels, 3);
+        assert!(t1 <= t2 && t2 <= t3);
+        assert_eq!(t3, 1.0);
+        assert_eq!(t1, 0.0);
+    }
+
+    #[test]
+    fn logloss_rewards_confidence() {
+        let confident = [0.99f32, 0.01];
+        let unsure = [0.5f32, 0.5];
+        assert!(logloss(&confident, &[0]) < logloss(&unsure, &[0]));
+        assert!(logloss(&[0.0, 1.0], &[0]).is_finite(), "clamped away from ln(0)");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rmse_checks_lengths() {
+        let _ = rmse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn accuracy_rejects_empty() {
+        let _ = accuracy(&[], &[]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Trained ensembles.
+
+use crate::config::TrainConfig;
+use crate::loss::loss_for_task;
+use crate::predict::{predict_raw, PredictMode};
+use crate::tree::Tree;
+use gbdt_data::{DenseMatrix, Task};
+use serde::{Deserialize, Serialize};
+
+/// A trained GBDT-MO model: one sequence of trees with `d`-dimensional
+/// leaves (paper Fig. 1, right side).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Model {
+    /// Boosted trees, in training order.
+    pub trees: Vec<Tree>,
+    /// Initial score per output (prior).
+    pub base: Vec<f32>,
+    /// Output dimension.
+    pub d: usize,
+    /// Task the model was trained for (selects the score transform).
+    pub task: Task,
+    /// The configuration used for training.
+    pub config: TrainConfig,
+}
+
+impl Model {
+    /// Raw additive scores (`n × d`).
+    pub fn predict(&self, features: &DenseMatrix) -> Vec<f32> {
+        predict_raw(&self.trees, &self.base, features, PredictMode::InstanceLevel)
+    }
+
+    /// Task-space predictions: softmax/sigmoid probabilities for
+    /// classification tasks, identity for regression.
+    pub fn predict_transformed(&self, features: &DenseMatrix) -> Vec<f32> {
+        let mut scores = self.predict(features);
+        let loss = loss_for_task(self.task);
+        for row in scores.chunks_mut(self.d) {
+            loss.transform_row(row);
+        }
+        scores
+    }
+
+    /// Argmax class labels (multiclass convenience).
+    pub fn predict_labels(&self, features: &DenseMatrix) -> Vec<u32> {
+        self.predict(features)
+            .chunks(self.d)
+            .map(|row| {
+                let mut best = (0usize, f32::NEG_INFINITY);
+                for (k, &v) in row.iter().enumerate() {
+                    if v > best.1 {
+                        best = (k, v);
+                    }
+                }
+                best.0 as u32
+            })
+            .collect()
+    }
+
+    /// Total tree count (for the GBDT-MO-vs-SO model-size comparison).
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Total leaves across trees.
+    pub fn num_leaves(&self) -> usize {
+        self.trees.iter().map(Tree::num_leaves).sum()
+    }
+
+    /// Approximate model size in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.trees.iter().map(Tree::memory_bytes).sum::<usize>() + self.base.len() * 4
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("model serialization cannot fail")
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_model() -> Model {
+        let mut t = Tree::new(2);
+        let (l, r) = t.split_node(0, 0, 0, 0.0);
+        t.set_leaf(l, vec![2.0, -2.0]);
+        t.set_leaf(r, vec![-2.0, 2.0]);
+        Model {
+            trees: vec![t],
+            base: vec![0.0, 0.0],
+            d: 2,
+            task: Task::MultiClass,
+            config: TrainConfig::default(),
+        }
+    }
+
+    #[test]
+    fn predict_and_labels() {
+        let m = tiny_model();
+        let x = DenseMatrix::from_rows(&[vec![-1.0], vec![1.0]]);
+        let s = m.predict(&x);
+        assert_eq!(s, vec![2.0, -2.0, -2.0, 2.0]);
+        assert_eq!(m.predict_labels(&x), vec![0, 1]);
+    }
+
+    #[test]
+    fn transformed_scores_are_probabilities() {
+        let m = tiny_model();
+        let x = DenseMatrix::from_rows(&[vec![-1.0]]);
+        let p = m.predict_transformed(&x);
+        assert!((p[0] + p[1] - 1.0).abs() < 1e-6);
+        assert!(p[0] > 0.9, "softmax of (2,-2) favours class 0: {p:?}");
+    }
+
+    #[test]
+    fn counters() {
+        let m = tiny_model();
+        assert_eq!(m.num_trees(), 1);
+        assert_eq!(m.num_leaves(), 2);
+        assert!(m.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let m = tiny_model();
+        let j = m.to_json();
+        let back = Model::from_json(&j).unwrap();
+        assert_eq!(m.trees, back.trees);
+        assert_eq!(m.base, back.base);
+        assert!(Model::from_json("not json").is_err());
+    }
+}

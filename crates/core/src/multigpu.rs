@@ -1,0 +1,828 @@
+//! Multi-GPU training on a single machine (paper §3.4.2).
+//!
+//! Feature columns are partitioned across devices: each device builds
+//! histograms and evaluates splits *only for its features*, so the
+//! dominant histogram cost divides by the device count. Per node, the
+//! devices exchange only summary statistics — their local best-split
+//! candidates (an all-gather of a few dozen bytes each) and, once the
+//! global winner is known, the owner broadcasts the left/right routing
+//! bitmap so every device partitions its instance lists identically.
+//! The group runs bulk-synchronously; barrier waits book as idle time.
+
+use crate::config::{HistogramMethod, TrainConfig};
+use crate::grad::{compute_gradients, update_scores_from_leaves};
+use crate::hist::{accumulate_dense, adaptive, gmem, smem, sortreduce, HistContext, NodeHistogram};
+use crate::loss::loss_for_task;
+use crate::model::Model;
+use crate::split::{find_best_split_range, leaf_values, SplitCandidate, SplitParams};
+use crate::trainer::{base_scores, TrainReport};
+use crate::tree::Tree;
+use crate::grow::partition_stable;
+use gbdt_data::{BinnedDataset, Dataset};
+use gpusim::cost::KernelCost;
+use gpusim::{DeviceGroup, Phase};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Frontier entry awaiting its level's collective exchange:
+/// `(tree node, instances, g sums, h sums, local best split)`.
+type PendingNode = (usize, Vec<u32>, Vec<f64>, Vec<f64>, Option<SplitCandidate>);
+
+/// Contiguous feature ranges per device: device `i` owns
+/// `[ranges[i].0, ranges[i].1)` as local indices into `0..m`.
+pub fn partition_features(m: usize, k: usize) -> Vec<(usize, usize)> {
+    assert!(k > 0, "need at least one device");
+    let base = m / k;
+    let extra = m % k;
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0;
+    for i in 0..k {
+        let len = base + usize::from(i < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+/// How training work is decomposed across devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MultiGpuStrategy {
+    /// Partition feature columns (the paper's §3.4.2 design): each
+    /// device histograms only its features; devices exchange best-split
+    /// candidates and routing bitmaps — tiny "summary statistics".
+    #[default]
+    FeatureParallel,
+    /// Partition instances: each device histograms its shard over *all*
+    /// features; per level, partial histograms are summed with a ring
+    /// all-reduce ("partial histograms are then aggregated via
+    /// CUDA-aware collective operations"). Gradient work divides by the
+    /// device count, but the collective moves the full multi-output
+    /// histogram — the communication blow-up that motivates the
+    /// feature-parallel choice for large `d`.
+    DataParallel,
+}
+
+/// Multi-GPU GBDT-MO trainer.
+pub struct MultiGpuTrainer {
+    group: DeviceGroup,
+    config: TrainConfig,
+    strategy: MultiGpuStrategy,
+}
+
+impl MultiGpuTrainer {
+    /// Create a trainer over a device group (feature-parallel, the
+    /// paper's strategy).
+    pub fn new(group: DeviceGroup, config: TrainConfig) -> Self {
+        Self::with_strategy(group, config, MultiGpuStrategy::FeatureParallel)
+    }
+
+    /// Create a trainer with an explicit decomposition strategy.
+    pub fn with_strategy(
+        group: DeviceGroup,
+        config: TrainConfig,
+        strategy: MultiGpuStrategy,
+    ) -> Self {
+        config.validate().expect("invalid training configuration");
+        MultiGpuTrainer {
+            group,
+            config,
+            strategy,
+        }
+    }
+
+    /// The device group.
+    pub fn group(&self) -> &DeviceGroup {
+        &self.group
+    }
+
+    /// The decomposition strategy.
+    pub fn strategy(&self) -> MultiGpuStrategy {
+        self.strategy
+    }
+
+    /// Train and return just the model.
+    pub fn fit(&self, ds: &Dataset) -> Model {
+        self.fit_report(ds).model
+    }
+
+    /// Train with the full report. Simulated time is the *group* time:
+    /// the slowest device's clock after the final barrier.
+    pub fn fit_report(&self, ds: &Dataset) -> TrainReport {
+        match self.strategy {
+            MultiGpuStrategy::FeatureParallel => self.fit_feature_parallel(ds),
+            MultiGpuStrategy::DataParallel => self.fit_data_parallel(ds),
+        }
+    }
+
+    fn fit_feature_parallel(&self, ds: &Dataset) -> TrainReport {
+        let host_start = Instant::now();
+        let k = self.group.len();
+        let n = ds.n();
+        let d = ds.d();
+        let m = ds.m();
+        let start_summaries: Vec<_> =
+            self.group.devices().iter().map(|dv| dv.summary()).collect();
+
+        // --- preprocessing, charged per device for its feature share --
+        let ranges = partition_features(m, k);
+        for (dev, &(lo, hi)) in self.group.devices().iter().zip(&ranges) {
+            let share_bytes = (n * (hi - lo) * 4) as f64;
+            dev.charge_ns(
+                "htod_features",
+                Phase::Transfer,
+                dev.model().host_copy_ns(share_bytes),
+            );
+            dev.charge_kernel(
+                "quantile_binning",
+                Phase::Binning,
+                &KernelCost::streaming((n * (hi - lo)) as f64 * 16.0, share_bytes * 2.5),
+            );
+        }
+        let binned = BinnedDataset::build(ds.features(), self.config.max_bins);
+        let features: Vec<u32> = (0..m as u32).collect();
+
+        let base = base_scores(ds);
+        let mut scores = vec![0.0f32; n * d];
+        for row in scores.chunks_mut(d) {
+            row.copy_from_slice(&base);
+        }
+        let loss = loss_for_task(ds.task());
+        let params = SplitParams {
+            lambda: self.config.lambda,
+            min_gain: self.config.min_gain,
+            min_instances: self.config.min_instances,
+            segments_c: self.config.segments_per_block_c,
+        };
+
+        let mut trees = Vec::with_capacity(self.config.num_trees);
+        let mut hist_methods: BTreeMap<HistogramMethod, usize> = BTreeMap::new();
+        let mut hist = NodeHistogram::new(m, d, self.config.max_bins);
+
+        for _t in 0..self.config.num_trees {
+            // Gradients are replicated: every device computes them for
+            // all instances (standard in feature-parallel training —
+            // gradients depend on all outputs but no feature exchange).
+            let grads = {
+                let g =
+                    compute_gradients(self.group.device(0), loss.as_ref(), &scores, ds.targets(), n, d);
+                for dev in &self.group.devices()[1..] {
+                    dev.charge_kernel(
+                        "grad_hess",
+                        Phase::Gradient,
+                        &KernelCost::streaming(
+                            n as f64 * d as f64 * loss.flops_per_output(),
+                            (n * d * 16) as f64,
+                        ),
+                    );
+                }
+                g
+            };
+
+            let mut tree = Tree::new(d);
+            let mut leaf_assignments: Vec<(Vec<u32>, Vec<f32>)> = Vec::new();
+            let root_idx: Vec<u32> = (0..n as u32).collect();
+            let (rg, rh) = grads.sums(&root_idx);
+            let mut frontier = vec![(0usize, root_idx, rg, rh)];
+
+            for _depth in 0..self.config.max_depth {
+                // --- pass 1: histograms + local candidates per node ---
+                // Candidates for the whole level are exchanged in ONE
+                // all-gather (summary statistics only), not per node.
+                let mut pending: Vec<PendingNode> = Vec::new();
+                let mut candidate_payload: Vec<Vec<u8>> =
+                    vec![Vec::new(); self.group.len()];
+                for (tree_node, instances, node_g, node_h) in frontier {
+                    if instances.len() < 2 * self.config.min_instances {
+                        let v =
+                            leaf_values(&node_g, &node_h, self.config.lambda, self.config.learning_rate);
+                        tree.set_leaf(tree_node, v.clone());
+                        leaf_assignments.push((instances, v));
+                        continue;
+                    }
+
+                    // Per-device histogram build over its feature range:
+                    // charge each device for exactly its share.
+                    hist.reset();
+                    for (dev, &(lo, hi)) in self.group.devices().iter().zip(&ranges) {
+                        if lo == hi {
+                            continue;
+                        }
+                        let ctx = HistContext {
+                            device: dev,
+                            data: &binned,
+                            grads: &grads,
+                            features: &features[lo..hi],
+                            bins: self.config.max_bins,
+                            opts: self.config.hist,
+                        };
+                        let method = match self.config.hist.method {
+                            HistogramMethod::Adaptive => {
+                                adaptive::select_method(&ctx, instances.len())
+                            }
+                            mtd => mtd,
+                        };
+                        match method {
+                            HistogramMethod::GlobalMemory => gmem::charge(&ctx, &instances),
+                            HistogramMethod::SharedMemory => smem::charge(&ctx, &instances),
+                            HistogramMethod::SortReduce => sortreduce::charge(&ctx, &instances),
+                            HistogramMethod::Adaptive => unreachable!(),
+                        }
+                        *hist_methods.entry(method).or_insert(0) += 1;
+                    }
+                    // Functional accumulation once (identical results).
+                    let full_ctx = HistContext {
+                        device: self.group.device(0),
+                        data: &binned,
+                        grads: &grads,
+                        features: &features,
+                        bins: self.config.max_bins,
+                        opts: self.config.hist,
+                    };
+                    accumulate_dense(&full_ctx, &instances, &mut hist);
+
+                    // Local best split per device.
+                    let locals: Vec<Option<SplitCandidate>> = self
+                        .group
+                        .devices()
+                        .iter()
+                        .zip(&ranges)
+                        .map(|(dev, &(lo, hi))| {
+                            find_best_split_range(
+                                dev,
+                                &hist,
+                                &features,
+                                lo,
+                                hi,
+                                &node_g,
+                                &node_h,
+                                instances.len() as u32,
+                                &params,
+                            )
+                        })
+                        .collect();
+                    for (payload, c) in candidate_payload.iter_mut().zip(&locals) {
+                        payload.extend(std::iter::repeat_n(0u8, 16 + c.as_ref().map_or(0, |c| c.left_g.len() * 16)));
+                    }
+                    // Global winner: strictly-greater gain wins, so exact
+                    // ties resolve to the lowest feature range — matching
+                    // the single-device global argmax tie-breaking.
+                    let mut best: Option<SplitCandidate> = None;
+                    for c in locals.into_iter().flatten() {
+                        if best.as_ref().is_none_or(|b| c.gain > b.gain) {
+                            best = Some(c);
+                        }
+                    }
+                    pending.push((tree_node, instances, node_g, node_h, best));
+                }
+                if !pending.is_empty() && self.group.len() > 1 {
+                    let _ = self.group.all_gather_bytes(&candidate_payload);
+                }
+
+                // --- pass 2: winners, routing bitmaps, partitions ------
+                let mut next = Vec::new();
+                let mut flag_payload: Vec<Vec<u8>> = vec![Vec::new(); self.group.len()];
+                let mut flag_elems = vec![0usize; self.group.len()];
+                let mut partition_elems = 0usize;
+                for (tree_node, instances, node_g, node_h, best) in pending {
+                    let Some(split) = best else {
+                        let v =
+                            leaf_values(&node_g, &node_h, self.config.lambda, self.config.learning_rate);
+                        tree.set_leaf(tree_node, v.clone());
+                        leaf_assignments.push((instances, v));
+                        continue;
+                    };
+
+                    // The owning device computes the routing flags; the
+                    // bitmaps of the whole level are exchanged in one
+                    // all-gather below, and the flag/partition kernels
+                    // are charged level-batched.
+                    let owner = ranges
+                        .iter()
+                        .position(|&(lo, hi)| {
+                            (split.feature as usize) >= lo && (split.feature as usize) < hi
+                        })
+                        .expect("split feature must belong to a device");
+                    let col = binned.bins.col(split.feature as usize);
+                    let flags: Vec<bool> =
+                        instances.iter().map(|&i| col[i as usize] <= split.bin).collect();
+                    flag_elems[owner] += instances.len();
+                    flag_payload[owner]
+                        .extend(std::iter::repeat_n(0u8, instances.len().div_ceil(8)));
+
+                    // Every device partitions its (replicated) index list.
+                    partition_elems += instances.len();
+                    let (left_idx, right_idx) = partition_stable(&instances, &flags);
+
+                    let threshold = binned.cuts.threshold(split.feature as usize, split.bin);
+                    let (l, r) = tree.split_node(tree_node, split.feature, split.bin, threshold);
+                    let right_g: Vec<f64> =
+                        node_g.iter().zip(&split.left_g).map(|(a, b)| a - b).collect();
+                    let right_h: Vec<f64> =
+                        node_h.iter().zip(&split.left_h).map(|(a, b)| a - b).collect();
+                    next.push((l, left_idx, split.left_g, split.left_h));
+                    next.push((r, right_idx, right_g, right_h));
+                }
+                // Level-batched flag + partition kernel charges.
+                for (i, dev) in self.group.devices().iter().enumerate() {
+                    if flag_elems[i] > 0 {
+                        dev.charge_kernel(
+                            "compute_flags_level",
+                            Phase::Partition,
+                            &KernelCost::streaming(
+                                flag_elems[i] as f64,
+                                (flag_elems[i] * 5) as f64,
+                            ),
+                        );
+                    }
+                    if partition_elems > 0 {
+                        dev.charge_kernel(
+                            "partition_level",
+                            Phase::Partition,
+                            &KernelCost {
+                                flops: 3.0 * partition_elems as f64,
+                                dram_bytes: (partition_elems * 17) as f64,
+                                launches: 2.0,
+                                ..Default::default()
+                            },
+                        );
+                    }
+                }
+                if self.group.len() > 1 && flag_payload.iter().any(|p| !p.is_empty()) {
+                    let _ = self.group.all_gather_bytes(&flag_payload);
+                }
+                self.group.barrier();
+                frontier = next;
+                if frontier.is_empty() {
+                    break;
+                }
+            }
+            for (tree_node, instances, node_g, node_h) in frontier {
+                let v = leaf_values(&node_g, &node_h, self.config.lambda, self.config.learning_rate);
+                tree.set_leaf(tree_node, v.clone());
+                leaf_assignments.push((instances, v));
+            }
+
+            // Replicated incremental score update on every device.
+            for (i, dev) in self.group.devices().iter().enumerate() {
+                if i == 0 {
+                    update_scores_from_leaves(dev, &mut scores, d, &leaf_assignments);
+                } else {
+                    let touched: usize = leaf_assignments.iter().map(|(v, _)| v.len()).sum();
+                    dev.charge_kernel(
+                        "update_scores",
+                        Phase::Predict,
+                        &KernelCost::streaming(
+                            (touched * d) as f64,
+                            (touched * d * 8 + leaf_assignments.len() * d * 4) as f64,
+                        ),
+                    );
+                }
+            }
+            trees.push(tree);
+        }
+        self.group.barrier();
+
+        let model = Model {
+            trees,
+            base,
+            d,
+            task: ds.task(),
+            config: self.config.clone(),
+        };
+        // Group time = slowest device (they are barrier-aligned); report
+        // device 0's phase breakdown as representative.
+        let sim = self.group.device(0).summary().since(&start_summaries[0]);
+        TrainReport {
+            sim_seconds: sim.total_ns * 1e-9,
+            host_seconds: host_start.elapsed().as_secs_f64(),
+            sim,
+            model,
+            hist_methods,
+        }
+    }
+
+    /// Data-parallel training: instances sharded per device, per-level
+    /// ring all-reduce of the full multi-output histogram. The model is
+    /// bit-identical to single-device training; only the cost profile
+    /// differs (gradients ÷ k, histograms ÷ k, but `m×B×d×2` doubles of
+    /// collective traffic per node).
+    fn fit_data_parallel(&self, ds: &Dataset) -> TrainReport {
+        let host_start = Instant::now();
+        let k = self.group.len();
+        let n = ds.n();
+        let d = ds.d();
+        let m = ds.m();
+        let start_summaries: Vec<_> =
+            self.group.devices().iter().map(|dv| dv.summary()).collect();
+
+        // Each device holds all columns of its instance shard.
+        for (rank, dev) in self.group.devices().iter().enumerate() {
+            let shard = n / k + usize::from(rank < n % k);
+            let bytes = (shard * m * 4) as f64;
+            dev.charge_ns("htod_features", Phase::Transfer, dev.model().host_copy_ns(bytes));
+            dev.charge_kernel(
+                "quantile_binning",
+                Phase::Binning,
+                &KernelCost::streaming((shard * m) as f64 * 16.0, bytes * 2.5),
+            );
+        }
+        let binned = BinnedDataset::build(ds.features(), self.config.max_bins);
+        let features: Vec<u32> = (0..m as u32).collect();
+        let base = base_scores(ds);
+        let mut scores = vec![0.0f32; n * d];
+        for row in scores.chunks_mut(d) {
+            row.copy_from_slice(&base);
+        }
+        let loss = loss_for_task(ds.task());
+        let params = SplitParams {
+            lambda: self.config.lambda,
+            min_gain: self.config.min_gain,
+            min_instances: self.config.min_instances,
+            segments_c: self.config.segments_per_block_c,
+        };
+        let hist_len = m * self.config.max_bins * d * 2;
+        let mut trees = Vec::with_capacity(self.config.num_trees);
+        let mut hist_methods: BTreeMap<HistogramMethod, usize> = BTreeMap::new();
+        let mut hist = NodeHistogram::new(m, d, self.config.max_bins);
+
+        for _t in 0..self.config.num_trees {
+            // Gradients: each device computes its own shard only.
+            let grads = {
+                let g = compute_gradients(
+                    self.group.device(0),
+                    loss.as_ref(),
+                    &scores,
+                    ds.targets(),
+                    n,
+                    d,
+                );
+                // Rescale device 0's charge to a shard and mirror it.
+                for dev in self.group.devices() {
+                    if dev.id != 0 {
+                        dev.charge_kernel(
+                            "grad_hess_shard",
+                            Phase::Gradient,
+                            &KernelCost::streaming(
+                                (n / k) as f64 * d as f64 * loss.flops_per_output(),
+                                ((n / k) * d * 16) as f64,
+                            ),
+                        );
+                    }
+                }
+                g
+            };
+
+            let mut tree = Tree::new(d);
+            let mut leaf_assignments: Vec<(Vec<u32>, Vec<f32>)> = Vec::new();
+            let root_idx: Vec<u32> = (0..n as u32).collect();
+            let (rg, rh) = grads.sums(&root_idx);
+            let mut frontier = vec![(0usize, root_idx, rg, rh)];
+
+            for _depth in 0..self.config.max_depth {
+                let mut next = Vec::new();
+                let mut reduced_nodes = 0usize;
+                for (tree_node, instances, node_g, node_h) in frontier {
+                    if instances.len() < 2 * self.config.min_instances {
+                        let v = leaf_values(
+                            &node_g,
+                            &node_h,
+                            self.config.lambda,
+                            self.config.learning_rate,
+                        );
+                        tree.set_leaf(tree_node, v.clone());
+                        leaf_assignments.push((instances, v));
+                        continue;
+                    }
+                    // Partial histograms: every device runs the kernel
+                    // over its 1/k shard of the node, all features.
+                    for (rank, dev) in self.group.devices().iter().enumerate() {
+                        let shard_len = instances.len() / k
+                            + usize::from(rank < instances.len() % k);
+                        let lo = rank * (instances.len() / k) + rank.min(instances.len() % k);
+                        let shard = &instances[lo..(lo + shard_len).min(instances.len())];
+                        if shard.is_empty() {
+                            continue;
+                        }
+                        let ctx = HistContext {
+                            device: dev,
+                            data: &binned,
+                            grads: &grads,
+                            features: &features,
+                            bins: self.config.max_bins,
+                            opts: self.config.hist,
+                        };
+                        let method = match self.config.hist.method {
+                            HistogramMethod::Adaptive => adaptive::select_method(&ctx, shard.len()),
+                            mtd => mtd,
+                        };
+                        match method {
+                            HistogramMethod::GlobalMemory => gmem::charge(&ctx, shard),
+                            HistogramMethod::SharedMemory => smem::charge(&ctx, shard),
+                            HistogramMethod::SortReduce => sortreduce::charge(&ctx, shard),
+                            HistogramMethod::Adaptive => unreachable!(),
+                        }
+                        *hist_methods.entry(method).or_insert(0) += 1;
+                    }
+                    // Functional accumulation once (sum of all shards).
+                    let full_ctx = HistContext {
+                        device: self.group.device(0),
+                        data: &binned,
+                        grads: &grads,
+                        features: &features,
+                        bins: self.config.max_bins,
+                        opts: self.config.hist,
+                    };
+                    hist.reset();
+                    accumulate_dense(&full_ctx, &instances, &mut hist);
+                    reduced_nodes += 1;
+
+                    // After the all-reduce every device holds the full
+                    // histogram and finds the identical best split.
+                    let split = find_best_split_range(
+                        self.group.device(0),
+                        &hist,
+                        &features,
+                        0,
+                        m,
+                        &node_g,
+                        &node_h,
+                        instances.len() as u32,
+                        &params,
+                    );
+                    for dev in &self.group.devices()[1..] {
+                        // Redundant split evaluation on every device.
+                        dev.charge_kernel(
+                            "split_eval_replicated",
+                            Phase::SplitEval,
+                            &KernelCost::streaming(
+                                (m * d * self.config.max_bins) as f64 * 10.0,
+                                (m * d * self.config.max_bins * 16) as f64,
+                            ),
+                        );
+                    }
+
+                    let Some(split) = split else {
+                        let v = leaf_values(
+                            &node_g,
+                            &node_h,
+                            self.config.lambda,
+                            self.config.learning_rate,
+                        );
+                        tree.set_leaf(tree_node, v.clone());
+                        leaf_assignments.push((instances, v));
+                        continue;
+                    };
+                    let col = binned.bins.col(split.feature as usize);
+                    let flags: Vec<bool> =
+                        instances.iter().map(|&i| col[i as usize] <= split.bin).collect();
+                    let (left_idx, right_idx) = partition_stable(&instances, &flags);
+                    for dev in self.group.devices() {
+                        dev.charge_kernel(
+                            "partition_shard",
+                            Phase::Partition,
+                            &KernelCost {
+                                flops: 3.0 * (instances.len() / k) as f64,
+                                dram_bytes: ((instances.len() / k) * 17) as f64,
+                                launches: 2.0,
+                                ..Default::default()
+                            },
+                        );
+                    }
+                    let threshold = binned.cuts.threshold(split.feature as usize, split.bin);
+                    let (l, r) = tree.split_node(tree_node, split.feature, split.bin, threshold);
+                    let right_g: Vec<f64> =
+                        node_g.iter().zip(&split.left_g).map(|(a, b)| a - b).collect();
+                    let right_h: Vec<f64> =
+                        node_h.iter().zip(&split.left_h).map(|(a, b)| a - b).collect();
+                    next.push((l, left_idx, split.left_g, split.left_h));
+                    next.push((r, right_idx, right_g, right_h));
+                }
+                // One ring all-reduce per node's histogram, batched as a
+                // single level-wide collective of `reduced_nodes` payloads.
+                if k > 1 && reduced_nodes > 0 {
+                    let bytes = reduced_nodes * hist_len * 8;
+                    let ns = self
+                        .group
+                        .device(0)
+                        .model()
+                        .ring_all_reduce_ns(bytes as f64, k);
+                    for dev in self.group.devices() {
+                        dev.charge_ns("hist_all_reduce", Phase::Comm, ns);
+                    }
+                }
+                self.group.barrier();
+                frontier = next;
+                if frontier.is_empty() {
+                    break;
+                }
+            }
+            for (tree_node, instances, node_g, node_h) in frontier {
+                let v = leaf_values(&node_g, &node_h, self.config.lambda, self.config.learning_rate);
+                tree.set_leaf(tree_node, v.clone());
+                leaf_assignments.push((instances, v));
+            }
+            for (rank, dev) in self.group.devices().iter().enumerate() {
+                if rank == 0 {
+                    update_scores_from_leaves(dev, &mut scores, d, &leaf_assignments);
+                } else {
+                    let touched: usize =
+                        leaf_assignments.iter().map(|(v, _)| v.len()).sum::<usize>() / k;
+                    dev.charge_kernel(
+                        "update_scores_shard",
+                        Phase::Predict,
+                        &KernelCost::streaming((touched * d) as f64, (touched * d * 8) as f64),
+                    );
+                }
+            }
+            trees.push(tree);
+        }
+        self.group.barrier();
+
+        let model = Model {
+            trees,
+            base,
+            d,
+            task: ds.task(),
+            config: self.config.clone(),
+        };
+        let sim = self.group.device(0).summary().since(&start_summaries[0]);
+        TrainReport {
+            sim_seconds: sim.total_ns * 1e-9,
+            host_seconds: host_start.elapsed().as_secs_f64(),
+            sim,
+            model,
+            hist_methods,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use crate::trainer::GpuTrainer;
+    use gbdt_data::synth::{make_classification, ClassificationSpec};
+    use gpusim::Device;
+
+    fn dataset(seed: u64) -> Dataset {
+        make_classification(&ClassificationSpec {
+            instances: 500,
+            features: 16,
+            classes: 4,
+            informative: 10,
+            class_sep: 2.0,
+            seed,
+            ..Default::default()
+        })
+    }
+
+    fn quick_config() -> TrainConfig {
+        TrainConfig {
+            num_trees: 6,
+            max_depth: 4,
+            max_bins: 32,
+            min_instances: 5,
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn partition_features_covers_everything() {
+        let parts = partition_features(10, 3);
+        assert_eq!(parts, vec![(0, 4), (4, 7), (7, 10)]);
+        let parts = partition_features(2, 4);
+        assert_eq!(parts.iter().map(|(a, b)| b - a).sum::<usize>(), 2);
+        assert_eq!(partition_features(0, 2), vec![(0, 0), (0, 0)]);
+    }
+
+    #[test]
+    fn multi_gpu_model_matches_single_gpu_model() {
+        // Feature-parallel training is algorithmically exact: the same
+        // splits must be found regardless of the device count.
+        let ds = dataset(1);
+        let single = GpuTrainer::new(Device::rtx4090(), quick_config()).fit(&ds);
+        let dual = MultiGpuTrainer::new(DeviceGroup::rtx4090s(2), quick_config()).fit(&ds);
+        assert_eq!(
+            single.predict(ds.features()),
+            dual.predict(ds.features()),
+            "dual-GPU predictions must equal single-GPU"
+        );
+    }
+
+    #[test]
+    fn dual_gpu_is_faster_than_single_in_sim_time() {
+        // Table 2's dual-GPU column: histogram work splits across
+        // devices, so simulated time drops. Large enough that per-level
+        // collective latency does not swamp the histogram savings.
+        let ds = make_classification(&ClassificationSpec {
+            instances: 20_000,
+            features: 32,
+            classes: 16,
+            informative: 20,
+            class_sep: 2.0,
+            seed: 2,
+            ..Default::default()
+        });
+        let cfg = TrainConfig {
+            num_trees: 3,
+            ..quick_config()
+        };
+        let single = MultiGpuTrainer::new(DeviceGroup::rtx4090s(1), cfg.clone()).fit_report(&ds);
+        let dual = MultiGpuTrainer::new(DeviceGroup::rtx4090s(2), cfg).fit_report(&ds);
+        assert!(
+            dual.sim_seconds < single.sim_seconds,
+            "dual {} vs single {}",
+            dual.sim_seconds,
+            single.sim_seconds
+        );
+    }
+
+    #[test]
+    fn multi_gpu_learns() {
+        let ds = dataset(3);
+        let (train, test) = ds.split(0.3, 7);
+        let model = MultiGpuTrainer::new(DeviceGroup::rtx4090s(4), quick_config()).fit(&train);
+        let acc = accuracy(&model.predict(test.features()), &test.labels());
+        assert!(acc > 0.7, "accuracy {acc}");
+    }
+
+    #[test]
+    fn comm_time_is_booked() {
+        let ds = dataset(4);
+        let trainer = MultiGpuTrainer::new(DeviceGroup::rtx4090s(2), quick_config());
+        let _ = trainer.fit(&ds);
+        for dev in trainer.group().devices() {
+            assert!(
+                dev.summary().by_phase.contains_key(&Phase::Comm),
+                "device {} has no communication time",
+                dev.id
+            );
+        }
+    }
+
+    #[test]
+    fn data_parallel_matches_single_gpu_model() {
+        let ds = dataset(6);
+        let single = GpuTrainer::new(Device::rtx4090(), quick_config()).fit(&ds);
+        let dp = MultiGpuTrainer::with_strategy(
+            DeviceGroup::rtx4090s(3),
+            quick_config(),
+            MultiGpuStrategy::DataParallel,
+        )
+        .fit(&ds);
+        assert_eq!(
+            single.predict(ds.features()),
+            dp.predict(ds.features()),
+            "data-parallel training must be an exact decomposition too"
+        );
+    }
+
+    #[test]
+    fn data_parallel_pays_histogram_sized_communication() {
+        // The trade-off that justifies the paper's feature-parallel
+        // choice: data-parallel collectives move the full m×B×d
+        // histogram; feature-parallel moves only summary statistics.
+        let ds = make_classification(&ClassificationSpec {
+            instances: 3000,
+            features: 24,
+            classes: 12,
+            informative: 16,
+            seed: 8,
+            ..Default::default()
+        });
+        let cfg = quick_config();
+        let fp = MultiGpuTrainer::with_strategy(
+            DeviceGroup::rtx4090s(2),
+            cfg.clone(),
+            MultiGpuStrategy::FeatureParallel,
+        );
+        let _ = fp.fit(&ds);
+        let fp_comm = fp.group().device(0).summary().fraction(Phase::Comm);
+
+        let dp = MultiGpuTrainer::with_strategy(
+            DeviceGroup::rtx4090s(2),
+            cfg,
+            MultiGpuStrategy::DataParallel,
+        );
+        let _ = dp.fit(&ds);
+        let dp_comm = dp.group().device(0).summary().fraction(Phase::Comm);
+        assert!(
+            dp_comm > fp_comm * 3.0,
+            "data-parallel comm share {dp_comm} should dwarf feature-parallel {fp_comm}"
+        );
+    }
+
+    #[test]
+    fn more_devices_than_features_still_works() {
+        let ds = make_classification(&ClassificationSpec {
+            instances: 200,
+            features: 3,
+            classes: 2,
+            informative: 3,
+            seed: 5,
+            ..Default::default()
+        });
+        let model = MultiGpuTrainer::new(DeviceGroup::rtx4090s(8), quick_config()).fit(&ds);
+        assert_eq!(model.num_trees(), 6);
+    }
+}

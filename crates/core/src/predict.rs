@@ -1,0 +1,201 @@
+//! Ensemble inference (paper §3.4.2).
+//!
+//! Two parallelization schemes, exactly as described: *instance-level*
+//! (a thread per instance walks all trees) and *tree-level* (trees are
+//! evaluated concurrently and their contributions reduced). Both
+//! produce identical raw scores; the tree-level path pays an extra
+//! reduction but exposes more parallelism for small batches.
+
+use crate::tree::Tree;
+use gbdt_data::DenseMatrix;
+use gpusim::cost::KernelCost;
+use gpusim::{Device, Phase};
+use rayon::prelude::*;
+
+/// Parallelization scheme for inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictMode {
+    /// One thread per instance, trees visited sequentially.
+    InstanceLevel,
+    /// One task per tree, per-tree score deltas reduced afterwards.
+    TreeLevel,
+}
+
+/// Raw ensemble scores (`n × d`, row-major): `base + Σ_t f_t(x)`.
+pub fn predict_raw(
+    trees: &[Tree],
+    base: &[f32],
+    features: &DenseMatrix,
+    mode: PredictMode,
+) -> Vec<f32> {
+    let n = features.rows();
+    let d = base.len();
+    match mode {
+        PredictMode::InstanceLevel => {
+            let mut scores = vec![0.0f32; n * d];
+            scores.par_chunks_mut(d).enumerate().for_each(|(i, out)| {
+                out.copy_from_slice(base);
+                let row = features.row(i);
+                for t in trees {
+                    t.predict_into(row, out);
+                }
+            });
+            scores
+        }
+        PredictMode::TreeLevel => {
+            // Per-tree partial score matrices, reduced in tree order
+            // (deterministic, and bit-identical to the instance path
+            // would require the same accumulation order — we assert
+            // approximate equality in tests instead).
+            let partials: Vec<Vec<f32>> = trees
+                .par_iter()
+                .map(|t| {
+                    let mut p = vec![0.0f32; n * d];
+                    for i in 0..n {
+                        t.predict_into(features.row(i), &mut p[i * d..(i + 1) * d]);
+                    }
+                    p
+                })
+                .collect();
+            let mut scores = vec![0.0f32; n * d];
+            for (i, out) in scores.chunks_mut(d).enumerate() {
+                out.copy_from_slice(base);
+                let _ = i;
+            }
+            for p in partials {
+                for (s, v) in scores.iter_mut().zip(p) {
+                    *s += v;
+                }
+            }
+            scores
+        }
+    }
+}
+
+/// Leaf index of every (instance, tree) pair: `out[i * trees + t]` is
+/// the node index of the leaf instance `i` reaches in tree `t` — the
+/// "apply" embedding used for GBDT feature transforms (and the paper's
+/// observation that instances always terminate in leaves, §3.1.1).
+pub fn apply_leaf_indices(trees: &[Tree], features: &DenseMatrix) -> Vec<u32> {
+    let n = features.rows();
+    let t = trees.len();
+    let mut out = vec![0u32; n * t];
+    out.par_chunks_mut(t.max(1)).enumerate().for_each(|(i, row)| {
+        let x = features.row(i);
+        for (slot, tree) in trees.iter().enumerate() {
+            row[slot] = tree.leaf_for_row(x) as u32;
+        }
+    });
+    out
+}
+
+/// Device-charged inference: computes [`predict_raw`] and books the
+/// traversal cost (irregular per-node loads at sector granularity).
+pub fn predict_on_device(
+    device: &Device,
+    trees: &[Tree],
+    base: &[f32],
+    features: &DenseMatrix,
+    mode: PredictMode,
+) -> Vec<f32> {
+    let n = features.rows();
+    let d = base.len();
+    let scores = predict_raw(trees, base, features, mode);
+    let total_depth: usize = trees.iter().map(Tree::depth).sum();
+    let hops = (n * total_depth.max(1)) as f64;
+    device.charge_kernel(
+        "predict",
+        Phase::Predict,
+        &KernelCost {
+            flops: hops * 4.0,
+            // Each hop reads a node (~16 B, poorly coalesced → sector)
+            // plus the tested feature value; leaves stream d values out.
+            dram_bytes: hops * 32.0 + (n * d * 4) as f64,
+            launches: match mode {
+                PredictMode::InstanceLevel => 1.0,
+                PredictMode::TreeLevel => trees.len().max(1) as f64,
+            },
+            ..Default::default()
+        },
+    );
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_trees() -> (Vec<Tree>, DenseMatrix) {
+        let mut t1 = Tree::new(2);
+        let (l, r) = t1.split_node(0, 0, 0, 0.5);
+        t1.set_leaf(l, vec![1.0, 0.0]);
+        t1.set_leaf(r, vec![0.0, 1.0]);
+        let mut t2 = Tree::new(2);
+        let (l, r) = t2.split_node(0, 1, 0, 0.0);
+        t2.set_leaf(l, vec![0.5, 0.5]);
+        t2.set_leaf(r, vec![-0.5, -0.5]);
+        let x = DenseMatrix::from_rows(&[vec![0.0, -1.0], vec![1.0, 1.0]]);
+        (vec![t1, t2], x)
+    }
+
+    #[test]
+    fn instance_level_sums_trees_and_base() {
+        let (trees, x) = two_trees();
+        let s = predict_raw(&trees, &[10.0, 20.0], &x, PredictMode::InstanceLevel);
+        // Row 0: t1 → [1,0], t2 → [0.5,0.5].
+        assert_eq!(&s[0..2], &[11.5, 20.5]);
+        // Row 1: t1 → [0,1], t2 → [-0.5,-0.5].
+        assert_eq!(&s[2..4], &[9.5, 20.5]);
+    }
+
+    #[test]
+    fn both_modes_agree() {
+        let (trees, x) = two_trees();
+        let a = predict_raw(&trees, &[0.0, 0.0], &x, PredictMode::InstanceLevel);
+        let b = predict_raw(&trees, &[0.0, 0.0], &x, PredictMode::TreeLevel);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_ensemble_returns_base() {
+        let x = DenseMatrix::from_rows(&[vec![1.0], vec![2.0]]);
+        let s = predict_raw(&[], &[3.0], &x, PredictMode::InstanceLevel);
+        assert_eq!(s, vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn device_charged_prediction_matches_and_charges() {
+        let (trees, x) = two_trees();
+        let device = Device::rtx4090();
+        let a = predict_on_device(&device, &trees, &[0.0, 0.0], &x, PredictMode::InstanceLevel);
+        let b = predict_raw(&trees, &[0.0, 0.0], &x, PredictMode::InstanceLevel);
+        assert_eq!(a, b);
+        assert!(device.summary().by_phase.contains_key(&Phase::Predict));
+    }
+
+    #[test]
+    fn apply_returns_consistent_leaf_indices() {
+        let (trees, x) = two_trees();
+        let leaves = apply_leaf_indices(&trees, &x);
+        assert_eq!(leaves.len(), 2 * 2);
+        for i in 0..x.rows() {
+            for (t, tree) in trees.iter().enumerate() {
+                assert_eq!(leaves[i * 2 + t] as usize, tree.leaf_for_row(x.row(i)));
+                // The index really is a leaf.
+                let _ = tree.leaf_value(leaves[i * 2 + t] as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn tree_level_mode_charges_more_launches() {
+        let (trees, x) = two_trees();
+        let d1 = Device::rtx4090();
+        let _ = predict_on_device(&d1, &trees, &[0.0, 0.0], &x, PredictMode::InstanceLevel);
+        let d2 = Device::rtx4090();
+        let _ = predict_on_device(&d2, &trees, &[0.0, 0.0], &x, PredictMode::TreeLevel);
+        assert!(d2.now_ns() >= d1.now_ns());
+    }
+}

@@ -1,0 +1,669 @@
+//! The single-GPU training loop (paper Fig. 2): gradients → histograms
+//! → split selection → partition, per tree, fully device-charged.
+
+use crate::config::{HistogramMethod, TrainConfig};
+use crate::grad::{compute_gradients, update_scores_from_leaves};
+use crate::grow::grow_tree_on;
+use crate::loss::loss_for_task;
+use crate::model::Model;
+use gbdt_data::{BinnedDataset, Dataset, Task};
+use gpusim::cost::KernelCost;
+use gpusim::{Device, LedgerSummary, Phase};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Everything a training run reports, beyond the model itself.
+#[derive(Debug)]
+pub struct TrainReport {
+    /// The trained model.
+    pub model: Model,
+    /// Simulated device time spent by this fit (delta over the run),
+    /// with per-phase breakdown — regenerates the paper's Fig. 4.
+    pub sim: LedgerSummary,
+    /// Simulated seconds (convenience: `sim.total_ns × 1e-9`).
+    pub sim_seconds: f64,
+    /// Host wall-clock seconds the simulation itself took.
+    pub host_seconds: f64,
+    /// Histogram-method usage counts across all nodes (adaptive
+    /// selection telemetry).
+    pub hist_methods: BTreeMap<HistogramMethod, usize>,
+}
+
+impl TrainReport {
+    /// Fraction of simulated time spent building histograms — the
+    /// quantity annotated in red in the paper's Fig. 4.
+    pub fn histogram_fraction(&self) -> f64 {
+        self.sim.fraction(Phase::Histogram)
+    }
+}
+
+/// Single-device GBDT-MO trainer.
+pub struct GpuTrainer {
+    device: Arc<Device>,
+    config: TrainConfig,
+}
+
+impl GpuTrainer {
+    /// Create a trainer on `device` with `config`.
+    pub fn new(device: Arc<Device>, config: TrainConfig) -> Self {
+        config.validate().expect("invalid training configuration");
+        GpuTrainer { device, config }
+    }
+
+    /// The device this trainer charges.
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Train and return just the model.
+    pub fn fit(&self, ds: &Dataset) -> Model {
+        self.fit_report(ds).model
+    }
+
+    /// Train with full timing/telemetry report.
+    pub fn fit_report(&self, ds: &Dataset) -> TrainReport {
+        self.fit_impl(ds, None, None).0
+    }
+
+    /// Train against a user-defined loss (the paper's §3.1.1
+    /// flexibility: "designed to accommodate user-defined loss
+    /// functions"). The model's `task` is still taken from the dataset,
+    /// which controls the prediction-space transform.
+    pub fn fit_with_loss(
+        &self,
+        ds: &Dataset,
+        loss: &dyn crate::loss::MultiOutputLoss,
+    ) -> TrainReport {
+        self.fit_impl(ds, None, Some(loss)).0
+    }
+
+    /// Train with early stopping: after each tree, the mean loss on
+    /// `valid` is evaluated; training stops once it has not improved
+    /// for `patience` consecutive trees, and the model is truncated to
+    /// its best iteration.
+    pub fn fit_with_validation(
+        &self,
+        train: &Dataset,
+        valid: &Dataset,
+        patience: usize,
+    ) -> ValidationReport {
+        assert_eq!(train.d(), valid.d(), "train/valid output dims differ");
+        assert_eq!(train.m(), valid.m(), "train/valid feature dims differ");
+        let (report, curve) = self.fit_impl(train, Some((valid, patience)), None);
+        let (history, best_iteration) = curve.expect("validation requested");
+        ValidationReport {
+            report,
+            history,
+            best_iteration,
+        }
+    }
+
+    fn fit_impl(
+        &self,
+        ds: &Dataset,
+        valid: Option<(&Dataset, usize)>,
+        custom_loss: Option<&dyn crate::loss::MultiOutputLoss>,
+    ) -> (TrainReport, Option<(Vec<f64>, usize)>) {
+        let start_summary = self.device.summary();
+        let host_start = Instant::now();
+        let n = ds.n();
+        let d = ds.d();
+        let device = &*self.device;
+
+        // --- preprocessing: upload + quantile binning (charged) -------
+        let raw_bytes = (n * ds.m() * 4) as f64;
+        device.charge_ns(
+            "htod_features",
+            Phase::Transfer,
+            device.model().host_copy_ns(raw_bytes),
+        );
+        let binned = BinnedDataset::build(ds.features(), self.config.max_bins);
+        device.charge_kernel(
+            "quantile_binning",
+            Phase::Binning,
+            &KernelCost::streaming((n * ds.m()) as f64 * 16.0, raw_bytes * 2.5),
+        );
+
+        // --- base scores ----------------------------------------------
+        let base = base_scores(ds);
+        let mut scores = vec![0.0f32; n * d];
+        for row in scores.chunks_mut(d) {
+            row.copy_from_slice(&base);
+        }
+
+        let default_loss = loss_for_task(ds.task());
+        let loss: &dyn crate::loss::MultiOutputLoss =
+            custom_loss.unwrap_or(default_loss.as_ref());
+        let all_features: Vec<u32> = (0..ds.m() as u32).collect();
+        let mut trees = Vec::with_capacity(self.config.num_trees);
+        let mut hist_methods: BTreeMap<HistogramMethod, usize> = BTreeMap::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+
+        // Early-stopping state (only when a validation set is given).
+        let mut valid_scores: Vec<f32> = valid
+            .map(|(vd, _)| {
+                let mut s = vec![0.0f32; vd.n() * d];
+                for row in s.chunks_mut(d) {
+                    row.copy_from_slice(&base);
+                }
+                s
+            })
+            .unwrap_or_default();
+        let mut history: Vec<f64> = Vec::new();
+        let mut best = (f64::INFINITY, 0usize);
+
+        for t in 0..self.config.num_trees {
+            let mut grads_full =
+                compute_gradients(device, loss, &scores, ds.targets(), n, d);
+            if self.config.hist.quantized_gradients {
+                crate::grad::quantize_bf16(device, &mut grads_full);
+            }
+
+            // Stochastic gradient boosting: per-tree row/column samples.
+            let tree_features = sample_fraction(&all_features, self.config.colsample_bytree, &mut rng);
+            let all_rows: Vec<u32> = (0..n as u32).collect();
+            let (root, grads, subsampled);
+            if let Some(goss) = self.config.goss {
+                let (idx, amplified) = goss_sample(&grads_full, goss, &mut rng);
+                device.charge_kernel(
+                    "goss_rank_sample",
+                    Phase::Gradient,
+                    &KernelCost {
+                        // Gradient-norm pass + top-k selection (sort).
+                        flops: (n * d) as f64 + n as f64 * 2.0,
+                        dram_bytes: (n * d * 4 + n * 8) as f64,
+                        sort_keys: n as f64,
+                        launches: 3.0,
+                        ..Default::default()
+                    },
+                );
+                root = idx;
+                grads = amplified;
+                subsampled = true;
+            } else {
+                subsampled = self.config.subsample < 1.0;
+                root = if subsampled {
+                    sample_fraction(&all_rows, self.config.subsample, &mut rng)
+                } else {
+                    all_rows
+                };
+                grads = grads_full;
+            }
+
+            let grown = grow_tree_on(device, &binned, &grads, &self.config, &tree_features, root);
+            if subsampled {
+                // Out-of-sample instances still receive the tree's
+                // contribution: route every instance to its leaf.
+                for i in 0..n {
+                    grown.tree.predict_into(ds.features().row(i), &mut scores[i * d..(i + 1) * d]);
+                }
+                device.charge_kernel(
+                    "update_scores_routed",
+                    Phase::Predict,
+                    &KernelCost::streaming(
+                        (n * grown.tree.depth().max(1)) as f64 * 4.0,
+                        (n * (grown.tree.depth().max(1) * 16 + d * 8)) as f64,
+                    ),
+                );
+            } else {
+                update_scores_from_leaves(device, &mut scores, d, &grown.leaf_assignments);
+            }
+            for (m, c) in grown.methods_used {
+                *hist_methods.entry(m).or_insert(0) += c;
+            }
+            trees.push(grown.tree);
+
+            if let Some((vd, patience)) = valid {
+                let tree = trees.last().expect("just pushed");
+                for i in 0..vd.n() {
+                    tree.predict_into(vd.features().row(i), &mut valid_scores[i * d..(i + 1) * d]);
+                }
+                device.charge_kernel(
+                    "validation_predict",
+                    Phase::Predict,
+                    &KernelCost::streaming(
+                        (vd.n() * tree.depth().max(1)) as f64 * 4.0,
+                        (vd.n() * (tree.depth().max(1) * 16 + d * 8)) as f64,
+                    ),
+                );
+                let vloss = crate::loss::mean_loss(loss, &valid_scores, vd.targets(), d);
+                history.push(vloss);
+                if vloss < best.0 {
+                    best = (vloss, t);
+                }
+                if t - best.1 >= patience {
+                    break; // no improvement for `patience` trees
+                }
+            }
+        }
+        if valid.is_some() {
+            trees.truncate(best.1 + 1);
+        }
+
+        let model = Model {
+            trees,
+            base,
+            d,
+            task: ds.task(),
+            config: self.config.clone(),
+        };
+        let sim = self.device.summary().since(&start_summary);
+        let report = TrainReport {
+            sim_seconds: sim.total_ns * 1e-9,
+            host_seconds: host_start.elapsed().as_secs_f64(),
+            sim,
+            model,
+            hist_methods,
+        };
+        let curve = valid.map(|_| (history, best.1));
+        (report, curve)
+    }
+}
+
+/// Result of [`GpuTrainer::fit_with_validation`].
+#[derive(Debug)]
+pub struct ValidationReport {
+    /// The training report; the model is truncated to the best
+    /// iteration.
+    pub report: TrainReport,
+    /// Mean validation loss after each trained tree.
+    pub history: Vec<f64>,
+    /// Index of the tree after which validation loss was lowest.
+    pub best_iteration: usize,
+}
+
+/// GOSS (LightGBM): keep the `top_rate` fraction of instances with the
+/// largest L1 gradient norm, sample `other_rate` of the rest uniformly,
+/// and amplify the sampled rest's gradients by `(1−a)/b` so histogram
+/// sums stay unbiased. Returns the (sorted) kept instance indices and
+/// the amplified gradient set.
+fn goss_sample(
+    grads: &crate::grad::Gradients,
+    goss: crate::config::GossConfig,
+    rng: &mut ChaCha8Rng,
+) -> (Vec<u32>, crate::grad::Gradients) {
+    let n = grads.n;
+    let d = grads.d;
+    // L1 gradient norms.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let norm = |i: u32| -> f64 {
+        grads.g_row(i as usize).iter().map(|g| g.abs() as f64).sum()
+    };
+    order.sort_by(|&a, &b| norm(b).partial_cmp(&norm(a)).expect("finite").then(a.cmp(&b)));
+
+    let top_k = ((n as f64 * goss.top_rate).round() as usize).clamp(1, n);
+    let rest = &order[top_k..];
+    let sample_k = ((rest.len() as f64 * goss.other_rate / (1.0 - goss.top_rate))
+        .round() as usize)
+        .min(rest.len());
+    let mut rest_pool = rest.to_vec();
+    rest_pool.shuffle(rng);
+    rest_pool.truncate(sample_k);
+
+    let amplify = ((1.0 - goss.top_rate) / goss.other_rate) as f32;
+    let mut g = grads.g.clone();
+    let mut h = grads.h.clone();
+    for &i in &rest_pool {
+        let base = i as usize * d;
+        for k in 0..d {
+            g[base + k] *= amplify;
+            h[base + k] *= amplify;
+        }
+    }
+    let mut kept: Vec<u32> = order[..top_k].iter().copied().chain(rest_pool).collect();
+    kept.sort_unstable();
+    (kept, crate::grad::Gradients { g, h, n, d })
+}
+
+/// Sample `frac` of `items` without replacement (sorted, deterministic
+/// under the caller's RNG); `frac ≥ 1` returns everything.
+fn sample_fraction(items: &[u32], frac: f64, rng: &mut ChaCha8Rng) -> Vec<u32> {
+    if frac >= 1.0 || items.len() <= 1 {
+        return items.to_vec();
+    }
+    let keep = ((items.len() as f64 * frac).round() as usize).clamp(1, items.len());
+    let mut shuffled = items.to_vec();
+    shuffled.shuffle(rng);
+    shuffled.truncate(keep);
+    shuffled.sort_unstable();
+    shuffled
+}
+
+/// Initial per-output scores: the target mean for regression (centers
+/// the first gradients), zero for classification tasks.
+pub fn base_scores(ds: &Dataset) -> Vec<f32> {
+    let d = ds.d();
+    match ds.task() {
+        Task::MultiRegression => {
+            let n = ds.n();
+            let mut base = vec![0.0f64; d];
+            for i in 0..n {
+                for (b, &t) in base.iter_mut().zip(ds.target_row(i)) {
+                    *b += t as f64;
+                }
+            }
+            base.iter().map(|&s| (s / n.max(1) as f64) as f32).collect()
+        }
+        Task::MultiClass | Task::MultiLabel => vec![0.0; d],
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default, clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use crate::metrics::{accuracy, rmse};
+    use gbdt_data::synth::{
+        make_classification, make_regression, ClassificationSpec, RegressionSpec,
+    };
+
+    fn quick_config() -> TrainConfig {
+        TrainConfig {
+            num_trees: 8,
+            max_depth: 4,
+            max_bins: 32,
+            min_instances: 5,
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn learns_separable_multiclass_data() {
+        let ds = make_classification(&ClassificationSpec {
+            instances: 500,
+            features: 10,
+            classes: 3,
+            informative: 8,
+            class_sep: 2.0,
+            flip_y: 0.0,
+            seed: 7,
+            ..Default::default()
+        });
+        let (train, test) = ds.split(0.3, 1);
+        let model = GpuTrainer::new(Device::rtx4090(), quick_config()).fit(&train);
+        let acc = accuracy(&model.predict(test.features()), &test.labels());
+        assert!(acc > 0.8, "test accuracy only {acc}");
+    }
+
+    #[test]
+    fn learns_multi_output_regression() {
+        let ds = make_regression(&RegressionSpec {
+            instances: 600,
+            features: 8,
+            outputs: 4,
+            informative: 6,
+            noise: 0.05,
+            seed: 3,
+            ..Default::default()
+        });
+        let (train, test) = ds.split(0.25, 2);
+        let model = GpuTrainer::new(Device::rtx4090(), quick_config()).fit(&train);
+        let pred = model.predict(test.features());
+        let e = rmse(&pred, test.targets());
+        // Baseline: predicting the train mean.
+        let base = base_scores(&train);
+        let mean_pred: Vec<f32> = test
+            .targets()
+            .chunks(4)
+            .flat_map(|_| base.clone())
+            .collect();
+        let e0 = rmse(&mean_pred, test.targets());
+        assert!(e < e0 * 0.7, "model rmse {e} vs mean-baseline {e0}");
+    }
+
+    #[test]
+    fn report_breaks_down_phases_and_histogram_dominates() {
+        let ds = make_classification(&ClassificationSpec {
+            instances: 800,
+            features: 20,
+            classes: 5,
+            informative: 10,
+            seed: 9,
+            ..Default::default()
+        });
+        let report = GpuTrainer::new(Device::rtx4090(), quick_config()).fit_report(&ds);
+        assert!(report.sim_seconds > 0.0);
+        assert!(report.host_seconds > 0.0);
+        assert_eq!(report.model.num_trees(), 8);
+        // The paper's core observation (Fig. 4): histogram building is
+        // the dominant phase.
+        assert!(
+            report.histogram_fraction() > 0.4,
+            "histogram fraction only {}",
+            report.histogram_fraction()
+        );
+        let total: usize = report.hist_methods.values().sum();
+        assert!(total > 0, "adaptive telemetry must record node builds");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let ds = make_classification(&ClassificationSpec {
+            instances: 300,
+            features: 8,
+            classes: 3,
+            informative: 6,
+            seed: 4,
+            ..Default::default()
+        });
+        let m1 = GpuTrainer::new(Device::rtx4090(), quick_config()).fit(&ds);
+        let m2 = GpuTrainer::new(Device::rtx4090(), quick_config()).fit(&ds);
+        assert_eq!(m1.predict(ds.features()), m2.predict(ds.features()));
+    }
+
+    #[test]
+    fn more_trees_do_not_hurt_training_fit() {
+        let ds = make_classification(&ClassificationSpec {
+            instances: 400,
+            features: 8,
+            classes: 3,
+            informative: 6,
+            seed: 5,
+            ..Default::default()
+        });
+        let short = GpuTrainer::new(
+            Device::rtx4090(),
+            TrainConfig {
+                num_trees: 2,
+                ..quick_config()
+            },
+        )
+        .fit(&ds);
+        let long = GpuTrainer::new(Device::rtx4090(), quick_config()).fit(&ds);
+        let labels = ds.labels();
+        let a_short = accuracy(&short.predict(ds.features()), &labels);
+        let a_long = accuracy(&long.predict(ds.features()), &labels);
+        assert!(a_long >= a_short, "train acc {a_long} < {a_short}");
+    }
+
+    #[test]
+    fn regression_base_score_is_target_mean() {
+        let ds = make_regression(&RegressionSpec {
+            instances: 100,
+            features: 4,
+            outputs: 2,
+            informative: 3,
+            seed: 8,
+            ..Default::default()
+        });
+        let base = base_scores(&ds);
+        for k in 0..2 {
+            let mean: f64 = (0..100).map(|i| ds.target_row(i)[k] as f64).sum::<f64>() / 100.0;
+            assert!((base[k] as f64 - mean).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid training configuration")]
+    fn invalid_config_rejected_at_construction() {
+        let _ = GpuTrainer::new(Device::rtx4090(), TrainConfig::default().with_trees(0));
+    }
+
+    #[test]
+    fn subsampling_still_learns_and_is_deterministic() {
+        let ds = make_classification(&ClassificationSpec {
+            instances: 600,
+            features: 10,
+            classes: 3,
+            informative: 8,
+            class_sep: 2.0,
+            flip_y: 0.0,
+            seed: 20,
+            ..Default::default()
+        });
+        let (train, test) = ds.split(0.3, 21);
+        let mut cfg = quick_config();
+        cfg.subsample = 0.6;
+        cfg.colsample_bytree = 0.7;
+        cfg.num_trees = 15;
+        let m1 = GpuTrainer::new(Device::rtx4090(), cfg.clone()).fit(&train);
+        let m2 = GpuTrainer::new(Device::rtx4090(), cfg).fit(&train);
+        assert_eq!(
+            m1.predict(test.features()),
+            m2.predict(test.features()),
+            "seeded sampling must be deterministic"
+        );
+        let acc = accuracy(&m1.predict(test.features()), &test.labels());
+        assert!(acc > 0.7, "subsampled accuracy only {acc}");
+    }
+
+    #[test]
+    fn subsample_validation_catches_bad_values() {
+        let mut c = TrainConfig::default();
+        c.subsample = 0.0;
+        assert!(c.validate().is_err());
+        c.subsample = 1.5;
+        assert!(c.validate().is_err());
+        c.subsample = 0.5;
+        c.colsample_bytree = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn sample_fraction_bounds_and_determinism() {
+        let items: Vec<u32> = (0..100).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let s = sample_fraction(&items, 0.3, &mut rng);
+        assert_eq!(s.len(), 30);
+        assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted, no duplicates");
+        assert_eq!(sample_fraction(&items, 1.0, &mut rng), items);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(3);
+        assert_eq!(s, sample_fraction(&items, 0.3, &mut rng2));
+    }
+
+    #[test]
+    fn goss_learns_and_is_deterministic() {
+        use crate::config::GossConfig;
+        let ds = make_classification(&ClassificationSpec {
+            instances: 800,
+            features: 10,
+            classes: 3,
+            informative: 8,
+            class_sep: 2.0,
+            flip_y: 0.0,
+            seed: 30,
+            ..Default::default()
+        });
+        let (train, test) = ds.split(0.3, 31);
+        let mut cfg = quick_config();
+        cfg.num_trees = 15;
+        cfg.goss = Some(GossConfig::default_rates());
+        let m1 = GpuTrainer::new(Device::rtx4090(), cfg.clone()).fit(&train);
+        let m2 = GpuTrainer::new(Device::rtx4090(), cfg).fit(&train);
+        assert_eq!(m1.predict(test.features()), m2.predict(test.features()));
+        let acc = accuracy(&m1.predict(test.features()), &test.labels());
+        assert!(acc > 0.75, "GOSS accuracy only {acc}");
+    }
+
+    #[test]
+    fn goss_sample_keeps_top_gradients_and_amplifies_rest() {
+        use crate::config::GossConfig;
+        use crate::grad::Gradients;
+        let n = 100;
+        // Instance i has gradient magnitude i.
+        let grads = Gradients {
+            g: (0..n).map(|i| i as f32).collect(),
+            h: vec![1.0; n],
+            n,
+            d: 1,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let goss = GossConfig {
+            top_rate: 0.2,
+            other_rate: 0.1,
+        };
+        let (kept, amplified) = goss_sample(&grads, goss, &mut rng);
+        // Top 20 by |g| are instances 80..100, all kept.
+        for i in 80..100u32 {
+            assert!(kept.contains(&i), "top instance {i} dropped");
+        }
+        // Roughly 10% of the rest sampled.
+        assert!((28..=32).contains(&kept.len()), "kept {}", kept.len());
+        // Sampled low-gradient instances amplified by (1-0.2)/0.1 = 8.
+        for &i in kept.iter().filter(|&&i| i < 80) {
+            assert!(
+                (amplified.g[i as usize] - grads.g[i as usize] * 8.0).abs() < 1e-4,
+                "instance {i} not amplified"
+            );
+        }
+        // Unsampled instances untouched.
+        let dropped = (0..80u32).find(|i| !kept.contains(i)).unwrap();
+        assert_eq!(amplified.g[dropped as usize], grads.g[dropped as usize]);
+    }
+
+    #[test]
+    fn goss_validation() {
+        use crate::config::GossConfig;
+        let mut cfg = TrainConfig::default();
+        cfg.goss = Some(GossConfig {
+            top_rate: 0.7,
+            other_rate: 0.5,
+        });
+        assert!(cfg.validate().is_err(), "rates summing over 1 must fail");
+        cfg.goss = Some(GossConfig {
+            top_rate: 0.0,
+            other_rate: 0.1,
+        });
+        assert!(cfg.validate().is_err());
+        cfg.goss = Some(GossConfig::default_rates());
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn early_stopping_truncates_to_best_iteration() {
+        let ds = make_classification(&ClassificationSpec {
+            instances: 500,
+            features: 10,
+            classes: 3,
+            informative: 8,
+            flip_y: 0.15, // noisy so validation loss turns upward
+            seed: 22,
+            ..Default::default()
+        });
+        let (train, valid) = ds.split(0.4, 23);
+        let mut cfg = quick_config();
+        cfg.num_trees = 40;
+        let r = GpuTrainer::new(Device::rtx4090(), cfg).fit_with_validation(&train, &valid, 3);
+        assert!(!r.history.is_empty());
+        assert!(r.best_iteration < r.history.len());
+        assert_eq!(r.report.model.num_trees(), r.best_iteration + 1);
+        // Best really is the minimum of the recorded curve.
+        let min = r
+            .history
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        assert!((r.history[r.best_iteration] - min).abs() < 1e-12);
+        // Stopped within patience of the best (or ran out of trees).
+        assert!(r.history.len() <= r.best_iteration + 3 + 1 || r.history.len() == 40);
+    }
+}

@@ -1,0 +1,333 @@
+//! Exclusive Feature Bundling (EFB, from LightGBM).
+//!
+//! The paper's sparse datasets (Delicious: 500 features at 95% zeros)
+//! spend histogram time on columns that are almost never simultaneously
+//! non-zero. EFB packs such *mutually exclusive* features into shared
+//! columns — each bundled feature's non-zero values are shifted into a
+//! disjoint value range — cutting the effective feature count `m` that
+//! every histogram pass multiplies by, at zero information loss when
+//! features never conflict (and bounded loss under a conflict budget).
+//!
+//! Workflow: [`plan_bundles`] over the CSC view → [`BundlePlan::apply`]
+//! to produce the bundled matrix + the transform to apply to inference
+//! rows.
+
+use crate::csc::CscMatrix;
+use crate::dense::DenseMatrix;
+use serde::{Deserialize, Serialize};
+
+/// A bundling plan: which original features share each bundled column,
+/// and the value ranges used to keep them separable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BundlePlan {
+    /// `bundles[b]` lists original feature indices packed into bundled
+    /// column `b` (singleton bundles are unbundled features).
+    pub bundles: Vec<Vec<usize>>,
+    /// Per original feature: `(min, max)` of its non-zero values,
+    /// used to normalize into the bundle's slot.
+    ranges: Vec<(f32, f32)>,
+    /// Original feature count.
+    num_features: usize,
+}
+
+/// Rows where *both* of two features are non-zero, given their sorted
+/// row-index lists.
+fn conflicts(a: &[u32], b: &[u32]) -> usize {
+    let mut i = 0;
+    let mut j = 0;
+    let mut c = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                c += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    c
+}
+
+/// Greedily bundle features whose pairwise conflict count stays within
+/// `max_conflict_rate × n` per bundle. Features are visited by
+/// descending non-zero count (the LightGBM ordering); each lands in the
+/// first bundle it fits or opens a new one.
+pub fn plan_bundles(csc: &CscMatrix, max_conflict_rate: f64) -> BundlePlan {
+    assert!(
+        (0.0..1.0).contains(&max_conflict_rate),
+        "conflict rate must be in [0, 1)"
+    );
+    let m = csc.cols();
+    let n = csc.rows();
+    let budget = (max_conflict_rate * n as f64).floor() as usize;
+
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by_key(|&f| std::cmp::Reverse(csc.col(f).0.len()));
+
+    // Per bundle: member features and the union of occupied rows
+    // (sorted), plus conflicts already spent.
+    let mut bundles: Vec<Vec<usize>> = Vec::new();
+    let mut occupied: Vec<Vec<u32>> = Vec::new();
+    let mut spent: Vec<usize> = Vec::new();
+
+    for f in order {
+        let (rows, _) = csc.col(f);
+        let mut placed = false;
+        for b in 0..bundles.len() {
+            let c = conflicts(&occupied[b], rows);
+            if spent[b] + c <= budget {
+                bundles[b].push(f);
+                spent[b] += c;
+                // Merge sorted row lists.
+                let mut merged = Vec::with_capacity(occupied[b].len() + rows.len());
+                let (mut i, mut j) = (0, 0);
+                while i < occupied[b].len() || j < rows.len() {
+                    let take_left = j >= rows.len()
+                        || (i < occupied[b].len() && occupied[b][i] <= rows[j]);
+                    if take_left {
+                        let v = occupied[b][i];
+                        i += 1;
+                        if j < rows.len() && rows.get(j) == Some(&v) {
+                            j += 1;
+                        }
+                        merged.push(v);
+                    } else {
+                        merged.push(rows[j]);
+                        j += 1;
+                    }
+                }
+                occupied[b] = merged;
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            bundles.push(vec![f]);
+            occupied.push(rows.to_vec());
+            spent.push(0);
+        }
+    }
+    // Deterministic output order: by smallest member feature.
+    for b in &mut bundles {
+        b.sort_unstable();
+    }
+    bundles.sort_by_key(|b| b[0]);
+
+    let ranges = (0..m)
+        .map(|f| {
+            let (_, vals) = csc.col(f);
+            let mut min = f32::INFINITY;
+            let mut max = f32::NEG_INFINITY;
+            for &v in vals {
+                min = min.min(v);
+                max = max.max(v);
+            }
+            if vals.is_empty() {
+                (0.0, 0.0)
+            } else {
+                (min, max)
+            }
+        })
+        .collect();
+
+    BundlePlan {
+        bundles,
+        ranges,
+        num_features: m,
+    }
+}
+
+impl BundlePlan {
+    /// Number of bundled columns (≤ original features).
+    pub fn num_bundles(&self) -> usize {
+        self.bundles.len()
+    }
+
+    /// Original feature count the plan was built for.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Bundled value of original feature `f` (slot `slot` within its
+    /// bundle) for raw value `v`: non-zeros are normalized into
+    /// `(slot, slot + 1]`, zeros stay 0 ("no member active").
+    fn encode(&self, f: usize, slot: usize, v: f32) -> f32 {
+        if v == 0.0 {
+            return 0.0;
+        }
+        let (min, max) = self.ranges[f];
+        let unit = if max > min {
+            (v - min) / (max - min)
+        } else {
+            1.0
+        };
+        // Clamp into (0, 1] so an active feature never collides with the
+        // "no member active" zero of slot 0.
+        slot as f32 + unit.clamp(1e-6, 1.0)
+    }
+
+    /// Transform one raw feature row into bundled space.
+    pub fn transform_row(&self, row: &[f32]) -> Vec<f32> {
+        assert_eq!(row.len(), self.num_features, "row width mismatch");
+        self.bundles
+            .iter()
+            .map(|members| {
+                let mut out = 0.0f32;
+                for (slot, &f) in members.iter().enumerate() {
+                    let v = row[f];
+                    if v != 0.0 {
+                        // Later slots win conflicts (bounded by budget).
+                        out = self.encode(f, slot, v);
+                    }
+                }
+                out
+            })
+            .collect()
+    }
+
+    /// Transform a whole matrix into bundled space.
+    pub fn apply(&self, dense: &DenseMatrix) -> DenseMatrix {
+        let rows: Vec<Vec<f32>> = (0..dense.rows())
+            .map(|i| self.transform_row(dense.row(i)))
+            .collect();
+        DenseMatrix::from_rows(&rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three mutually exclusive sparse features + one dense feature.
+    fn exclusive_matrix() -> DenseMatrix {
+        DenseMatrix::from_rows(&[
+            vec![1.0, 0.0, 0.0, 9.0],
+            vec![0.0, 2.0, 0.0, 8.0],
+            vec![0.0, 0.0, 3.0, 7.0],
+            vec![4.0, 0.0, 0.0, 6.0],
+            vec![0.0, 5.0, 0.0, 5.0],
+            vec![0.0, 0.0, 6.0, 4.0],
+        ])
+    }
+
+    #[test]
+    fn exclusive_features_bundle_together() {
+        let m = exclusive_matrix();
+        let plan = plan_bundles(&CscMatrix::from_dense(&m), 0.0);
+        // Features 0, 1, 2 never co-occur → one bundle; the dense
+        // feature 3 conflicts with all → alone.
+        assert_eq!(plan.num_bundles(), 2, "bundles: {:?}", plan.bundles);
+        let sizes: Vec<usize> = plan.bundles.iter().map(Vec::len).collect();
+        assert!(sizes.contains(&3) && sizes.contains(&1));
+    }
+
+    #[test]
+    fn zero_conflict_budget_preserves_separability() {
+        let m = exclusive_matrix();
+        let plan = plan_bundles(&CscMatrix::from_dense(&m), 0.0);
+        let bundled = plan.apply(&m);
+        assert_eq!(bundled.cols(), plan.num_bundles());
+        // Distinct source features land in distinct value ranges: rows
+        // with different active features must have different bundled
+        // values (so a tree can still split them apart).
+        let bundle = plan
+            .bundles
+            .iter()
+            .position(|b| b.len() == 3)
+            .expect("3-feature bundle");
+        let col = bundled.col(bundle);
+        // Rows 0&3 use feature 0 (slot 0), 1&4 feature 1 (slot 1),
+        // 2&5 feature 2 (slot 2): slot ranges must not overlap.
+        let slot_of = |v: f32| v.ceil() as i32; // values in (slot, slot+1]
+        assert_eq!(slot_of(col[0]), slot_of(col[3]));
+        assert_eq!(slot_of(col[1]), slot_of(col[4]));
+        assert_eq!(slot_of(col[2]), slot_of(col[5]));
+        assert_ne!(slot_of(col[0]), slot_of(col[1]));
+        assert_ne!(slot_of(col[1]), slot_of(col[2]));
+    }
+
+    #[test]
+    fn dense_features_stay_unbundled() {
+        // Two dense features conflict everywhere: no bundling possible.
+        let m = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let plan = plan_bundles(&CscMatrix::from_dense(&m), 0.1);
+        assert_eq!(plan.num_bundles(), 2);
+    }
+
+    #[test]
+    fn conflict_budget_allows_lossy_merges() {
+        // Features overlap on 1 of 6 rows; a 20% budget (1.2 rows)
+        // admits the merge, a 0% budget does not.
+        let m = DenseMatrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0], // the conflict row
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![0.0, 0.0],
+        ]);
+        let csc = CscMatrix::from_dense(&m);
+        assert_eq!(plan_bundles(&csc, 0.0).num_bundles(), 2);
+        assert_eq!(plan_bundles(&csc, 0.2).num_bundles(), 1);
+    }
+
+    #[test]
+    fn transform_row_matches_apply() {
+        let m = exclusive_matrix();
+        let plan = plan_bundles(&CscMatrix::from_dense(&m), 0.0);
+        let bundled = plan.apply(&m);
+        for i in 0..m.rows() {
+            assert_eq!(plan.transform_row(m.row(i)), bundled.row(i).to_vec());
+        }
+    }
+
+    #[test]
+    fn monotone_within_slot() {
+        // Within one source feature, bundled values preserve order — so
+        // threshold splits on the original feature remain expressible.
+        let m = DenseMatrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![2.0, 0.0],
+            vec![3.0, 0.0],
+            vec![0.0, 5.0],
+        ]);
+        let plan = plan_bundles(&CscMatrix::from_dense(&m), 0.0);
+        let bundled = plan.apply(&m);
+        let col = bundled.col(0);
+        assert!(col[0] < col[1] && col[1] < col[2]);
+    }
+
+    #[test]
+    fn sparse_synthetic_shrinks_substantially() {
+        use crate::synth::{make_multilabel, MultilabelSpec};
+        let ds = make_multilabel(&MultilabelSpec {
+            instances: 400,
+            features: 120,
+            labels: 30,
+            avg_labels: 2.0,
+            features_per_label: 4,
+            sparsity: 0.2,
+            seed: 9,
+        });
+        let csc = CscMatrix::from_dense(ds.features());
+        let plan = plan_bundles(&csc, 0.02);
+        assert!(
+            plan.num_bundles() * 2 < 120,
+            "expected ≥2× reduction on sparse data, got {} bundles",
+            plan.num_bundles()
+        );
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_serializable() {
+        let m = exclusive_matrix();
+        let a = plan_bundles(&CscMatrix::from_dense(&m), 0.0);
+        let b = plan_bundles(&CscMatrix::from_dense(&m), 0.0);
+        assert_eq!(a, b);
+        let json = serde_json::to_string(&a).unwrap();
+        let back: BundlePlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

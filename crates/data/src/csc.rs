@@ -1,0 +1,251 @@
+//! Compressed Sparse Column storage (paper §3.2).
+//!
+//! The CSC representation consists of three arrays: the non-zero
+//! `values` (traversed column-wise), the `row_indices` of those values,
+//! and `col_pointers` with one extra trailing element marking the end of
+//! the last column — exactly the layout the paper illustrates:
+//!
+//! ```text
+//! values       = [2, 1, 6, 3, 7, 8]
+//! row_indices  = [1, 4, 2, 0, 1, 4]
+//! col_pointers = [0, 2, 3, 4, 4, 6]
+//! ```
+
+use crate::dense::DenseMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Sparse `rows × cols` matrix in Compressed Sparse Column form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CscMatrix {
+    rows: usize,
+    cols: usize,
+    values: Vec<f32>,
+    row_indices: Vec<u32>,
+    col_pointers: Vec<usize>,
+}
+
+impl CscMatrix {
+    /// Build from raw CSC arrays, validating all invariants.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        values: Vec<f32>,
+        row_indices: Vec<u32>,
+        col_pointers: Vec<usize>,
+    ) -> Self {
+        assert_eq!(
+            values.len(),
+            row_indices.len(),
+            "values and row_indices must have equal length"
+        );
+        assert_eq!(
+            col_pointers.len(),
+            cols + 1,
+            "col_pointers must have cols+1 entries"
+        );
+        assert_eq!(col_pointers[0], 0, "col_pointers must start at 0");
+        assert_eq!(
+            *col_pointers.last().unwrap(),
+            values.len(),
+            "col_pointers must end at nnz"
+        );
+        assert!(
+            col_pointers.windows(2).all(|w| w[0] <= w[1]),
+            "col_pointers must be non-decreasing"
+        );
+        assert!(
+            row_indices.iter().all(|&r| (r as usize) < rows),
+            "row index out of range"
+        );
+        // Rows within a column must be strictly increasing (canonical CSC).
+        for c in 0..cols {
+            let seg = &row_indices[col_pointers[c]..col_pointers[c + 1]];
+            assert!(
+                seg.windows(2).all(|w| w[0] < w[1]),
+                "row indices within column {c} must be strictly increasing"
+            );
+        }
+        CscMatrix {
+            rows,
+            cols,
+            values,
+            row_indices,
+            col_pointers,
+        }
+    }
+
+    /// Convert a dense matrix, keeping entries that are not exactly zero.
+    pub fn from_dense(dense: &DenseMatrix) -> Self {
+        let (rows, cols) = (dense.rows(), dense.cols());
+        let mut values = Vec::new();
+        let mut row_indices = Vec::new();
+        let mut col_pointers = Vec::with_capacity(cols + 1);
+        col_pointers.push(0);
+        for j in 0..cols {
+            for i in 0..rows {
+                let v = dense.get(i, j);
+                if v != 0.0 {
+                    values.push(v);
+                    row_indices.push(i as u32);
+                }
+            }
+            col_pointers.push(values.len());
+        }
+        CscMatrix {
+            rows,
+            cols,
+            values,
+            row_indices,
+            col_pointers,
+        }
+    }
+
+    /// Materialize as dense.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for j in 0..self.cols {
+            let (rows, vals) = self.col(j);
+            for (&r, &v) in rows.iter().zip(vals) {
+                out.set(r as usize, j, v);
+            }
+        }
+        out
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The non-zero values array (column-wise traversal order).
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// The row index of each non-zero value.
+    pub fn row_indices(&self) -> &[u32] {
+        &self.row_indices
+    }
+
+    /// The column pointer array (length `cols + 1`).
+    pub fn col_pointers(&self) -> &[usize] {
+        &self.col_pointers
+    }
+
+    /// Column `j` as `(row_indices, values)` slices.
+    pub fn col(&self, j: usize) -> (&[u32], &[f32]) {
+        assert!(j < self.cols, "column {j} out of range ({})", self.cols);
+        let (s, e) = (self.col_pointers[j], self.col_pointers[j + 1]);
+        (&self.row_indices[s..e], &self.values[s..e])
+    }
+
+    /// Entry `(row, col)`, implicit zeros included. Binary search within
+    /// the column — the "higher overhead when locating attribute values"
+    /// the paper notes for sparse storage.
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        let (rows, vals) = self.col(col);
+        match rows.binary_search(&(row as u32)) {
+            Ok(pos) => vals[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Fraction of implicit-zero entries.
+    pub fn sparsity(&self) -> f64 {
+        let total = self.rows * self.cols;
+        if total == 0 {
+            return 0.0;
+        }
+        1.0 - self.nnz() as f64 / total as f64
+    }
+
+    /// Approximate resident bytes of the three arrays.
+    pub fn memory_bytes(&self) -> usize {
+        self.values.len() * 4 + self.row_indices.len() * 4 + self.col_pointers.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact example from paper §3.2.
+    fn paper_example_dense() -> DenseMatrix {
+        DenseMatrix::from_rows(&[
+            vec![0.0, 0.0, 3.0, 0.0, 0.0],
+            vec![2.0, 0.0, 0.0, 0.0, 7.0],
+            vec![0.0, 6.0, 0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 0.0, 0.0],
+            vec![1.0, 0.0, 0.0, 0.0, 8.0],
+        ])
+    }
+
+    #[test]
+    fn matches_papers_worked_example() {
+        let csc = CscMatrix::from_dense(&paper_example_dense());
+        assert_eq!(csc.values(), &[2.0, 1.0, 6.0, 3.0, 7.0, 8.0]);
+        assert_eq!(csc.row_indices(), &[1, 4, 2, 0, 1, 4]);
+        assert_eq!(csc.col_pointers(), &[0, 2, 3, 4, 4, 6]);
+    }
+
+    #[test]
+    fn roundtrip_dense_csc_dense() {
+        let dense = paper_example_dense();
+        let back = CscMatrix::from_dense(&dense).to_dense();
+        assert_eq!(dense, back);
+    }
+
+    #[test]
+    fn get_returns_implicit_zeros() {
+        let csc = CscMatrix::from_dense(&paper_example_dense());
+        assert_eq!(csc.get(0, 2), 3.0);
+        assert_eq!(csc.get(3, 3), 0.0);
+        assert_eq!(csc.get(4, 4), 8.0);
+    }
+
+    #[test]
+    fn col_access() {
+        let csc = CscMatrix::from_dense(&paper_example_dense());
+        let (rows, vals) = csc.col(4);
+        assert_eq!(rows, &[1, 4]);
+        assert_eq!(vals, &[7.0, 8.0]);
+        let (rows, vals) = csc.col(3); // empty column
+        assert!(rows.is_empty() && vals.is_empty());
+    }
+
+    #[test]
+    fn sparsity_and_memory() {
+        let csc = CscMatrix::from_dense(&paper_example_dense());
+        assert!((csc.sparsity() - 19.0 / 25.0).abs() < 1e-9);
+        assert_eq!(csc.nnz(), 6);
+        assert!(csc.memory_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "col_pointers must end at nnz")]
+    fn invalid_pointers_rejected() {
+        let _ = CscMatrix::new(2, 2, vec![1.0], vec![0], vec![0, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn duplicate_rows_in_column_rejected() {
+        let _ = CscMatrix::new(3, 1, vec![1.0, 2.0], vec![1, 1], vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row index out of range")]
+    fn out_of_range_row_rejected() {
+        let _ = CscMatrix::new(2, 1, vec![1.0], vec![5], vec![0, 1]);
+    }
+}

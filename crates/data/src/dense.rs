@@ -1,0 +1,206 @@
+//! Row-major dense feature matrix (paper §3.2, "dense representation").
+
+use serde::{Deserialize, Serialize};
+
+/// A dense `rows × cols` matrix of `f32` feature values, row-major.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    values: Vec<f32>,
+}
+
+impl DenseMatrix {
+    /// Build from a flat row-major vector.
+    pub fn new(rows: usize, cols: usize, values: Vec<f32>) -> Self {
+        assert_eq!(
+            values.len(),
+            rows * cols,
+            "value length {} does not match {rows}×{cols}",
+            values.len()
+        );
+        DenseMatrix { rows, cols, values }
+    }
+
+    /// Build from row slices (all must have equal length).
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        assert!(
+            rows.iter().all(|row| row.len() == c),
+            "ragged rows in DenseMatrix::from_rows"
+        );
+        let mut values = Vec::with_capacity(r * c);
+        for row in rows {
+            values.extend_from_slice(row);
+        }
+        DenseMatrix {
+            rows: r,
+            cols: c,
+            values,
+        }
+    }
+
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            values: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Number of rows (instances).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (features).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(row, col)`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.values[row * self.cols + col]
+    }
+
+    /// Set element at `(row, col)`.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, v: f32) {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.values[row * self.cols + col] = v;
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.values[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Materialize column `j` (strided copy).
+    pub fn col(&self, j: usize) -> Vec<f32> {
+        assert!(j < self.cols, "column {j} out of range ({})", self.cols);
+        (0..self.rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// The flat row-major backing storage.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// New matrix from the given row indices (duplicates allowed).
+    pub fn select_rows(&self, idx: &[usize]) -> DenseMatrix {
+        let mut values = Vec::with_capacity(idx.len() * self.cols);
+        for &i in idx {
+            values.extend_from_slice(self.row(i));
+        }
+        DenseMatrix {
+            rows: idx.len(),
+            cols: self.cols,
+            values,
+        }
+    }
+
+    /// New matrix keeping only the given columns, in the given order.
+    pub fn select_cols(&self, cols: &[usize]) -> DenseMatrix {
+        let mut values = Vec::with_capacity(self.rows * cols.len());
+        for i in 0..self.rows {
+            for &j in cols {
+                values.push(self.get(i, j));
+            }
+        }
+        DenseMatrix {
+            rows: self.rows,
+            cols: cols.len(),
+            values,
+        }
+    }
+
+    /// Fraction of exactly-zero entries.
+    pub fn sparsity(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let zeros = self.values.iter().filter(|&&v| v == 0.0).count();
+        zeros as f64 / self.values.len() as f64
+    }
+
+    /// Count of non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.values.iter().filter(|&&v| v != 0.0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> DenseMatrix {
+        // The paper's §3.2 running example.
+        DenseMatrix::from_rows(&[
+            vec![0.0, 0.0, 3.0, 0.0, 0.0],
+            vec![2.0, 0.0, 0.0, 0.0, 7.0],
+            vec![0.0, 6.0, 0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 0.0, 0.0],
+            vec![1.0, 0.0, 0.0, 0.0, 8.0],
+        ])
+    }
+
+    #[test]
+    fn shape_and_access() {
+        let m = m();
+        assert_eq!((m.rows(), m.cols()), (5, 5));
+        assert_eq!(m.get(0, 2), 3.0);
+        assert_eq!(m.get(4, 4), 8.0);
+        assert_eq!(m.row(1), &[2.0, 0.0, 0.0, 0.0, 7.0]);
+        assert_eq!(m.col(4), vec![0.0, 7.0, 0.0, 0.0, 8.0]);
+    }
+
+    #[test]
+    fn set_updates() {
+        let mut m = m();
+        m.set(3, 3, 9.0);
+        assert_eq!(m.get(3, 3), 9.0);
+    }
+
+    #[test]
+    fn nnz_and_sparsity() {
+        let m = m();
+        assert_eq!(m.nnz(), 6);
+        assert!((m.sparsity() - 19.0 / 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn select_rows_and_cols() {
+        let m = m();
+        let r = m.select_rows(&[4, 1]);
+        assert_eq!(r.rows(), 2);
+        assert_eq!(r.get(0, 0), 1.0);
+        assert_eq!(r.get(1, 4), 7.0);
+        let c = m.select_cols(&[4, 0]);
+        assert_eq!(c.cols(), 2);
+        assert_eq!(c.get(1, 0), 7.0);
+        assert_eq!(c.get(1, 1), 2.0);
+    }
+
+    #[test]
+    fn zeros_matrix() {
+        let z = DenseMatrix::zeros(2, 3);
+        assert_eq!(z.values(), &[0.0; 6]);
+        assert_eq!(z.sparsity(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn shape_mismatch_panics() {
+        let _ = DenseMatrix::new(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged rows")]
+    fn ragged_rows_panic() {
+        let _ = DenseMatrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

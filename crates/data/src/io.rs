@@ -1,0 +1,363 @@
+//! Dataset I/O: LIBSVM-style sparse text (the format the paper's real
+//! datasets ship in) and dense CSV.
+//!
+//! LIBSVM lines are `labels idx:value idx:value …` with 0-based feature
+//! indices. The label field depends on the task:
+//!
+//! * multiclass — one class index (`3`);
+//! * multilabel — comma-separated active labels (`2,17,801`);
+//! * multiregression — comma-separated float targets (`0.3,-1.2`).
+//!
+//! Absent features are implicit zeros, which round-trips exactly
+//! through the CSC machinery of §3.2.
+
+use crate::dense::DenseMatrix;
+use crate::{Dataset, Task};
+use std::io::{BufRead, Write};
+
+/// Write a dataset in LIBSVM format (zeros omitted).
+pub fn write_libsvm<W: Write>(mut w: W, ds: &Dataset) -> std::io::Result<()> {
+    for i in 0..ds.n() {
+        let label = match ds.task() {
+            Task::MultiClass => ds
+                .target_row(i)
+                .iter()
+                .position(|&v| v == 1.0)
+                .unwrap_or(0)
+                .to_string(),
+            Task::MultiLabel => {
+                let active: Vec<String> = ds
+                    .target_row(i)
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v != 0.0)
+                    .map(|(k, _)| k.to_string())
+                    .collect();
+                active.join(",")
+            }
+            Task::MultiRegression => {
+                let vals: Vec<String> =
+                    ds.target_row(i).iter().map(|v| format!("{v}")).collect();
+                vals.join(",")
+            }
+        };
+        write!(w, "{label}")?;
+        for j in 0..ds.m() {
+            let v = ds.features().get(i, j);
+            if v != 0.0 {
+                write!(w, " {j}:{v}")?;
+            }
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Read a LIBSVM file into a dataset.
+///
+/// `num_features`/`num_outputs` fix the shapes (indices beyond
+/// `num_features` are an error; for multiclass/multilabel, labels must
+/// be `< num_outputs`).
+pub fn read_libsvm<R: BufRead>(
+    r: R,
+    num_features: usize,
+    num_outputs: usize,
+    task: Task,
+) -> Result<Dataset, String> {
+    let mut rows: Vec<Vec<f32>> = Vec::new();
+    let mut targets: Vec<f32> = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let label_field = parts
+            .next()
+            .ok_or_else(|| format!("line {}: missing label", lineno + 1))?;
+
+        let mut target_row = vec![0.0f32; num_outputs];
+        match task {
+            Task::MultiClass => {
+                let c: usize = label_field
+                    .parse()
+                    .map_err(|e| format!("line {}: bad class label: {e}", lineno + 1))?;
+                if c >= num_outputs {
+                    return Err(format!("line {}: class {c} ≥ {num_outputs}", lineno + 1));
+                }
+                target_row[c] = 1.0;
+            }
+            Task::MultiLabel => {
+                for tok in label_field.split(',').filter(|t| !t.is_empty()) {
+                    let k: usize = tok
+                        .parse()
+                        .map_err(|e| format!("line {}: bad label: {e}", lineno + 1))?;
+                    if k >= num_outputs {
+                        return Err(format!("line {}: label {k} ≥ {num_outputs}", lineno + 1));
+                    }
+                    target_row[k] = 1.0;
+                }
+            }
+            Task::MultiRegression => {
+                let vals: Vec<&str> = label_field.split(',').collect();
+                if vals.len() != num_outputs {
+                    return Err(format!(
+                        "line {}: {} targets, expected {num_outputs}",
+                        lineno + 1,
+                        vals.len()
+                    ));
+                }
+                for (k, tok) in vals.iter().enumerate() {
+                    target_row[k] = tok
+                        .parse()
+                        .map_err(|e| format!("line {}: bad target: {e}", lineno + 1))?;
+                }
+            }
+        }
+        targets.extend(target_row);
+
+        let mut row = vec![0.0f32; num_features];
+        for pair in parts {
+            let (idx, val) = pair
+                .split_once(':')
+                .ok_or_else(|| format!("line {}: malformed pair {pair:?}", lineno + 1))?;
+            let j: usize = idx
+                .parse()
+                .map_err(|e| format!("line {}: bad index: {e}", lineno + 1))?;
+            if j >= num_features {
+                return Err(format!("line {}: index {j} ≥ {num_features}", lineno + 1));
+            }
+            row[j] = val
+                .parse()
+                .map_err(|e| format!("line {}: bad value: {e}", lineno + 1))?;
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err("no instances".into());
+    }
+    Ok(Dataset::new(
+        DenseMatrix::from_rows(&rows),
+        targets,
+        num_outputs,
+        task,
+    ))
+}
+
+/// Write a dense CSV: header `f0,…,f{m-1},y0,…,y{d-1}`, one instance
+/// per row.
+pub fn write_csv<W: Write>(mut w: W, ds: &Dataset) -> std::io::Result<()> {
+    let header: Vec<String> = (0..ds.m())
+        .map(|j| format!("f{j}"))
+        .chain((0..ds.d()).map(|k| format!("y{k}")))
+        .collect();
+    writeln!(w, "{}", header.join(","))?;
+    for i in 0..ds.n() {
+        let cells: Vec<String> = ds
+            .features()
+            .row(i)
+            .iter()
+            .chain(ds.target_row(i))
+            .map(|v| format!("{v}"))
+            .collect();
+        writeln!(w, "{}", cells.join(","))?;
+    }
+    Ok(())
+}
+
+/// Read a dense CSV produced by [`write_csv`] (or any CSV whose last
+/// `num_outputs` columns are targets).
+pub fn read_csv<R: BufRead>(r: R, num_outputs: usize, task: Task) -> Result<Dataset, String> {
+    let mut lines = r.lines();
+    let header = lines
+        .next()
+        .ok_or("empty file")?
+        .map_err(|e| e.to_string())?;
+    let cols = header.split(',').count();
+    if cols <= num_outputs {
+        return Err(format!("{cols} columns cannot hold {num_outputs} targets"));
+    }
+    let m = cols - num_outputs;
+    let mut rows = Vec::new();
+    let mut targets = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let line = line.map_err(|e| format!("line {}: {e}", lineno + 2))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != cols {
+            return Err(format!(
+                "line {}: {} cells, expected {cols}",
+                lineno + 2,
+                cells.len()
+            ));
+        }
+        let parse = |s: &str| -> Result<f32, String> {
+            s.trim()
+                .parse()
+                .map_err(|e| format!("line {}: bad number {s:?}: {e}", lineno + 2))
+        };
+        let mut row = Vec::with_capacity(m);
+        for c in &cells[..m] {
+            row.push(parse(c)?);
+        }
+        for c in &cells[m..] {
+            targets.push(parse(c)?);
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err("no instances".into());
+    }
+    Ok(Dataset::new(
+        DenseMatrix::from_rows(&rows),
+        targets,
+        num_outputs,
+        task,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{
+        make_classification, make_multilabel, make_regression, ClassificationSpec,
+        MultilabelSpec, RegressionSpec,
+    };
+    use std::io::Cursor;
+
+    fn roundtrip_libsvm(ds: &Dataset) -> Dataset {
+        let mut buf = Vec::new();
+        write_libsvm(&mut buf, ds).unwrap();
+        read_libsvm(Cursor::new(buf), ds.m(), ds.d(), ds.task()).unwrap()
+    }
+
+    #[test]
+    fn libsvm_roundtrip_multiclass() {
+        let ds = make_classification(&ClassificationSpec {
+            instances: 50,
+            features: 8,
+            classes: 3,
+            informative: 4,
+            sparsity: 0.5,
+            seed: 1,
+            ..Default::default()
+        });
+        let back = roundtrip_libsvm(&ds);
+        assert_eq!(back.targets(), ds.targets());
+        for i in 0..ds.n() {
+            for j in 0..ds.m() {
+                let (a, b) = (ds.features().get(i, j), back.features().get(i, j));
+                assert!((a - b).abs() < 1e-5, "({i},{j}): {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn libsvm_roundtrip_multilabel() {
+        let ds = make_multilabel(&MultilabelSpec {
+            instances: 40,
+            features: 20,
+            labels: 6,
+            seed: 2,
+            ..Default::default()
+        });
+        let back = roundtrip_libsvm(&ds);
+        assert_eq!(back.targets(), ds.targets());
+    }
+
+    #[test]
+    fn libsvm_roundtrip_multiregression() {
+        let ds = make_regression(&RegressionSpec {
+            instances: 30,
+            features: 6,
+            outputs: 3,
+            informative: 4,
+            seed: 3,
+            ..Default::default()
+        });
+        let back = roundtrip_libsvm(&ds);
+        for (a, b) in ds.targets().iter().zip(back.targets()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn libsvm_parses_handwritten_sample() {
+        let text = "1 0:2.5 3:1\n0 1:-1\n# comment\n\n2 0:0.5 2:7\n";
+        let ds = read_libsvm(Cursor::new(text), 4, 3, Task::MultiClass).unwrap();
+        assert_eq!(ds.n(), 3);
+        assert_eq!(ds.labels(), vec![1, 0, 2]);
+        assert_eq!(ds.features().get(0, 0), 2.5);
+        assert_eq!(ds.features().get(0, 1), 0.0);
+        assert_eq!(ds.features().get(2, 2), 7.0);
+    }
+
+    #[test]
+    fn libsvm_rejects_bad_input() {
+        assert!(read_libsvm(Cursor::new("9 0:1"), 4, 3, Task::MultiClass)
+            .unwrap_err()
+            .contains("class 9"));
+        assert!(read_libsvm(Cursor::new("1 7:1"), 4, 3, Task::MultiClass)
+            .unwrap_err()
+            .contains("index 7"));
+        assert!(read_libsvm(Cursor::new("1 zz"), 4, 3, Task::MultiClass)
+            .unwrap_err()
+            .contains("malformed"));
+        assert!(read_libsvm(Cursor::new(""), 4, 3, Task::MultiClass).is_err());
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let ds = make_regression(&RegressionSpec {
+            instances: 25,
+            features: 5,
+            outputs: 2,
+            informative: 3,
+            seed: 4,
+            ..Default::default()
+        });
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &ds).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("f0,f1,f2,f3,f4,y0,y1\n"));
+        let back = read_csv(Cursor::new(buf), 2, Task::MultiRegression).unwrap();
+        assert_eq!(back.n(), 25);
+        assert_eq!(back.m(), 5);
+        for (a, b) in ds.targets().iter().zip(back.targets()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn csv_rejects_ragged_rows() {
+        let text = "f0,f1,y0\n1,2,3\n1,2\n";
+        let err = read_csv(Cursor::new(text), 1, Task::MultiRegression).unwrap_err();
+        assert!(err.contains("2 cells"));
+    }
+
+    #[test]
+    fn file_roundtrip_through_tempdir() {
+        let ds = make_classification(&ClassificationSpec {
+            instances: 20,
+            features: 6,
+            classes: 2,
+            informative: 3,
+            seed: 5,
+            ..Default::default()
+        });
+        let path = std::env::temp_dir().join("gbdt_mo_io_test.libsvm");
+        write_libsvm(std::fs::File::create(&path).unwrap(), &ds).unwrap();
+        let back = read_libsvm(
+            std::io::BufReader::new(std::fs::File::open(&path).unwrap()),
+            ds.m(),
+            ds.d(),
+            Task::MultiClass,
+        )
+        .unwrap();
+        assert_eq!(back.labels(), ds.labels());
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,221 @@
+//! # gbdt-data — dataset substrate for multi-output GBDT training
+//!
+//! Storage and preprocessing layers from the paper:
+//!
+//! * [`dense`] — row-major dense feature matrices;
+//! * [`csc`] — Compressed Sparse Column storage (paper §3.2), with the
+//!   exact `values` / `row_indices` / `col_pointers` layout;
+//! * [`binning`] — per-feature quantile cut points (≤ 256 bins);
+//! * [`binned`] — the column-major `u8` bin matrix GBDT kernels consume,
+//!   plus the 4-bins-per-`u32` packed layout of the paper's warp-level
+//!   "bin packing" optimization (§3.4.1);
+//! * [`synth`] — synthetic generators (`make_classification` etc., in
+//!   the spirit of scikit-learn's APIs, which the paper uses for its
+//!   class-count sweep, §4.3.3);
+//! * [`datasets`] — shape-faithful replicas of the paper's nine
+//!   evaluation datasets (Table 1);
+//! * [`split`] — deterministic train/test splitting.
+
+#![warn(missing_docs)]
+
+pub mod binned;
+pub mod binning;
+pub mod bundling;
+pub mod csc;
+pub mod datasets;
+pub mod dense;
+pub mod io;
+pub mod quantile_sketch;
+pub mod split;
+pub mod stats;
+pub mod synth;
+
+pub use binned::{BinnedDataset, BinnedMatrix, PackedBins};
+pub use binning::BinCuts;
+pub use csc::CscMatrix;
+pub use datasets::{PaperDataset, PAPER_DATASETS};
+pub use dense::DenseMatrix;
+pub use synth::{
+    make_classification, make_multilabel, make_regression, ClassificationSpec, MultilabelSpec,
+    RegressionSpec,
+};
+
+use serde::{Deserialize, Serialize};
+
+/// Learning task type, matching Table 1's `task` column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Task {
+    /// Single label out of `d` classes (softmax + accuracy).
+    MultiClass,
+    /// `d` independent binary labels (sigmoid + RMSE over probabilities,
+    /// as the paper reports for Delicious/NUS-WIDE).
+    MultiLabel,
+    /// `d` real-valued targets (MSE + RMSE).
+    MultiRegression,
+}
+
+/// A supervised multi-output dataset: `n` instances, `m` features,
+/// `d`-dimensional targets.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    features: DenseMatrix,
+    /// Row-major `n × d` target matrix. Multiclass targets are one-hot.
+    targets: Vec<f32>,
+    task: Task,
+    d: usize,
+}
+
+impl Dataset {
+    /// Assemble a dataset; panics if the target length is not `n × d`.
+    pub fn new(features: DenseMatrix, targets: Vec<f32>, d: usize, task: Task) -> Self {
+        assert!(d > 0, "output dimension must be positive");
+        assert_eq!(
+            targets.len(),
+            features.rows() * d,
+            "targets must be n × d (got {} for n={} d={})",
+            targets.len(),
+            features.rows(),
+            d
+        );
+        Dataset {
+            features,
+            targets,
+            task,
+            d,
+        }
+    }
+
+    /// Number of instances.
+    pub fn n(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// Number of input features.
+    pub fn m(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Output dimensionality.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Task type.
+    pub fn task(&self) -> Task {
+        self.task
+    }
+
+    /// Input feature matrix.
+    pub fn features(&self) -> &DenseMatrix {
+        &self.features
+    }
+
+    /// Row-major `n × d` targets (one-hot for multiclass).
+    pub fn targets(&self) -> &[f32] {
+        &self.targets
+    }
+
+    /// Target row of instance `i`.
+    pub fn target_row(&self, i: usize) -> &[f32] {
+        &self.targets[i * self.d..(i + 1) * self.d]
+    }
+
+    /// Class labels (argmax of the target rows). Meaningful for
+    /// [`Task::MultiClass`]; for other tasks returns the argmax anyway.
+    pub fn labels(&self) -> Vec<u32> {
+        (0..self.n())
+            .map(|i| {
+                let row = self.target_row(i);
+                let mut best = (0usize, f32::NEG_INFINITY);
+                for (k, &v) in row.iter().enumerate() {
+                    if v > best.1 {
+                        best = (k, v);
+                    }
+                }
+                best.0 as u32
+            })
+            .collect()
+    }
+
+    /// Select a subset of instances by index (duplicates allowed).
+    pub fn subset(&self, idx: &[usize]) -> Dataset {
+        let features = self.features.select_rows(idx);
+        let mut targets = Vec::with_capacity(idx.len() * self.d);
+        for &i in idx {
+            targets.extend_from_slice(self.target_row(i));
+        }
+        Dataset {
+            features,
+            targets,
+            task: self.task,
+            d: self.d,
+        }
+    }
+
+    /// Deterministic shuffled split into `(train, test)` with `frac` of
+    /// instances in the test set.
+    pub fn split(&self, frac: f64, seed: u64) -> (Dataset, Dataset) {
+        let (train_idx, test_idx) = split::split_indices(self.n(), frac, seed);
+        (self.subset(&train_idx), self.subset(&test_idx))
+    }
+
+    /// Fraction of exactly-zero feature entries (drives sparse-path
+    /// decisions and the datasets module's shape fidelity checks).
+    pub fn sparsity(&self) -> f64 {
+        self.features.sparsity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let features = DenseMatrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 2.0],
+            vec![3.0, 0.0],
+            vec![0.0, 0.0],
+        ]);
+        let targets = vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0];
+        Dataset::new(features, targets, 2, Task::MultiClass)
+    }
+
+    #[test]
+    fn dims_and_access() {
+        let ds = tiny();
+        assert_eq!((ds.n(), ds.m(), ds.d()), (4, 2, 2));
+        assert_eq!(ds.target_row(1), &[0.0, 1.0]);
+        assert_eq!(ds.labels(), vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn subset_selects_rows() {
+        let ds = tiny();
+        let sub = ds.subset(&[2, 0]);
+        assert_eq!(sub.n(), 2);
+        assert_eq!(sub.features().get(0, 0), 3.0);
+        assert_eq!(sub.target_row(1), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn split_partitions_instances() {
+        let ds = tiny();
+        let (tr, te) = ds.split(0.25, 1);
+        assert_eq!(tr.n() + te.n(), 4);
+        assert_eq!(te.n(), 1);
+    }
+
+    #[test]
+    fn sparsity_counts_zeros() {
+        let ds = tiny();
+        assert!((ds.sparsity() - 5.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "targets must be n × d")]
+    fn target_shape_checked() {
+        let features = DenseMatrix::from_rows(&[vec![1.0]]);
+        let _ = Dataset::new(features, vec![1.0, 2.0, 3.0], 2, Task::MultiRegression);
+    }
+}

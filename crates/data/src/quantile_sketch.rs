@@ -1,0 +1,254 @@
+//! Streaming ε-approximate quantiles (Greenwald–Khanna).
+//!
+//! Exact quantile binning ([`crate::binning`]) sorts whole columns —
+//! fine when the matrix fits in memory, but the paper's large-scale
+//! setting (SF-Crime: 878 k instances) is where real systems switch to
+//! bounded-memory sketches (XGBoost's weighted quantile sketch,
+//! LightGBM's feature histograms). This module provides the classic GK
+//! sketch: `O(ε⁻¹ log εn)` space, rank error ≤ εn, single pass.
+
+/// One GK tuple: `value` with implicit rank band `(g, Δ)`.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    value: f32,
+    /// Gap between this entry's minimum rank and the previous one's.
+    g: u64,
+    /// Uncertainty span of this entry's rank.
+    delta: u64,
+}
+
+/// Greenwald–Khanna ε-approximate quantile sketch over `f32` values.
+#[derive(Debug, Clone)]
+pub struct QuantileSketch {
+    eps: f64,
+    entries: Vec<Entry>,
+    count: u64,
+}
+
+impl QuantileSketch {
+    /// Create a sketch with rank error at most `eps × n`.
+    pub fn new(eps: f64) -> Self {
+        assert!(eps > 0.0 && eps < 0.5, "eps must be in (0, 0.5)");
+        QuantileSketch {
+            eps,
+            entries: Vec::new(),
+            count: 0,
+        }
+    }
+
+    /// Number of values inserted.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of retained tuples (the space bound under test).
+    pub fn retained(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Insert one value.
+    pub fn insert(&mut self, v: f32) {
+        if !v.is_finite() {
+            return;
+        }
+        self.count += 1;
+        // Find insertion position (first entry with value ≥ v).
+        let pos = self.entries.partition_point(|e| e.value < v);
+        let delta = if pos == 0 || pos == self.entries.len() {
+            0 // new min or max is exact
+        } else {
+            ((2.0 * self.eps * self.count as f64).floor() as u64).saturating_sub(1)
+        };
+        self.entries.insert(
+            pos,
+            Entry {
+                value: v,
+                g: 1,
+                delta,
+            },
+        );
+        // Periodic compression keeps space bounded.
+        if self.count.is_multiple_of((1.0 / (2.0 * self.eps)) as u64 + 1) {
+            self.compress();
+        }
+    }
+
+    /// Merge adjacent tuples whose combined band still satisfies the
+    /// GK invariant `g_i + g_{i+1} + Δ_{i+1} ≤ 2εn`.
+    fn compress(&mut self) {
+        if self.entries.len() < 3 {
+            return;
+        }
+        let threshold = (2.0 * self.eps * self.count as f64).floor() as u64;
+        let mut out: Vec<Entry> = Vec::with_capacity(self.entries.len());
+        out.push(self.entries[0]);
+        for &e in &self.entries[1..] {
+            let can_merge = out.len() > 1 // never merge the minimum away
+                && out.last().expect("non-empty").g + e.g + e.delta <= threshold;
+            if can_merge {
+                // Merge the previous tuple into `e` (absorb its gap).
+                let last = out.last_mut().expect("non-empty");
+                *last = Entry {
+                    value: e.value,
+                    g: last.g + e.g,
+                    delta: e.delta,
+                };
+            } else {
+                out.push(e);
+            }
+        }
+        self.entries = out;
+    }
+
+    /// The ε-approximate `phi`-quantile (`phi ∈ [0, 1]`). Returns
+    /// `None` on an empty sketch.
+    pub fn query(&self, phi: f64) -> Option<f32> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let phi = phi.clamp(0.0, 1.0);
+        let target = (phi * self.count as f64).ceil() as u64;
+        let margin = (self.eps * self.count as f64).ceil() as u64;
+        let mut rank_min = 0u64;
+        for e in &self.entries {
+            rank_min += e.g;
+            if rank_min + e.delta >= target && rank_min + margin >= target {
+                return Some(e.value);
+            }
+        }
+        self.entries.last().map(|e| e.value)
+    }
+
+    /// Bin cut points at the `max_bins − 1` uniform quantiles, deduped —
+    /// a drop-in replacement for exact quantile cuts on huge columns.
+    pub fn cut_points(&self, max_bins: usize) -> Vec<f32> {
+        assert!(max_bins >= 2);
+        let mut cuts: Vec<f32> = (1..max_bins)
+            .filter_map(|q| self.query(q as f64 / max_bins as f64))
+            .collect();
+        cuts.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        cuts.dedup();
+        cuts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// True rank of `v` in `sorted`.
+    fn rank(sorted: &[f32], v: f32) -> usize {
+        sorted.partition_point(|&x| x < v)
+    }
+
+    #[test]
+    fn quantiles_within_epsilon_rank_error() {
+        let eps = 0.01;
+        let n = 20_000usize;
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut values: Vec<f32> = (0..n).map(|_| rng.gen_range(-100.0..100.0)).collect();
+        let mut sk = QuantileSketch::new(eps);
+        for &v in &values {
+            sk.insert(v);
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for phi in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let est = sk.query(phi).unwrap();
+            let r = rank(&values, est) as f64;
+            let target = phi * n as f64;
+            assert!(
+                (r - target).abs() <= 2.0 * eps * n as f64 + 2.0,
+                "phi={phi}: rank {r} vs target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn space_is_sublinear() {
+        let mut sk = QuantileSketch::new(0.01);
+        for i in 0..100_000 {
+            sk.insert((i as f32 * 1_000_003.0) % 77_777.0);
+        }
+        assert_eq!(sk.count(), 100_000);
+        assert!(
+            sk.retained() < 10_000,
+            "retained {} of 100k inserted",
+            sk.retained()
+        );
+    }
+
+    #[test]
+    fn extremes_are_tracked() {
+        let mut sk = QuantileSketch::new(0.05);
+        for i in 0..1000 {
+            sk.insert(i as f32);
+        }
+        assert_eq!(sk.query(0.0), Some(0.0));
+        let high = sk.query(1.0).unwrap();
+        assert!(high >= 990.0, "max quantile {high}");
+    }
+
+    #[test]
+    fn sorted_and_shuffled_streams_agree_approximately() {
+        let n = 10_000;
+        let sorted: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let mut shuffled = sorted.clone();
+        use rand::seq::SliceRandom;
+        shuffled.shuffle(&mut ChaCha8Rng::seed_from_u64(2));
+
+        let mut a = QuantileSketch::new(0.02);
+        let mut b = QuantileSketch::new(0.02);
+        sorted.iter().for_each(|&v| a.insert(v));
+        shuffled.iter().for_each(|&v| b.insert(v));
+        for phi in [0.1, 0.5, 0.9] {
+            let (qa, qb) = (a.query(phi).unwrap(), b.query(phi).unwrap());
+            assert!(
+                (qa - qb).abs() <= 2.0 * 0.02 * n as f32 + 2.0,
+                "phi={phi}: {qa} vs {qb}"
+            );
+        }
+    }
+
+    #[test]
+    fn cut_points_resemble_exact_quantile_cuts() {
+        let n = 50_000;
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let values: Vec<f32> = (0..n).map(|_| rng.gen::<f32>().powi(2) * 50.0).collect();
+        let mut sk = QuantileSketch::new(0.005);
+        values.iter().for_each(|&v| sk.insert(v));
+        let cuts = sk.cut_points(32);
+        assert!(cuts.len() >= 16, "only {} cuts", cuts.len());
+        assert!(cuts.windows(2).all(|w| w[0] < w[1]), "cuts must increase");
+
+        // Each sketch cut's true rank is near its target quantile.
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (q, &cut) in cuts.iter().enumerate().map(|(i, c)| (i + 1, c)) {
+            let r = rank(&sorted, cut) as f64 / n as f64;
+            let target = q as f64 / 32.0;
+            assert!(
+                (r - target).abs() < 0.05,
+                "cut {q}: rank fraction {r} vs {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn ignores_non_finite_and_handles_empty() {
+        let mut sk = QuantileSketch::new(0.1);
+        assert_eq!(sk.query(0.5), None);
+        sk.insert(f32::NAN);
+        sk.insert(f32::INFINITY);
+        assert_eq!(sk.count(), 0);
+        sk.insert(5.0);
+        assert_eq!(sk.query(0.5), Some(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be in")]
+    fn rejects_bad_epsilon() {
+        let _ = QuantileSketch::new(0.7);
+    }
+}

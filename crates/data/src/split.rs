@@ -1,0 +1,111 @@
+//! Deterministic instance splitting (the paper holds out 20% of
+//! training instances for datasets that ship without a test set, §4.1).
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Shuffle `0..n` with `seed` and split off `frac` as test indices.
+/// Returns `(train, test)`. When `0 < frac < 1` and `n ≥ 2`, both halves
+/// are non-empty.
+pub fn split_indices(n: usize, frac: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!((0.0..=1.0).contains(&frac), "frac must be in [0, 1]");
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let mut test_len = (n as f64 * frac).round() as usize;
+    if frac > 0.0 && frac < 1.0 && n >= 2 {
+        test_len = test_len.clamp(1, n - 1);
+    }
+    let test = idx.split_off(n - test_len);
+    (idx, test)
+}
+
+/// `k`-fold cross-validation index sets: returns `k` (train, validation)
+/// pairs covering `0..n`.
+pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2 && k <= n, "need 2 ≤ k ≤ n (k={k}, n={n})");
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let base = n / k;
+    let extra = n % k;
+    let mut folds = Vec::with_capacity(k);
+    let mut start = 0;
+    for f in 0..k {
+        let len = base + usize::from(f < extra);
+        folds.push(idx[start..start + len].to_vec());
+        start += len;
+    }
+    (0..k)
+        .map(|f| {
+            let val = folds[f].clone();
+            let train = folds
+                .iter()
+                .enumerate()
+                .filter(|&(g, _)| g != f)
+                .flat_map(|(_, fold)| fold.iter().copied())
+                .collect();
+            (train, val)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn split_is_a_partition() {
+        let (tr, te) = split_indices(100, 0.2, 7);
+        assert_eq!(tr.len(), 80);
+        assert_eq!(te.len(), 20);
+        let all: HashSet<usize> = tr.iter().chain(te.iter()).copied().collect();
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        assert_eq!(split_indices(50, 0.3, 1), split_indices(50, 0.3, 1));
+        assert_ne!(split_indices(50, 0.3, 1).1, split_indices(50, 0.3, 2).1);
+    }
+
+    #[test]
+    fn tiny_fracs_keep_both_sides_nonempty() {
+        let (tr, te) = split_indices(10, 0.01, 3);
+        assert!(!te.is_empty());
+        assert!(!tr.is_empty());
+        let (tr, te) = split_indices(10, 0.99, 3);
+        assert!(!te.is_empty());
+        assert!(!tr.is_empty());
+    }
+
+    #[test]
+    fn frac_extremes() {
+        let (tr, te) = split_indices(10, 0.0, 3);
+        assert_eq!((tr.len(), te.len()), (10, 0));
+        let (tr, te) = split_indices(10, 1.0, 3);
+        assert_eq!((tr.len(), te.len()), (0, 10));
+    }
+
+    #[test]
+    fn kfold_covers_everything_once() {
+        let folds = kfold_indices(103, 5, 9);
+        assert_eq!(folds.len(), 5);
+        let mut seen = vec![0u32; 103];
+        for (train, val) in &folds {
+            assert_eq!(train.len() + val.len(), 103);
+            for &i in val {
+                seen[i] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "each index in exactly one fold");
+    }
+
+    #[test]
+    #[should_panic(expected = "need 2 ≤ k ≤ n")]
+    fn kfold_validates_k() {
+        let _ = kfold_indices(3, 5, 0);
+    }
+}

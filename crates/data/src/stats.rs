@@ -1,0 +1,205 @@
+//! Dataset profiling: the summary statistics the adaptive systems key
+//! off (sparsity, cardinalities, label balance) in one report.
+
+use crate::{Dataset, Task};
+use serde::{Deserialize, Serialize};
+
+/// Per-feature summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeatureStats {
+    /// Minimum value.
+    pub min: f32,
+    /// Maximum value.
+    pub max: f32,
+    /// Mean value.
+    pub mean: f64,
+    /// Standard deviation.
+    pub std: f64,
+    /// Non-zero entries.
+    pub nnz: usize,
+    /// Distinct values (drives the exact-vs-quantile binning choice).
+    pub distinct: usize,
+}
+
+/// Whole-dataset profile.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Instances.
+    pub n: usize,
+    /// Features.
+    pub m: usize,
+    /// Outputs.
+    pub d: usize,
+    /// Task type.
+    pub task: Task,
+    /// Overall zero fraction.
+    pub sparsity: f64,
+    /// Per-feature summaries.
+    pub features: Vec<FeatureStats>,
+    /// Per-output positive/target mass: class frequencies for
+    /// multiclass, label rates for multilabel, target means for
+    /// regression.
+    pub output_profile: Vec<f64>,
+}
+
+/// Profile a dataset.
+pub fn describe(ds: &Dataset) -> DatasetStats {
+    let (n, m, d) = (ds.n(), ds.m(), ds.d());
+    let features = (0..m)
+        .map(|j| {
+            let col = ds.features().col(j);
+            let mut min = f32::INFINITY;
+            let mut max = f32::NEG_INFINITY;
+            let mut sum = 0.0f64;
+            let mut nnz = 0usize;
+            for &v in &col {
+                min = min.min(v);
+                max = max.max(v);
+                sum += v as f64;
+                if v != 0.0 {
+                    nnz += 1;
+                }
+            }
+            let mean = sum / n.max(1) as f64;
+            let var = col
+                .iter()
+                .map(|&v| (v as f64 - mean).powi(2))
+                .sum::<f64>()
+                / n.max(1) as f64;
+            let mut sorted = col;
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+            sorted.dedup();
+            FeatureStats {
+                min,
+                max,
+                mean,
+                std: var.sqrt(),
+                nnz,
+                distinct: sorted.len(),
+            }
+        })
+        .collect();
+
+    let mut output_profile = vec![0.0f64; d];
+    for i in 0..n {
+        for (k, &t) in ds.target_row(i).iter().enumerate() {
+            output_profile[k] += t as f64;
+        }
+    }
+    for p in &mut output_profile {
+        *p /= n.max(1) as f64;
+    }
+
+    DatasetStats {
+        n,
+        m,
+        d,
+        task: ds.task(),
+        sparsity: ds.sparsity(),
+        features,
+        output_profile,
+    }
+}
+
+impl DatasetStats {
+    /// Class-imbalance ratio: most frequent over least frequent output
+    /// mass (1.0 = perfectly balanced; meaningful for classification).
+    pub fn imbalance(&self) -> f64 {
+        let max = self.output_profile.iter().cloned().fold(f64::MIN, f64::max);
+        let min = self
+            .output_profile
+            .iter()
+            .cloned()
+            .fold(f64::MAX, f64::min)
+            .max(1e-12);
+        max / min
+    }
+
+    /// Features whose distinct-value count fits exact (loss-free)
+    /// binning at `max_bins`.
+    pub fn exactly_binnable(&self, max_bins: usize) -> usize {
+        self.features.iter().filter(|f| f.distinct <= max_bins).count()
+    }
+
+    /// Constant (zero-information) features.
+    pub fn constant_features(&self) -> usize {
+        self.features.iter().filter(|f| f.distinct <= 1).count()
+    }
+
+    /// Compact multi-line report.
+    pub fn report(&self) -> String {
+        format!(
+            "{} × {} → {} ({:?})\n\
+             sparsity {:.1}%, {} constant features, {} of {} exactly binnable @256\n\
+             output imbalance {:.2}×",
+            self.n,
+            self.m,
+            self.d,
+            self.task,
+            100.0 * self.sparsity,
+            self.constant_features(),
+            self.exactly_binnable(256),
+            self.m,
+            self.imbalance()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{make_classification, ClassificationSpec};
+    use crate::DenseMatrix;
+
+    #[test]
+    fn describe_computes_correct_feature_stats() {
+        let features = DenseMatrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![3.0, 0.0],
+            vec![1.0, 5.0],
+            vec![3.0, 0.0],
+        ]);
+        let targets = vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0];
+        let ds = Dataset::new(features, targets, 2, Task::MultiClass);
+        let s = describe(&ds);
+        assert_eq!((s.n, s.m, s.d), (4, 2, 2));
+        let f0 = &s.features[0];
+        assert_eq!((f0.min, f0.max), (1.0, 3.0));
+        assert_eq!(f0.mean, 2.0);
+        assert_eq!(f0.nnz, 4);
+        assert_eq!(f0.distinct, 2);
+        let f1 = &s.features[1];
+        assert_eq!(f1.nnz, 1);
+        assert_eq!(f1.distinct, 2);
+        // Output masses: class 0 twice, class 1 twice → 0.5 each.
+        assert_eq!(s.output_profile, vec![0.5, 0.5]);
+        assert!((s.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn synthetic_profiles_are_plausible() {
+        let ds = make_classification(&ClassificationSpec {
+            instances: 500,
+            features: 10,
+            classes: 5,
+            informative: 6,
+            sparsity: 0.4,
+            seed: 1,
+            ..Default::default()
+        });
+        let s = describe(&ds);
+        assert!((s.sparsity - 0.4).abs() < 0.05);
+        assert!(s.imbalance() < 1.5, "balanced generator: {}", s.imbalance());
+        assert_eq!(s.constant_features(), 0);
+        assert!(s.report().contains("sparsity"));
+    }
+
+    #[test]
+    fn constant_feature_detected() {
+        let features = DenseMatrix::from_rows(&[vec![7.0, 1.0], vec![7.0, 2.0]]);
+        let ds = Dataset::new(features, vec![0.0, 1.0], 1, Task::MultiRegression);
+        let s = describe(&ds);
+        assert_eq!(s.constant_features(), 1);
+        assert_eq!(s.features[0].std, 0.0);
+    }
+}

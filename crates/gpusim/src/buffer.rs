@@ -1,0 +1,86 @@
+//! Device-resident buffers.
+//!
+//! A [`GpuBuffer`] models `cudaMalloc`'d memory: it is owned by one
+//! device, and moving data across the host boundary must go through
+//! [`crate::Device::htod`] / [`crate::Device::dtoh`] so the transfer is
+//! charged. *Within* kernels (primitives and user kernels built on
+//! [`crate::launch::run_blocks`]) the backing slice is accessed directly;
+//! kernels account for their memory traffic via their
+//! [`crate::KernelCost`] instead of per-access bookkeeping.
+
+/// A typed, device-owned buffer.
+#[derive(Debug, Clone)]
+pub struct GpuBuffer<T> {
+    device_id: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Send + Sync> GpuBuffer<T> {
+    /// Wrap an already-materialized vector as a buffer on `device_id`.
+    /// Crate-internal construction path; external users go through
+    /// [`crate::Device::htod`] / [`crate::Device::alloc_zeroed`].
+    pub fn from_vec(device_id: usize, data: Vec<T>) -> Self {
+        GpuBuffer { device_id, data }
+    }
+
+    /// The owning device's index.
+    pub fn device_id(&self) -> usize {
+        self.device_id
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size in bytes (for cost descriptors).
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<T>()
+    }
+
+    /// Kernel-side read access to the backing storage.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Kernel-side write access to the backing storage.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume the buffer, returning the backing vector *without*
+    /// charging a transfer (used when handing a result to another
+    /// same-device operation).
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut b = GpuBuffer::from_vec(3, vec![1u32, 2, 3]);
+        assert_eq!(b.device_id(), 3);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert_eq!(b.size_bytes(), 12);
+        b.as_mut_slice()[0] = 9;
+        assert_eq!(b.as_slice(), &[9, 2, 3]);
+        assert_eq!(b.into_vec(), vec![9, 2, 3]);
+    }
+
+    #[test]
+    fn empty_buffer() {
+        let b: GpuBuffer<f64> = GpuBuffer::from_vec(0, vec![]);
+        assert!(b.is_empty());
+        assert_eq!(b.size_bytes(), 0);
+    }
+}

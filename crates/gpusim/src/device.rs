@@ -1,0 +1,267 @@
+//! The simulated device: properties, time ledger, and charge interface.
+
+use crate::buffer::GpuBuffer;
+use crate::cost::{CostModel, CostParams, KernelCost};
+use crate::timeline::{Ledger, LedgerSummary};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Training-pipeline phase a kernel is attributed to. Used to regenerate
+/// the paper's Figure 4 breakdown (histogram share of total time).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Phase {
+    /// Quantile binning / preprocessing of the input matrix.
+    Binning,
+    /// Loss evaluation and g/h computation (paper §3.1.1).
+    Gradient,
+    /// Histogram construction (paper §3.3) — the headline bottleneck.
+    Histogram,
+    /// Gain computation and best-split reduction (paper §3.1.3).
+    SplitEval,
+    /// Moving instances into child nodes after a split.
+    Partition,
+    /// Computing optimal leaf values.
+    LeafValue,
+    /// Model inference / incremental prediction update.
+    Predict,
+    /// Host↔device copies.
+    Transfer,
+    /// Inter-device collectives (paper §3.4.2).
+    Comm,
+    /// Barrier wait time in multi-device lockstep.
+    Idle,
+    /// Anything else.
+    Other,
+}
+
+/// Static properties of a simulated device.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceProps {
+    /// Marketing name, for reports.
+    pub name: String,
+    /// Cost-model parameters (SMs, clocks, bandwidths, …).
+    pub cost: CostParams,
+}
+
+impl DeviceProps {
+    /// An RTX 4090-like device (the paper's main testbed, §4.1).
+    pub fn rtx4090() -> Self {
+        DeviceProps {
+            name: "SimRTX4090".to_string(),
+            cost: CostParams::rtx4090(),
+        }
+    }
+
+    /// An RTX 3090-like device (the paper's sensitivity study, §4.3).
+    pub fn rtx3090() -> Self {
+        DeviceProps {
+            name: "SimRTX3090".to_string(),
+            cost: CostParams::rtx3090(),
+        }
+    }
+
+    /// An A100-SXM4-like datacenter device.
+    pub fn a100() -> Self {
+        DeviceProps {
+            name: "SimA100".to_string(),
+            cost: CostParams::a100(),
+        }
+    }
+
+    /// An H100-SXM5-like datacenter device.
+    pub fn h100() -> Self {
+        DeviceProps {
+            name: "SimH100".to_string(),
+            cost: CostParams::h100(),
+        }
+    }
+}
+
+/// A simulated GPU with a single in-order stream.
+///
+/// All kernels execute functionally on the host; their simulated duration
+/// is computed by the [`CostModel`] and accumulated in a ledger. `Device`
+/// is `Sync`: concurrent charges are serialized by an internal lock, and
+/// the in-order-stream abstraction means only subtotal order (not
+/// interleaving) matters.
+pub struct Device {
+    /// Device index within its group (0-based, mirrors `cudaSetDevice`).
+    pub id: usize,
+    props: DeviceProps,
+    model: CostModel,
+    ledger: Mutex<Ledger>,
+}
+
+impl std::fmt::Debug for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Device")
+            .field("id", &self.id)
+            .field("name", &self.props.name)
+            .field("total_ns", &self.ledger.lock().total_ns())
+            .finish()
+    }
+}
+
+impl Device {
+    /// Default number of detailed kernel records retained per device.
+    pub const DEFAULT_RECORD_LIMIT: usize = 100_000;
+
+    /// Create device `id` with the given properties.
+    pub fn new(id: usize, props: DeviceProps) -> Arc<Self> {
+        let model = CostModel::new(props.cost.clone());
+        Arc::new(Device {
+            id,
+            props,
+            model,
+            ledger: Mutex::new(Ledger::new(Self::DEFAULT_RECORD_LIMIT)),
+        })
+    }
+
+    /// Shortcut: a single RTX 4090-like device.
+    pub fn rtx4090() -> Arc<Self> {
+        Self::new(0, DeviceProps::rtx4090())
+    }
+
+    /// Device properties.
+    pub fn props(&self) -> &DeviceProps {
+        &self.props
+    }
+
+    /// The cost model (for primitives and for the adaptive histogram
+    /// selector, which predicts kernel costs before launching).
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Charge one kernel launch described by `cost`.
+    pub fn charge_kernel(&self, name: &'static str, phase: Phase, cost: &KernelCost) {
+        let ns = self.model.kernel_ns(cost);
+        self.ledger.lock().charge(name, phase, ns);
+    }
+
+    /// Charge a raw duration (used by collectives and transfers whose
+    /// time is computed outside the kernel model).
+    pub fn charge_ns(&self, name: &'static str, phase: Phase, ns: f64) {
+        self.ledger.lock().charge(name, phase, ns);
+    }
+
+    /// Current simulated time, nanoseconds.
+    pub fn now_ns(&self) -> f64 {
+        self.ledger.lock().total_ns()
+    }
+
+    /// Raise the device clock to `target_ns`, booking idle time.
+    pub fn advance_to(&self, target_ns: f64) {
+        self.ledger.lock().advance_to(target_ns);
+    }
+
+    /// Snapshot of the ledger.
+    pub fn summary(&self) -> LedgerSummary {
+        self.ledger.lock().summary()
+    }
+
+    /// Reset the ledger to zero (e.g. between benchmark repetitions).
+    pub fn reset(&self) {
+        self.ledger.lock().reset();
+    }
+
+    // ---- memory management -------------------------------------------------
+
+    /// Allocate a zero-initialized device buffer of `len` elements.
+    /// Charges the memset's DRAM write traffic.
+    pub fn alloc_zeroed<T: Copy + Default + Send + Sync>(&self, len: usize) -> GpuBuffer<T> {
+        let bytes = (len * std::mem::size_of::<T>()) as f64;
+        self.charge_kernel("memset", Phase::Other, &KernelCost::streaming(0.0, bytes));
+        GpuBuffer::from_vec(self.id, vec![T::default(); len])
+    }
+
+    /// Copy host data to a new device buffer (`cudaMemcpyHostToDevice`).
+    pub fn htod<T: Copy + Send + Sync>(&self, host: &[T]) -> GpuBuffer<T> {
+        let bytes = std::mem::size_of_val(host) as f64;
+        self.charge_ns("htod", Phase::Transfer, self.model.host_copy_ns(bytes));
+        GpuBuffer::from_vec(self.id, host.to_vec())
+    }
+
+    /// Copy a device buffer back to the host (`cudaMemcpyDeviceToHost`).
+    pub fn dtoh<T: Copy + Send + Sync>(&self, buf: &GpuBuffer<T>) -> Vec<T> {
+        assert_eq!(
+            buf.device_id(),
+            self.id,
+            "dtoh from buffer on device {} via device {}",
+            buf.device_id(),
+            self.id
+        );
+        let bytes = (buf.len() * std::mem::size_of::<T>()) as f64;
+        self.charge_ns("dtoh", Phase::Transfer, self.model.host_copy_ns(bytes));
+        buf.as_slice().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_charges_accumulate() {
+        let dev = Device::rtx4090();
+        assert_eq!(dev.now_ns(), 0.0);
+        dev.charge_kernel(
+            "k1",
+            Phase::Gradient,
+            &KernelCost::streaming(1e9, 1e8),
+        );
+        let t1 = dev.now_ns();
+        assert!(t1 > 0.0);
+        dev.charge_kernel("k2", Phase::Histogram, &KernelCost::streaming(1e9, 1e8));
+        assert!(dev.now_ns() > t1);
+        let s = dev.summary();
+        assert!(s.by_phase.contains_key(&Phase::Gradient));
+        assert!(s.by_phase.contains_key(&Phase::Histogram));
+    }
+
+    #[test]
+    fn htod_dtoh_roundtrip_charges_transfer() {
+        let dev = Device::rtx4090();
+        let data: Vec<f32> = (0..1024).map(|i| i as f32).collect();
+        let buf = dev.htod(&data);
+        assert_eq!(buf.len(), 1024);
+        let back = dev.dtoh(&buf);
+        assert_eq!(back, data);
+        let s = dev.summary();
+        assert!(s.phase_ns(Phase::Transfer) > 0.0);
+    }
+
+    #[test]
+    fn alloc_zeroed_returns_defaults_and_charges_memset() {
+        let dev = Device::rtx4090();
+        let buf = dev.alloc_zeroed::<f64>(100);
+        assert!(buf.as_slice().iter().all(|&x| x == 0.0));
+        assert!(dev.summary().phase_ns(Phase::Other) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dtoh from buffer on device")]
+    fn dtoh_wrong_device_panics() {
+        let a = Device::new(0, DeviceProps::rtx4090());
+        let b = Device::new(1, DeviceProps::rtx4090());
+        let buf = a.htod(&[1u32, 2, 3]);
+        let _ = b.dtoh(&buf);
+    }
+
+    #[test]
+    fn reset_zeroes_clock() {
+        let dev = Device::rtx4090();
+        dev.charge_ns("x", Phase::Other, 123.0);
+        dev.reset();
+        assert_eq!(dev.now_ns(), 0.0);
+    }
+
+    impl LedgerSummary {
+        fn phase_ns(&self, phase: Phase) -> f64 {
+            self.by_phase.get(&phase).copied().unwrap_or(0.0)
+        }
+    }
+}

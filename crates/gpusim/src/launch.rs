@@ -1,0 +1,154 @@
+//! Kernel launch configuration and the block-parallel executor.
+//!
+//! A simulated kernel is a closure run once per thread block. Blocks
+//! execute concurrently on the host rayon pool — mirroring how blocks are
+//! scheduled across SMs — and their results are collected *in block
+//! order*, which keeps every kernel deterministic regardless of the host
+//! schedule.
+
+use rayon::prelude::*;
+
+/// Grid/block shape of a launch, mirroring `<<<grid, block>>>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchCfg {
+    /// Number of thread blocks in the grid.
+    pub grid_blocks: usize,
+    /// Threads per block (a multiple of the warp size for full warps).
+    pub block_threads: usize,
+}
+
+impl LaunchCfg {
+    /// Default threads per block used by the GBDT kernels.
+    pub const DEFAULT_BLOCK: usize = 256;
+
+    /// One thread per element with the default block size.
+    pub fn for_elems(n: usize) -> Self {
+        Self::for_elems_with_block(n, Self::DEFAULT_BLOCK)
+    }
+
+    /// One thread per element with an explicit block size.
+    pub fn for_elems_with_block(n: usize, block_threads: usize) -> Self {
+        assert!(block_threads > 0, "block_threads must be positive");
+        LaunchCfg {
+            grid_blocks: n.div_ceil(block_threads).max(1),
+            block_threads,
+        }
+    }
+
+    /// Total threads in the grid.
+    pub fn total_threads(&self) -> usize {
+        self.grid_blocks * self.block_threads
+    }
+
+    /// Total full warps in the grid, given `warp_size` lanes per warp.
+    pub fn total_warps(&self, warp_size: u32) -> usize {
+        self.total_threads().div_ceil(warp_size as usize)
+    }
+
+    /// The element range `[start, end)` owned by `block` when elements
+    /// are distributed contiguously over `n` elements.
+    pub fn block_range(&self, block: usize, n: usize) -> (usize, usize) {
+        let per = n.div_ceil(self.grid_blocks);
+        let start = (block * per).min(n);
+        let end = ((block + 1) * per).min(n);
+        (start, end)
+    }
+}
+
+/// Execute `f` once per block, in parallel, collecting results in block
+/// order. The caller charges the kernel's cost separately via
+/// [`crate::Device::charge_kernel`].
+pub fn run_blocks<R, F>(cfg: LaunchCfg, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync + Send,
+{
+    (0..cfg.grid_blocks).into_par_iter().map(f).collect()
+}
+
+/// Execute `f` once per block and fold the per-block results with
+/// `merge`, strictly in block order (deterministic for non-commutative
+/// merges such as floating-point accumulation).
+pub fn run_blocks_fold<R, F, M>(cfg: LaunchCfg, init: R, f: F, merge: M) -> R
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync + Send,
+    M: FnMut(R, R) -> R,
+{
+    run_blocks(cfg, f)
+        .into_iter()
+        .fold(init, merge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_elems_covers_all_elements() {
+        let cfg = LaunchCfg::for_elems(1000);
+        assert_eq!(cfg.block_threads, 256);
+        assert_eq!(cfg.grid_blocks, 4);
+        assert!(cfg.total_threads() >= 1000);
+    }
+
+    #[test]
+    fn zero_elems_still_launches_one_block() {
+        let cfg = LaunchCfg::for_elems(0);
+        assert_eq!(cfg.grid_blocks, 1);
+    }
+
+    #[test]
+    fn warp_count() {
+        let cfg = LaunchCfg::for_elems_with_block(100, 64);
+        // ceil(100/64)=2 blocks × 64 threads = 128 threads = 4 warps.
+        assert_eq!(cfg.total_warps(32), 4);
+    }
+
+    #[test]
+    fn block_ranges_partition_exactly() {
+        let cfg = LaunchCfg {
+            grid_blocks: 7,
+            block_threads: 32,
+        };
+        let n = 100;
+        let mut covered = 0;
+        let mut prev_end = 0;
+        for b in 0..cfg.grid_blocks {
+            let (s, e) = cfg.block_range(b, n);
+            assert_eq!(s, prev_end);
+            covered += e - s;
+            prev_end = e;
+        }
+        assert_eq!(covered, n);
+    }
+
+    #[test]
+    fn run_blocks_is_in_block_order() {
+        let cfg = LaunchCfg {
+            grid_blocks: 64,
+            block_threads: 1,
+        };
+        let out = run_blocks(cfg, |b| b * 2);
+        assert_eq!(out, (0..64).map(|b| b * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_blocks_fold_is_deterministic() {
+        let cfg = LaunchCfg {
+            grid_blocks: 1000,
+            block_threads: 1,
+        };
+        // Float summation order matters; run twice and require equality.
+        let f = |b: usize| 1.0f64 / (b as f64 + 1.0);
+        let a = run_blocks_fold(cfg, 0.0, f, |x, y| x + y);
+        let b = run_blocks_fold(cfg, 0.0, f, |x, y| x + y);
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "block_threads must be positive")]
+    fn zero_block_threads_panics() {
+        let _ = LaunchCfg::for_elems_with_block(10, 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Gather/scatter and stream compaction.
+//!
+//! Gathers through an index vector are the canonical *uncoalesced*
+//! access pattern; the cost here is derived from the actual index stream
+//! by counting distinct memory sectors per sampled warp — the same
+//! mechanism that makes the paper's bin-packing optimization (§3.4.1)
+//! measurable in this simulator.
+
+use crate::cost::KernelCost;
+use crate::device::{Device, Phase};
+use crate::warp::{sectors_touched, WarpSampler};
+use rayon::prelude::*;
+
+/// `out[i] = src[idx[i]]` for `f32` data, with data-derived coalescing
+/// cost. Panics on out-of-range indices.
+pub fn gather_f32(
+    dev: &Device,
+    phase: Phase,
+    name: &'static str,
+    src: &[f32],
+    idx: &[u32],
+) -> Vec<f32> {
+    let out: Vec<f32> = idx.par_iter().map(|&i| src[i as usize]).collect();
+    dev.charge_kernel(name, phase, &gather_cost(dev, idx, 4));
+    out
+}
+
+/// Cost of gathering `elem_bytes`-wide elements through `idx`: streamed
+/// index reads plus one transaction per distinct sector per warp
+/// (sampled), plus coalesced writes of the output.
+pub fn gather_cost(dev: &Device, idx: &[u32], elem_bytes: usize) -> KernelCost {
+    let p = &dev.model().params;
+    let n = idx.len();
+    let warp = p.warp_size as usize;
+    let total_warps = n.div_ceil(warp).max(1);
+    let sampler = WarpSampler::new(total_warps);
+
+    let mut sampled_sectors = 0usize;
+    let mut addrs = Vec::with_capacity(warp);
+    for w in sampler.indices() {
+        let s = w * warp;
+        let e = (s + warp).min(n);
+        addrs.clear();
+        addrs.extend(idx[s..e].iter().map(|&i| i as u64 * elem_bytes as u64));
+        sampled_sectors += sectors_touched(&addrs, elem_bytes as u32, p.sector_bytes);
+    }
+    let transactions = sampled_sectors as f64 * sampler.scale();
+
+    KernelCost {
+        flops: n as f64,
+        dram_bytes: (n * 4) as f64                 // index reads
+            + transactions * p.sector_bytes as f64 // gathered reads
+            + (n * elem_bytes) as f64,             // coalesced writes
+        launches: 1.0,
+        ..Default::default()
+    }
+}
+
+/// Split `idx` into `(kept, rejected)` according to per-element `flags`
+/// (`true` → kept), preserving order within both halves — the simulated
+/// equivalent of a scan-based `thrust::stable_partition`, used to route
+/// instances into left/right children (paper §2.4, lines 14–17).
+pub fn partition_by_flag(
+    dev: &Device,
+    phase: Phase,
+    name: &'static str,
+    idx: &[u32],
+    flags: &[bool],
+) -> (Vec<u32>, Vec<u32>) {
+    assert_eq!(idx.len(), flags.len(), "index/flag length mismatch");
+    let n = idx.len();
+    let mut left = Vec::with_capacity(n);
+    let mut right = Vec::with_capacity(n);
+    for i in 0..n {
+        if flags[i] {
+            left.push(idx[i]);
+        } else {
+            right.push(idx[i]);
+        }
+    }
+    dev.charge_kernel(
+        name,
+        phase,
+        &KernelCost {
+            flops: 3.0 * n as f64,
+            // flag read + index read + scan traffic + scattered write
+            dram_bytes: (n * (1 + 4 + 8 + 4)) as f64,
+            launches: 2.0, // fused flag scan + two-sided scatter
+            ..Default::default()
+        },
+    );
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_selects_elements() {
+        let dev = Device::rtx4090();
+        let src = vec![10.0f32, 20.0, 30.0, 40.0];
+        let out = gather_f32(&dev, Phase::Other, "g", &src, &[3, 0, 0, 2]);
+        assert_eq!(out, vec![40.0, 10.0, 10.0, 30.0]);
+    }
+
+    #[test]
+    fn sequential_gather_cheaper_than_random() {
+        let n = 1 << 18;
+        let src = vec![1.0f32; n];
+        let seq: Vec<u32> = (0..n as u32).collect();
+        // Stride that scatters every lane into its own sector.
+        let rnd: Vec<u32> = (0..n as u32).map(|i| (i * 97) % n as u32).collect();
+
+        let d1 = Device::rtx4090();
+        let _ = gather_f32(&d1, Phase::Other, "seq", &src, &seq);
+        let d2 = Device::rtx4090();
+        let _ = gather_f32(&d2, Phase::Other, "rnd", &src, &rnd);
+        assert!(d2.now_ns() > d1.now_ns());
+    }
+
+    #[test]
+    fn partition_preserves_order() {
+        let dev = Device::rtx4090();
+        let idx = vec![5u32, 6, 7, 8, 9];
+        let flags = vec![true, false, true, false, true];
+        let (l, r) = partition_by_flag(&dev, Phase::Other, "p", &idx, &flags);
+        assert_eq!(l, vec![5, 7, 9]);
+        assert_eq!(r, vec![6, 8]);
+    }
+
+    #[test]
+    fn partition_all_one_side() {
+        let dev = Device::rtx4090();
+        let idx = vec![1u32, 2, 3];
+        let (l, r) = partition_by_flag(&dev, Phase::Other, "p", &idx, &[true; 3]);
+        assert_eq!(l, vec![1, 2, 3]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn partition_length_mismatch_panics() {
+        let dev = Device::rtx4090();
+        let _ = partition_by_flag(&dev, Phase::Other, "p", &[1, 2], &[true]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Generic contended histogram over global-memory atomics.
+//!
+//! This is the simulator-level analogue of the paper's §3.3.2 kernel: a
+//! thread per element computes a bin and `atomicAdd`s a weight into a
+//! global accumulator. The *result* is computed with deterministic
+//! block-partial merging; the *cost* is derived by sampling warps of the
+//! actual key stream and measuring intra-warp address collisions, so
+//! skewed bin distributions genuinely cost more simulated time than
+//! uniform ones — the effect the shared-memory and sort-and-reduce
+//! strategies exist to mitigate.
+//!
+//! The domain-specific multi-output gradient histograms live in
+//! `gbdt-core::hist`; this primitive is the shared machinery and a
+//! directly-testable model probe.
+
+use crate::cost::KernelCost;
+use crate::device::{Device, Phase};
+use crate::launch::{run_blocks, LaunchCfg};
+use crate::warp::{atomic_replay_excess, WarpSampler};
+
+/// Histogram of `weights` over `keys` (bin indices), `nbins` wide, built
+/// with simulated global-memory atomics.
+///
+/// Returns the dense histogram. Panics if any key is out of range.
+pub fn atomic_histogram_gmem(
+    dev: &Device,
+    phase: Phase,
+    name: &'static str,
+    keys: &[u32],
+    weights: &[f64],
+    nbins: usize,
+) -> Vec<f64> {
+    assert_eq!(keys.len(), weights.len(), "key/weight length mismatch");
+    let n = keys.len();
+
+    // ---- functional result: deterministic block partials ----
+    let cfg = LaunchCfg::for_elems(n.max(1));
+    let partials = run_blocks(cfg, |b| {
+        let (s, e) = cfg.block_range(b, n);
+        let mut local = vec![0.0f64; nbins];
+        for i in s..e {
+            let k = keys[i] as usize;
+            assert!(k < nbins, "key {k} out of range for {nbins} bins");
+            local[k] += weights[i];
+        }
+        local
+    });
+    let mut hist = vec![0.0f64; nbins];
+    for local in partials {
+        for (h, l) in hist.iter_mut().zip(local) {
+            *h += l;
+        }
+    }
+
+    // ---- cost: warp-sampled atomic contention ----
+    dev.charge_kernel(name, phase, &gmem_histogram_cost(dev, keys, 8));
+    hist
+}
+
+/// Cost descriptor for a global-atomic histogram over `keys`, where each
+/// atomic updates `bytes_per_update` bytes (8 for one f64 counter; the
+/// multi-output GBDT kernels pass `2 × d × 4` for d (g,h) pairs).
+///
+/// Exposed so `gbdt-core` can reuse the same contention accounting for
+/// its fused kernels.
+pub fn gmem_histogram_cost(dev: &Device, keys: &[u32], bytes_per_update: usize) -> KernelCost {
+    let n = keys.len();
+    let warp = dev.model().params.warp_size as usize;
+    let total_warps = n.div_ceil(warp).max(1);
+    let sampler = WarpSampler::new(total_warps);
+
+    let mut sampled_excess = 0u64;
+    let mut addrs = Vec::with_capacity(warp);
+    for w in sampler.indices() {
+        let s = w * warp;
+        let e = (s + warp).min(n);
+        addrs.clear();
+        addrs.extend(keys[s..e].iter().map(|&k| k as u64));
+        sampled_excess += atomic_replay_excess(&addrs);
+    }
+    let replays = sampled_excess as f64 * sampler.scale();
+
+    KernelCost {
+        flops: 2.0 * n as f64,
+        // Keys streamed in + histogram updates (read-modify-write).
+        dram_bytes: (n * 4) as f64 + n as f64 * bytes_per_update as f64,
+        gmem_atomics: n as f64,
+        gmem_atomic_replays: replays,
+        launches: 1.0,
+        ..Default::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn histogram_counts_correctly() {
+        let dev = Device::rtx4090();
+        let keys = vec![0u32, 1, 1, 2, 2, 2];
+        let weights = vec![1.0; 6];
+        let h = atomic_histogram_gmem(&dev, Phase::Other, "h", &keys, &weights, 4);
+        assert_eq!(h, vec![1.0, 2.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn histogram_weighted() {
+        let dev = Device::rtx4090();
+        let keys = vec![1u32, 1, 0];
+        let weights = vec![0.5, 0.25, 4.0];
+        let h = atomic_histogram_gmem(&dev, Phase::Other, "h", &keys, &weights, 2);
+        assert_eq!(h, vec![4.0, 0.75]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_key_panics() {
+        let dev = Device::rtx4090();
+        let _ = atomic_histogram_gmem(&dev, Phase::Other, "h", &[5], &[1.0], 4);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let dev = Device::rtx4090();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let keys: Vec<u32> = (0..50_000).map(|_| rng.gen_range(0..256)).collect();
+        let weights: Vec<f64> = (0..50_000).map(|_| rng.gen::<f64>()).collect();
+        let a = atomic_histogram_gmem(&dev, Phase::Other, "h", &keys, &weights, 256);
+        let b = atomic_histogram_gmem(&dev, Phase::Other, "h", &keys, &weights, 256);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn contention_costs_more_simulated_time() {
+        // All keys identical (maximum intra-warp collisions) must be
+        // slower than uniformly spread keys — the paper's motivation for
+        // the shared-memory and sort-and-reduce strategies.
+        let n = 1 << 18;
+        let uniform: Vec<u32> = (0..n as u32).map(|i| i % 256).collect();
+        let skewed = vec![0u32; n];
+        let weights = vec![1.0f64; n];
+
+        let dev_u = Device::rtx4090();
+        let _ = atomic_histogram_gmem(&dev_u, Phase::Other, "u", &uniform, &weights, 256);
+        let dev_s = Device::rtx4090();
+        let _ = atomic_histogram_gmem(&dev_s, Phase::Other, "s", &skewed, &weights, 256);
+
+        assert!(
+            dev_s.now_ns() > dev_u.now_ns() * 2.0,
+            "skewed {} vs uniform {}",
+            dev_s.now_ns(),
+            dev_u.now_ns()
+        );
+    }
+
+    #[test]
+    fn cost_scales_with_update_width() {
+        let dev = Device::rtx4090();
+        let keys: Vec<u32> = (0..10_000u32).map(|i| i % 64).collect();
+        let narrow = gmem_histogram_cost(&dev, &keys, 8);
+        let wide = gmem_histogram_cost(&dev, &keys, 80); // d=10 outputs
+        assert!(wide.dram_bytes > narrow.dram_bytes * 5.0);
+    }
+}

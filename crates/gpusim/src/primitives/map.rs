@@ -1,0 +1,109 @@
+//! Elementwise transforms.
+
+use crate::cost::KernelCost;
+use crate::device::{Device, Phase};
+use crate::launch::LaunchCfg;
+use rayon::prelude::*;
+
+/// Elementwise `out[i] = f(input[i])` over `f32` data.
+///
+/// `flops_per_elem` is the caller's estimate of arithmetic per element
+/// (e.g. ~4 for an FMA-based loss, ~20 for `exp`-heavy softmax terms).
+pub fn map_f32<F>(
+    dev: &Device,
+    phase: Phase,
+    name: &'static str,
+    input: &[f32],
+    flops_per_elem: f64,
+    f: F,
+) -> Vec<f32>
+where
+    F: Fn(f32) -> f32 + Sync,
+{
+    let n = input.len();
+    let cfg = LaunchCfg::for_elems(n);
+    let out: Vec<f32> = input.par_iter().map(|&x| f(x)).collect();
+    let _ = cfg;
+    dev.charge_kernel(
+        name,
+        phase,
+        &KernelCost::streaming(n as f64 * flops_per_elem, (n * 8) as f64),
+    );
+    out
+}
+
+/// Elementwise `out[i] = f(a[i], b[i])`.
+pub fn zip_map_f32<F>(
+    dev: &Device,
+    phase: Phase,
+    name: &'static str,
+    a: &[f32],
+    b: &[f32],
+    flops_per_elem: f64,
+    f: F,
+) -> Vec<f32>
+where
+    F: Fn(f32, f32) -> f32 + Sync,
+{
+    assert_eq!(a.len(), b.len(), "zip_map length mismatch");
+    let n = a.len();
+    let out: Vec<f32> = a
+        .par_iter()
+        .zip(b.par_iter())
+        .map(|(&x, &y)| f(x, y))
+        .collect();
+    dev.charge_kernel(
+        name,
+        phase,
+        &KernelCost::streaming(n as f64 * flops_per_elem, (n * 12) as f64),
+    );
+    out
+}
+
+/// Fill a device-resident `f64` slice with a constant.
+pub fn fill_f64(dev: &Device, phase: Phase, name: &'static str, out: &mut [f64], value: f64) {
+    out.par_iter_mut().for_each(|x| *x = value);
+    dev.charge_kernel(
+        name,
+        phase,
+        &KernelCost::streaming(0.0, (out.len() * 8) as f64),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_applies_function() {
+        let dev = Device::rtx4090();
+        let input: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let out = map_f32(&dev, Phase::Other, "sq", &input, 1.0, |x| x * x);
+        assert_eq!(out[7], 49.0);
+        assert!(dev.now_ns() > 0.0);
+    }
+
+    #[test]
+    fn zip_map_combines() {
+        let dev = Device::rtx4090();
+        let a = vec![1.0f32, 2.0, 3.0];
+        let b = vec![10.0f32, 20.0, 30.0];
+        let out = zip_map_f32(&dev, Phase::Other, "add", &a, &b, 1.0, |x, y| x + y);
+        assert_eq!(out, vec![11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn zip_map_length_mismatch_panics() {
+        let dev = Device::rtx4090();
+        let _ = zip_map_f32(&dev, Phase::Other, "bad", &[1.0], &[1.0, 2.0], 1.0, |x, _| x);
+    }
+
+    #[test]
+    fn fill_sets_all() {
+        let dev = Device::rtx4090();
+        let mut v = vec![0.0f64; 50];
+        fill_f64(&dev, Phase::Other, "fill", &mut v, 3.5);
+        assert!(v.iter().all(|&x| x == 3.5));
+    }
+}

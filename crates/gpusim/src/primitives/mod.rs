@@ -1,0 +1,24 @@
+//! Data-parallel primitives — the simulator's Thrust/CUB layer.
+//!
+//! Each primitive (a) computes its real result on the host, parallelized
+//! over simulated thread blocks, and (b) charges the owning device for
+//! the work using the cost model. Convention: primitives take a
+//! [`crate::Device`], a [`crate::Phase`] to attribute the time to, and
+//! plain slices for inputs (persistent training state lives in
+//! [`crate::GpuBuffer`]s at the crate boundary; inside the device, slices
+//! avoid ceremony without changing the accounting, which is descriptor-
+//! based rather than per-access).
+
+pub mod gather;
+pub mod histogram;
+pub mod map;
+pub mod reduce;
+pub mod scan;
+pub mod sort;
+
+pub use gather::{gather_f32, partition_by_flag};
+pub use histogram::atomic_histogram_gmem;
+pub use map::{fill_f64, map_f32, zip_map_f32};
+pub use reduce::{argmax_f64, reduce_sum_f64, segmented_argmax_f64, segmented_reduce_sum_f64};
+pub use scan::{exclusive_scan_u32, segmented_exclusive_scan_f64};
+pub use sort::{reduce_by_key_sorted, sort_by_key_u32};

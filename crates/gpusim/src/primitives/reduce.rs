@@ -1,0 +1,232 @@
+//! Reductions: global sums/argmax and their segmented variants.
+//!
+//! Segmented reduction is the workhorse of split selection (paper
+//! §3.1.3): every (node, feature) pair forms one segment of gain values;
+//! a segmented argmax finds the best threshold within each feature, and a
+//! global argmax finds the best split per node. The paper's adaptive
+//! "segments per block" mapping — `1 + #segments/#SMs × C` — is modeled
+//! in the launch sizing here.
+
+use crate::cost::KernelCost;
+use crate::device::{Device, Phase};
+use crate::launch::{run_blocks, LaunchCfg};
+use rayon::prelude::*;
+
+/// Deterministic block-ordered sum of an `f64` slice.
+pub fn reduce_sum_f64(dev: &Device, phase: Phase, name: &'static str, vals: &[f64]) -> f64 {
+    let n = vals.len();
+    let cfg = LaunchCfg::for_elems(n);
+    let partials = run_blocks(cfg, |b| {
+        let (s, e) = cfg.block_range(b, n);
+        vals[s..e].iter().sum::<f64>()
+    });
+    dev.charge_kernel(
+        name,
+        phase,
+        &KernelCost {
+            flops: n as f64,
+            dram_bytes: (n * 8) as f64,
+            launches: 2.0, // block partials + final combine
+            ..Default::default()
+        },
+    );
+    partials.into_iter().sum()
+}
+
+/// Global argmax: returns `(index, value)` of the maximum; ties resolve
+/// to the lowest index. Empty input returns `(0, -inf)`.
+pub fn argmax_f64(dev: &Device, phase: Phase, name: &'static str, vals: &[f64]) -> (usize, f64) {
+    let n = vals.len();
+    let cfg = LaunchCfg::for_elems(n.max(1));
+    let partials = run_blocks(cfg, |b| {
+        let (s, e) = cfg.block_range(b, n);
+        let mut best = (usize::MAX, f64::NEG_INFINITY);
+        for (i, &v) in vals[s..e].iter().enumerate() {
+            if v > best.1 {
+                best = (s + i, v);
+            }
+        }
+        best
+    });
+    dev.charge_kernel(
+        name,
+        phase,
+        &KernelCost {
+            flops: n as f64,
+            dram_bytes: (n * 8) as f64,
+            launches: 2.0,
+            ..Default::default()
+        },
+    );
+    let mut best = (0usize, f64::NEG_INFINITY);
+    for (i, v) in partials {
+        if i != usize::MAX && v > best.1 {
+            best = (i, v);
+        }
+    }
+    best
+}
+
+/// Number of segments each block handles under the paper's adaptive
+/// mapping (§3.1.3): `1 + #segments / #SMs × C`. A naive one-segment-
+/// per-block grid pays kernel-launch and scheduling overhead per segment
+/// on high-dimensional data; batching segments amortizes it.
+pub fn segments_per_block(num_segments: usize, sm_count: u32, c: f64) -> usize {
+    (1.0 + num_segments as f64 / sm_count as f64 * c).floor() as usize
+}
+
+/// Sum within each fixed-length segment: `out[s] = Σ vals[s*len .. (s+1)*len]`.
+pub fn segmented_reduce_sum_f64(
+    dev: &Device,
+    phase: Phase,
+    name: &'static str,
+    vals: &[f64],
+    seg_len: usize,
+) -> Vec<f64> {
+    assert!(seg_len > 0, "segment length must be positive");
+    assert_eq!(vals.len() % seg_len, 0, "values not a multiple of seg_len");
+    let num_segments = vals.len() / seg_len;
+    let out: Vec<f64> = (0..num_segments)
+        .into_par_iter()
+        .map(|s| vals[s * seg_len..(s + 1) * seg_len].iter().sum())
+        .collect();
+    charge_segmented(dev, phase, name, vals.len(), num_segments);
+    out
+}
+
+/// Argmax within each fixed-length segment: `out[s] = (local_idx, value)`.
+/// Ties resolve to the lowest local index; all-(-inf) segments return
+/// local index 0.
+pub fn segmented_argmax_f64(
+    dev: &Device,
+    phase: Phase,
+    name: &'static str,
+    vals: &[f64],
+    seg_len: usize,
+) -> Vec<(usize, f64)> {
+    assert!(seg_len > 0, "segment length must be positive");
+    assert_eq!(vals.len() % seg_len, 0, "values not a multiple of seg_len");
+    let num_segments = vals.len() / seg_len;
+    let out: Vec<(usize, f64)> = (0..num_segments)
+        .into_par_iter()
+        .map(|s| {
+            let seg = &vals[s * seg_len..(s + 1) * seg_len];
+            let mut best = (0usize, f64::NEG_INFINITY);
+            for (i, &v) in seg.iter().enumerate() {
+                if v > best.1 {
+                    best = (i, v);
+                }
+            }
+            best
+        })
+        .collect();
+    charge_segmented(dev, phase, name, vals.len(), num_segments);
+    out
+}
+
+/// Charge a segmented reduction: streaming read of all values plus the
+/// per-block overhead implied by the adaptive segments-per-block mapping.
+fn charge_segmented(
+    dev: &Device,
+    phase: Phase,
+    name: &'static str,
+    total_vals: usize,
+    num_segments: usize,
+) {
+    let sms = dev.model().params.sm_count;
+    let spb = segments_per_block(num_segments, sms, 4.0);
+    let blocks = num_segments.div_ceil(spb.max(1));
+    // Block scheduling overhead: each wave of `sm_count` blocks costs a
+    // scheduling quantum; a grid much larger than the SM count pays
+    // proportionally more.
+    let waves = (blocks as f64 / sms as f64).ceil();
+    dev.charge_kernel(
+        name,
+        phase,
+        &KernelCost {
+            flops: total_vals as f64 + waves * 1e3,
+            dram_bytes: (total_vals * 8 + num_segments * 8) as f64,
+            launches: 1.0,
+            ..Default::default()
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_matches_sequential() {
+        let dev = Device::rtx4090();
+        let vals: Vec<f64> = (0..10_000).map(|i| (i % 97) as f64 * 0.25).collect();
+        let got = reduce_sum_f64(&dev, Phase::Other, "sum", &vals);
+        let want: f64 = vals.iter().sum();
+        assert!((got - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_is_deterministic() {
+        let dev = Device::rtx4090();
+        let vals: Vec<f64> = (0..100_000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let a = reduce_sum_f64(&dev, Phase::Other, "s", &vals);
+        let b = reduce_sum_f64(&dev, Phase::Other, "s", &vals);
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn argmax_finds_max_and_breaks_ties_low() {
+        let dev = Device::rtx4090();
+        let vals = vec![1.0, 5.0, 3.0, 5.0, 2.0];
+        assert_eq!(argmax_f64(&dev, Phase::Other, "am", &vals), (1, 5.0));
+        let empty: Vec<f64> = vec![];
+        let (i, v) = argmax_f64(&dev, Phase::Other, "am", &empty);
+        assert_eq!(i, 0);
+        assert_eq!(v, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn segmented_sum() {
+        let dev = Device::rtx4090();
+        let vals = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let out = segmented_reduce_sum_f64(&dev, Phase::Other, "ss", &vals, 2);
+        assert_eq!(out, vec![3.0, 7.0, 11.0]);
+    }
+
+    #[test]
+    fn segmented_argmax() {
+        let dev = Device::rtx4090();
+        let vals = vec![1.0, 9.0, 2.0, /**/ 7.0, 7.0, 0.0];
+        let out = segmented_argmax_f64(&dev, Phase::Other, "sa", &vals, 3);
+        assert_eq!(out, vec![(1, 9.0), (0, 7.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn segmented_requires_multiple() {
+        let dev = Device::rtx4090();
+        let _ = segmented_reduce_sum_f64(&dev, Phase::Other, "bad", &[1.0, 2.0, 3.0], 2);
+    }
+
+    #[test]
+    fn segments_per_block_adaptive_mapping() {
+        // Few segments on many SMs → one per block (naive mapping).
+        assert_eq!(segments_per_block(10, 128, 4.0), 1);
+        // Many segments → batched.
+        assert!(segments_per_block(100_000, 128, 4.0) > 1000);
+        // Monotone in C.
+        assert!(segments_per_block(5000, 128, 8.0) >= segments_per_block(5000, 128, 2.0));
+    }
+
+    #[test]
+    fn more_segments_costs_more_time() {
+        let dev = Device::rtx4090();
+        let vals = vec![1.0f64; 1 << 16];
+        let t0 = dev.now_ns();
+        let _ = segmented_reduce_sum_f64(&dev, Phase::Other, "a", &vals, 1 << 16);
+        let t1 = dev.now_ns();
+        let _ = segmented_reduce_sum_f64(&dev, Phase::Other, "b", &vals, 4);
+        let t2 = dev.now_ns();
+        assert!(t2 - t1 >= t1 - t0); // many small segments at least as costly
+    }
+}

@@ -1,0 +1,128 @@
+//! Prefix sums (scans), global and segmented.
+//!
+//! The segmented exclusive scan computes, for every candidate split
+//! threshold, the gradient/Hessian mass of the left child (paper
+//! §3.1.3): within each (node, feature, output) segment of histogram
+//! bins, `scan[b] = Σ_{b' < b} hist[b']`.
+
+use crate::cost::KernelCost;
+use crate::device::{Device, Phase};
+use rayon::prelude::*;
+
+/// Exclusive prefix sum of `u32` counts, returning a vector one longer
+/// than the input whose final element is the total. Used for stream
+/// compaction offsets.
+pub fn exclusive_scan_u32(
+    dev: &Device,
+    phase: Phase,
+    name: &'static str,
+    vals: &[u32],
+) -> Vec<u32> {
+    let n = vals.len();
+    let mut out = Vec::with_capacity(n + 1);
+    let mut acc = 0u32;
+    out.push(0);
+    for &v in vals {
+        acc = acc
+            .checked_add(v)
+            .expect("exclusive_scan_u32 overflowed u32");
+        out.push(acc);
+    }
+    dev.charge_kernel(
+        name,
+        phase,
+        &KernelCost {
+            flops: 2.0 * n as f64,
+            dram_bytes: (n * 8) as f64,
+            launches: 2.0, // up-sweep + down-sweep
+            ..Default::default()
+        },
+    );
+    out
+}
+
+/// Exclusive prefix sum within each fixed-length segment.
+///
+/// `out[s*len + i] = Σ_{j<i} vals[s*len + j]`; segments are independent
+/// and processed in parallel.
+pub fn segmented_exclusive_scan_f64(
+    dev: &Device,
+    phase: Phase,
+    name: &'static str,
+    vals: &[f64],
+    seg_len: usize,
+) -> Vec<f64> {
+    assert!(seg_len > 0, "segment length must be positive");
+    assert_eq!(vals.len() % seg_len, 0, "values not a multiple of seg_len");
+    let num_segments = vals.len() / seg_len;
+    let mut out = vec![0.0f64; vals.len()];
+    out.par_chunks_mut(seg_len)
+        .zip(vals.par_chunks(seg_len))
+        .for_each(|(o, v)| {
+            let mut acc = 0.0;
+            for i in 0..seg_len {
+                o[i] = acc;
+                acc += v[i];
+            }
+        });
+    dev.charge_kernel(
+        name,
+        phase,
+        &KernelCost {
+            flops: 2.0 * vals.len() as f64,
+            dram_bytes: (vals.len() * 16) as f64,
+            launches: 1.0,
+            ..Default::default()
+        },
+    );
+    let _ = num_segments;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_scan_basic() {
+        let dev = Device::rtx4090();
+        let out = exclusive_scan_u32(&dev, Phase::Other, "scan", &[3, 1, 4, 1, 5]);
+        assert_eq!(out, vec![0, 3, 4, 8, 9, 14]);
+    }
+
+    #[test]
+    fn exclusive_scan_empty() {
+        let dev = Device::rtx4090();
+        let out = exclusive_scan_u32(&dev, Phase::Other, "scan", &[]);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn segmented_scan_independent_segments() {
+        let dev = Device::rtx4090();
+        let vals = vec![1.0, 2.0, 3.0, /**/ 10.0, 20.0, 30.0];
+        let out = segmented_exclusive_scan_f64(&dev, Phase::Other, "ss", &vals, 3);
+        assert_eq!(out, vec![0.0, 1.0, 3.0, 0.0, 10.0, 30.0]);
+    }
+
+    #[test]
+    fn segmented_scan_seg_len_one_is_zeroes() {
+        let dev = Device::rtx4090();
+        let out = segmented_exclusive_scan_f64(&dev, Phase::Other, "ss", &[5.0, 7.0], 1);
+        assert_eq!(out, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn segmented_scan_rejects_ragged() {
+        let dev = Device::rtx4090();
+        let _ = segmented_exclusive_scan_f64(&dev, Phase::Other, "ss", &[1.0, 2.0, 3.0], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflowed")]
+    fn scan_overflow_detected() {
+        let dev = Device::rtx4090();
+        let _ = exclusive_scan_u32(&dev, Phase::Other, "scan", &[u32::MAX, 1]);
+    }
+}

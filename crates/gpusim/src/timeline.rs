@@ -1,0 +1,252 @@
+//! Per-device time ledger and kernel timeline.
+//!
+//! Every simulated kernel appends a [`KernelRecord`]; the ledger keeps a
+//! running total and per-phase subtotals. The trainer uses phase
+//! subtotals to regenerate the paper's Figure 4 (histogram-building share
+//! of total training time).
+
+use crate::device::Phase;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One simulated kernel (or transfer / collective) on a device timeline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelRecord {
+    /// Human-readable kernel name, e.g. `hist_smem_packed`.
+    pub name: &'static str,
+    /// Pipeline phase the kernel belongs to.
+    pub phase: Phase,
+    /// Simulated duration in nanoseconds.
+    pub ns: f64,
+    /// Simulated start time (device-local), nanoseconds.
+    pub start_ns: f64,
+}
+
+/// Accumulated simulated time of one device.
+#[derive(Debug, Default, Clone)]
+pub struct Ledger {
+    total_ns: f64,
+    by_phase: BTreeMap<Phase, f64>,
+    kernel_count: u64,
+    records: Vec<KernelRecord>,
+    record_limit: usize,
+}
+
+impl Ledger {
+    /// Create a ledger retaining at most `record_limit` detailed records
+    /// (phase subtotals are always exact regardless of the limit).
+    pub fn new(record_limit: usize) -> Self {
+        Ledger {
+            record_limit,
+            ..Default::default()
+        }
+    }
+
+    /// Append `ns` of simulated time in `phase`.
+    pub fn charge(&mut self, name: &'static str, phase: Phase, ns: f64) {
+        debug_assert!(ns >= 0.0, "negative charge: {name} {ns}");
+        if self.records.len() < self.record_limit {
+            self.records.push(KernelRecord {
+                name,
+                phase,
+                ns,
+                start_ns: self.total_ns,
+            });
+        }
+        self.total_ns += ns;
+        *self.by_phase.entry(phase).or_insert(0.0) += ns;
+        self.kernel_count += 1;
+    }
+
+    /// Raise the device clock to `target_ns`, booking the gap as idle
+    /// time (used by multi-device barriers).
+    pub fn advance_to(&mut self, target_ns: f64) {
+        if target_ns > self.total_ns {
+            let gap = target_ns - self.total_ns;
+            self.total_ns = target_ns;
+            *self.by_phase.entry(Phase::Idle).or_insert(0.0) += gap;
+        }
+    }
+
+    /// Total simulated nanoseconds.
+    pub fn total_ns(&self) -> f64 {
+        self.total_ns
+    }
+
+    /// Number of charges recorded (kernels + transfers + collectives).
+    pub fn kernel_count(&self) -> u64 {
+        self.kernel_count
+    }
+
+    /// Simulated nanoseconds spent in `phase`.
+    pub fn phase_ns(&self, phase: Phase) -> f64 {
+        self.by_phase.get(&phase).copied().unwrap_or(0.0)
+    }
+
+    /// Retained detailed records (up to the record limit).
+    pub fn records(&self) -> &[KernelRecord] {
+        &self.records
+    }
+
+    /// Snapshot of totals for reporting.
+    pub fn summary(&self) -> LedgerSummary {
+        LedgerSummary {
+            total_ns: self.total_ns,
+            by_phase: self.by_phase.clone(),
+            kernel_count: self.kernel_count,
+        }
+    }
+
+    /// Clear all accumulated time and records.
+    pub fn reset(&mut self) {
+        let limit = self.record_limit;
+        *self = Ledger::new(limit);
+    }
+}
+
+/// Immutable snapshot of a ledger, suitable for diffing before/after a
+/// training phase.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LedgerSummary {
+    /// Total simulated nanoseconds.
+    pub total_ns: f64,
+    /// Per-phase simulated nanoseconds.
+    pub by_phase: BTreeMap<Phase, f64>,
+    /// Number of charges.
+    pub kernel_count: u64,
+}
+
+impl LedgerSummary {
+    /// Fraction of total time spent in `phase` (0 when total is 0).
+    pub fn fraction(&self, phase: Phase) -> f64 {
+        if self.total_ns <= 0.0 {
+            0.0
+        } else {
+            self.by_phase.get(&phase).copied().unwrap_or(0.0) / self.total_ns
+        }
+    }
+
+    /// Difference `self − earlier`, phase-wise. Panics in debug builds if
+    /// `earlier` is not actually earlier.
+    pub fn since(&self, earlier: &LedgerSummary) -> LedgerSummary {
+        debug_assert!(self.total_ns >= earlier.total_ns);
+        let mut by_phase = self.by_phase.clone();
+        for (phase, ns) in &earlier.by_phase {
+            *by_phase.entry(*phase).or_insert(0.0) -= ns;
+        }
+        by_phase.retain(|_, v| *v > 1e-12);
+        LedgerSummary {
+            total_ns: self.total_ns - earlier.total_ns,
+            by_phase,
+            kernel_count: self.kernel_count - earlier.kernel_count,
+        }
+    }
+
+    /// Render a fixed-width phase breakdown table.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12} {:>12} {:>8}\n",
+            "phase", "time (ms)", "share"
+        ));
+        for (phase, ns) in &self.by_phase {
+            out.push_str(&format!(
+                "{:<12} {:>12.3} {:>7.1}%\n",
+                format!("{phase:?}"),
+                ns * 1e-6,
+                100.0 * ns / self.total_ns.max(1e-12)
+            ));
+        }
+        out.push_str(&format!(
+            "{:<12} {:>12.3} {:>7}\n",
+            "total",
+            self.total_ns * 1e-6,
+            format!("{} kernels", self.kernel_count)
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_per_phase() {
+        let mut l = Ledger::new(16);
+        l.charge("a", Phase::Histogram, 100.0);
+        l.charge("b", Phase::Histogram, 50.0);
+        l.charge("c", Phase::SplitEval, 25.0);
+        assert_eq!(l.total_ns(), 175.0);
+        assert_eq!(l.phase_ns(Phase::Histogram), 150.0);
+        assert_eq!(l.phase_ns(Phase::SplitEval), 25.0);
+        assert_eq!(l.phase_ns(Phase::Gradient), 0.0);
+        assert_eq!(l.kernel_count(), 3);
+    }
+
+    #[test]
+    fn record_limit_caps_detail_but_not_totals() {
+        let mut l = Ledger::new(2);
+        for _ in 0..10 {
+            l.charge("k", Phase::Other, 1.0);
+        }
+        assert_eq!(l.records().len(), 2);
+        assert_eq!(l.total_ns(), 10.0);
+        assert_eq!(l.kernel_count(), 10);
+    }
+
+    #[test]
+    fn records_carry_start_times() {
+        let mut l = Ledger::new(8);
+        l.charge("a", Phase::Other, 5.0);
+        l.charge("b", Phase::Other, 7.0);
+        assert_eq!(l.records()[0].start_ns, 0.0);
+        assert_eq!(l.records()[1].start_ns, 5.0);
+    }
+
+    #[test]
+    fn advance_to_books_idle() {
+        let mut l = Ledger::new(0);
+        l.charge("a", Phase::Other, 10.0);
+        l.advance_to(25.0);
+        assert_eq!(l.total_ns(), 25.0);
+        assert_eq!(l.phase_ns(Phase::Idle), 15.0);
+        // Advancing backwards is a no-op.
+        l.advance_to(5.0);
+        assert_eq!(l.total_ns(), 25.0);
+    }
+
+    #[test]
+    fn summary_fraction_and_since() {
+        let mut l = Ledger::new(0);
+        l.charge("a", Phase::Histogram, 80.0);
+        let early = l.summary();
+        l.charge("b", Phase::SplitEval, 20.0);
+        let late = l.summary();
+        assert!((late.fraction(Phase::Histogram) - 0.8).abs() < 1e-12);
+        let delta = late.since(&early);
+        assert_eq!(delta.total_ns, 20.0);
+        assert_eq!(delta.by_phase.get(&Phase::SplitEval), Some(&20.0));
+        assert_eq!(delta.by_phase.get(&Phase::Histogram), None);
+        assert_eq!(delta.kernel_count, 1);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut l = Ledger::new(4);
+        l.charge("a", Phase::Other, 1.0);
+        l.reset();
+        assert_eq!(l.total_ns(), 0.0);
+        assert_eq!(l.kernel_count(), 0);
+        assert!(l.records().is_empty());
+    }
+
+    #[test]
+    fn table_renders() {
+        let mut l = Ledger::new(0);
+        l.charge("a", Phase::Histogram, 1e6);
+        let t = l.summary().table();
+        assert!(t.contains("Histogram"));
+        assert!(t.contains("total"));
+    }
+}

@@ -1,0 +1,271 @@
+//! Warp-level access-pattern analysis.
+//!
+//! These helpers inspect the set of addresses touched by the 32 lanes of
+//! one warp and derive the hardware penalties the paper's optimizations
+//! target: uncoalesced global transactions (§3.4.1 "bin packing"),
+//! shared-memory bank conflicts, and atomic replay serialization
+//! (§3.3.2/§3.3.3).
+//!
+//! Analyzing *every* warp of a large kernel would double the simulator's
+//! own runtime, so [`WarpSampler`] samples a bounded number of warps with
+//! a fixed stride and extrapolates; the sampling is deterministic.
+
+/// Count distinct memory sectors touched by one warp's lane addresses.
+///
+/// A sector is `sector_bytes` wide (32 B on modern NVIDIA L2). Each lane
+/// accesses `access_bytes` starting at its address; accesses that
+/// straddle a sector boundary touch both sectors. The returned count is
+/// the number of global-memory transactions the warp issues.
+pub fn sectors_touched(addrs: &[u64], access_bytes: u32, sector_bytes: u32) -> usize {
+    debug_assert!(sector_bytes.is_power_of_two());
+    let mut sectors: Vec<u64> = Vec::with_capacity(addrs.len() * 2);
+    let sb = sector_bytes as u64;
+    for &a in addrs {
+        let first = a / sb;
+        let last = (a + access_bytes as u64 - 1) / sb;
+        sectors.push(first);
+        if last != first {
+            sectors.push(last);
+        }
+    }
+    sectors.sort_unstable();
+    sectors.dedup();
+    sectors.len()
+}
+
+/// Shared-memory bank-conflict degree of one warp access.
+///
+/// Shared memory interleaves 4-byte words across `banks` banks. Lanes
+/// that read the *same* word are served by a broadcast (no conflict);
+/// lanes hitting *different* words in the same bank serialize. The
+/// returned degree is the maximum, over banks, of the number of distinct
+/// words addressed in that bank — i.e. the number of serialized passes
+/// the access takes (1 = conflict-free).
+pub fn bank_conflict_degree(addrs: &[u64], banks: u32) -> u32 {
+    if addrs.is_empty() {
+        return 0;
+    }
+    // (bank, word) pairs; degree = max per-bank count of distinct words.
+    let mut pairs: Vec<(u32, u64)> = addrs
+        .iter()
+        .map(|&a| {
+            let word = a / 4;
+            ((word % banks as u64) as u32, word)
+        })
+        .collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    let mut best = 1u32;
+    let mut i = 0;
+    while i < pairs.len() {
+        let bank = pairs[i].0;
+        let mut j = i;
+        while j < pairs.len() && pairs[j].0 == bank {
+            j += 1;
+        }
+        best = best.max((j - i) as u32);
+        i = j;
+    }
+    best
+}
+
+/// Atomic replay degree of one warp's atomic operations.
+///
+/// Hardware resolves a warp-wide atomic to the same address by replaying
+/// the instruction once per colliding lane. The degree is the maximum
+/// multiplicity of any single address among the lanes (1 = no replay).
+pub fn atomic_replay_degree(addrs: &[u64]) -> u32 {
+    if addrs.is_empty() {
+        return 0;
+    }
+    let mut sorted = addrs.to_vec();
+    sorted.sort_unstable();
+    let mut best = 1u32;
+    let mut run = 1u32;
+    for w in sorted.windows(2) {
+        if w[0] == w[1] {
+            run += 1;
+            best = best.max(run);
+        } else {
+            run = 1;
+        }
+    }
+    best
+}
+
+/// Total excess (replayed) atomic operations for one warp: issued ops
+/// minus the number of distinct addresses. This is the quantity charged
+/// as `*_atomic_replays` in [`crate::KernelCost`].
+pub fn atomic_replay_excess(addrs: &[u64]) -> u64 {
+    if addrs.is_empty() {
+        return 0;
+    }
+    let mut sorted = addrs.to_vec();
+    sorted.sort_unstable();
+    let mut distinct = 1u64;
+    for w in sorted.windows(2) {
+        if w[0] != w[1] {
+            distinct += 1;
+        }
+    }
+    addrs.len() as u64 - distinct
+}
+
+/// Deterministic warp sampler: selects up to `max_samples` warps out of
+/// `total_warps` with a uniform stride and reports the factor by which
+/// sampled statistics must be scaled to estimate the full kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct WarpSampler {
+    /// Total number of warps the kernel executes.
+    pub total_warps: usize,
+    /// Stride between sampled warps (≥ 1).
+    pub stride: usize,
+    /// Number of warps that will be sampled.
+    pub sampled: usize,
+}
+
+impl WarpSampler {
+    /// Default cap on sampled warps; keeps modeling overhead a few
+    /// percent of functional execution.
+    pub const DEFAULT_MAX_SAMPLES: usize = 512;
+
+    /// Build a sampler over `total_warps` with the default cap.
+    pub fn new(total_warps: usize) -> Self {
+        Self::with_cap(total_warps, Self::DEFAULT_MAX_SAMPLES)
+    }
+
+    /// Build a sampler with an explicit cap.
+    pub fn with_cap(total_warps: usize, max_samples: usize) -> Self {
+        let max_samples = max_samples.max(1);
+        if total_warps <= max_samples {
+            WarpSampler {
+                total_warps,
+                stride: 1,
+                sampled: total_warps,
+            }
+        } else {
+            let stride = total_warps.div_ceil(max_samples);
+            let sampled = total_warps.div_ceil(stride);
+            WarpSampler {
+                total_warps,
+                stride,
+                sampled,
+            }
+        }
+    }
+
+    /// Iterate the indices of the sampled warps.
+    pub fn indices(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.sampled).map(move |i| i * self.stride)
+    }
+
+    /// Scale factor from sampled statistics to the full kernel.
+    pub fn scale(&self) -> f64 {
+        if self.sampled == 0 {
+            0.0
+        } else {
+            self.total_warps as f64 / self.sampled as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_coalesced_f32_warp_touches_four_sectors() {
+        // 32 lanes × 4 B contiguous = 128 B = 4 × 32 B sectors.
+        let addrs: Vec<u64> = (0..32).map(|i| i * 4).collect();
+        assert_eq!(sectors_touched(&addrs, 4, 32), 4);
+    }
+
+    #[test]
+    fn byte_access_same_sector_is_one_transaction() {
+        // 32 lanes × 1 B contiguous = 32 B = 1 sector. This is why bin
+        // packing matters: packed u32 reads serve 4 bins per transaction.
+        let addrs: Vec<u64> = (0..32).collect();
+        assert_eq!(sectors_touched(&addrs, 1, 32), 1);
+    }
+
+    #[test]
+    fn strided_access_is_uncoalesced() {
+        // Stride-32 float accesses: every lane in its own sector.
+        let addrs: Vec<u64> = (0..32).map(|i| i * 128).collect();
+        assert_eq!(sectors_touched(&addrs, 4, 32), 32);
+    }
+
+    #[test]
+    fn straddling_access_touches_two_sectors() {
+        assert_eq!(sectors_touched(&[30], 4, 32), 2);
+        assert_eq!(sectors_touched(&[28], 4, 32), 1);
+    }
+
+    #[test]
+    fn conflict_free_unit_stride() {
+        let addrs: Vec<u64> = (0..32).map(|i| i * 4).collect();
+        assert_eq!(bank_conflict_degree(&addrs, 32), 1);
+    }
+
+    #[test]
+    fn broadcast_same_word_no_conflict() {
+        let addrs = vec![128u64; 32];
+        assert_eq!(bank_conflict_degree(&addrs, 32), 1);
+    }
+
+    #[test]
+    fn stride_two_words_gives_two_way_conflict() {
+        let addrs: Vec<u64> = (0..32).map(|i| i * 8).collect();
+        assert_eq!(bank_conflict_degree(&addrs, 32), 2);
+    }
+
+    #[test]
+    fn stride_bank_count_gives_full_serialization() {
+        let addrs: Vec<u64> = (0..32).map(|i| i * 4 * 32).collect();
+        assert_eq!(bank_conflict_degree(&addrs, 32), 32);
+    }
+
+    #[test]
+    fn replay_degree_counts_max_multiplicity() {
+        assert_eq!(atomic_replay_degree(&[1, 2, 3, 4]), 1);
+        assert_eq!(atomic_replay_degree(&[7, 7, 7, 3]), 3);
+        assert_eq!(atomic_replay_degree(&[5; 32]), 32);
+        assert_eq!(atomic_replay_degree(&[]), 0);
+    }
+
+    #[test]
+    fn replay_excess_is_ops_minus_distinct() {
+        assert_eq!(atomic_replay_excess(&[1, 2, 3, 4]), 0);
+        assert_eq!(atomic_replay_excess(&[7, 7, 7, 3]), 2);
+        assert_eq!(atomic_replay_excess(&[5; 32]), 31);
+        assert_eq!(atomic_replay_excess(&[]), 0);
+    }
+
+    #[test]
+    fn sampler_covers_small_kernels_exactly() {
+        let s = WarpSampler::new(100);
+        assert_eq!(s.sampled, 100);
+        assert_eq!(s.stride, 1);
+        assert!((s.scale() - 1.0).abs() < 1e-12);
+        assert_eq!(s.indices().count(), 100);
+    }
+
+    #[test]
+    fn sampler_caps_large_kernels() {
+        let s = WarpSampler::new(1_000_000);
+        assert!(s.sampled <= WarpSampler::DEFAULT_MAX_SAMPLES);
+        assert!(s.scale() > 1.0);
+        let idx: Vec<usize> = s.indices().collect();
+        assert!(idx.iter().all(|&i| i < 1_000_000));
+        // Deterministic: same sampler, same indices.
+        let idx2: Vec<usize> = WarpSampler::new(1_000_000).indices().collect();
+        assert_eq!(idx, idx2);
+    }
+
+    #[test]
+    fn sampler_scale_times_sampled_approximates_total() {
+        let s = WarpSampler::new(12345);
+        let est = s.scale() * s.sampled as f64;
+        assert!((est - 12345.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Model selection and deployment workflow: cross-validation, early
+//! stopping, sampling regularizers (stochastic GBM + GOSS), quantized
+//! gradients, feature importance, and compiled serving — the extensions
+//! a production user layers on top of the paper's training system.
+//!
+//! ```text
+//! cargo run --release --example model_selection
+//! ```
+
+use gbdt_mo::core::compiled::CompiledEnsemble;
+use gbdt_mo::core::config::GossConfig;
+use gbdt_mo::core::cv::cross_validate;
+use gbdt_mo::core::importance::top_features;
+use gbdt_mo::core::memory::{estimate_training_bytes, human};
+use gbdt_mo::prelude::*;
+
+fn main() {
+    let dataset = make_classification(&ClassificationSpec {
+        instances: 2_000,
+        features: 24,
+        classes: 5,
+        informative: 10,
+        class_sep: 1.6,
+        flip_y: 0.08, // noisy labels: regularization has something to do
+        seed: 15,
+        ..Default::default()
+    });
+    let (train, test) = dataset.split(0.25, 2);
+
+    // --- 1. cross-validate a few configurations ------------------------
+    println!("== 3-fold cross-validation ==");
+    let candidates: Vec<(&str, TrainConfig)> = vec![
+        (
+            "plain, 20 trees",
+            TrainConfig {
+                num_trees: 20,
+                max_depth: 5,
+                max_bins: 64,
+                learning_rate: 0.3,
+                ..TrainConfig::default()
+            },
+        ),
+        (
+            "subsample 0.7 + colsample 0.8",
+            TrainConfig {
+                num_trees: 20,
+                max_depth: 5,
+                max_bins: 64,
+                learning_rate: 0.3,
+                subsample: 0.7,
+                colsample_bytree: 0.8,
+                ..TrainConfig::default()
+            },
+        ),
+        (
+            "GOSS (0.2/0.1)",
+            TrainConfig {
+                num_trees: 20,
+                max_depth: 5,
+                max_bins: 64,
+                learning_rate: 0.3,
+                goss: Some(GossConfig::default_rates()),
+                ..TrainConfig::default()
+            },
+        ),
+    ];
+    let mut best = (0usize, 0.0f64);
+    for (i, (name, cfg)) in candidates.iter().enumerate() {
+        let r = cross_validate(&train, cfg, 3, 7);
+        println!("  {name:<32} {}: {:.3} ± {:.3}", r.metric_name, r.mean, r.std);
+        if r.mean > best.1 {
+            best = (i, r.mean);
+        }
+    }
+    let (best_name, best_cfg) = &candidates[best.0];
+    println!("  → selected: {best_name}");
+
+    // --- 2. refit with early stopping on a validation split ------------
+    let (fit_train, fit_valid) = train.split(0.25, 3);
+    let mut cfg = best_cfg.clone();
+    cfg.num_trees = 60;
+    let r = GpuTrainer::new(Device::rtx4090(), cfg.clone())
+        .fit_with_validation(&fit_train, &fit_valid, 5);
+    println!(
+        "\n== early stopping == best iteration {} of {} evaluated (valid loss {:.4})",
+        r.best_iteration + 1,
+        r.history.len(),
+        r.history[r.best_iteration]
+    );
+    let model = r.report.model;
+
+    // --- 3. memory: would the full run fit the device? -----------------
+    let est = estimate_training_bytes(fit_train.n(), fit_train.m(), fit_train.d(), &cfg);
+    println!(
+        "estimated device footprint: {} (histograms {})",
+        est.total_human(),
+        human(est.histogram_bytes)
+    );
+
+    // --- 4. interpretability -------------------------------------------
+    println!("\n== top features by split count ==");
+    for (f, c) in top_features(&model, train.m(), 5) {
+        println!("  feature {f:>2}: {c} splits");
+    }
+
+    // --- 5. compile for serving ----------------------------------------
+    let compiled = CompiledEnsemble::compile(&model);
+    let acc = accuracy(&compiled.predict(test.features()), &test.labels());
+    assert_eq!(
+        compiled.predict(test.features()),
+        model.predict(test.features()),
+        "compiled ensemble must match the interpreter"
+    );
+    println!(
+        "\n== serving == compiled {} trees into {} — test accuracy {:.1}%",
+        compiled.num_trees(),
+        human(compiled.memory_bytes()),
+        100.0 * acc
+    );
+}

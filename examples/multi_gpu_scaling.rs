@@ -1,0 +1,70 @@
+//! Multi-GPU feature-parallel scaling (paper §3.4.2 / Table 2).
+//!
+//! Trains the same high-dimensional model on 1–8 simulated RTX 4090s,
+//! showing how the histogram-building bottleneck divides across devices
+//! while per-level collectives and barrier idle time bound the speedup.
+//!
+//! ```text
+//! cargo run --release --example multi_gpu_scaling
+//! ```
+
+use gbdt_mo::prelude::*;
+
+fn main() {
+    // Wide data so feature partitioning has something to divide.
+    let dataset = make_classification(&ClassificationSpec {
+        instances: 8_000,
+        features: 96,
+        classes: 24,
+        informative: 48,
+        class_sep: 1.6,
+        sparsity: 0.4,
+        seed: 3,
+        ..Default::default()
+    });
+    let (train, test) = dataset.split(0.2, 9);
+    println!(
+        "workload: {} × {} features × {} classes\n",
+        train.n(),
+        train.m(),
+        train.d()
+    );
+
+    let config = TrainConfig {
+        num_trees: 10,
+        max_depth: 5,
+        max_bins: 64,
+        ..TrainConfig::default()
+    };
+
+    println!(
+        "{:<6} {:>12} {:>9} {:>12} {:>12} {:>10}",
+        "GPUs", "sim time", "speedup", "hist share", "comm share", "accuracy"
+    );
+    println!("{}", "-".repeat(66));
+    let mut t1 = None;
+    for k in [1usize, 2, 4, 8] {
+        let group = DeviceGroup::rtx4090s(k);
+        let trainer = gbdt_mo::core::MultiGpuTrainer::new(group, config.clone());
+        let report = trainer.fit_report(&train);
+        let t = report.sim_seconds;
+        let t1v = *t1.get_or_insert(t);
+        let acc = gbdt_mo::core::accuracy(
+            &report.model.predict(test.features()),
+            &test.labels(),
+        );
+        println!(
+            "{:<6} {:>10.2}ms {:>8.2}× {:>11.1}% {:>11.1}% {:>9.1}%",
+            k,
+            t * 1e3,
+            t1v / t,
+            100.0 * report.sim.fraction(Phase::Histogram),
+            100.0 * (report.sim.fraction(Phase::Comm) + report.sim.fraction(Phase::Idle)),
+            100.0 * acc
+        );
+    }
+    println!(
+        "\nAll device counts produce bit-identical models: feature-parallel\n\
+         training is an exact decomposition, not an approximation."
+    );
+}

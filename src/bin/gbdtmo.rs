@@ -1,0 +1,334 @@
+//! `gbdtmo` — command-line interface for training, evaluating and
+//! serving multi-output GBDT models on the simulated GPU.
+//!
+//! ```text
+//! gbdtmo train    --data train.libsvm --task multiclass --outputs 10 --features 784 \
+//!                 [--format libsvm|csv] [--trees 100] [--depth 7] [--bins 256]
+//!                 [--lr 1.0] [--valid valid.libsvm --patience 10] --out model.json
+//! gbdtmo predict  --model model.json --data test.libsvm --task multiclass \
+//!                 --outputs 10 --features 784 [--transformed] [--out preds.csv]
+//! gbdtmo evaluate --model model.json --data test.libsvm --task multiclass \
+//!                 --outputs 10 --features 784
+//! gbdtmo info     --model model.json [--top 10]
+//! gbdtmo synth    --dataset mnist [--scale 0.05] --out data.libsvm
+//! ```
+
+use gbdt_core::importance::top_features;
+use gbdt_core::{accuracy, rmse, GpuTrainer, Model, TrainConfig};
+use gbdt_data::io::{read_csv, read_libsvm, write_libsvm};
+use gbdt_data::{Dataset, PaperDataset, Task, PAPER_DATASETS};
+use gpusim::Device;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: gbdtmo <train|predict|evaluate|info|synth> [flags]
+  train    --data F --task T --outputs D --features M --out MODEL
+           [--format libsvm|csv] [--trees N] [--depth N] [--bins N]
+           [--lr F] [--subsample F] [--valid F --patience N] [--seed S]
+  predict  --model MODEL --data F --task T --outputs D --features M
+           [--format libsvm|csv] [--transformed] [--out CSV]
+  evaluate --model MODEL --data F --task T --outputs D --features M
+  info     --model MODEL [--top N]
+  synth    --dataset <otto|sf-crime|helena|caltech101|mnist|mnist-in|rf1|delicious|nus-wide>
+           [--scale F] [--seed S] --out F";
+
+/// Print a line to stdout, treating a closed pipe (`… | head`) as a
+/// clean exit instead of a panic.
+fn say(line: std::fmt::Arguments<'_>) -> Result<(), String> {
+    use std::io::Write as _;
+    let mut out = std::io::stdout().lock();
+    match writeln!(out, "{line}") {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => std::process::exit(0),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+macro_rules! say {
+    ($($arg:tt)*) => { say(format_args!($($arg)*))? };
+}
+
+/// Parsed `--flag value` pairs.
+struct Flags(HashMap<String, String>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut map = HashMap::new();
+        let mut i = 0;
+        while i < args.len() {
+            let key = args[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
+            if key == "transformed" {
+                map.insert(key.to_string(), "true".to_string());
+                i += 1;
+                continue;
+            }
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("missing value for --{key}"))?;
+            map.insert(key.to_string(), value.clone());
+            i += 2;
+        }
+        Ok(Flags(map))
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0.get(key).map(String::as_str)
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("--{key} is required"))
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("--{key}: {e}")),
+        }
+    }
+}
+
+fn parse_task(s: &str) -> Result<Task, String> {
+    match s {
+        "multiclass" => Ok(Task::MultiClass),
+        "multilabel" => Ok(Task::MultiLabel),
+        "multiregress" | "multiregression" => Ok(Task::MultiRegression),
+        other => Err(format!("unknown task {other:?}")),
+    }
+}
+
+fn load_dataset(flags: &Flags) -> Result<Dataset, String> {
+    let path = flags.require("data")?;
+    let task = parse_task(flags.require("task")?)?;
+    let outputs: usize = flags.require("outputs")?.parse().map_err(|e| format!("--outputs: {e}"))?;
+    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let reader = BufReader::new(file);
+    match flags.get("format").unwrap_or("libsvm") {
+        "libsvm" => {
+            let features: usize =
+                flags.require("features")?.parse().map_err(|e| format!("--features: {e}"))?;
+            read_libsvm(reader, features, outputs, task)
+        }
+        "csv" => read_csv(reader, outputs, task),
+        other => Err(format!("unknown format {other:?}")),
+    }
+}
+
+fn load_model(flags: &Flags) -> Result<Model, String> {
+    let path = flags.require("model")?;
+    let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    if data.starts_with(b"GBMO") {
+        gbdt_core::serialize::from_bytes(&data)
+    } else {
+        let json = String::from_utf8(data).map_err(|e| format!("{path}: {e}"))?;
+        Model::from_json(&json)
+    }
+}
+
+fn metric_line(task: Task, model: &Model, ds: &Dataset) -> String {
+    let scores = model.predict(ds.features());
+    match task {
+        Task::MultiClass => format!(
+            "accuracy: {:.4}",
+            accuracy(&scores, &ds.labels())
+        ),
+        Task::MultiRegression => format!("rmse: {:.6}", rmse(&scores, ds.targets())),
+        Task::MultiLabel => {
+            let mut probs = model.predict_transformed(ds.features());
+            let _ = &mut probs;
+            format!("prob-rmse: {:.6}", rmse(&probs, ds.targets()))
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let flags = Flags::parse(args.get(1..).unwrap_or(&[]))?;
+    match cmd {
+        "train" => train(&flags),
+        "predict" => predict(&flags),
+        "evaluate" => evaluate(&flags),
+        "info" => info(&flags),
+        "synth" => synth(&flags),
+        "help" | "--help" | "-h" => {
+            say!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn train(flags: &Flags) -> Result<(), String> {
+    let ds = load_dataset(flags)?;
+    let out_path = flags.require("out")?;
+    let config = TrainConfig {
+        num_trees: flags.parse_or("trees", 100)?,
+        max_depth: flags.parse_or("depth", 7)?,
+        max_bins: flags.parse_or("bins", 256)?,
+        learning_rate: flags.parse_or("lr", 1.0f32)?,
+        subsample: flags.parse_or("subsample", 1.0f64)?,
+        colsample_bytree: flags.parse_or("colsample", 1.0f64)?,
+        seed: flags.parse_or("seed", 0u64)?,
+        ..TrainConfig::default()
+    };
+    config.validate()?;
+
+    eprintln!(
+        "training on {} instances × {} features → {} outputs ({:?})",
+        ds.n(),
+        ds.m(),
+        ds.d(),
+        ds.task()
+    );
+    let trainer = GpuTrainer::new(Device::rtx4090(), config);
+    let (model, summary) = if let Some(valid_path) = flags.get("valid") {
+        let vfile = File::open(valid_path).map_err(|e| format!("{valid_path}: {e}"))?;
+        let task = ds.task();
+        let valid = match flags.get("format").unwrap_or("libsvm") {
+            "csv" => read_csv(BufReader::new(vfile), ds.d(), task)?,
+            _ => read_libsvm(BufReader::new(vfile), ds.m(), ds.d(), task)?,
+        };
+        let patience = flags.parse_or("patience", 10usize)?;
+        let r = trainer.fit_with_validation(&ds, &valid, patience);
+        eprintln!(
+            "early stopping: best iteration {} of {} evaluated (valid loss {:.6})",
+            r.best_iteration + 1,
+            r.history.len(),
+            r.history[r.best_iteration]
+        );
+        (r.report.model, r.report.sim)
+    } else {
+        let r = trainer.fit_report(&ds);
+        (r.model, r.sim)
+    };
+    eprintln!(
+        "trained {} trees in {:.3} simulated ms",
+        model.num_trees(),
+        summary.total_ns * 1e-6
+    );
+    eprintln!("train {}", metric_line(ds.task(), &model, &ds));
+    // `.bin` extension selects the compact binary format.
+    if out_path.ends_with(".bin") {
+        std::fs::write(out_path, gbdt_core::serialize::to_bytes(&model))
+            .map_err(|e| format!("{out_path}: {e}"))?;
+    } else {
+        std::fs::write(out_path, model.to_json()).map_err(|e| format!("{out_path}: {e}"))?;
+    }
+    eprintln!("model written to {out_path}");
+    Ok(())
+}
+
+fn predict(flags: &Flags) -> Result<(), String> {
+    let model = load_model(flags)?;
+    let ds = load_dataset(flags)?;
+    let scores = if flags.get("transformed").is_some() {
+        model.predict_transformed(ds.features())
+    } else {
+        model.predict(ds.features())
+    };
+    let mut out: Box<dyn Write> = match flags.get("out") {
+        Some(path) => Box::new(BufWriter::new(
+            File::create(path).map_err(|e| format!("{path}: {e}"))?,
+        )),
+        None => Box::new(std::io::stdout().lock()),
+    };
+    let header: Vec<String> = (0..model.d).map(|k| format!("y{k}")).collect();
+    writeln!(out, "{}", header.join(",")).map_err(|e| e.to_string())?;
+    for row in scores.chunks(model.d) {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        writeln!(out, "{}", cells.join(",")).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn evaluate(flags: &Flags) -> Result<(), String> {
+    let model = load_model(flags)?;
+    let ds = load_dataset(flags)?;
+    say!("{}", metric_line(ds.task(), &model, &ds));
+    Ok(())
+}
+
+fn info(flags: &Flags) -> Result<(), String> {
+    let model = load_model(flags)?;
+    say!("trees:       {}", model.num_trees());
+    say!("leaves:      {}", model.num_leaves());
+    say!("outputs:     {}", model.d);
+    say!("task:        {:?}", model.task);
+    say!("model bytes: {}", model.memory_bytes());
+    let num_features = model
+        .trees
+        .iter()
+        .flat_map(|t| t.nodes().iter())
+        .filter_map(|n| match n {
+            gbdt_core::Node::Split { feature, .. } => Some(*feature as usize + 1),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+    let top_n = flags.parse_or("top", 10usize)?;
+    if num_features > 0 {
+        say!("top features by split count:");
+        for (f, c) in top_features(&model, num_features, top_n) {
+            if c > 0 {
+                say!("  f{f}: {c}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn synth(flags: &Flags) -> Result<(), String> {
+    let name = flags.require("dataset")?;
+    let ds = PAPER_DATASETS
+        .into_iter()
+        .find(|d| d.shape().name.eq_ignore_ascii_case(name))
+        .or_else(|| match name.to_ascii_lowercase().as_str() {
+            "sf-crime" | "sfcrime" => Some(PaperDataset::SfCrime),
+            "mnist-in" | "mnistin" => Some(PaperDataset::MnistIn),
+            "nus-wide" | "nuswide" => Some(PaperDataset::NusWide),
+            _ => None,
+        })
+        .ok_or_else(|| format!("unknown dataset {name:?}"))?;
+    let scale = flags.parse_or("scale", 0.05f64)?;
+    let seed = flags.parse_or("seed", 0u64)?;
+    let out_path = flags.require("out")?;
+    let data = ds.generate(scale, usize::MAX, usize::MAX, seed);
+    let file = File::create(out_path).map_err(|e| format!("{out_path}: {e}"))?;
+    write_libsvm(BufWriter::new(file), &data).map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {} instances × {} features × {} outputs to {out_path}",
+        data.n(),
+        data.m(),
+        data.d()
+    );
+    eprintln!(
+        "train with: gbdtmo train --data {out_path} --task {} --outputs {} --features {} --out model.json",
+        match data.task() {
+            Task::MultiClass => "multiclass",
+            Task::MultiLabel => "multilabel",
+            Task::MultiRegression => "multiregress",
+        },
+        data.d(),
+        data.m()
+    );
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! # gbdt-mo — GPU-accelerated multi-output gradient boosted decision trees
+//!
+//! Façade crate over the workspace, re-exporting the full public API:
+//!
+//! * [`gpusim`] — the simulated CUDA-like device substrate (functional
+//!   kernels + analytical cost model);
+//! * [`data`] — dense/CSC storage, quantile binning, bin packing and
+//!   synthetic dataset generators;
+//! * [`core`] — the paper's contribution: the GPU GBDT-MO trainer with
+//!   adaptive histogram building, warp-level optimization, segmented
+//!   split search and multi-GPU feature partitioning;
+//! * [`baselines`] — the systems the paper compares against (GBDT-SO,
+//!   CPU GBDT-MO dense/sparse, SketchBoost-style sketching, exact
+//!   greedy).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gbdt_mo::prelude::*;
+//!
+//! // A small synthetic 3-class problem.
+//! let ds = make_classification(&ClassificationSpec {
+//!     instances: 400,
+//!     features: 10,
+//!     classes: 3,
+//!     informative: 8,
+//!     seed: 7,
+//!     ..Default::default()
+//! });
+//! let (train, test) = ds.split(0.25, 42);
+//!
+//! let device = Device::rtx4090();
+//! let config = TrainConfig {
+//!     num_trees: 10,
+//!     max_depth: 4,
+//!     ..TrainConfig::default()
+//! };
+//! let model = GpuTrainer::new(device, config).fit(&train);
+//! let acc = accuracy(&model.predict(test.features()), &test.labels());
+//! assert!(acc > 0.5);
+//! ```
+
+pub use gbdt_baselines as baselines;
+pub use gbdt_core as core;
+pub use gbdt_data as data;
+pub use gpusim;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use crate::core::{
+        accuracy, rmse, GpuTrainer, HistogramMethod, Model, MultiGpuTrainer, TrainConfig,
+    };
+    pub use crate::data::{
+        make_classification, make_multilabel, make_regression, BinnedDataset,
+        ClassificationSpec, Dataset, MultilabelSpec, RegressionSpec, Task,
+    };
+    pub use gpusim::{Device, DeviceGroup, Phase};
+}

@@ -1,0 +1,123 @@
+//! End-to-end tests of the `gbdtmo` command-line tool: synth → train →
+//! evaluate → predict → info, exercising both model formats.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn gbdtmo(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_gbdtmo"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("gbdtmo_cli_test_{name}"))
+}
+
+#[test]
+fn full_cli_workflow() {
+    let data = tmp("data.libsvm");
+    let model_json = tmp("model.json");
+    let model_bin = tmp("model.bin");
+    let preds = tmp("preds.csv");
+    let data_s = data.to_str().unwrap();
+
+    // synth
+    let out = gbdtmo(&[
+        "synth", "--dataset", "otto", "--scale", "0.01", "--seed", "3", "--out", data_s,
+    ]);
+    assert!(out.status.success(), "synth failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(data.exists());
+
+    let common = [
+        "--data", data_s, "--task", "multiclass", "--outputs", "9", "--features", "93",
+    ];
+
+    // train (JSON model)
+    let mut args = vec![
+        "train", "--trees", "8", "--depth", "4", "--bins", "32", "--out",
+        model_json.to_str().unwrap(),
+    ];
+    args.extend_from_slice(&common);
+    let out = gbdtmo(&args);
+    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("trained 8 trees"), "stderr: {stderr}");
+
+    // train (binary model)
+    let mut args = vec![
+        "train", "--trees", "8", "--depth", "4", "--bins", "32", "--out",
+        model_bin.to_str().unwrap(),
+    ];
+    args.extend_from_slice(&common);
+    assert!(gbdtmo(&args).status.success());
+    let bin_size = std::fs::metadata(&model_bin).unwrap().len();
+    let json_size = std::fs::metadata(&model_json).unwrap().len();
+    assert!(bin_size < json_size, "binary {bin_size} ≥ json {json_size}");
+
+    // evaluate: both formats must give identical output.
+    let eval = |model: &str| -> String {
+        let mut args = vec!["evaluate", "--model", model];
+        args.extend_from_slice(&common);
+        let out = gbdtmo(&args);
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let a = eval(model_json.to_str().unwrap());
+    let b = eval(model_bin.to_str().unwrap());
+    assert_eq!(a, b, "JSON and binary models must evaluate identically");
+    assert!(a.contains("accuracy:"), "got: {a}");
+    let acc: f64 = a.trim().strip_prefix("accuracy:").unwrap().trim().parse().unwrap();
+    assert!(acc > 0.5, "train accuracy {acc}");
+
+    // predict
+    let mut args = vec![
+        "predict", "--model", model_json.to_str().unwrap(), "--out",
+        preds.to_str().unwrap(),
+    ];
+    args.extend_from_slice(&common);
+    assert!(gbdtmo(&args).status.success());
+    let csv = std::fs::read_to_string(&preds).unwrap();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines[0], "y0,y1,y2,y3,y4,y5,y6,y7,y8");
+    assert!(lines.len() > 300, "one prediction row per instance");
+
+    // info
+    let out = gbdtmo(&["info", "--model", model_json.to_str().unwrap()]);
+    assert!(out.status.success());
+    let info = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(info.contains("trees:       8"), "{info}");
+    assert!(info.contains("outputs:     9"));
+
+    for p in [data, model_json, model_bin, preds] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn helpful_errors() {
+    // No args → usage on stdout via help path.
+    let out = gbdtmo(&["help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"));
+
+    // Unknown command fails with usage on stderr.
+    let out = gbdtmo(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // Missing required flag.
+    let out = gbdtmo(&["train", "--task", "multiclass"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--data is required"));
+
+    // Bad task value.
+    let out = gbdtmo(&["evaluate", "--model", "/nonexistent", "--data", "/nonexistent", "--task", "nope", "--outputs", "2", "--features", "2"]);
+    assert!(!out.status.success());
+
+    // Missing file is a clean error, not a panic.
+    let out = gbdtmo(&["info", "--model", "/nonexistent/model.json"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+}

@@ -1,0 +1,131 @@
+//! Cross-system consistency: the same algorithm executed on different
+//! substrates (CPU dense, CPU sparse, single GPU, multi GPU) must
+//! produce identical models, and every trainer must be deterministic.
+
+use gbdt_mo::baselines::{CpuMoTrainer, CpuStorage};
+use gbdt_mo::core::{Model, MultiGpuTrainer};
+use gbdt_mo::prelude::*;
+
+fn dataset(seed: u64) -> Dataset {
+    make_classification(&ClassificationSpec {
+        instances: 700,
+        features: 18,
+        classes: 5,
+        informative: 12,
+        class_sep: 1.8,
+        sparsity: 0.3,
+        seed,
+        ..Default::default()
+    })
+}
+
+fn config() -> TrainConfig {
+    TrainConfig {
+        num_trees: 6,
+        max_depth: 4,
+        max_bins: 32,
+        min_instances: 10,
+        ..TrainConfig::default()
+    }
+}
+
+#[test]
+fn four_substrates_one_model() {
+    let ds = dataset(1);
+    let x = ds.features();
+
+    let gpu = GpuTrainer::new(Device::rtx4090(), config()).fit(&ds);
+    let reference = gpu.predict(x);
+
+    let cpu_dense = CpuMoTrainer::new(config(), CpuStorage::Dense).fit(&ds);
+    assert_eq!(cpu_dense.predict(x), reference, "CPU dense differs from GPU");
+
+    let cpu_sparse = CpuMoTrainer::new(config(), CpuStorage::Sparse).fit(&ds);
+    let sparse_pred = cpu_sparse.predict(x);
+    for (a, b) in sparse_pred.iter().zip(&reference) {
+        assert!(
+            (a - b).abs() < 1e-3,
+            "CPU sparse differs from GPU beyond fp noise: {a} vs {b}"
+        );
+    }
+
+    for k in [2usize, 3, 8] {
+        let multi = MultiGpuTrainer::new(DeviceGroup::rtx4090s(k), config()).fit(&ds);
+        assert_eq!(
+            multi.predict(x),
+            reference,
+            "{k}-GPU model differs from single-GPU"
+        );
+    }
+}
+
+#[test]
+fn histogram_methods_do_not_change_the_model() {
+    // The three kernels are different *schedules* of the same
+    // reduction; the trained model must be invariant.
+    use gbdt_mo::core::HistogramMethod::*;
+    let ds = dataset(2);
+    let x = ds.features();
+    let mut reference: Option<Vec<f32>> = None;
+    for method in [Adaptive, GlobalMemory, SharedMemory, SortReduce] {
+        let cfg = config().with_hist_method(method);
+        let pred = GpuTrainer::new(Device::rtx4090(), cfg).fit(&ds).predict(x);
+        match &reference {
+            None => reference = Some(pred),
+            Some(r) => assert_eq!(&pred, r, "{method:?} changed the model"),
+        }
+    }
+}
+
+#[test]
+fn warp_packing_and_subtraction_do_not_change_the_model() {
+    let ds = dataset(3);
+    let x = ds.features();
+    let base = GpuTrainer::new(Device::rtx4090(), config()).fit(&ds).predict(x);
+
+    let mut c = config();
+    c.hist.warp_packing = false;
+    let unpacked = GpuTrainer::new(Device::rtx4090(), c).fit(&ds).predict(x);
+    assert_eq!(unpacked, base, "bin packing is a layout change only");
+
+    let mut c = config();
+    c.hist.subtraction = true;
+    let sub = GpuTrainer::new(Device::rtx4090(), c).fit(&ds).predict(x);
+    for (a, b) in sub.iter().zip(&base) {
+        assert!(
+            (a - b).abs() < 1e-3,
+            "subtraction drifted beyond fp noise: {a} vs {b}"
+        );
+    }
+}
+
+#[test]
+fn training_is_deterministic_across_runs_and_devices() {
+    let ds = dataset(4);
+    let a = GpuTrainer::new(Device::rtx4090(), config()).fit(&ds);
+    let b = GpuTrainer::new(Device::rtx4090(), config()).fit(&ds);
+    assert_eq!(a.predict(ds.features()), b.predict(ds.features()));
+    assert_eq!(a.to_json(), b.to_json(), "serialized models must be identical");
+}
+
+#[test]
+fn serialization_roundtrip_preserves_predictions() {
+    let ds = dataset(5);
+    let model = GpuTrainer::new(Device::rtx4090(), config()).fit(&ds);
+    let json = model.to_json();
+    let back = Model::from_json(&json).expect("roundtrip");
+    assert_eq!(model.predict(ds.features()), back.predict(ds.features()));
+}
+
+#[test]
+fn simulated_time_is_deterministic() {
+    let ds = dataset(6);
+    let r1 = GpuTrainer::new(Device::rtx4090(), config()).fit_report(&ds);
+    let r2 = GpuTrainer::new(Device::rtx4090(), config()).fit_report(&ds);
+    assert_eq!(
+        r1.sim_seconds.to_bits(),
+        r2.sim_seconds.to_bits(),
+        "cost accounting must be exactly reproducible"
+    );
+    assert_eq!(r1.sim.kernel_count, r2.sim.kernel_count);
+}

@@ -1,0 +1,165 @@
+//! End-to-end training quality across all three task types the paper
+//! evaluates (Table 1's multiclass / multiregress / multilabel), on the
+//! public API only.
+
+use gbdt_mo::core::{loss::loss_for_task, rmse};
+use gbdt_mo::prelude::*;
+
+fn quick_config(trees: usize) -> TrainConfig {
+    TrainConfig {
+        num_trees: trees,
+        max_depth: 5,
+        max_bins: 32,
+        min_instances: 5,
+        ..TrainConfig::default()
+    }
+}
+
+#[test]
+fn multiclass_end_to_end() {
+    let ds = make_classification(&ClassificationSpec {
+        instances: 1200,
+        features: 16,
+        classes: 6,
+        informative: 12,
+        class_sep: 2.0,
+        flip_y: 0.0,
+        seed: 100,
+        ..Default::default()
+    });
+    let (train, test) = ds.split(0.25, 1);
+    let model = GpuTrainer::new(Device::rtx4090(), quick_config(15)).fit(&train);
+    let acc = accuracy(&model.predict(test.features()), &test.labels());
+    assert!(acc > 0.8, "6-class accuracy only {acc}");
+    // One ensemble serves all 6 classes — the GBDT-MO property.
+    assert_eq!(model.num_trees(), 15);
+    assert_eq!(model.d, 6);
+}
+
+#[test]
+fn multiregression_end_to_end() {
+    let ds = make_regression(&RegressionSpec {
+        instances: 1500,
+        features: 12,
+        outputs: 6,
+        informative: 8,
+        noise: 0.05,
+        seed: 101,
+        ..Default::default()
+    });
+    let (train, test) = ds.split(0.25, 2);
+    let model = GpuTrainer::new(Device::rtx4090(), quick_config(25)).fit(&train);
+    let e = rmse(&model.predict(test.features()), test.targets());
+
+    // Against the constant (train-mean) predictor.
+    let base = gbdt_mo::core::trainer::base_scores(&train);
+    let mean_pred: Vec<f32> = (0..test.n()).flat_map(|_| base.clone()).collect();
+    let e0 = rmse(&mean_pred, test.targets());
+    assert!(e < e0 * 0.7, "rmse {e} vs mean baseline {e0}");
+}
+
+#[test]
+fn multilabel_end_to_end() {
+    let ds = make_multilabel(&MultilabelSpec {
+        instances: 1200,
+        features: 40,
+        labels: 12,
+        avg_labels: 3.0,
+        features_per_label: 6,
+        seed: 102,
+        ..Default::default()
+    });
+    let (train, test) = ds.split(0.25, 3);
+    let model = GpuTrainer::new(Device::rtx4090(), quick_config(20)).fit(&train);
+
+    // Probability RMSE must beat the prior-rate predictor.
+    let loss = loss_for_task(Task::MultiLabel);
+    let mut probs = model.predict(test.features());
+    for row in probs.chunks_mut(test.d()) {
+        loss.transform_row(row);
+    }
+    let e = rmse(&probs, test.targets());
+    let rate: f32 =
+        train.targets().iter().sum::<f32>() / train.targets().len() as f32;
+    let prior: Vec<f32> = vec![rate; test.targets().len()];
+    let e0 = rmse(&prior, test.targets());
+    assert!(e < e0, "prob rmse {e} vs prior {e0}");
+}
+
+#[test]
+fn boosting_monotonically_improves_training_fit() {
+    let ds = make_classification(&ClassificationSpec {
+        instances: 600,
+        features: 10,
+        classes: 4,
+        informative: 8,
+        seed: 103,
+        ..Default::default()
+    });
+    let labels = ds.labels();
+    let mut last = 0.0;
+    for trees in [1, 5, 15, 30] {
+        let model = GpuTrainer::new(Device::rtx4090(), quick_config(trees)).fit(&ds);
+        let acc = accuracy(&model.predict(ds.features()), &labels);
+        assert!(
+            acc + 1e-9 >= last,
+            "training accuracy regressed: {acc} < {last} at {trees} trees"
+        );
+        last = acc;
+    }
+    assert!(last > 0.9, "30 trees should nearly fit the training set: {last}");
+}
+
+#[test]
+fn learning_rate_shrinks_leaf_magnitudes() {
+    let ds = make_regression(&RegressionSpec {
+        instances: 500,
+        features: 8,
+        outputs: 2,
+        informative: 6,
+        seed: 104,
+        ..Default::default()
+    });
+    let mut c_full = quick_config(1);
+    c_full.learning_rate = 1.0;
+    let mut c_small = quick_config(1);
+    c_small.learning_rate = 0.1;
+    let m_full = GpuTrainer::new(Device::rtx4090(), c_full).fit(&ds);
+    let m_small = GpuTrainer::new(Device::rtx4090(), c_small).fit(&ds);
+
+    let sum_abs = |m: &gbdt_mo::core::Model| -> f64 {
+        m.trees
+            .iter()
+            .flat_map(|t| t.nodes().iter())
+            .filter_map(|n| match n {
+                gbdt_mo::core::Node::Leaf { value } => {
+                    Some(value.iter().map(|v| v.abs() as f64).sum::<f64>())
+                }
+                _ => None,
+            })
+            .sum()
+    };
+    let full = sum_abs(&m_full);
+    let small = sum_abs(&m_small);
+    assert!(
+        (small - full * 0.1).abs() < full * 0.02,
+        "lr=0.1 leaves ({small}) should be 10% of lr=1.0 leaves ({full})"
+    );
+}
+
+#[test]
+fn every_paper_dataset_standin_trains() {
+    // Smoke the full Table 1 inventory through the public pipeline.
+    for ds in gbdt_mo::data::PAPER_DATASETS {
+        let data = ds.generate(0.01, 30, 12, 7);
+        let (train, test) = data.split(0.2, 8);
+        let model = GpuTrainer::new(Device::rtx4090(), quick_config(3)).fit(&train);
+        let scores = model.predict(test.features());
+        assert_eq!(scores.len(), test.n() * test.d());
+        assert!(
+            scores.iter().all(|s| s.is_finite()),
+            "{:?} produced non-finite scores",
+            ds
+        );
+    }
+}

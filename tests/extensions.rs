@@ -1,0 +1,234 @@
+//! Integration tests of the post-paper extensions, exercised through
+//! the public façade: EFB, quantized gradients, binary serialization,
+//! streams, random forest, and the apply/leaf-index embedding.
+
+use gbdt_mo::baselines::{ForestConfig, RandomForestTrainer};
+use gbdt_mo::core::compiled::CompiledEnsemble;
+use gbdt_mo::core::predict::apply_leaf_indices;
+use gbdt_mo::core::serialize;
+use gbdt_mo::data::bundling::plan_bundles;
+use gbdt_mo::data::CscMatrix;
+use gbdt_mo::prelude::*;
+
+fn sparse_multilabel(seed: u64) -> Dataset {
+    make_multilabel(&MultilabelSpec {
+        instances: 800,
+        features: 100,
+        labels: 20,
+        avg_labels: 2.5,
+        features_per_label: 5,
+        sparsity: 0.2,
+        seed,
+    })
+}
+
+fn quick_config() -> TrainConfig {
+    TrainConfig {
+        num_trees: 10,
+        max_depth: 4,
+        max_bins: 32,
+        min_instances: 5,
+        ..TrainConfig::default()
+    }
+}
+
+#[test]
+fn efb_shrinks_columns_and_preserves_quality() {
+    let ds = sparse_multilabel(1);
+    let (train, test) = ds.split(0.25, 2);
+
+    let plan = plan_bundles(&CscMatrix::from_dense(train.features()), 0.01);
+    assert!(
+        plan.num_bundles() * 2 <= train.m(),
+        "expected ≥2× column reduction, got {} of {}",
+        plan.num_bundles(),
+        train.m()
+    );
+    let bundled_train = Dataset::new(
+        plan.apply(train.features()),
+        train.targets().to_vec(),
+        train.d(),
+        train.task(),
+    );
+    let bundled_test = Dataset::new(
+        plan.apply(test.features()),
+        test.targets().to_vec(),
+        test.d(),
+        test.task(),
+    );
+
+    let plain = GpuTrainer::new(Device::rtx4090(), quick_config()).fit_report(&train);
+    let bundled = GpuTrainer::new(Device::rtx4090(), quick_config()).fit_report(&bundled_train);
+    // Fewer columns → less simulated histogram time.
+    assert!(
+        bundled.sim_seconds < plain.sim_seconds,
+        "bundled {} should beat plain {}",
+        bundled.sim_seconds,
+        plain.sim_seconds
+    );
+    // Quality stays in the same band (prob-RMSE within 15%).
+    let loss = gbdt_mo::core::loss::loss_for_task(Task::MultiLabel);
+    let prob_rmse = |model: &gbdt_mo::core::Model, t: &Dataset| {
+        let mut p = model.predict(t.features());
+        for row in p.chunks_mut(t.d()) {
+            loss.transform_row(row);
+        }
+        rmse(&p, t.targets())
+    };
+    let e_plain = prob_rmse(&plain.model, &test);
+    let e_bundled = prob_rmse(&bundled.model, &bundled_test);
+    assert!(
+        e_bundled < e_plain * 1.15,
+        "bundled rmse {e_bundled} vs plain {e_plain}"
+    );
+}
+
+#[test]
+fn quantized_gradients_trade_tiny_accuracy_for_traffic() {
+    let ds = make_classification(&ClassificationSpec {
+        instances: 900,
+        features: 16,
+        classes: 4,
+        informative: 10,
+        class_sep: 2.0,
+        seed: 3,
+        ..Default::default()
+    });
+    let (train, test) = ds.split(0.25, 4);
+    let full = GpuTrainer::new(Device::rtx4090(), quick_config()).fit(&train);
+    let mut cfg = quick_config();
+    cfg.hist.quantized_gradients = true;
+    let quant = GpuTrainer::new(Device::rtx4090(), cfg).fit(&train);
+
+    let a_full = accuracy(&full.predict(test.features()), &test.labels());
+    let a_quant = accuracy(&quant.predict(test.features()), &test.labels());
+    assert!(
+        a_quant > a_full - 0.05,
+        "bf16 accuracy {a_quant} fell too far from f32 {a_full}"
+    );
+}
+
+#[test]
+fn binary_and_json_serialization_agree_on_all_tasks() {
+    for (seed, ds) in [
+        (
+            10u64,
+            make_classification(&ClassificationSpec {
+                instances: 300,
+                features: 8,
+                classes: 3,
+                informative: 6,
+                seed: 10,
+                ..Default::default()
+            }),
+        ),
+        (
+            11,
+            make_regression(&RegressionSpec {
+                instances: 300,
+                features: 8,
+                outputs: 4,
+                informative: 6,
+                seed: 11,
+                ..Default::default()
+            }),
+        ),
+        (
+            12,
+            make_multilabel(&MultilabelSpec {
+                instances: 300,
+                features: 20,
+                labels: 6,
+                seed: 12,
+                ..Default::default()
+            }),
+        ),
+    ] {
+        let model = GpuTrainer::new(Device::rtx4090(), quick_config()).fit(&ds);
+        let via_bin = serialize::from_bytes(&serialize::to_bytes(&model)).unwrap();
+        let via_json = gbdt_mo::core::Model::from_json(&model.to_json()).unwrap();
+        assert_eq!(
+            via_bin.predict(ds.features()),
+            via_json.predict(ds.features()),
+            "formats disagree (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn streams_and_compiled_serving_preserve_the_model() {
+    let ds = make_classification(&ClassificationSpec {
+        instances: 1000,
+        features: 12,
+        classes: 4,
+        informative: 8,
+        seed: 20,
+        ..Default::default()
+    });
+    let serial = GpuTrainer::new(Device::rtx4090(), quick_config()).fit(&ds);
+    let mut cfg = quick_config();
+    cfg.streams = 4;
+    let streamed = GpuTrainer::new(Device::rtx4090(), cfg).fit(&ds);
+    assert_eq!(
+        serial.predict(ds.features()),
+        streamed.predict(ds.features()),
+        "streams must not change the model"
+    );
+    let compiled = CompiledEnsemble::compile(&streamed);
+    assert_eq!(compiled.predict(ds.features()), streamed.predict(ds.features()));
+}
+
+#[test]
+fn random_forest_slots_into_the_comparison() {
+    let ds = make_classification(&ClassificationSpec {
+        instances: 700,
+        features: 14,
+        classes: 3,
+        informative: 10,
+        class_sep: 2.0,
+        flip_y: 0.0,
+        seed: 30,
+        ..Default::default()
+    });
+    let (train, test) = ds.split(0.3, 31);
+    let forest = RandomForestTrainer::new(
+        Device::rtx4090(),
+        ForestConfig {
+            num_trees: 25,
+            max_depth: 6,
+            max_bins: 32,
+            ..ForestConfig::default()
+        },
+    )
+    .fit_report(&train);
+    let gbdt = GpuTrainer::new(Device::rtx4090(), quick_config()).fit(&train);
+
+    let a_forest = accuracy(&forest.model.predict(test.features()), &test.labels());
+    let a_gbdt = accuracy(&gbdt.predict(test.features()), &test.labels());
+    assert!(a_forest > 0.7, "forest accuracy {a_forest}");
+    assert!(a_gbdt > 0.7, "gbdt accuracy {a_gbdt}");
+    assert!(forest.sim_seconds > 0.0);
+}
+
+#[test]
+fn leaf_embedding_has_expected_shape_and_granularity() {
+    let ds = make_classification(&ClassificationSpec {
+        instances: 400,
+        features: 10,
+        classes: 3,
+        informative: 8,
+        seed: 40,
+        ..Default::default()
+    });
+    let model = GpuTrainer::new(Device::rtx4090(), quick_config()).fit(&ds);
+    let emb = apply_leaf_indices(&model.trees, ds.features());
+    assert_eq!(emb.len(), ds.n() * model.num_trees());
+    // A useful embedding distinguishes instances: more than one distinct
+    // leaf per tree.
+    for t in 0..model.num_trees() {
+        let mut leaves: Vec<u32> = (0..ds.n()).map(|i| emb[i * model.num_trees() + t]).collect();
+        leaves.sort_unstable();
+        leaves.dedup();
+        assert!(leaves.len() > 1, "tree {t} routed everything to one leaf");
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests of multi-GPU training: for random shapes,
+//! device counts and strategies, the trained model must be bit-equal to
+//! the single-device model, and simulated time must be positive and
+//! barrier-consistent across the group.
+
+use gbdt_mo::core::{MultiGpuStrategy, MultiGpuTrainer};
+use gbdt_mo::prelude::*;
+use proptest::prelude::*;
+
+fn quick_config(trees: usize, depth: usize) -> TrainConfig {
+    TrainConfig {
+        num_trees: trees,
+        max_depth: depth,
+        max_bins: 16,
+        min_instances: 3,
+        ..TrainConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_device_count_and_strategy_is_exact(
+        n in 60usize..240,
+        m in 2usize..10,
+        classes in 2usize..5,
+        k in 1usize..6,
+        strategy_pick in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let ds = make_classification(&ClassificationSpec {
+            instances: n,
+            features: m,
+            classes,
+            informative: (m / 2).max(1),
+            seed,
+            ..Default::default()
+        });
+        let cfg = quick_config(2, 3);
+        let single = GpuTrainer::new(Device::rtx4090(), cfg.clone()).fit(&ds);
+        let strategy = if strategy_pick {
+            MultiGpuStrategy::FeatureParallel
+        } else {
+            MultiGpuStrategy::DataParallel
+        };
+        let trainer = MultiGpuTrainer::with_strategy(DeviceGroup::rtx4090s(k), cfg, strategy);
+        let multi = trainer.fit(&ds);
+        prop_assert_eq!(
+            single.predict(ds.features()),
+            multi.predict(ds.features()),
+            "k={} strategy={:?}", k, strategy
+        );
+        // Bulk-synchronous group: after training all device clocks agree.
+        let clocks: Vec<f64> = trainer
+            .group()
+            .devices()
+            .iter()
+            .map(|d| d.now_ns())
+            .collect();
+        for w in clocks.windows(2) {
+            prop_assert!((w[0] - w[1]).abs() < 1e-6, "clocks diverged: {:?}", clocks);
+        }
+        prop_assert!(clocks[0] > 0.0);
+    }
+
+    #[test]
+    fn feature_partition_is_always_a_partition(m in 1usize..200, k in 1usize..16) {
+        let parts = gbdt_mo::core::multigpu::partition_features(m, k);
+        prop_assert_eq!(parts.len(), k);
+        let mut covered = 0;
+        let mut prev_end = 0;
+        for &(lo, hi) in &parts {
+            prop_assert_eq!(lo, prev_end);
+            prop_assert!(hi >= lo);
+            covered += hi - lo;
+            prev_end = hi;
+        }
+        prop_assert_eq!(covered, m);
+        // Balanced to within one feature.
+        let sizes: Vec<usize> = parts.iter().map(|&(a, b)| b - a).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        prop_assert!(max - min <= 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests over the data substrate: CSC round-trips,
+//! binning semantics, packed-bin equivalence, partitioning.
+
+use gbdt_mo::data::{BinCuts, BinnedDataset, CscMatrix, DenseMatrix};
+use proptest::prelude::*;
+
+/// A random small dense matrix with a controllable zero fraction.
+fn dense_matrix() -> impl Strategy<Value = DenseMatrix> {
+    (1usize..40, 1usize..8).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(
+            prop_oneof![3 => Just(0.0f32), 7 => -100.0f32..100.0f32],
+            rows * cols,
+        )
+        .prop_map(move |values| DenseMatrix::new(rows, cols, values))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn csc_roundtrip_is_lossless(m in dense_matrix()) {
+        let csc = CscMatrix::from_dense(&m);
+        prop_assert_eq!(csc.to_dense(), m.clone());
+        prop_assert_eq!(csc.nnz(), m.nnz());
+    }
+
+    #[test]
+    fn csc_random_access_matches_dense(m in dense_matrix()) {
+        let csc = CscMatrix::from_dense(&m);
+        for i in 0..m.rows() {
+            for j in 0..m.cols() {
+                prop_assert_eq!(csc.get(i, j), m.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn csc_col_pointers_are_consistent(m in dense_matrix()) {
+        let csc = CscMatrix::from_dense(&m);
+        let cp = csc.col_pointers();
+        prop_assert_eq!(cp.len(), m.cols() + 1);
+        prop_assert_eq!(cp[0], 0);
+        prop_assert_eq!(*cp.last().unwrap(), csc.nnz());
+        prop_assert!(cp.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn binning_respects_threshold_semantics(
+        m in dense_matrix(),
+        bins in 2usize..64,
+    ) {
+        // b(v) ≤ b ⟺ v ≤ threshold(b): the exact property split
+        // routing depends on.
+        let cuts = BinCuts::from_matrix(&m, bins);
+        for j in 0..m.cols() {
+            for i in 0..m.rows() {
+                let v = m.get(i, j);
+                let bv = cuts.bin_value(j, v);
+                prop_assert!((bv as usize) < cuts.num_bins(j));
+                for b in 0..cuts.num_bins(j) as u8 {
+                    prop_assert_eq!(bv <= b, v <= cuts.threshold(j, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binning_is_monotone(m in dense_matrix()) {
+        // Larger values never land in smaller bins.
+        let cuts = BinCuts::from_matrix(&m, 32);
+        for j in 0..m.cols() {
+            let mut col = m.col(j);
+            col.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let bins: Vec<u8> = col.iter().map(|&v| cuts.bin_value(j, v)).collect();
+            prop_assert!(bins.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn all_binned_views_agree(m in dense_matrix(), bins in 2usize..64) {
+        // Dense, packed, and CSC-sparse binned views are one matrix.
+        let ds = BinnedDataset::build(&m, bins);
+        for i in 0..m.rows() {
+            for j in 0..m.cols() {
+                let b = ds.bins.get(i, j);
+                prop_assert_eq!(ds.packed.get(i, j), b);
+                prop_assert_eq!(ds.sparse.get(i, j), b);
+            }
+        }
+    }
+
+    #[test]
+    fn select_rows_then_get_matches(m in dense_matrix()) {
+        let idx: Vec<usize> = (0..m.rows()).rev().collect();
+        let sel = m.select_rows(&idx);
+        for (new_i, &old_i) in idx.iter().enumerate() {
+            for j in 0..m.cols() {
+                prop_assert_eq!(sel.get(new_i, j), m.get(old_i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn split_indices_partition(n in 1usize..500, frac in 0.0f64..1.0, seed in any::<u64>()) {
+        let (train, test) = gbdt_mo::data::split::split_indices(n, frac, seed);
+        prop_assert_eq!(train.len() + test.len(), n);
+        let mut all: Vec<usize> = train.iter().chain(test.iter()).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 gate (ROADMAP.md) plus lint/format checks. Run from the repo
+# root; exits nonzero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "ci: all checks passed"

@@ -155,8 +155,10 @@ impl CpuMoTrainer {
                         continue;
                     };
                     let col = binned.bins.col(split.feature as usize);
-                    let flags: Vec<bool> =
-                        instances.iter().map(|&i| col[i as usize] <= split.bin).collect();
+                    let flags: Vec<bool> = instances
+                        .iter()
+                        .map(|&i| col[i as usize] <= split.bin)
+                        .collect();
                     let (left_idx, right_idx) = partition_stable(&instances, &flags);
                     let threshold = binned.cuts.threshold(split.feature as usize, split.bin);
                     let (l, r) = tree.split_node(tree_node, split.feature, split.bin, threshold);

@@ -89,11 +89,7 @@ pub fn exact_best_split(
 
 /// Grow a full tree with exact greedy splits (recursive, host-only).
 /// Used as the oracle in integration tests.
-pub fn grow_exact_tree(
-    features: &DenseMatrix,
-    grads: &Gradients,
-    config: &TrainConfig,
-) -> Tree {
+pub fn grow_exact_tree(features: &DenseMatrix, grads: &Gradients, config: &TrainConfig) -> Tree {
     let mut tree = Tree::new(grads.d);
     let all: Vec<u32> = (0..grads.n as u32).collect();
     grow_rec(features, grads, config, &mut tree, 0, all, 0);

@@ -124,12 +124,7 @@ impl GbdtSoTrainer {
         &self.device
     }
 
-    fn grow(
-        &self,
-        binned: &BinnedDataset,
-        grads: &Gradients,
-        features: &[u32],
-    ) -> GrowResult {
+    fn grow(&self, binned: &BinnedDataset, grads: &Gradients, features: &[u32]) -> GrowResult {
         match self.policy {
             GrowthPolicy::LevelWise => {
                 grow_tree(&self.device, binned, grads, &self.config, features)
@@ -273,8 +268,7 @@ mod tests {
             GrowthPolicy::LeafWise,
             GrowthPolicy::Oblivious,
         ] {
-            let model =
-                GbdtSoTrainer::new(Device::rtx4090(), quick_config(), policy).fit(&train);
+            let model = GbdtSoTrainer::new(Device::rtx4090(), quick_config(), policy).fit(&train);
             let acc = accuracy(&model.predict(test.features()), &test.labels());
             assert!(acc > 0.7, "{policy:?} accuracy only {acc}");
         }
@@ -283,8 +277,8 @@ mod tests {
     #[test]
     fn trains_d_times_more_trees_than_mo() {
         let ds = dataset(4, 2);
-        let so = GbdtSoTrainer::new(Device::rtx4090(), quick_config(), GrowthPolicy::LevelWise)
-            .fit(&ds);
+        let so =
+            GbdtSoTrainer::new(Device::rtx4090(), quick_config(), GrowthPolicy::LevelWise).fit(&ds);
         let mo = GpuTrainer::new(Device::rtx4090(), quick_config()).fit(&ds);
         assert_eq!(so.num_trees(), 4 * mo.num_trees());
     }
@@ -320,8 +314,8 @@ mod tests {
     #[test]
     fn so_predictions_have_right_shape() {
         let ds = dataset(3, 4);
-        let model = GbdtSoTrainer::new(Device::rtx4090(), quick_config(), GrowthPolicy::LeafWise)
-            .fit(&ds);
+        let model =
+            GbdtSoTrainer::new(Device::rtx4090(), quick_config(), GrowthPolicy::LeafWise).fit(&ds);
         let scores = model.predict(ds.features());
         assert_eq!(scores.len(), ds.n() * 3);
         assert!(model.memory_bytes() > 0);

@@ -80,8 +80,15 @@ pub fn grow_tree_leafwise(
         let split = if instances.len() >= 2 * config.min_instances && depth < config.max_depth {
             let m = build_node_histogram(&ctx, &instances, &g, &h, hist);
             *methods.entry(m).or_insert(0) += 1;
-            let s =
-                find_best_split_batched(charges, hist, features, &g, &h, instances.len() as u32, &params);
+            let s = find_best_split_batched(
+                charges,
+                hist,
+                features,
+                &g,
+                &h,
+                instances.len() as u32,
+                &params,
+            );
             // Leaf-wise expansion is inherently sequential: every
             // evaluation is its own kernel group (no level batching).
             charges.flush(device, device.model().params.sm_count, params.segments_c);
@@ -122,9 +129,7 @@ pub fn grow_tree_leafwise(
             .max_by(|(ia, a), (ib, b)| {
                 let ga = a.split.as_ref().unwrap().gain;
                 let gb = b.split.as_ref().unwrap().gain;
-                ga.partial_cmp(&gb)
-                    .unwrap()
-                    .then(ib.cmp(ia)) // lower index wins ties
+                ga.partial_cmp(&gb).unwrap().then(ib.cmp(ia)) // lower index wins ties
             })
             .map(|(i, _)| i)
         else {
@@ -153,8 +158,18 @@ pub fn grow_tree_leafwise(
 
         let threshold = data.cuts.threshold(split.feature as usize, split.bin);
         let (l, r) = tree.split_node(node.tree_node, split.feature, split.bin, threshold);
-        let right_g: Vec<f64> = node.g.iter().zip(&split.left_g).map(|(a, b)| a - b).collect();
-        let right_h: Vec<f64> = node.h.iter().zip(&split.left_h).map(|(a, b)| a - b).collect();
+        let right_g: Vec<f64> = node
+            .g
+            .iter()
+            .zip(&split.left_g)
+            .map(|(a, b)| a - b)
+            .collect();
+        let right_h: Vec<f64> = node
+            .h
+            .iter()
+            .zip(&split.left_h)
+            .map(|(a, b)| a - b)
+            .collect();
 
         let lg = split.left_g;
         let lh = split.left_h;

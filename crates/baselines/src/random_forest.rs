@@ -241,8 +241,7 @@ mod tests {
         let (train, test) = ds.split(0.3, 63);
         let model = RandomForestTrainer::new(Device::rtx4090(), quick()).fit(&train);
         let e = rmse(&model.predict(test.features()), test.targets());
-        let mean: f32 =
-            train.targets().iter().sum::<f32>() / train.targets().len() as f32;
+        let mean: f32 = train.targets().iter().sum::<f32>() / train.targets().len() as f32;
         let e0 = rmse(&vec![mean; test.targets().len()], test.targets());
         assert!(e < e0 * 0.8, "forest rmse {e} vs global-mean {e0}");
     }
@@ -273,12 +272,11 @@ mod tests {
             ..Default::default()
         });
         let model = RandomForestTrainer::new(Device::rtx4090(), quick()).fit(&ds);
-        let distinct = model
-            .trees
-            .windows(2)
-            .filter(|w| w[0] != w[1])
-            .count();
-        assert!(distinct > 0, "bootstrap/feature sampling must diversify trees");
+        let distinct = model.trees.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(
+            distinct > 0,
+            "bootstrap/feature sampling must diversify trees"
+        );
         assert_eq!(model.num_trees(), 20);
     }
 

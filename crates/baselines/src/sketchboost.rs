@@ -120,7 +120,12 @@ pub fn sketch_gradients(
         "gradient_sketch",
         Phase::Gradient,
         &KernelCost::streaming(
-            (n * d * if strategy == SketchStrategy::RandomProjection { k } else { 1 }) as f64,
+            (n * d
+                * if strategy == SketchStrategy::RandomProjection {
+                    k
+                } else {
+                    1
+                }) as f64,
             (n * (d + k) * 8) as f64,
         ),
     );
@@ -281,11 +286,16 @@ fn retarget_leaves(
         .zip(&grown.leaf_nodes)
         .map(|((instances, _), &node)| {
             let (g, h) = full_grads.sums(instances);
-            (node, leaf_values(&g, &h, config.lambda, config.learning_rate))
+            (
+                node,
+                leaf_values(&g, &h, config.lambda, config.learning_rate),
+            )
         })
         .collect();
     grown.tree.with_leaf_values(full_grads.d, |node| {
-        values.remove(&node).unwrap_or_else(|| vec![0.0; full_grads.d])
+        values
+            .remove(&node)
+            .unwrap_or_else(|| vec![0.0; full_grads.d])
     })
 }
 

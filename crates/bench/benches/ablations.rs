@@ -53,11 +53,9 @@ fn ablations(c: &mut Criterion) {
     for packing in [true, false] {
         let mut cfg = base.clone();
         cfg.hist.warp_packing = packing;
-        group.bench_with_input(
-            BenchmarkId::new("bin_packing", packing),
-            &cfg,
-            |b, cfg| sim(b, || single(cfg, &train)),
-        );
+        group.bench_with_input(BenchmarkId::new("bin_packing", packing), &cfg, |b, cfg| {
+            sim(b, || single(cfg, &train))
+        });
     }
 
     // Histogram subtraction.
@@ -75,11 +73,9 @@ fn ablations(c: &mut Criterion) {
     for sparse in [true, false] {
         let mut cfg = base.clone();
         cfg.hist.sparse_aware = sparse;
-        group.bench_with_input(
-            BenchmarkId::new("sparse_aware", sparse),
-            &cfg,
-            |b, cfg| sim(b, || single(cfg, &train)),
-        );
+        group.bench_with_input(BenchmarkId::new("sparse_aware", sparse), &cfg, |b, cfg| {
+            sim(b, || single(cfg, &train))
+        });
     }
 
     // Multi-GPU scaling.

@@ -16,7 +16,11 @@ fn fig4(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     let cfg = bench_config(5, 4, 64);
 
-    for ds in [PaperDataset::Delicious, PaperDataset::Mnist, PaperDataset::Caltech101] {
+    for ds in [
+        PaperDataset::Delicious,
+        PaperDataset::Mnist,
+        PaperDataset::Caltech101,
+    ] {
         let (train, _test, name) = bench_dataset(ds, 1.0, 42);
         group.bench_with_input(BenchmarkId::new("total", &name), &(), |b, _| {
             b.iter_custom(|iters| {
@@ -33,8 +37,12 @@ fn fig4(c: &mut Criterion) {
                 let mut total = Duration::ZERO;
                 for _ in 0..iters {
                     let r = GpuTrainer::new(Device::rtx4090(), cfg.clone()).fit_report(&train);
-                    let hist_ns =
-                        r.sim.by_phase.get(&Phase::Histogram).copied().unwrap_or(0.0);
+                    let hist_ns = r
+                        .sim
+                        .by_phase
+                        .get(&Phase::Histogram)
+                        .copied()
+                        .unwrap_or(0.0);
                     total += Duration::from_secs_f64((hist_ns * 1e-9).max(1e-12));
                 }
                 total

@@ -18,7 +18,11 @@ fn table2(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     let cfg = bench_config(5, 4, 64);
 
-    for ds in [PaperDataset::Mnist, PaperDataset::NusWide, PaperDataset::Delicious] {
+    for ds in [
+        PaperDataset::Mnist,
+        PaperDataset::NusWide,
+        PaperDataset::Delicious,
+    ] {
         let (train, test, name) = bench_dataset(ds, 1.0, 42);
         for system in SystemId::gpu_systems() {
             group.bench_with_input(

@@ -19,7 +19,11 @@ fn table4(c: &mut Criterion) {
 
         // CPU rows: ordinary wall-clock measurement of the real fit.
         for storage in [CpuStorage::Dense, CpuStorage::Sparse] {
-            let label = if storage == CpuStorage::Dense { "mo-fu" } else { "mo-sp" };
+            let label = if storage == CpuStorage::Dense {
+                "mo-fu"
+            } else {
+                "mo-sp"
+            };
             group.bench_with_input(BenchmarkId::new(label, &name), &storage, |b, &storage| {
                 b.iter(|| CpuMoTrainer::new(cfg.clone(), storage).fit(&train))
             });

@@ -16,6 +16,8 @@
 //!   fig6b      Fig. 6b  training time vs number of classes
 //!   fig7       Fig. 7   training time vs tree depth
 //!   ablations  design-choice ablations from DESIGN.md
+//!   hostbench  host wall-clock of the level-wise grower (subtraction
+//!              × parallel_level_hist), simulated time held fixed
 //!   all        everything above
 //! ```
 //!
@@ -67,31 +69,50 @@ impl Opts {
     }
 }
 
-fn parse_args() -> (String, Opts) {
-    let mut args = std::env::args().skip(1);
+const USAGE: &str = "usage: repro <datasets|table2|table3|table4|fig4|fig5|fig6a|fig6b|fig7|ablations|hostbench|all> [flags]\n\
+flags: --trees N --depth N --bins N --scale F --gpus K --seed S --full";
+
+/// Parse a flag value, naming the flag in the error.
+fn parse_value<T: std::str::FromStr>(value: String, name: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("invalid value `{value}` for {name}"))
+}
+
+/// Parse `repro`'s CLI: command word, then flags. Errors (unknown flag,
+/// missing or unparsable value) report what went wrong; `main` prints
+/// the usage text and exits nonzero.
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<(String, Opts), String> {
     let cmd = args.next().unwrap_or_else(|| "help".to_string());
     let mut opts = Opts::default();
     while let Some(a) = args.next() {
-        let mut grab = |name: &str| -> String {
+        let mut grab = |name: &str| -> Result<String, String> {
             args.next()
-                .unwrap_or_else(|| panic!("missing value for {name}"))
+                .ok_or_else(|| format!("missing value for {name}"))
         };
         match a.as_str() {
-            "--trees" => opts.trees = grab("--trees").parse().expect("--trees"),
-            "--depth" => opts.depth = grab("--depth").parse().expect("--depth"),
-            "--bins" => opts.bins = grab("--bins").parse().expect("--bins"),
-            "--scale" => opts.scale = grab("--scale").parse().expect("--scale"),
-            "--gpus" => opts.gpus = grab("--gpus").parse().expect("--gpus"),
-            "--seed" => opts.seed = grab("--seed").parse().expect("--seed"),
+            "--trees" => opts.trees = parse_value(grab("--trees")?, "--trees")?,
+            "--depth" => opts.depth = parse_value(grab("--depth")?, "--depth")?,
+            "--bins" => opts.bins = parse_value(grab("--bins")?, "--bins")?,
+            "--scale" => opts.scale = parse_value(grab("--scale")?, "--scale")?,
+            "--gpus" => opts.gpus = parse_value(grab("--gpus")?, "--gpus")?,
+            "--seed" => opts.seed = parse_value(grab("--seed")?, "--seed")?,
             "--full" => opts.full = true,
-            other => panic!("unknown flag {other}"),
+            other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    (cmd, opts)
+    Ok((cmd, opts))
 }
 
 fn main() {
-    let (cmd, opts) = parse_args();
+    let (cmd, opts) = match parse_args(std::env::args().skip(1)) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
     match cmd.as_str() {
         "datasets" => datasets(),
         "table2" => table2_3(&opts, true, false),
@@ -103,6 +124,7 @@ fn main() {
         "fig6b" => fig6b(&opts),
         "fig7" => fig7(&opts),
         "ablations" => ablations(&opts),
+        "hostbench" => hostbench(&opts),
         "all" => {
             datasets();
             table2_3(&opts, true, true);
@@ -114,10 +136,61 @@ fn main() {
             fig7(&opts);
             ablations(&opts);
         }
-        _ => {
-            eprintln!("usage: repro <datasets|table2|table3|table4|fig4|fig5|fig6a|fig6b|fig7|ablations|all> [flags]");
-            eprintln!("flags: --trees N --depth N --bins N --scale F --gpus K --seed S --full");
+        "help" | "--help" | "-h" => println!("{USAGE}"),
+        other => {
+            eprintln!("error: unknown command `{other}`");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
         }
+    }
+}
+
+#[cfg(test)]
+mod cli_tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> std::vec::IntoIter<String> {
+        s.iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let (cmd, opts) =
+            parse_args(argv(&["fig4", "--trees", "7", "--scale", "0.5", "--full"])).unwrap();
+        assert_eq!(cmd, "fig4");
+        assert_eq!(opts.trees, 7);
+        assert_eq!(opts.scale, 0.5);
+        assert!(opts.full);
+    }
+
+    #[test]
+    fn empty_args_default_to_help() {
+        let (cmd, _) = parse_args(argv(&[])).unwrap();
+        assert_eq!(cmd, "help");
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        let err = parse_args(argv(&["fig4", "--bogus"])).unwrap_err();
+        assert!(err.contains("unknown flag"), "{err}");
+        assert!(err.contains("--bogus"), "{err}");
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let err = parse_args(argv(&["fig4", "--trees"])).unwrap_err();
+        assert!(err.contains("missing value"), "{err}");
+        assert!(err.contains("--trees"), "{err}");
+    }
+
+    #[test]
+    fn unparsable_value_is_an_error() {
+        let err = parse_args(argv(&["fig4", "--trees", "many"])).unwrap_err();
+        assert!(err.contains("invalid value"), "{err}");
+        assert!(err.contains("many"), "{err}");
     }
 }
 
@@ -198,14 +271,16 @@ fn table2_3(opts: &Opts, show_time: bool, show_metric: bool) {
                 &time_rows_single
             )
         );
-        println!(
-            "== Table 2 ({} GPUs): ours, single vs multi ==",
-            opts.gpus
-        );
+        println!("== Table 2 ({} GPUs): ours, single vs multi ==", opts.gpus);
         println!(
             "{}",
             render_table(
-                &["Dataset", "ours(1)", &format!("ours({})", opts.gpus), "speedup"],
+                &[
+                    "Dataset",
+                    "ours(1)",
+                    &format!("ours({})", opts.gpus),
+                    "speedup"
+                ],
                 &time_rows_dual
             )
         );
@@ -255,10 +330,7 @@ fn table4(opts: &Opts) {
     println!(
         "{}",
         render_table(
-            &[
-                "Dataset", "mo-fu(s)", "mo-sp(s)", "ours(s)", "vs mo-sp", "mo-fu", "mo-sp",
-                "ours"
-            ],
+            &["Dataset", "mo-fu(s)", "mo-sp(s)", "ours(s)", "vs mo-sp", "mo-fu", "mo-sp", "ours"],
             &rows
         )
     );
@@ -278,7 +350,13 @@ fn fig4(opts: &Opts) {
         let (train, _test, name) = bench_dataset(ds, opts.scale, opts.seed);
         let report = GpuTrainer::new(Device::rtx4090(), cfg.clone()).fit_report(&train);
         let total = report.sim_seconds;
-        let hist = report.sim.by_phase.get(&Phase::Histogram).copied().unwrap_or(0.0) * 1e-9;
+        let hist = report
+            .sim
+            .by_phase
+            .get(&Phase::Histogram)
+            .copied()
+            .unwrap_or(0.0)
+            * 1e-9;
         rows.push(vec![
             name,
             fmt_secs(total),
@@ -330,7 +408,10 @@ fn fig5(opts: &Opts) {
         println!(
             "{}",
             render_table(
-                &["#trees", "mo-fu", "mo-sp", "catboost", "lightgbm", "xgboost", "sk-boost", "ours"],
+                &[
+                    "#trees", "mo-fu", "mo-sp", "catboost", "lightgbm", "xgboost", "sk-boost",
+                    "ours"
+                ],
                 &rows
             )
         );
@@ -365,7 +446,14 @@ fn fig6a(opts: &Opts) {
     println!(
         "{}",
         render_table(
-            &["Dataset", "gmem", "smem", "all-reduce", "gmem+wo", "smem+wo"],
+            &[
+                "Dataset",
+                "gmem",
+                "smem",
+                "all-reduce",
+                "gmem+wo",
+                "smem+wo"
+            ],
             &rows
         )
     );
@@ -412,7 +500,10 @@ fn fig6b(opts: &Opts) {
     println!("== Fig. 6b: training time vs #classes (synthetic) ==");
     println!(
         "{}",
-        render_table(&["#classes", "catboost", "xgboost", "sk-boost", "ours"], &rows)
+        render_table(
+            &["#classes", "catboost", "xgboost", "sk-boost", "ours"],
+            &rows
+        )
     );
 }
 
@@ -462,7 +553,11 @@ fn fig7(opts: &Opts) {
     println!("-- estimated device footprint at FULL paper shapes (24 GB card) --");
     let vram = 24usize * (1 << 30);
     let mut rows = Vec::new();
-    for ds in [PaperDataset::Delicious, PaperDataset::Caltech101, PaperDataset::Mnist] {
+    for ds in [
+        PaperDataset::Delicious,
+        PaperDataset::Caltech101,
+        PaperDataset::Mnist,
+    ] {
         let s = ds.shape();
         // Our single reusable histogram buffer keeps the footprint flat
         // in depth (the paper: "our method remains stable"); a design
@@ -475,7 +570,10 @@ fn fig7(opts: &Opts) {
                 cfg.max_depth = depth;
                 cfg.hist.subtraction = subtraction;
                 let est = gbdt_core::memory::estimate_training_bytes(
-                    s.instances, s.features, s.outputs, &cfg,
+                    s.instances,
+                    s.features,
+                    s.outputs,
+                    &cfg,
                 );
                 row.push(format!(
                     "{}{}",
@@ -540,7 +638,12 @@ fn ablations(opts: &Opts) {
             c.hist.subtraction = sub;
             let r = GpuTrainer::new(Device::rtx4090(), c).fit_report(&train);
             rows.push(vec![
-                if sub { "parent−child" } else { "rebuild both" }.to_string(),
+                if sub {
+                    "parent−child"
+                } else {
+                    "rebuild both"
+                }
+                .to_string(),
                 fmt_secs(r.sim_seconds),
             ]);
         }
@@ -557,7 +660,12 @@ fn ablations(opts: &Opts) {
             let r = GpuTrainer::new(Device::rtx4090(), c).fit_report(&train);
             let m = gbdt_bench::model_metric(&r.model, &test);
             rows.push(vec![
-                if sparse { "CSC (sparse-aware)" } else { "dense bins" }.to_string(),
+                if sparse {
+                    "CSC (sparse-aware)"
+                } else {
+                    "dense bins"
+                }
+                .to_string(),
                 fmt_secs(r.sim_seconds),
                 format!("{m:.2}"),
             ]);
@@ -574,12 +682,8 @@ fn ablations(opts: &Opts) {
             c.hist.quantized_gradients = quantized;
             let r = GpuTrainer::new(Device::rtx4090(), c.clone()).fit_report(&train);
             let m = gbdt_bench::model_metric(&r.model, &test);
-            let est = gbdt_core::memory::estimate_training_bytes(
-                train.n(),
-                train.m(),
-                train.d(),
-                &c,
-            );
+            let est =
+                gbdt_core::memory::estimate_training_bytes(train.n(), train.m(), train.d(), &c);
             rows.push(vec![
                 if quantized { "bf16" } else { "f32" }.to_string(),
                 fmt_secs(r.sim_seconds),
@@ -642,7 +746,8 @@ fn ablations(opts: &Opts) {
             sparse_test.d(),
             sparse_test.task(),
         );
-        let bundled = GpuTrainer::new(Device::rtx4090(), base_cfg.clone()).fit_report(&bundled_train);
+        let bundled =
+            GpuTrainer::new(Device::rtx4090(), base_cfg.clone()).fit_report(&bundled_train);
         let bundled_metric = gbdt_bench::model_metric(&bundled.model, &bundled_test);
         println!("-- exclusive feature bundling ({ds_name}) --");
         println!(
@@ -716,14 +821,70 @@ fn ablations(opts: &Opts) {
         println!("-- multi-GPU scaling: feature-parallel (paper) vs data-parallel --");
         println!(
             "{}",
-            render_table(
-                &["#GPUs", "feat-par", "speedup", "data-par"],
-                &rows
-            )
+            render_table(&["#GPUs", "feat-par", "speedup", "data-par"], &rows)
         );
         println!(
             "   (data-parallel all-reduces the full m×bins×d histogram per level —\n\
              \x20   the communication blow-up that motivates the paper's feature partitioning)\n"
         );
     }
+}
+
+/// Host-side cost of the level-wise grower on a synthetic multi-output
+/// workload: `host_seconds` (wall-clock of the simulation itself) for
+/// every combination of the subtraction trick and the
+/// `parallel_level_hist` toggle. Simulated seconds are printed next to
+/// each row — identical within a subtraction setting by construction
+/// (the toggle moves host arithmetic only, never device charges).
+fn hostbench(opts: &Opts) {
+    let spec = ClassificationSpec {
+        instances: (4_000 as f64 * opts.scale).round() as usize,
+        features: 64,
+        classes: 24,
+        informative: 24,
+        class_sep: 1.2,
+        seed: opts.seed,
+        ..Default::default()
+    };
+    let train = make_classification(&spec);
+    let mut rows = Vec::new();
+    for subtraction in [false, true] {
+        for parallel in [false, true] {
+            let mut cfg = opts.config();
+            cfg.max_depth = cfg.max_depth.max(8); // deep frontier: many live hists
+            cfg.hist.subtraction = subtraction;
+            cfg.parallel_level_hist = parallel;
+            // Median of 3 runs to steady the wall-clock.
+            let mut host = Vec::new();
+            let mut sim = 0.0;
+            for _ in 0..3 {
+                let r = GpuTrainer::new(Device::rtx4090(), cfg.clone()).fit_report(&train);
+                host.push(r.host_seconds);
+                sim = r.sim_seconds;
+            }
+            host.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            rows.push(vec![
+                if subtraction {
+                    "parent−child"
+                } else {
+                    "rebuild both"
+                }
+                .to_string(),
+                if parallel { "parallel" } else { "serial" }.to_string(),
+                format!("{:.3}", host[1]),
+                fmt_secs(sim),
+            ]);
+        }
+    }
+    println!(
+        "== hostbench: level histogram build, n={} m={} d={} ==",
+        spec.instances, spec.features, spec.classes
+    );
+    println!(
+        "{}",
+        render_table(
+            &["children hists", "level build", "host(s)", "sim(s)"],
+            &rows
+        )
+    );
 }

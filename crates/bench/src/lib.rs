@@ -171,8 +171,8 @@ pub fn run_system(
             )
         }
         SystemId::OursMultiGpu(k) => {
-            let r = MultiGpuTrainer::new(DeviceGroup::rtx4090s(k), config.clone())
-                .fit_report(train);
+            let r =
+                MultiGpuTrainer::new(DeviceGroup::rtx4090s(k), config.clone()).fit_report(train);
             (
                 r.sim_seconds,
                 TimeDomain::Simulated,
@@ -186,8 +186,7 @@ pub fn run_system(
                 SystemId::LightGbm => GrowthPolicy::LeafWise,
                 _ => GrowthPolicy::Oblivious,
             };
-            let r = GbdtSoTrainer::new(Device::rtx4090(), config.clone(), policy)
-                .fit_report(train);
+            let r = GbdtSoTrainer::new(Device::rtx4090(), config.clone(), policy).fit_report(train);
             (
                 r.sim_seconds,
                 TimeDomain::Simulated,
@@ -363,7 +362,10 @@ mod tests {
         assert!(t.contains("Caltech101"));
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
-        assert_eq!(lines[1].chars().filter(|&c| c == '-').count(), lines[1].len());
+        assert_eq!(
+            lines[1].chars().filter(|&c| c == '-').count(),
+            lines[1].len()
+        );
     }
 
     #[test]

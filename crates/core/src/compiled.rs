@@ -195,7 +195,10 @@ mod tests {
     fn compiled_predictions_match_interpreter_exactly() {
         let (model, ds) = trained();
         let compiled = CompiledEnsemble::compile(&model);
-        assert_eq!(compiled.predict(ds.features()), model.predict(ds.features()));
+        assert_eq!(
+            compiled.predict(ds.features()),
+            model.predict(ds.features())
+        );
         assert_eq!(compiled.num_trees(), model.num_trees());
         assert_eq!(compiled.d(), 4);
     }

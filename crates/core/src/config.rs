@@ -6,9 +6,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Which histogram-building kernel to use (paper §3.3).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum HistogramMethod {
     /// Global-memory atomics (§3.3.2): simple, fast for small nodes,
     /// degrades under atomic contention.
@@ -102,6 +100,13 @@ pub struct TrainConfig {
     /// default); more streams shorten deep levels full of small nodes,
     /// whose launch latencies then overlap.
     pub streams: usize,
+    /// Build the histograms of one tree level's nodes in parallel on
+    /// the host (they are mutually independent — the same property the
+    /// `streams` overlap exploits on the simulated device). Affects
+    /// host wall-clock only: device charges are issued serially in
+    /// node-index order either way, so the simulated timeline and the
+    /// grown tree are bit-identical at any thread count.
+    pub parallel_level_hist: bool,
     /// RNG seed for any stochastic component.
     pub seed: u64,
 }
@@ -123,6 +128,7 @@ impl Default for TrainConfig {
             goss: None,
             monotone_constraints: Vec::new(),
             streams: 1,
+            parallel_level_hist: true,
             seed: 0,
         }
     }
@@ -158,6 +164,35 @@ impl GossConfig {
             ));
         }
         Ok(())
+    }
+}
+
+/// A rejected [`TrainConfig`]: carries the human-readable reason the
+/// configuration failed [`TrainConfig::validate`]. Returned by the
+/// fallible trainer constructors (`GpuTrainer::try_new`,
+/// `MultiGpuTrainer::try_new`); the panicking `new` wrappers surface
+/// the same message via `expect`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(String);
+
+impl ConfigError {
+    /// The validation failure message.
+    pub fn message(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid training configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<String> for ConfigError {
+    fn from(msg: String) -> Self {
+        ConfigError(msg)
     }
 }
 
@@ -197,7 +232,11 @@ impl TrainConfig {
         if self.streams == 0 || self.streams > 64 {
             return Err(format!("streams {} out of range 1..=64", self.streams));
         }
-        if self.monotone_constraints.iter().any(|&c| !(-1..=1).contains(&c)) {
+        if self
+            .monotone_constraints
+            .iter()
+            .any(|&c| !(-1..=1).contains(&c))
+        {
             return Err("monotone constraints must be −1, 0 or +1".into());
         }
         Ok(())

@@ -68,7 +68,9 @@ pub fn cross_validate(ds: &Dataset, config: &TrainConfig, k: usize, seed: u64) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gbdt_data::synth::{make_classification, make_regression, ClassificationSpec, RegressionSpec};
+    use gbdt_data::synth::{
+        make_classification, make_regression, ClassificationSpec, RegressionSpec,
+    };
 
     fn quick() -> TrainConfig {
         TrainConfig {

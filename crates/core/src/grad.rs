@@ -73,7 +73,12 @@ pub fn compute_gradients(
         .zip(h.par_chunks_mut(d))
         .enumerate()
         .for_each(|(i, (gr, hr))| {
-            loss.grad_hess_row(&scores[i * d..(i + 1) * d], &targets[i * d..(i + 1) * d], gr, hr);
+            loss.grad_hess_row(
+                &scores[i * d..(i + 1) * d],
+                &targets[i * d..(i + 1) * d],
+                gr,
+                hr,
+            );
         });
     device.charge_kernel(
         "grad_hess",
@@ -193,7 +198,12 @@ mod tests {
         // Spot-check one row against a direct call.
         let mut g = vec![0.0f32; d];
         let mut h = vec![0.0f32; d];
-        SoftmaxLoss.grad_hess_row(&scores[7 * d..8 * d], &targets[7 * d..8 * d], &mut g, &mut h);
+        SoftmaxLoss.grad_hess_row(
+            &scores[7 * d..8 * d],
+            &targets[7 * d..8 * d],
+            &mut g,
+            &mut h,
+        );
         assert_eq!(gr.g_row(7), &g[..]);
         assert_eq!(gr.h_row(7), &h[..]);
     }

@@ -1,20 +1,44 @@
 //! Level-wise tree growth (paper Algorithm 1).
 //!
-//! The frontier of open nodes is processed one depth level at a time:
-//! build each node's histogram (adaptive method selection per node),
-//! find its best split via segmented reductions, partition its
-//! instances into the children, repeat until the depth limit or until
-//! no node has a valid split. Instances end up assigned to exactly one
-//! leaf; the assignments feed the incremental score update of §3.1.1.
+//! The frontier of open nodes is processed one depth level at a time in
+//! a **two-stage pass**:
+//!
+//! 1. **Histogram build** — every open node's histogram is produced:
+//!    fresh builds accumulate from instance data (in parallel across
+//!    nodes when [`TrainConfig::parallel_level_hist`] is set — they are
+//!    mutually independent), then subtraction-inherited nodes derive
+//!    `parent − sibling` from the parent buffer that survived the
+//!    previous level. Level-batched buffers are only used when the
+//!    subtraction trick or real host parallelism calls for them;
+//!    otherwise stage 1 is skipped and each histogram is built lazily
+//!    in stage 2 over a single hot pooled buffer (better cache reuse
+//!    single-threaded).
+//! 2. **Split selection** — nodes are visited strictly in node-index
+//!    order: device charges are issued, the best split is found via
+//!    segmented reductions, and instances are partitioned into the
+//!    children.
+//!
+//! Because stage 2 is serial and consumes histograms in node-index
+//! order, the grown tree and the simulated timeline are bit-identical
+//! at any host thread count and with the parallel build disabled.
+//! Histogram buffers come from a [`HistogramPool`] reused across
+//! levels and trees; on the subtraction path the parent's buffer stays
+//! alive (owned by the level loop) until both children have resolved.
 
 use crate::config::{HistogramMethod, TrainConfig};
 use crate::grad::Gradients;
-use crate::hist::{accumulate_only, charge_method, method_cost, resolve_method, HistContext, NodeHistogram};
-use crate::split::{find_best_split_constrained, leaf_values, ConstraintState, LevelSplitCharges, SplitParams};
+use crate::hist::{
+    accumulate_only, charge_method, method_cost, resolve_method, HistContext, NodeHistogram,
+};
+use crate::memory::HistogramPool;
+use crate::split::{
+    find_best_split_constrained, leaf_values, ConstraintState, LevelSplitCharges, SplitParams,
+};
 use crate::tree::Tree;
 use gbdt_data::BinnedDataset;
 use gpusim::cost::KernelCost;
 use gpusim::{Device, Phase};
+use rayon::prelude::*;
 use std::collections::BTreeMap;
 
 /// Charging policy for per-node histogram kernels: serialized onto the
@@ -75,6 +99,20 @@ pub fn partition_stable(idx: &[u32], flags: &[bool]) -> (Vec<u32>, Vec<u32>) {
     (left, right)
 }
 
+/// Where a frontier node's histogram comes from in the level's build
+/// stage.
+#[derive(Debug, Clone, Copy)]
+enum HistSource {
+    /// Accumulate from instance data (fresh build; charged as a
+    /// histogram kernel).
+    Build,
+    /// Derive as `parents[parent] − sibling's histogram` — the
+    /// subtraction trick. The sibling (at frontier index `sibling`,
+    /// always the smaller child) builds fresh in the same level; the
+    /// parent's buffer survived the previous level for exactly this.
+    Derive { parent: usize, sibling: usize },
+}
+
 /// One open node during growth.
 struct NodeWork {
     /// Index of this node in the tree.
@@ -85,8 +123,8 @@ struct NodeWork {
     g: Vec<f64>,
     /// Per-output Hessian totals.
     h: Vec<f64>,
-    /// Histogram inherited via subtraction (when enabled).
-    inherited: Option<NodeHistogram>,
+    /// How this node's histogram is produced.
+    source: HistSource,
     /// Per-output leaf-value bounds from constrained ancestors (only
     /// allocated when monotone constraints are active).
     bounds: Option<Vec<(f64, f64)>>,
@@ -131,7 +169,9 @@ pub fn grow_tree(
 }
 
 /// Grow one tree rooted at an explicit instance subset (stochastic
-/// gradient boosting's per-tree row sample).
+/// gradient boosting's per-tree row sample). Allocates a private
+/// [`HistogramPool`]; the trainer's tree loop uses
+/// [`grow_tree_pooled`] to reuse buffers across trees.
 pub fn grow_tree_on(
     device: &Device,
     data: &BinnedDataset,
@@ -140,7 +180,23 @@ pub fn grow_tree_on(
     features: &[u32],
     root_idx: Vec<u32>,
 ) -> GrowResult {
+    let mut pool = HistogramPool::new(features.len(), grads.d, config.max_bins);
+    grow_tree_pooled(device, data, grads, config, features, root_idx, &mut pool)
+}
+
+/// [`grow_tree_on`] with a caller-owned histogram-buffer pool, so
+/// consecutive trees reuse the same multi-MB allocations.
+pub fn grow_tree_pooled(
+    device: &Device,
+    data: &BinnedDataset,
+    grads: &Gradients,
+    config: &TrainConfig,
+    features: &[u32],
+    root_idx: Vec<u32>,
+    pool: &mut HistogramPool,
+) -> GrowResult {
     let d = grads.d;
+    pool.ensure_shape(features.len(), d, config.max_bins);
     let ctx = HistContext {
         device,
         data,
@@ -175,29 +231,100 @@ pub fn grow_tree_on(
         instances: root_idx,
         g: root_g,
         h: root_h,
-        inherited: None,
+        source: HistSource::Build,
         bounds: constrained.then(|| vec![(f64::NEG_INFINITY, f64::INFINITY); d]),
     }];
-
-    // Reusable histogram buffer (multi-MB for wide × deep outputs;
-    // reallocation per node would dominate host time).
-    let mut hist = NodeHistogram::new(features.len(), d, config.max_bins);
+    // Parent histograms surviving from the previous level so that
+    // `HistSource::Derive` children can subtract against them.
+    let mut parents: Vec<NodeHistogram> = Vec::new();
 
     for depth in 0..config.max_depth {
         let mut next = Vec::new();
+        let mut next_parents: Vec<NodeHistogram> = Vec::new();
         // Split evaluation and partitioning are charged once per level
         // as batched kernels (paper §3.1.3) — per-node launches would
         // dominate at depth.
         let mut split_charges = LevelSplitCharges::new();
         let mut hist_charges = HistCharges::new(config.streams);
         let mut partition_elems = 0usize;
-        for work in frontier {
+
+        // ---- stage 1: histogram build ------------------------------
+        // Level-batched buffers are needed when subtraction derives
+        // must see their sibling's and parent's buffers at once, and
+        // they pay off when real host parallelism is available. With
+        // neither, each histogram is instead built immediately before
+        // its split is selected (in stage 2), keeping a single hot
+        // buffer resident in cache — measurably faster single-threaded.
+        // Either way every buffer comes from the pool and all device
+        // charges are issued in stage 2's node-index order, so the tree
+        // and the simulated timeline are identical across modes.
+        let batch = config.hist.subtraction
+            || (config.parallel_level_hist && rayon::current_num_threads() > 1);
+        let mut hists: Vec<Option<NodeHistogram>> = frontier.iter().map(|_| None).collect();
+        if batch {
+            // Fresh builds of the level run over pooled buffers; they
+            // are mutually independent, so they may run across host
+            // threads. Nodes too small to split get no histogram.
+            let mut jobs: Vec<(usize, NodeHistogram)> = Vec::new();
+            for (i, work) in frontier.iter().enumerate() {
+                if work.instances.len() < 2 * config.min_instances {
+                    debug_assert!(
+                        matches!(work.source, HistSource::Build),
+                        "derive nodes are at least 2×min_instances by construction"
+                    );
+                    continue;
+                }
+                if matches!(work.source, HistSource::Build) {
+                    jobs.push((i, pool.acquire()));
+                }
+            }
+            {
+                let build = |(i, buf): &mut (usize, NodeHistogram)| {
+                    let w = &frontier[*i];
+                    accumulate_only(&ctx, &w.instances, &w.g, &w.h, buf);
+                };
+                if config.parallel_level_hist && jobs.len() > 1 {
+                    jobs.par_iter_mut().for_each(build);
+                } else {
+                    jobs.iter_mut().for_each(build);
+                }
+            }
+            for (i, buf) in jobs {
+                hists[i] = Some(buf);
+            }
+
+            // Subtraction-inherited nodes derive `parent − sibling`
+            // (one streaming pass, charged per node); afterwards the
+            // parent buffers return to the pool.
+            for (i, work) in frontier.iter().enumerate() {
+                let HistSource::Derive { parent, sibling } = work.source else {
+                    continue;
+                };
+                let mut out = pool.acquire();
+                let sib = hists[sibling]
+                    .as_ref()
+                    .expect("smaller sibling builds fresh in the same level");
+                out.assign_difference(&parents[parent], sib);
+                device.charge_kernel(
+                    "hist_subtract",
+                    Phase::Histogram,
+                    &KernelCost::streaming(out.g.len() as f64 * 2.0, (out.g.len() * 3 * 8) as f64),
+                );
+                hists[i] = Some(out);
+            }
+        }
+        for p in parents.drain(..) {
+            pool.release(p);
+        }
+
+        // ---- stage 2: split selection, node-index order ------------
+        for (i, work) in std::mem::take(&mut frontier).into_iter().enumerate() {
             let NodeWork {
                 tree_node,
                 instances,
                 g,
                 h,
-                inherited,
+                source,
                 bounds,
             } = work;
 
@@ -212,17 +339,28 @@ pub fn grow_tree_on(
                 leaf_nodes.push(tree_node);
             };
 
-            if instances.len() < 2 * config.min_instances {
+            // Un-batched levels build the histogram right here, just
+            // before it is consumed (same pooled buffer every node).
+            let hist_slot = hists[i].take().or_else(|| {
+                if !batch && instances.len() >= 2 * config.min_instances {
+                    let mut buf = pool.acquire();
+                    accumulate_only(&ctx, &instances, &g, &h, &mut buf);
+                    Some(buf)
+                } else {
+                    None
+                }
+            });
+            let Some(hist) = hist_slot else {
+                // Too small to split (no histogram was built).
                 finalize_leaf(&mut tree, instances, &g, &h);
                 continue;
-            }
+            };
 
-            // Histogram: inherited via subtraction, or built fresh.
-            if let Some(inherited) = inherited {
-                hist = inherited;
-            } else {
+            // Device charge for the fresh build, issued strictly in
+            // node-index order so the stream-scheduling (LPT) outcome
+            // is independent of how stage 1 was parallelized.
+            if matches!(source, HistSource::Build) {
                 let m = resolve_method(&ctx, instances.len());
-                accumulate_only(&ctx, &instances, &g, &h, &mut hist);
                 hist_charges.charge(&ctx, &instances, m);
                 *methods_used.entry(m).or_insert(0) += 1;
             }
@@ -242,6 +380,7 @@ pub fn grow_tree_on(
                 state.as_ref(),
             );
             let Some(split) = split else {
+                pool.release(hist);
                 finalize_leaf(&mut tree, instances, &g, &h);
                 continue;
             };
@@ -275,8 +414,8 @@ pub fn grow_tree_on(
                 if c != 0 {
                     for k in 0..d {
                         let (lo, hi) = parent_bounds[k];
-                        let vl = (-(split.left_g[k] / (split.left_h[k] + config.lambda)))
-                            .clamp(lo, hi);
+                        let vl =
+                            (-(split.left_g[k] / (split.left_h[k] + config.lambda))).clamp(lo, hi);
                         let vr = (-(right_g[k] / (right_h[k] + config.lambda))).clamp(lo, hi);
                         let mid = 0.5 * (vl + vr);
                         if c > 0 {
@@ -293,44 +432,37 @@ pub fn grow_tree_on(
                 (None, None)
             };
 
-            // Histogram subtraction: rebuild only the smaller child; the
-            // larger inherits `parent − smaller` (computed next level
-            // when the smaller child's histogram exists — here we derive
-            // it eagerly from the parent's, which we still hold).
-            let (mut left_inherit, mut right_inherit) = (None, None);
+            // Histogram subtraction: plan to rebuild only the smaller
+            // child next level; the larger then derives
+            // `parent − smaller` from this node's buffer, which the
+            // level loop keeps alive until both children resolve.
+            let (mut left_source, mut right_source) = (HistSource::Build, HistSource::Build);
+            let mut parent_survives = false;
             if config.hist.subtraction && depth + 1 < config.max_depth {
                 let smaller_is_left = left_idx.len() <= right_idx.len();
-                let smaller_idx = if smaller_is_left { &left_idx } else { &right_idx };
-                if smaller_idx.len() >= 2 * config.min_instances {
-                    let mut small = NodeHistogram::new(features.len(), d, config.max_bins);
-                    let (sg, sh) = if smaller_is_left {
-                        (split.left_g.clone(), split.left_h.clone())
-                    } else {
-                        (right_g.clone(), right_h.clone())
-                    };
-                    let m = resolve_method(&ctx, smaller_idx.len());
-                    accumulate_only(&ctx, smaller_idx, &sg, &sh, &mut small);
-                    hist_charges.charge(&ctx, smaller_idx, m);
-                    *methods_used.entry(m).or_insert(0) += 1;
-                    let mut large = small.clone();
-                    large.subtract_from(&hist);
-                    // `subtract` is one streaming pass over the histogram.
-                    device.charge_kernel(
-                        "hist_subtract",
-                        Phase::Histogram,
-                        &gpusim::cost::KernelCost::streaming(
-                            large.g.len() as f64 * 2.0,
-                            (large.g.len() * 3 * 8) as f64,
-                        ),
-                    );
+                let smaller_len = left_idx.len().min(right_idx.len());
+                if smaller_len >= 2 * config.min_instances {
+                    let parent = next_parents.len();
+                    let left_pos = next.len();
+                    let right_pos = next.len() + 1;
                     if smaller_is_left {
-                        left_inherit = Some(small);
-                        right_inherit = Some(large);
+                        right_source = HistSource::Derive {
+                            parent,
+                            sibling: left_pos,
+                        };
                     } else {
-                        right_inherit = Some(small);
-                        left_inherit = Some(large);
+                        left_source = HistSource::Derive {
+                            parent,
+                            sibling: right_pos,
+                        };
                     }
+                    parent_survives = true;
                 }
+            }
+            if parent_survives {
+                next_parents.push(hist);
+            } else {
+                pool.release(hist);
             }
 
             next.push(NodeWork {
@@ -338,7 +470,7 @@ pub fn grow_tree_on(
                 instances: left_idx,
                 g: split.left_g,
                 h: split.left_h,
-                inherited: left_inherit,
+                source: left_source,
                 bounds: left_bounds,
             });
             next.push(NodeWork {
@@ -346,7 +478,7 @@ pub fn grow_tree_on(
                 instances: right_idx,
                 g: right_g,
                 h: right_h,
-                inherited: right_inherit,
+                source: right_source,
                 bounds: right_bounds,
             });
         }
@@ -366,9 +498,14 @@ pub fn grow_tree_on(
             );
         }
         frontier = next;
+        parents = next_parents;
         if frontier.is_empty() {
             break;
         }
+    }
+    // Parent buffers planned for a level that never ran (depth limit).
+    for p in parents.drain(..) {
+        pool.release(p);
     }
 
     // Depth limit reached: everything still open becomes a leaf.
@@ -437,7 +574,10 @@ mod tests {
                 seen[i as usize] = true;
             }
         }
-        assert!(seen.iter().all(|&s| s), "every instance must land in a leaf");
+        assert!(
+            seen.iter().all(|&s| s),
+            "every instance must land in a leaf"
+        );
         assert_eq!(res.leaf_assignments.len(), res.tree.num_leaves());
     }
 
@@ -450,7 +590,11 @@ mod tests {
             let mut cfg = config();
             cfg.max_depth = depth;
             let res = grow_tree(&device, &data, &grads, &cfg, &features);
-            assert!(res.tree.depth() <= depth, "depth {} > limit {depth}", res.tree.depth());
+            assert!(
+                res.tree.depth() <= depth,
+                "depth {} > limit {depth}",
+                res.tree.depth()
+            );
         }
     }
 
@@ -478,7 +622,10 @@ mod tests {
             .zip(ds.targets())
             .map(|(&s, &t)| ((s - t) as f64).powi(2))
             .sum();
-        assert!(after < before * 0.9, "loss {after} not reduced from {before}");
+        assert!(
+            after < before * 0.9,
+            "loss {after} not reduced from {before}"
+        );
     }
 
     #[test]
@@ -563,7 +710,10 @@ mod tests {
         cfg.min_instances = 3;
         cfg.monotone_constraints = vec![1];
         let res = grow_tree(&device, &binned, &grads, &cfg, &[0]);
-        assert!(res.tree.num_leaves() > 2, "constraint should still allow splits");
+        assert!(
+            res.tree.num_leaves() > 2,
+            "constraint should still allow splits"
+        );
 
         let mut last = f32::NEG_INFINITY;
         for &x in &xs {
@@ -615,7 +765,10 @@ mod tests {
         let mut cfg = config();
         cfg.monotone_constraints = vec![0; 6];
         let zeroed = grow_tree(&device, &data, &grads, &cfg, &features);
-        assert_eq!(plain.tree, zeroed.tree, "all-zero constraints must be a no-op");
+        assert_eq!(
+            plain.tree, zeroed.tree,
+            "all-zero constraints must be a no-op"
+        );
     }
 
     #[test]
@@ -648,6 +801,82 @@ mod tests {
     }
 
     #[test]
+    fn parallel_toggle_changes_neither_model_nor_simulated_time() {
+        let (_, data, grads) = setup(2000, 10, 4);
+        let features: Vec<u32> = (0..10).collect();
+        for subtraction in [false, true] {
+            let mut on_cfg = config();
+            on_cfg.max_depth = 6;
+            on_cfg.hist.subtraction = subtraction;
+            on_cfg.parallel_level_hist = true;
+            let mut off_cfg = on_cfg.clone();
+            off_cfg.parallel_level_hist = false;
+
+            let d_on = Device::rtx4090();
+            let on = grow_tree(&d_on, &data, &grads, &on_cfg, &features);
+            let d_off = Device::rtx4090();
+            let off = grow_tree(&d_off, &data, &grads, &off_cfg, &features);
+
+            // Bit-identical model and leaf values…
+            assert_eq!(on.tree, off.tree, "subtraction={subtraction}");
+            for ((ia, va), (ib, vb)) in on.leaf_assignments.iter().zip(&off.leaf_assignments) {
+                assert_eq!(ia, ib);
+                assert_eq!(va, vb, "leaf values must match bitwise");
+            }
+            // …and bit-identical simulated timeline: charges are issued
+            // serially in node-index order regardless of the toggle.
+            assert_eq!(d_on.now_ns(), d_off.now_ns(), "subtraction={subtraction}");
+        }
+    }
+
+    #[test]
+    fn pooled_growth_stops_allocating_after_first_tree() {
+        let (_, data, grads) = setup(500, 8, 3);
+        let device = Device::rtx4090();
+        let features: Vec<u32> = (0..8).collect();
+        let mut cfg = config();
+        cfg.hist.subtraction = true;
+        let mut pool = HistogramPool::new(features.len(), 3, cfg.max_bins);
+        let root: Vec<u32> = (0..500).collect();
+        let first = grow_tree_pooled(
+            &device,
+            &data,
+            &grads,
+            &cfg,
+            &features,
+            root.clone(),
+            &mut pool,
+        );
+        let high_water = pool.allocated();
+        assert!(high_water > 0);
+        let second = grow_tree_pooled(&device, &data, &grads, &cfg, &features, root, &mut pool);
+        assert_eq!(
+            pool.allocated(),
+            high_water,
+            "second tree must reuse the first tree's buffers"
+        );
+        assert_eq!(first.tree, second.tree);
+    }
+
+    #[test]
+    fn streams_and_subtraction_compose_deterministically() {
+        // The deferred subtraction build charges in the child's level;
+        // two identical runs must produce identical timelines.
+        let (_, data, grads) = setup(1500, 8, 3);
+        let features: Vec<u32> = (0..8).collect();
+        let mut cfg = config();
+        cfg.max_depth = 5;
+        cfg.hist.subtraction = true;
+        cfg.streams = 4;
+        let d1 = Device::rtx4090();
+        let r1 = grow_tree(&d1, &data, &grads, &cfg, &features);
+        let d2 = Device::rtx4090();
+        let r2 = grow_tree(&d2, &data, &grads, &cfg, &features);
+        assert_eq!(r1.tree, r2.tree);
+        assert_eq!(d1.now_ns(), d2.now_ns());
+    }
+
+    #[test]
     fn methods_used_reports_selection() {
         let (_, data, grads) = setup(300, 6, 2);
         let device = Device::rtx4090();
@@ -657,6 +886,8 @@ mod tests {
         let res = grow_tree(&device, &data, &grads, &cfg, &features);
         let total: usize = res.methods_used.values().sum();
         assert!(total > 0);
-        assert!(res.methods_used.contains_key(&HistogramMethod::GlobalMemory));
+        assert!(res
+            .methods_used
+            .contains_key(&HistogramMethod::GlobalMemory));
     }
 }

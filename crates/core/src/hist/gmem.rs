@@ -138,7 +138,12 @@ mod tests {
         let d2 = Device::rtx4090();
         let ctx_wo = make_ctx(&d2, &data, &grads, &features, true);
         charge(&ctx_wo, &idx);
-        assert!(d2.now_ns() <= d1.now_ns(), "+wo {} vs {}", d2.now_ns(), d1.now_ns());
+        assert!(
+            d2.now_ns() <= d1.now_ns(),
+            "+wo {} vs {}",
+            d2.now_ns(),
+            d1.now_ns()
+        );
         let _ = device;
     }
 

@@ -116,9 +116,33 @@ impl NodeHistogram {
             *s = p - *s;
         }
         for (s, p) in self.counts.iter_mut().zip(&parent.counts) {
-            *s = p
-                .checked_sub(*s)
-                .expect("child count exceeds parent count");
+            *s = p.checked_sub(*s).expect("child count exceeds parent count");
+        }
+    }
+
+    /// Overwrite `self` with `parent − child` elementwise: the
+    /// subtraction trick without cloning either operand (`self` may be
+    /// a dirty pooled buffer; every element is written).
+    ///
+    /// Arithmetic is identical to building `child` and calling
+    /// [`NodeHistogram::subtract_from`] — `p - c` per element in the
+    /// same order — so results are bit-identical to that path.
+    pub fn assign_difference(&mut self, parent: &NodeHistogram, child: &NodeHistogram) {
+        assert_eq!(parent.g.len(), child.g.len(), "histogram shape mismatch");
+        assert_eq!(self.g.len(), parent.g.len(), "histogram shape mismatch");
+        for ((o, p), c) in self.g.iter_mut().zip(&parent.g).zip(&child.g) {
+            *o = p - c;
+        }
+        for ((o, p), c) in self.h.iter_mut().zip(&parent.h).zip(&child.h) {
+            *o = p - c;
+        }
+        for ((o, p), c) in self
+            .counts
+            .iter_mut()
+            .zip(&parent.counts)
+            .zip(&child.counts)
+        {
+            *o = p.checked_sub(*c).expect("child count exceeds parent count");
         }
     }
 
@@ -152,6 +176,15 @@ impl HistContext<'_> {
         self.grads.d
     }
 }
+
+// The level-parallel grower shares one `&HistContext` across worker
+// threads ([`accumulate_only`] is charge-free and takes `&self` state
+// only). Keep that contract checked at compile time: every field must
+// stay `Sync` (the device's ledger is behind a lock already).
+const _: fn() = || {
+    fn assert_sync<T: Sync>() {}
+    assert_sync::<HistContext<'static>>();
+};
 
 /// Fraction of (instance, feature) pairs the histogram kernel actually
 /// touches: 1.0 on the dense path, the data's non-zero density when the
@@ -293,9 +326,7 @@ pub fn method_cost(ctx: &HistContext<'_>, idx: &[u32], method: HistogramMethod) 
             smem::cost_descriptor(ctx, idx.len(), &stats::measure(ctx, idx))
         }
         HistogramMethod::SortReduce => sortreduce::cost_descriptor(ctx, idx.len()),
-        HistogramMethod::Adaptive => {
-            method_cost(ctx, idx, resolve_method(ctx, idx.len()))
-        }
+        HistogramMethod::Adaptive => method_cost(ctx, idx, resolve_method(ctx, idx.len())),
     }
 }
 
@@ -357,7 +388,12 @@ pub(crate) mod test_support {
     }
 
     /// Fixture over fully dense features (no zero-bin skew).
-    pub fn fixture_dense(n: usize, m: usize, d: usize, seed: u64) -> (Dataset, BinnedDataset, Gradients) {
+    pub fn fixture_dense(
+        n: usize,
+        m: usize,
+        d: usize,
+        seed: u64,
+    ) -> (Dataset, BinnedDataset, Gradients) {
         fixture_with_sparsity(n, m, d, seed, 0.0)
     }
 
@@ -427,7 +463,11 @@ mod tests {
             for k in 0..grads.d {
                 let sg: f64 = out.g_segment(f, k).iter().sum();
                 let sh: f64 = out.h_segment(f, k).iter().sum();
-                assert!((sg - node_g[k]).abs() < 1e-6, "f={f} k={k}: {sg} vs {}", node_g[k]);
+                assert!(
+                    (sg - node_g[k]).abs() < 1e-6,
+                    "f={f} k={k}: {sg} vs {}",
+                    node_g[k]
+                );
                 assert!((sh - node_h[k]).abs() < 1e-6);
             }
         }

@@ -184,6 +184,9 @@ mod tests {
         let small = 40;
         let g = super::super::gmem::estimate_ns(&ctx, small);
         let s = estimate_ns(&ctx, small);
-        assert!(g < s, "gmem {g} should beat smem {s} for {small}-instance nodes");
+        assert!(
+            g < s,
+            "gmem {g} should beat smem {s} for {small}-instance nodes"
+        );
     }
 }

@@ -29,9 +29,8 @@ pub fn cost_descriptor(ctx: &HistContext<'_>, nn: usize) -> KernelCost {
     // permutation — a random-access pattern served at L2-sector
     // granularity — then streamed into reduce_by_key and the histogram.
     let sector = ctx.device.model().params.sector_bytes as f64;
-    let reduce_traffic = keys * d as f64 * sector
-        + keys * payload_bytes
-        + (mf * ctx.bins * d * 2) as f64 * 8.0;
+    let reduce_traffic =
+        keys * d as f64 * sector + keys * payload_bytes + (mf * ctx.bins * d * 2) as f64 * 8.0;
 
     KernelCost {
         flops: keys * (8.0 + 2.0 * d as f64),
@@ -55,7 +54,9 @@ pub fn charge(ctx: &HistContext<'_>, idx: &[u32]) {
 
 /// Predicted cost (ns) for the adaptive selector.
 pub fn estimate_ns(ctx: &HistContext<'_>, node_size: usize) -> f64 {
-    ctx.device.model().kernel_ns(&cost_descriptor(ctx, node_size))
+    ctx.device
+        .model()
+        .kernel_ns(&cost_descriptor(ctx, node_size))
 }
 
 /// Reference implementation that *actually* routes the data through the
@@ -93,10 +94,20 @@ pub fn build_exact_via_sort(
             .iter()
             .map(|&p| ctx.grads.h[inst[p as usize] as usize * d + k] as f64)
             .collect();
-        let (uk, gsums) =
-            reduce_by_key_sorted(device, Phase::Histogram, "sr_reduce_g", &sorted_keys, &gvals);
-        let (_, hsums) =
-            reduce_by_key_sorted(device, Phase::Histogram, "sr_reduce_h", &sorted_keys, &hvals);
+        let (uk, gsums) = reduce_by_key_sorted(
+            device,
+            Phase::Histogram,
+            "sr_reduce_g",
+            &sorted_keys,
+            &gvals,
+        );
+        let (_, hsums) = reduce_by_key_sorted(
+            device,
+            Phase::Histogram,
+            "sr_reduce_h",
+            &sorted_keys,
+            &hvals,
+        );
         for ((key, gs), hs) in uk.iter().zip(gsums).zip(hsums) {
             let f_local = *key as usize / bins;
             let b = *key as usize % bins;

@@ -172,7 +172,11 @@ pub fn gh_bytes(nn: usize, mf: usize, d: usize, pair_bytes: f64) -> f64 {
 
 /// Bytes of one (g, h) pair under the context's gradient precision.
 pub fn pair_bytes(ctx: &HistContext<'_>) -> f64 {
-    if ctx.opts.quantized_gradients { 4.0 } else { 8.0 }
+    if ctx.opts.quantized_gradients {
+        4.0
+    } else {
+        8.0
+    }
 }
 
 #[cfg(test)]

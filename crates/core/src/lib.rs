@@ -40,7 +40,7 @@ pub mod split;
 pub mod trainer;
 pub mod tree;
 
-pub use config::{HistOptions, HistogramMethod, TrainConfig};
+pub use config::{ConfigError, HistOptions, HistogramMethod, TrainConfig};
 pub use grad::Gradients;
 pub use metrics::{accuracy, logloss, rmse, top_k_accuracy};
 pub use model::Model;

@@ -39,7 +39,9 @@ impl CustomLoss {
 
 impl std::fmt::Debug for CustomLoss {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CustomLoss").field("name", &self.name).finish()
+        f.debug_struct("CustomLoss")
+            .field("name", &self.name)
+            .finish()
     }
 }
 

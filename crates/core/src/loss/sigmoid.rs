@@ -77,9 +77,7 @@ mod tests {
     #[test]
     fn loss_decreases_with_confidence_in_truth() {
         let t = [1.0f32];
-        assert!(
-            SigmoidLoss.loss_row(&[3.0], &t) < SigmoidLoss.loss_row(&[0.0], &t)
-        );
+        assert!(SigmoidLoss.loss_row(&[3.0], &t) < SigmoidLoss.loss_row(&[0.0], &t));
         assert!(SigmoidLoss.loss_row(&[0.0], &t) < SigmoidLoss.loss_row(&[-3.0], &t));
     }
 

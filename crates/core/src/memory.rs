@@ -10,7 +10,100 @@
 //! configurations would not fit.
 
 use crate::config::TrainConfig;
+use crate::hist::NodeHistogram;
 use serde::{Deserialize, Serialize};
+
+/// Reusable pool of [`NodeHistogram`] buffers.
+///
+/// A level of the tree grower holds one histogram per frontier node
+/// (plus surviving parent buffers on the subtraction path); each buffer
+/// is multi-MB for wide × many-output configurations, so allocating and
+/// freeing them per node dominates *host* time. The pool keeps released
+/// buffers for reuse: it grows to the maximum number of simultaneously
+/// live histograms of any level and then stops allocating — across
+/// levels *and* across trees when the caller keeps the pool alive (the
+/// trainer does).
+///
+/// Buffers come back **dirty**: callers must either reset them
+/// ([`crate::hist::accumulate_only`] does) or overwrite every element
+/// ([`NodeHistogram::assign_difference`] does).
+#[derive(Debug)]
+pub struct HistogramPool {
+    num_features: usize,
+    d: usize,
+    bins: usize,
+    free: Vec<NodeHistogram>,
+    allocated: usize,
+}
+
+impl HistogramPool {
+    /// Create an empty pool producing `num_features × d × bins`
+    /// histograms.
+    pub fn new(num_features: usize, d: usize, bins: usize) -> Self {
+        HistogramPool {
+            num_features,
+            d,
+            bins,
+            free: Vec::new(),
+            allocated: 0,
+        }
+    }
+
+    /// The `(num_features, d, bins)` shape of pooled buffers.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.num_features, self.d, self.bins)
+    }
+
+    /// Re-target the pool to a new shape, dropping cached buffers if it
+    /// changed (the per-tree feature subsample keeps the count constant,
+    /// so this is a no-op within one training run).
+    pub fn ensure_shape(&mut self, num_features: usize, d: usize, bins: usize) {
+        if self.shape() != (num_features, d, bins) {
+            self.allocated -= self.free.len();
+            self.free.clear();
+            self.num_features = num_features;
+            self.d = d;
+            self.bins = bins;
+        }
+    }
+
+    /// Take a buffer (reused if available, freshly allocated otherwise).
+    /// The contents are unspecified — see the type-level note.
+    pub fn acquire(&mut self) -> NodeHistogram {
+        self.free.pop().unwrap_or_else(|| {
+            self.allocated += 1;
+            NodeHistogram::new(self.num_features, self.d, self.bins)
+        })
+    }
+
+    /// Return a buffer for reuse.
+    pub fn release(&mut self, hist: NodeHistogram) {
+        debug_assert_eq!(
+            (hist.num_features, hist.d, hist.bins),
+            self.shape(),
+            "released histogram has a foreign shape"
+        );
+        self.free.push(hist);
+    }
+
+    /// Number of buffers ever allocated and still owned by this pool's
+    /// clients or free list (the high-water mark of live histograms).
+    pub fn allocated(&self) -> usize {
+        self.allocated
+    }
+
+    /// Number of buffers currently cached for reuse.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Bytes held across all allocated buffers (live + cached).
+    pub fn bytes(&self) -> usize {
+        let one =
+            self.num_features * self.d * self.bins * 2 * 8 + self.num_features * self.bins * 4;
+        self.allocated * one
+    }
+}
 
 /// Byte-level breakdown of a training run's device residency.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -72,7 +165,11 @@ pub fn estimate_training_bytes(
     let bins = config.max_bins;
     let binned_bytes = n * m;
     let packed_bytes = n.div_ceil(4) * 4 * m;
-    let grad_elem = if config.hist.quantized_gradients { 2 } else { 4 };
+    let grad_elem = if config.hist.quantized_gradients {
+        2
+    } else {
+        4
+    };
     let gradient_bytes = n * d * 2 * grad_elem;
     let score_bytes = n * d * 4;
     // One histogram = m × bins × d × 2 gradient sums (f64 accumulators)
@@ -89,12 +186,8 @@ pub fn estimate_training_bytes(
     // Widest frontier holds every instance exactly once, twice over
     // during partition (in + out).
     let index_bytes = n * 4 * 2;
-    let total_bytes = binned_bytes
-        + packed_bytes
-        + gradient_bytes
-        + score_bytes
-        + histogram_bytes
-        + index_bytes;
+    let total_bytes =
+        binned_bytes + packed_bytes + gradient_bytes + score_bytes + histogram_bytes + index_bytes;
     MemoryEstimate {
         binned_bytes,
         packed_bytes,
@@ -178,6 +271,45 @@ mod tests {
     fn small_config_fits_a_4090() {
         let e = estimate_training_bytes(50_000, 200, 10, &cfg(256));
         assert!(e.fits(24 * (1 << 30)), "footprint {}", e.total_human());
+    }
+
+    #[test]
+    fn pool_reuses_released_buffers() {
+        let mut pool = HistogramPool::new(4, 3, 16);
+        let a = pool.acquire();
+        let b = pool.acquire();
+        assert_eq!(pool.allocated(), 2);
+        pool.release(a);
+        pool.release(b);
+        assert_eq!(pool.available(), 2);
+        let _c = pool.acquire();
+        let _d = pool.acquire();
+        // Nothing new allocated: both came from the free list.
+        assert_eq!(pool.allocated(), 2);
+        assert_eq!(pool.available(), 0);
+    }
+
+    #[test]
+    fn pool_buffers_have_requested_shape() {
+        let mut pool = HistogramPool::new(5, 2, 8);
+        let h = pool.acquire();
+        assert_eq!((h.num_features, h.d, h.bins), (5, 2, 8));
+        assert_eq!(h.g.len(), 5 * 2 * 8);
+        pool.release(h);
+        assert!(pool.bytes() > 0);
+    }
+
+    #[test]
+    fn pool_ensure_shape_drops_mismatched_cache() {
+        let mut pool = HistogramPool::new(4, 2, 8);
+        let h = pool.acquire();
+        pool.release(h);
+        pool.ensure_shape(4, 2, 8); // no-op
+        assert_eq!(pool.available(), 1);
+        pool.ensure_shape(6, 2, 8); // shape change drops the cache
+        assert_eq!(pool.available(), 0);
+        let h = pool.acquire();
+        assert_eq!(h.num_features, 6);
     }
 
     #[test]

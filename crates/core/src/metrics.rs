@@ -106,7 +106,10 @@ mod tests {
         let confident = [0.99f32, 0.01];
         let unsure = [0.5f32, 0.5];
         assert!(logloss(&confident, &[0]) < logloss(&unsure, &[0]));
-        assert!(logloss(&[0.0, 1.0], &[0]).is_finite(), "clamped away from ln(0)");
+        assert!(
+            logloss(&[0.0, 1.0], &[0]).is_finite(),
+            "clamped away from ln(0)"
+        );
     }
 
     #[test]

@@ -26,7 +26,12 @@ pub struct Model {
 impl Model {
     /// Raw additive scores (`n × d`).
     pub fn predict(&self, features: &DenseMatrix) -> Vec<f32> {
-        predict_raw(&self.trees, &self.base, features, PredictMode::InstanceLevel)
+        predict_raw(
+            &self.trees,
+            &self.base,
+            features,
+            PredictMode::InstanceLevel,
+        )
     }
 
     /// Task-space predictions: softmax/sigmoid probabilities for

@@ -9,15 +9,15 @@
 //! bitmap so every device partitions its instance lists identically.
 //! The group runs bulk-synchronously; barrier waits book as idle time.
 
-use crate::config::{HistogramMethod, TrainConfig};
+use crate::config::{ConfigError, HistogramMethod, TrainConfig};
 use crate::grad::{compute_gradients, update_scores_from_leaves};
+use crate::grow::partition_stable;
 use crate::hist::{accumulate_dense, adaptive, gmem, smem, sortreduce, HistContext, NodeHistogram};
 use crate::loss::loss_for_task;
 use crate::model::Model;
 use crate::split::{find_best_split_range, leaf_values, SplitCandidate, SplitParams};
 use crate::trainer::{base_scores, TrainReport};
 use crate::tree::Tree;
-use crate::grow::partition_stable;
 use gbdt_data::{BinnedDataset, Dataset};
 use gpusim::cost::KernelCost;
 use gpusim::{DeviceGroup, Phase};
@@ -72,8 +72,17 @@ pub struct MultiGpuTrainer {
 impl MultiGpuTrainer {
     /// Create a trainer over a device group (feature-parallel, the
     /// paper's strategy).
+    ///
+    /// Panics on an invalid configuration; use
+    /// [`MultiGpuTrainer::try_new`] to handle the rejection instead.
     pub fn new(group: DeviceGroup, config: TrainConfig) -> Self {
         Self::with_strategy(group, config, MultiGpuStrategy::FeatureParallel)
+    }
+
+    /// Fallible constructor (feature-parallel): returns the validation
+    /// failure as a [`ConfigError`] instead of panicking.
+    pub fn try_new(group: DeviceGroup, config: TrainConfig) -> Result<Self, ConfigError> {
+        Self::try_with_strategy(group, config, MultiGpuStrategy::FeatureParallel)
     }
 
     /// Create a trainer with an explicit decomposition strategy.
@@ -82,12 +91,21 @@ impl MultiGpuTrainer {
         config: TrainConfig,
         strategy: MultiGpuStrategy,
     ) -> Self {
-        config.validate().expect("invalid training configuration");
-        MultiGpuTrainer {
+        Self::try_with_strategy(group, config, strategy).expect("invalid training configuration")
+    }
+
+    /// Fallible counterpart of [`MultiGpuTrainer::with_strategy`].
+    pub fn try_with_strategy(
+        group: DeviceGroup,
+        config: TrainConfig,
+        strategy: MultiGpuStrategy,
+    ) -> Result<Self, ConfigError> {
+        config.validate().map_err(ConfigError::from)?;
+        Ok(MultiGpuTrainer {
             group,
             config,
             strategy,
-        }
+        })
     }
 
     /// The device group.
@@ -120,8 +138,7 @@ impl MultiGpuTrainer {
         let n = ds.n();
         let d = ds.d();
         let m = ds.m();
-        let start_summaries: Vec<_> =
-            self.group.devices().iter().map(|dv| dv.summary()).collect();
+        let start_summaries: Vec<_> = self.group.devices().iter().map(|dv| dv.summary()).collect();
 
         // --- preprocessing, charged per device for its feature share --
         let ranges = partition_features(m, k);
@@ -163,8 +180,14 @@ impl MultiGpuTrainer {
             // all instances (standard in feature-parallel training —
             // gradients depend on all outputs but no feature exchange).
             let grads = {
-                let g =
-                    compute_gradients(self.group.device(0), loss.as_ref(), &scores, ds.targets(), n, d);
+                let g = compute_gradients(
+                    self.group.device(0),
+                    loss.as_ref(),
+                    &scores,
+                    ds.targets(),
+                    n,
+                    d,
+                );
                 for dev in &self.group.devices()[1..] {
                     dev.charge_kernel(
                         "grad_hess",
@@ -189,12 +212,15 @@ impl MultiGpuTrainer {
                 // Candidates for the whole level are exchanged in ONE
                 // all-gather (summary statistics only), not per node.
                 let mut pending: Vec<PendingNode> = Vec::new();
-                let mut candidate_payload: Vec<Vec<u8>> =
-                    vec![Vec::new(); self.group.len()];
+                let mut candidate_payload: Vec<Vec<u8>> = vec![Vec::new(); self.group.len()];
                 for (tree_node, instances, node_g, node_h) in frontier {
                     if instances.len() < 2 * self.config.min_instances {
-                        let v =
-                            leaf_values(&node_g, &node_h, self.config.lambda, self.config.learning_rate);
+                        let v = leaf_values(
+                            &node_g,
+                            &node_h,
+                            self.config.lambda,
+                            self.config.learning_rate,
+                        );
                         tree.set_leaf(tree_node, v.clone());
                         leaf_assignments.push((instances, v));
                         continue;
@@ -261,7 +287,10 @@ impl MultiGpuTrainer {
                         })
                         .collect();
                     for (payload, c) in candidate_payload.iter_mut().zip(&locals) {
-                        payload.extend(std::iter::repeat_n(0u8, 16 + c.as_ref().map_or(0, |c| c.left_g.len() * 16)));
+                        payload.extend(std::iter::repeat_n(
+                            0u8,
+                            16 + c.as_ref().map_or(0, |c| c.left_g.len() * 16),
+                        ));
                     }
                     // Global winner: strictly-greater gain wins, so exact
                     // ties resolve to the lowest feature range — matching
@@ -285,8 +314,12 @@ impl MultiGpuTrainer {
                 let mut partition_elems = 0usize;
                 for (tree_node, instances, node_g, node_h, best) in pending {
                     let Some(split) = best else {
-                        let v =
-                            leaf_values(&node_g, &node_h, self.config.lambda, self.config.learning_rate);
+                        let v = leaf_values(
+                            &node_g,
+                            &node_h,
+                            self.config.lambda,
+                            self.config.learning_rate,
+                        );
                         tree.set_leaf(tree_node, v.clone());
                         leaf_assignments.push((instances, v));
                         continue;
@@ -303,8 +336,10 @@ impl MultiGpuTrainer {
                         })
                         .expect("split feature must belong to a device");
                     let col = binned.bins.col(split.feature as usize);
-                    let flags: Vec<bool> =
-                        instances.iter().map(|&i| col[i as usize] <= split.bin).collect();
+                    let flags: Vec<bool> = instances
+                        .iter()
+                        .map(|&i| col[i as usize] <= split.bin)
+                        .collect();
                     flag_elems[owner] += instances.len();
                     flag_payload[owner]
                         .extend(std::iter::repeat_n(0u8, instances.len().div_ceil(8)));
@@ -315,10 +350,16 @@ impl MultiGpuTrainer {
 
                     let threshold = binned.cuts.threshold(split.feature as usize, split.bin);
                     let (l, r) = tree.split_node(tree_node, split.feature, split.bin, threshold);
-                    let right_g: Vec<f64> =
-                        node_g.iter().zip(&split.left_g).map(|(a, b)| a - b).collect();
-                    let right_h: Vec<f64> =
-                        node_h.iter().zip(&split.left_h).map(|(a, b)| a - b).collect();
+                    let right_g: Vec<f64> = node_g
+                        .iter()
+                        .zip(&split.left_g)
+                        .map(|(a, b)| a - b)
+                        .collect();
+                    let right_h: Vec<f64> = node_h
+                        .iter()
+                        .zip(&split.left_h)
+                        .map(|(a, b)| a - b)
+                        .collect();
                     next.push((l, left_idx, split.left_g, split.left_h));
                     next.push((r, right_idx, right_g, right_h));
                 }
@@ -357,7 +398,12 @@ impl MultiGpuTrainer {
                 }
             }
             for (tree_node, instances, node_g, node_h) in frontier {
-                let v = leaf_values(&node_g, &node_h, self.config.lambda, self.config.learning_rate);
+                let v = leaf_values(
+                    &node_g,
+                    &node_h,
+                    self.config.lambda,
+                    self.config.learning_rate,
+                );
                 tree.set_leaf(tree_node, v.clone());
                 leaf_assignments.push((instances, v));
             }
@@ -412,14 +458,17 @@ impl MultiGpuTrainer {
         let n = ds.n();
         let d = ds.d();
         let m = ds.m();
-        let start_summaries: Vec<_> =
-            self.group.devices().iter().map(|dv| dv.summary()).collect();
+        let start_summaries: Vec<_> = self.group.devices().iter().map(|dv| dv.summary()).collect();
 
         // Each device holds all columns of its instance shard.
         for (rank, dev) in self.group.devices().iter().enumerate() {
             let shard = n / k + usize::from(rank < n % k);
             let bytes = (shard * m * 4) as f64;
-            dev.charge_ns("htod_features", Phase::Transfer, dev.model().host_copy_ns(bytes));
+            dev.charge_ns(
+                "htod_features",
+                Phase::Transfer,
+                dev.model().host_copy_ns(bytes),
+            );
             dev.charge_kernel(
                 "quantile_binning",
                 Phase::Binning,
@@ -496,8 +545,8 @@ impl MultiGpuTrainer {
                     // Partial histograms: every device runs the kernel
                     // over its 1/k shard of the node, all features.
                     for (rank, dev) in self.group.devices().iter().enumerate() {
-                        let shard_len = instances.len() / k
-                            + usize::from(rank < instances.len() % k);
+                        let shard_len =
+                            instances.len() / k + usize::from(rank < instances.len() % k);
                         let lo = rank * (instances.len() / k) + rank.min(instances.len() % k);
                         let shard = &instances[lo..(lo + shard_len).min(instances.len())];
                         if shard.is_empty() {
@@ -573,8 +622,10 @@ impl MultiGpuTrainer {
                         continue;
                     };
                     let col = binned.bins.col(split.feature as usize);
-                    let flags: Vec<bool> =
-                        instances.iter().map(|&i| col[i as usize] <= split.bin).collect();
+                    let flags: Vec<bool> = instances
+                        .iter()
+                        .map(|&i| col[i as usize] <= split.bin)
+                        .collect();
                     let (left_idx, right_idx) = partition_stable(&instances, &flags);
                     for dev in self.group.devices() {
                         dev.charge_kernel(
@@ -590,10 +641,16 @@ impl MultiGpuTrainer {
                     }
                     let threshold = binned.cuts.threshold(split.feature as usize, split.bin);
                     let (l, r) = tree.split_node(tree_node, split.feature, split.bin, threshold);
-                    let right_g: Vec<f64> =
-                        node_g.iter().zip(&split.left_g).map(|(a, b)| a - b).collect();
-                    let right_h: Vec<f64> =
-                        node_h.iter().zip(&split.left_h).map(|(a, b)| a - b).collect();
+                    let right_g: Vec<f64> = node_g
+                        .iter()
+                        .zip(&split.left_g)
+                        .map(|(a, b)| a - b)
+                        .collect();
+                    let right_h: Vec<f64> = node_h
+                        .iter()
+                        .zip(&split.left_h)
+                        .map(|(a, b)| a - b)
+                        .collect();
                     next.push((l, left_idx, split.left_g, split.left_h));
                     next.push((r, right_idx, right_g, right_h));
                 }
@@ -617,7 +674,12 @@ impl MultiGpuTrainer {
                 }
             }
             for (tree_node, instances, node_g, node_h) in frontier {
-                let v = leaf_values(&node_g, &node_h, self.config.lambda, self.config.learning_rate);
+                let v = leaf_values(
+                    &node_g,
+                    &node_h,
+                    self.config.lambda,
+                    self.config.learning_rate,
+                );
                 tree.set_leaf(tree_node, v.clone());
                 leaf_assignments.push((instances, v));
             }
@@ -684,6 +746,30 @@ mod tests {
             min_instances: 5,
             ..TrainConfig::default()
         }
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_config_without_panicking() {
+        let bad = TrainConfig {
+            num_trees: 0,
+            ..quick_config()
+        };
+        let err = MultiGpuTrainer::try_new(DeviceGroup::rtx4090s(2), bad)
+            .err()
+            .unwrap();
+        assert!(err.message().contains("num_trees"), "{err}");
+        let err2 = MultiGpuTrainer::try_with_strategy(
+            DeviceGroup::rtx4090s(2),
+            TrainConfig {
+                max_depth: 0,
+                ..quick_config()
+            },
+            MultiGpuStrategy::DataParallel,
+        )
+        .err()
+        .unwrap();
+        assert!(err2.message().contains("max_depth"), "{err2}");
+        assert!(MultiGpuTrainer::try_new(DeviceGroup::rtx4090s(2), quick_config()).is_ok());
     }
 
     #[test]

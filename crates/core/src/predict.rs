@@ -80,12 +80,14 @@ pub fn apply_leaf_indices(trees: &[Tree], features: &DenseMatrix) -> Vec<u32> {
     let n = features.rows();
     let t = trees.len();
     let mut out = vec![0u32; n * t];
-    out.par_chunks_mut(t.max(1)).enumerate().for_each(|(i, row)| {
-        let x = features.row(i);
-        for (slot, tree) in trees.iter().enumerate() {
-            row[slot] = tree.leaf_for_row(x) as u32;
-        }
-    });
+    out.par_chunks_mut(t.max(1))
+        .enumerate()
+        .for_each(|(i, row)| {
+            let x = features.row(i);
+            for (slot, tree) in trees.iter().enumerate() {
+                row[slot] = tree.leaf_for_row(x) as u32;
+            }
+        });
     out
 }
 

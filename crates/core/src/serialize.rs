@@ -222,10 +222,7 @@ mod tests {
         let (model, _) = trained();
         let bin = to_bytes(&model).len();
         let json = model.to_json().len();
-        assert!(
-            bin * 3 < json,
-            "binary {bin} should be ≤ ⅓ of JSON {json}"
-        );
+        assert!(bin * 3 < json, "binary {bin} should be ≤ ⅓ of JSON {json}");
     }
 
     #[test]

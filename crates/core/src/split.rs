@@ -56,8 +56,7 @@ pub struct SplitCandidate {
 /// One output dimension's gain contribution (½ of Eq. (3)'s summand).
 #[inline]
 fn gain_term(gl: f64, hl: f64, gr: f64, hr: f64, lambda: f64) -> f64 {
-    gl * gl / (hl + lambda) + gr * gr / (hr + lambda)
-        - (gl + gr) * (gl + gr) / (hl + hr + lambda)
+    gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - (gl + gr) * (gl + gr) / (hl + hr + lambda)
 }
 
 /// The leaf objective reduction of splitting, summed over outputs.
@@ -206,7 +205,11 @@ fn best_split_impl(
     params: &SplitParams,
     constraints: Option<&ConstraintState<'_>>,
 ) -> Option<SplitCandidate> {
-    assert_eq!(features.len(), hist.num_features, "feature/histogram mismatch");
+    assert_eq!(
+        features.len(),
+        hist.num_features,
+        "feature/histogram mismatch"
+    );
     assert!(f_lo <= f_hi && f_hi <= features.len(), "bad feature range");
     let bins = hist.bins;
     let d = hist.d;
@@ -352,7 +355,9 @@ pub fn find_best_split_batched(
     node_count: u32,
     params: &SplitParams,
 ) -> Option<SplitCandidate> {
-    find_best_split_constrained(charges, hist, features, node_g, node_h, node_count, params, None)
+    find_best_split_constrained(
+        charges, hist, features, node_g, node_h, node_count, params, None,
+    )
 }
 
 /// [`find_best_split_batched`] with optional monotone constraints: a
@@ -414,9 +419,18 @@ mod tests {
         let mut h = NodeHistogram::new(1, 1, 4);
         let g = [-5.0, -5.0, 5.0, 5.0];
         for b in 0..4 {
-            { let at = h.gh_index(0, 0, b); h.g[at] = g[b]; }
-            { let at = h.gh_index(0, 0, b); h.h[at] = 2.0; }
-            { let at = h.cnt_index(0, b); h.counts[at] = 10; }
+            {
+                let at = h.gh_index(0, 0, b);
+                h.g[at] = g[b];
+            }
+            {
+                let at = h.gh_index(0, 0, b);
+                h.h[at] = 2.0;
+            }
+            {
+                let at = h.cnt_index(0, b);
+                h.counts[at] = 10;
+            }
         }
         h
     }
@@ -460,8 +474,14 @@ mod tests {
         // Uniform gradients: no split has positive gain.
         let mut hist = NodeHistogram::new(1, 1, 4);
         for b in 0..4 {
-            { let at = hist.gh_index(0, 0, b); hist.g[at] = 1.0; }
-            { let at = hist.gh_index(0, 0, b); hist.h[at] = 2.0; }
+            {
+                let at = hist.gh_index(0, 0, b);
+                hist.g[at] = 1.0;
+            }
+            {
+                let at = hist.gh_index(0, 0, b);
+                hist.h[at] = 2.0;
+            }
             hist.counts[b] = 5;
         }
         let s = find_best_split(&device, &hist, &[0], &[4.0], &[8.0], 20, &params());
@@ -476,8 +496,14 @@ mod tests {
         for k in 0..2 {
             let g = [-5.0, -5.0, 5.0, 5.0];
             for b in 0..4 {
-                { let at = hist.gh_index(0, k, b); hist.g[at] = g[b]; }
-                { let at = hist.gh_index(0, k, b); hist.h[at] = 2.0; }
+                {
+                    let at = hist.gh_index(0, k, b);
+                    hist.g[at] = g[b];
+                }
+                {
+                    let at = hist.gh_index(0, k, b);
+                    hist.h[at] = 2.0;
+                }
             }
         }
         for b in 0..4 {
@@ -504,11 +530,26 @@ mod tests {
         let mut hist = NodeHistogram::new(2, 1, 4);
         let g = [-5.0, -5.0, 5.0, 5.0];
         for b in 0..4 {
-            { let at = hist.gh_index(1, 0, b); hist.g[at] = g[b]; }
-            { let at = hist.gh_index(1, 0, b); hist.h[at] = 2.0; }
-            { let at = hist.cnt_index(0, b); hist.counts[at] = 10; }
-            { let at = hist.cnt_index(1, b); hist.counts[at] = 10; }
-            { let at = hist.gh_index(0, 0, b); hist.h[at] = 2.0; }
+            {
+                let at = hist.gh_index(1, 0, b);
+                hist.g[at] = g[b];
+            }
+            {
+                let at = hist.gh_index(1, 0, b);
+                hist.h[at] = 2.0;
+            }
+            {
+                let at = hist.cnt_index(0, b);
+                hist.counts[at] = 10;
+            }
+            {
+                let at = hist.cnt_index(1, b);
+                hist.counts[at] = 10;
+            }
+            {
+                let at = hist.gh_index(0, 0, b);
+                hist.h[at] = 2.0;
+            }
         }
         let p = params();
         let none = find_best_split_range(&device, &hist, &[4, 9], 0, 1, &[0.0], &[8.0], 40, &p);

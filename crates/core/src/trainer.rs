@@ -1,10 +1,11 @@
 //! The single-GPU training loop (paper Fig. 2): gradients → histograms
 //! → split selection → partition, per tree, fully device-charged.
 
-use crate::config::{HistogramMethod, TrainConfig};
+use crate::config::{ConfigError, HistogramMethod, TrainConfig};
 use crate::grad::{compute_gradients, update_scores_from_leaves};
-use crate::grow::grow_tree_on;
+use crate::grow::grow_tree_pooled;
 use crate::loss::loss_for_task;
+use crate::memory::HistogramPool;
 use crate::model::Model;
 use gbdt_data::{BinnedDataset, Dataset, Task};
 use gpusim::cost::KernelCost;
@@ -49,9 +50,18 @@ pub struct GpuTrainer {
 
 impl GpuTrainer {
     /// Create a trainer on `device` with `config`.
+    ///
+    /// Panics on an invalid configuration; use [`GpuTrainer::try_new`]
+    /// to handle the rejection instead.
     pub fn new(device: Arc<Device>, config: TrainConfig) -> Self {
-        config.validate().expect("invalid training configuration");
-        GpuTrainer { device, config }
+        Self::try_new(device, config).expect("invalid training configuration")
+    }
+
+    /// Fallible constructor: returns the validation failure as a
+    /// [`ConfigError`] instead of panicking.
+    pub fn try_new(device: Arc<Device>, config: TrainConfig) -> Result<Self, ConfigError> {
+        config.validate().map_err(ConfigError::from)?;
+        Ok(GpuTrainer { device, config })
     }
 
     /// The device this trainer charges.
@@ -141,8 +151,7 @@ impl GpuTrainer {
         }
 
         let default_loss = loss_for_task(ds.task());
-        let loss: &dyn crate::loss::MultiOutputLoss =
-            custom_loss.unwrap_or(default_loss.as_ref());
+        let loss: &dyn crate::loss::MultiOutputLoss = custom_loss.unwrap_or(default_loss.as_ref());
         let all_features: Vec<u32> = (0..ds.m() as u32).collect();
         let mut trees = Vec::with_capacity(self.config.num_trees);
         let mut hist_methods: BTreeMap<HistogramMethod, usize> = BTreeMap::new();
@@ -160,16 +169,20 @@ impl GpuTrainer {
             .unwrap_or_default();
         let mut history: Vec<f64> = Vec::new();
         let mut best = (f64::INFINITY, 0usize);
+        // Histogram buffers are reused across levels and trees; the
+        // pool grows to the peak number of simultaneously live node
+        // histograms and then stops allocating.
+        let mut pool = HistogramPool::new(0, 0, 0);
 
         for t in 0..self.config.num_trees {
-            let mut grads_full =
-                compute_gradients(device, loss, &scores, ds.targets(), n, d);
+            let mut grads_full = compute_gradients(device, loss, &scores, ds.targets(), n, d);
             if self.config.hist.quantized_gradients {
                 crate::grad::quantize_bf16(device, &mut grads_full);
             }
 
             // Stochastic gradient boosting: per-tree row/column samples.
-            let tree_features = sample_fraction(&all_features, self.config.colsample_bytree, &mut rng);
+            let tree_features =
+                sample_fraction(&all_features, self.config.colsample_bytree, &mut rng);
             let all_rows: Vec<u32> = (0..n as u32).collect();
             let (root, grads, subsampled);
             if let Some(goss) = self.config.goss {
@@ -199,12 +212,22 @@ impl GpuTrainer {
                 grads = grads_full;
             }
 
-            let grown = grow_tree_on(device, &binned, &grads, &self.config, &tree_features, root);
+            let grown = grow_tree_pooled(
+                device,
+                &binned,
+                &grads,
+                &self.config,
+                &tree_features,
+                root,
+                &mut pool,
+            );
             if subsampled {
                 // Out-of-sample instances still receive the tree's
                 // contribution: route every instance to its leaf.
                 for i in 0..n {
-                    grown.tree.predict_into(ds.features().row(i), &mut scores[i * d..(i + 1) * d]);
+                    grown
+                        .tree
+                        .predict_into(ds.features().row(i), &mut scores[i * d..(i + 1) * d]);
                 }
                 device.charge_kernel(
                     "update_scores_routed",
@@ -295,15 +318,17 @@ fn goss_sample(
     let d = grads.d;
     // L1 gradient norms.
     let mut order: Vec<u32> = (0..n as u32).collect();
-    let norm = |i: u32| -> f64 {
-        grads.g_row(i as usize).iter().map(|g| g.abs() as f64).sum()
-    };
-    order.sort_by(|&a, &b| norm(b).partial_cmp(&norm(a)).expect("finite").then(a.cmp(&b)));
+    let norm = |i: u32| -> f64 { grads.g_row(i as usize).iter().map(|g| g.abs() as f64).sum() };
+    order.sort_by(|&a, &b| {
+        norm(b)
+            .partial_cmp(&norm(a))
+            .expect("finite")
+            .then(a.cmp(&b))
+    });
 
     let top_k = ((n as f64 * goss.top_rate).round() as usize).clamp(1, n);
     let rest = &order[top_k..];
-    let sample_k = ((rest.len() as f64 * goss.other_rate / (1.0 - goss.top_rate))
-        .round() as usize)
+    let sample_k = ((rest.len() as f64 * goss.other_rate / (1.0 - goss.top_rate)).round() as usize)
         .min(rest.len());
     let mut rest_pool = rest.to_vec();
     rest_pool.shuffle(rng);
@@ -509,6 +534,17 @@ mod tests {
     }
 
     #[test]
+    fn try_new_reports_the_rejection_instead_of_panicking() {
+        let err = GpuTrainer::try_new(Device::rtx4090(), TrainConfig::default().with_trees(0))
+            .err()
+            .unwrap();
+        assert!(err.message().contains("num_trees"), "{err}");
+        assert!(err.to_string().contains("invalid training configuration"));
+        let ok = GpuTrainer::try_new(Device::rtx4090(), TrainConfig::default());
+        assert!(ok.is_ok());
+    }
+
+    #[test]
     fn subsampling_still_learns_and_is_deterministic() {
         let ds = make_classification(&ClassificationSpec {
             instances: 600,
@@ -657,11 +693,7 @@ mod tests {
         assert!(r.best_iteration < r.history.len());
         assert_eq!(r.report.model.num_trees(), r.best_iteration + 1);
         // Best really is the minimum of the recorded curve.
-        let min = r
-            .history
-            .iter()
-            .cloned()
-            .fold(f64::INFINITY, f64::min);
+        let min = r.history.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!((r.history[r.best_iteration] - min).abs() < 1e-12);
         // Stopped within patience of the best (or ran out of trees).
         assert!(r.history.len() <= r.best_iteration + 3 + 1 || r.history.len() == 40);

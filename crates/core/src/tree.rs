@@ -41,7 +41,9 @@ impl Tree {
     pub fn new(d: usize) -> Self {
         assert!(d > 0, "output dimension must be positive");
         Tree {
-            nodes: vec![Node::Leaf { value: vec![0.0; d] }],
+            nodes: vec![Node::Leaf {
+                value: vec![0.0; d],
+            }],
             d,
         }
     }
@@ -90,11 +92,21 @@ impl Tree {
 
     /// Replace node `at` by a split, appending two fresh (zero) leaf
     /// children; returns `(left, right)` child indices.
-    pub fn split_node(&mut self, at: usize, feature: u32, bin: u8, threshold: f32) -> (usize, usize) {
+    pub fn split_node(
+        &mut self,
+        at: usize,
+        feature: u32,
+        bin: u8,
+        threshold: f32,
+    ) -> (usize, usize) {
         let left = self.nodes.len();
         let right = left + 1;
-        self.nodes.push(Node::Leaf { value: vec![0.0; self.d] });
-        self.nodes.push(Node::Leaf { value: vec![0.0; self.d] });
+        self.nodes.push(Node::Leaf {
+            value: vec![0.0; self.d],
+        });
+        self.nodes.push(Node::Leaf {
+            value: vec![0.0; self.d],
+        });
         self.nodes[at] = Node::Split {
             feature,
             bin,
@@ -177,11 +189,7 @@ impl Tree {
     /// new `d`-dimensional value from `value_of(node_index)`. Node
     /// indices are preserved exactly (used by SketchBoost's
     /// full-dimensional leaf refit).
-    pub fn with_leaf_values(
-        &self,
-        d: usize,
-        mut value_of: impl FnMut(usize) -> Vec<f32>,
-    ) -> Tree {
+    pub fn with_leaf_values(&self, d: usize, mut value_of: impl FnMut(usize) -> Vec<f32>) -> Tree {
         let nodes = self
             .nodes
             .iter()

@@ -333,7 +333,9 @@ mod tests {
     fn sparse_binned_is_smaller_on_sparse_data() {
         // 95% zeros.
         let n = 400;
-        let vals: Vec<f32> = (0..n).map(|i| if i % 20 == 0 { 1.0 } else { 0.0 }).collect();
+        let vals: Vec<f32> = (0..n)
+            .map(|i| if i % 20 == 0 { 1.0 } else { 0.0 })
+            .collect();
         let f = DenseMatrix::new(n, 1, vals);
         let ds = BinnedDataset::build(&f, 256);
         assert!(ds.sparse.memory_bytes() < ds.bins.memory_bytes());

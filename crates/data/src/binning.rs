@@ -65,10 +65,7 @@ impl BinCuts {
         }
         if sorted.len() <= max_bins {
             // Exact cuts at midpoints between consecutive distinct values.
-            return sorted
-                .windows(2)
-                .map(|w| (w[0] + w[1]) * 0.5)
-                .collect();
+            return sorted.windows(2).map(|w| (w[0] + w[1]) * 0.5).collect();
         }
         // Quantile cuts over the distinct values.
         let mut cuts = Vec::with_capacity(max_bins - 1);
@@ -213,11 +210,17 @@ mod tests {
         // same value lands in nearby bins, and bin occupancy stays
         // balanced.
         let n = 20_000;
-        let vals: Vec<f32> = (0..n).map(|i| ((i * 2654435761_usize) % 100_000) as f32).collect();
+        let vals: Vec<f32> = (0..n)
+            .map(|i| ((i * 2654435761_usize) % 100_000) as f32)
+            .collect();
         let m = DenseMatrix::new(n, 1, vals.clone());
         let exact = BinCuts::from_matrix(&m, 64);
         let sketched = BinCuts::from_matrix_sketched(&m, 64, 0.002);
-        assert!(sketched.num_bins(0) >= 48, "sketch produced {} bins", sketched.num_bins(0));
+        assert!(
+            sketched.num_bins(0) >= 48,
+            "sketch produced {} bins",
+            sketched.num_bins(0)
+        );
         let mut max_diff = 0i64;
         for &v in vals.iter().step_by(97) {
             let a = exact.bin_value(0, v) as i64 * 64 / exact.num_bins(0) as i64;
@@ -231,7 +234,10 @@ mod tests {
             counts[sketched.bin_value(0, v) as usize] += 1;
         }
         let max = *counts.iter().max().unwrap();
-        assert!(max < 3 * n / sketched.num_bins(0), "skewed sketched bins: max {max}");
+        assert!(
+            max < 3 * n / sketched.num_bins(0),
+            "skewed sketched bins: max {max}"
+        );
     }
 
     #[test]

@@ -84,8 +84,8 @@ pub fn plan_bundles(csc: &CscMatrix, max_conflict_rate: f64) -> BundlePlan {
                 let mut merged = Vec::with_capacity(occupied[b].len() + rows.len());
                 let (mut i, mut j) = (0, 0);
                 while i < occupied[b].len() || j < rows.len() {
-                    let take_left = j >= rows.len()
-                        || (i < occupied[b].len() && occupied[b][i] <= rows[j]);
+                    let take_left =
+                        j >= rows.len() || (i < occupied[b].len() && occupied[b][i] <= rows[j]);
                     if take_left {
                         let v = occupied[b][i];
                         i += 1;

@@ -59,7 +59,10 @@ pub const PAPER_DATASETS: [PaperDataset; 9] = [
 
 /// Static shape of one dataset, mirroring Table 1 plus an assumed
 /// feature sparsity used by the generator.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Serialize-only: `name` borrows `'static` display-name literals,
+/// which cannot be reconstructed from transient JSON input.
+#[derive(Debug, Clone, Serialize)]
 pub struct DatasetShape {
     /// Display name as printed in the paper.
     pub name: &'static str,
@@ -189,7 +192,13 @@ impl PaperDataset {
 
     /// Generate with an instance-count `scale` and caps on features and
     /// outputs. Scaled instance count is floored at 300.
-    pub fn generate(&self, scale: f64, feature_cap: usize, output_cap: usize, seed: u64) -> Dataset {
+    pub fn generate(
+        &self,
+        scale: f64,
+        feature_cap: usize,
+        output_cap: usize,
+        seed: u64,
+    ) -> Dataset {
         let s = self.shape();
         let n = ((s.instances as f64 * scale) as usize).max(300);
         let m = s.features.min(feature_cap);
@@ -260,9 +269,15 @@ mod tests {
     #[test]
     fn table1_shapes_match_paper() {
         let otto = PaperDataset::Otto.shape();
-        assert_eq!((otto.instances, otto.features, otto.outputs), (61_878, 93, 9));
+        assert_eq!(
+            (otto.instances, otto.features, otto.outputs),
+            (61_878, 93, 9)
+        );
         let del = PaperDataset::Delicious.shape();
-        assert_eq!((del.instances, del.features, del.outputs), (16_105, 500, 983));
+        assert_eq!(
+            (del.instances, del.features, del.outputs),
+            (16_105, 500, 983)
+        );
         assert_eq!(del.task, Task::MultiLabel);
         let sf = PaperDataset::SfCrime.shape();
         assert_eq!(sf.instances, 878_049);
@@ -294,9 +309,17 @@ mod tests {
     #[test]
     fn sparse_datasets_come_out_sparse() {
         let d = PaperDataset::Mnist.generate(0.01, 100, 10, 3);
-        assert!(d.sparsity() > 0.5, "MNIST stand-in sparsity {}", d.sparsity());
+        assert!(
+            d.sparsity() > 0.5,
+            "MNIST stand-in sparsity {}",
+            d.sparsity()
+        );
         let dense = PaperDataset::Helena.generate(0.01, 27, 10, 3);
-        assert!(dense.sparsity() < 0.3, "Helena stand-in sparsity {}", dense.sparsity());
+        assert!(
+            dense.sparsity() < 0.3,
+            "Helena stand-in sparsity {}",
+            dense.sparsity()
+        );
     }
 
     #[test]

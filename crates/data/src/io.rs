@@ -36,8 +36,7 @@ pub fn write_libsvm<W: Write>(mut w: W, ds: &Dataset) -> std::io::Result<()> {
                 active.join(",")
             }
             Task::MultiRegression => {
-                let vals: Vec<String> =
-                    ds.target_row(i).iter().map(|v| format!("{v}")).collect();
+                let vals: Vec<String> = ds.target_row(i).iter().map(|v| format!("{v}")).collect();
                 vals.join(",")
             }
         };
@@ -223,8 +222,8 @@ pub fn read_csv<R: BufRead>(r: R, num_outputs: usize, task: Task) -> Result<Data
 mod tests {
     use super::*;
     use crate::synth::{
-        make_classification, make_multilabel, make_regression, ClassificationSpec,
-        MultilabelSpec, RegressionSpec,
+        make_classification, make_multilabel, make_regression, ClassificationSpec, MultilabelSpec,
+        RegressionSpec,
     };
     use std::io::Cursor;
 

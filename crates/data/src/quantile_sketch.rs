@@ -68,7 +68,10 @@ impl QuantileSketch {
             },
         );
         // Periodic compression keeps space bounded.
-        if self.count.is_multiple_of((1.0 / (2.0 * self.eps)) as u64 + 1) {
+        if self
+            .count
+            .is_multiple_of((1.0 / (2.0 * self.eps)) as u64 + 1)
+        {
             self.compress();
         }
     }

@@ -100,7 +100,10 @@ mod tests {
                 seen[i] += 1;
             }
         }
-        assert!(seen.iter().all(|&c| c == 1), "each index in exactly one fold");
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "each index in exactly one fold"
+        );
     }
 
     #[test]

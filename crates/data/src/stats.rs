@@ -61,11 +61,7 @@ pub fn describe(ds: &Dataset) -> DatasetStats {
                 }
             }
             let mean = sum / n.max(1) as f64;
-            let var = col
-                .iter()
-                .map(|&v| (v as f64 - mean).powi(2))
-                .sum::<f64>()
-                / n.max(1) as f64;
+            let var = col.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n.max(1) as f64;
             let mut sorted = col;
             sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
             sorted.dedup();
@@ -118,7 +114,10 @@ impl DatasetStats {
     /// Features whose distinct-value count fits exact (loss-free)
     /// binning at `max_bins`.
     pub fn exactly_binnable(&self, max_bins: usize) -> usize {
-        self.features.iter().filter(|f| f.distinct <= max_bins).count()
+        self.features
+            .iter()
+            .filter(|f| f.distinct <= max_bins)
+            .count()
     }
 
     /// Constant (zero-information) features.

@@ -21,6 +21,34 @@ fn normal(rng: &mut ChaCha8Rng) -> f32 {
     ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
 }
 
+/// Pick `count` hypercube vertices of dimension `dim`, all distinct
+/// whenever the cube has at least `count` vertices (rejection sampling;
+/// deterministic even-spread with repeats only when it does not).
+///
+/// Distinctness matters: if two centroids of *different classes* landed
+/// on the same vertex, those classes would overlap completely and the
+/// labels would be unlearnable from the features — sklearn's
+/// `make_classification` places clusters on distinct vertices for the
+/// same reason.
+fn distinct_vertices(dim: usize, count: usize, rng: &mut ChaCha8Rng) -> Vec<u64> {
+    let bits = dim.min(63) as u32;
+    let capacity = 1u64 << bits;
+    if capacity >= count as u64 {
+        let mut seen = std::collections::HashSet::with_capacity(count);
+        let mut out = Vec::with_capacity(count);
+        while out.len() < count {
+            let v = rng.gen_range(0..capacity);
+            if seen.insert(v) {
+                out.push(v);
+            }
+        }
+        out
+    } else {
+        // More centroids than corners: spread as evenly as possible.
+        (0..count as u64).map(|c| c % capacity).collect()
+    }
+}
+
 /// Zero out entries with probability `sparsity` (post-hoc sparsification
 /// shared by all generators).
 fn sparsify(x: &mut DenseMatrix, sparsity: f64, rng: &mut ChaCha8Rng) {
@@ -87,13 +115,23 @@ pub fn make_classification(spec: &ClassificationSpec) -> Dataset {
     let (n, m, d) = (spec.instances, spec.features, spec.classes);
     let inf = spec.informative;
 
-    // Centroids: one per (class, cluster) at random hypercube-ish corners.
+    // Centroids: one per (class, cluster), each on its own hypercube
+    // vertex (jittered). Vertices are distinct so that no two classes
+    // collapse onto the same corner; see [`distinct_vertices`].
     let num_centroids = d * spec.clusters_per_class.max(1);
-    let centroids: Vec<Vec<f32>> = (0..num_centroids)
-        .map(|_| {
+    let vertices = distinct_vertices(inf, num_centroids, &mut rng);
+    let centroids: Vec<Vec<f32>> = vertices
+        .iter()
+        .map(|&v| {
             (0..inf)
-                .map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 } * spec.class_sep
-                    + 0.3 * normal(&mut rng))
+                .map(|j| {
+                    let sign = if (v >> (j as u32 % 64)) & 1 == 1 {
+                        1.0
+                    } else {
+                        -1.0
+                    };
+                    sign * spec.class_sep + 0.3 * normal(&mut rng)
+                })
                 .collect()
         })
         .collect();
@@ -168,7 +206,9 @@ pub fn make_regression(spec: &RegressionSpec) -> Dataset {
     let (n, m, d) = (spec.instances, spec.features, spec.outputs);
 
     // Weight matrix over informative features only.
-    let w: Vec<f32> = (0..spec.informative * d).map(|_| normal(&mut rng)).collect();
+    let w: Vec<f32> = (0..spec.informative * d)
+        .map(|_| normal(&mut rng))
+        .collect();
 
     let mut x = DenseMatrix::zeros(n, m);
     for i in 0..n {

@@ -59,10 +59,7 @@ impl DeviceGroup {
 
     /// Simulated wall-clock of the group: the slowest device.
     pub fn now_ns(&self) -> f64 {
-        self.devices
-            .iter()
-            .map(|d| d.now_ns())
-            .fold(0.0, f64::max)
+        self.devices.iter().map(|d| d.now_ns()).fold(0.0, f64::max)
     }
 
     /// Align all device clocks to the group maximum, booking idle time —

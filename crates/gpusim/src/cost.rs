@@ -110,7 +110,7 @@ impl CostParams {
             cores_per_sm: 64,
             clock_ghz: 1.41,
             dram_bw: 1.95e12,
-            p2p_bw: 2.4e11,     // NVLink 3
+            p2p_bw: 2.4e11, // NVLink 3
             p2p_latency_sec: 1.0e-6,
             ..Self::rtx4090()
         }
@@ -126,7 +126,7 @@ impl CostParams {
             dram_bw: 3.35e12,
             gmem_atomic_ops_per_sec: 3.0e11,
             smem_atomic_ops_per_sec: 1.2e12,
-            p2p_bw: 4.5e11,     // NVLink 4
+            p2p_bw: 4.5e11, // NVLink 4
             p2p_latency_sec: 1.0e-6,
             ..Self::rtx4090()
         }
@@ -223,8 +223,8 @@ impl CostModel {
         } else {
             0.0
         });
-        let secs = compute.max(dram) + gmem_atomic + smem_atomic + sort
-            + launches * p.launch_overhead_sec;
+        let secs =
+            compute.max(dram) + gmem_atomic + smem_atomic + sort + launches * p.launch_overhead_sec;
         secs * 1e9
     }
 
@@ -284,7 +284,10 @@ mod tests {
         let t = m.kernel_ns(&KernelCost::streaming(1e6, bytes));
         // ~1 GB over ~1 TB/s ≈ 1 ms, plus the launch overhead.
         let expected = bytes / m.params.dram_bw * 1e9 + m.params.launch_overhead_sec * 1e9;
-        assert!((t - expected).abs() / expected < 1e-9, "t={t} expected={expected}");
+        assert!(
+            (t - expected).abs() / expected < 1e-9,
+            "t={t} expected={expected}"
+        );
     }
 
     #[test]

@@ -9,9 +9,7 @@ use std::sync::Arc;
 
 /// Training-pipeline phase a kernel is attributed to. Used to regenerate
 /// the paper's Figure 4 breakdown (histogram share of total time).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Phase {
     /// Quantile binning / preprocessing of the input matrix.
     Binning,
@@ -208,11 +206,7 @@ mod tests {
     fn kernel_charges_accumulate() {
         let dev = Device::rtx4090();
         assert_eq!(dev.now_ns(), 0.0);
-        dev.charge_kernel(
-            "k1",
-            Phase::Gradient,
-            &KernelCost::streaming(1e9, 1e8),
-        );
+        dev.charge_kernel("k1", Phase::Gradient, &KernelCost::streaming(1e9, 1e8));
         let t1 = dev.now_ns();
         assert!(t1 > 0.0);
         dev.charge_kernel("k2", Phase::Histogram, &KernelCost::streaming(1e9, 1e8));

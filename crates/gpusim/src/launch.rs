@@ -75,9 +75,7 @@ where
     F: Fn(usize) -> R + Sync + Send,
     M: FnMut(R, R) -> R,
 {
-    run_blocks(cfg, f)
-        .into_iter()
-        .fold(init, merge)
+    run_blocks(cfg, f).into_iter().fold(init, merge)
 }
 
 #[cfg(test)]

@@ -50,7 +50,7 @@ pub fn gather_cost(dev: &Device, idx: &[u32], elem_bytes: usize) -> KernelCost {
         flops: n as f64,
         dram_bytes: (n * 4) as f64                 // index reads
             + transactions * p.sector_bytes as f64 // gathered reads
-            + (n * elem_bytes) as f64,             // coalesced writes
+            + (n * elem_bytes) as f64, // coalesced writes
         launches: 1.0,
         ..Default::default()
     }

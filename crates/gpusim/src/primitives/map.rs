@@ -96,7 +96,15 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn zip_map_length_mismatch_panics() {
         let dev = Device::rtx4090();
-        let _ = zip_map_f32(&dev, Phase::Other, "bad", &[1.0], &[1.0, 2.0], 1.0, |x, _| x);
+        let _ = zip_map_f32(
+            &dev,
+            Phase::Other,
+            "bad",
+            &[1.0],
+            &[1.0, 2.0],
+            1.0,
+            |x, _| x,
+        );
     }
 
     #[test]

@@ -10,7 +10,10 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One simulated kernel (or transfer / collective) on a device timeline.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Serialize-only: `name` borrows `'static` kernel-name literals, which
+/// cannot be reconstructed from transient JSON input.
+#[derive(Debug, Clone, Serialize)]
 pub struct KernelRecord {
     /// Human-readable kernel name, e.g. `hist_smem_packed`.
     pub name: &'static str,

@@ -6,7 +6,9 @@ use gpusim::primitives::{
     exclusive_scan_u32, reduce_by_key_sorted, reduce_sum_f64, segmented_reduce_sum_f64,
     sort_by_key_u32,
 };
-use gpusim::warp::{atomic_replay_degree, atomic_replay_excess, bank_conflict_degree, sectors_touched};
+use gpusim::warp::{
+    atomic_replay_degree, atomic_replay_excess, bank_conflict_degree, sectors_touched,
+};
 use gpusim::{Device, Phase};
 use proptest::prelude::*;
 

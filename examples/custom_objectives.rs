@@ -30,7 +30,12 @@ fn main() {
             *t += 40.0;
         }
     }
-    let ds = Dataset::new(base.features().clone(), targets, base.d(), Task::MultiRegression);
+    let ds = Dataset::new(
+        base.features().clone(),
+        targets,
+        base.d(),
+        Task::MultiRegression,
+    );
     let (train, test) = ds.split(0.25, 1);
     let clean_test_targets: Vec<f32> = {
         // Evaluate against the *clean* signal: re-generate and take the
@@ -91,15 +96,17 @@ fn main() {
         .model;
     let under = |m: &gbdt_mo::core::Model| {
         let p = m.predict(test.features());
-        p.iter()
-            .zip(test.targets())
-            .filter(|(s, t)| s < t)
-            .count() as f64
-            / p.len() as f64
+        p.iter().zip(test.targets()).filter(|(s, t)| s < t).count() as f64 / p.len() as f64
     };
     println!("\n== asymmetric objective (under-prediction 4× penalized) ==");
-    println!("  symmetric model under-predicts {:.1}% of entries", 100.0 * under(&mse_model));
-    println!("  asymmetric model under-predicts {:.1}%", 100.0 * under(&asym_model));
+    println!(
+        "  symmetric model under-predicts {:.1}% of entries",
+        100.0 * under(&mse_model)
+    );
+    println!(
+        "  asymmetric model under-predicts {:.1}%",
+        100.0 * under(&asym_model)
+    );
 
     // --- monotone constraint on feature 0 ------------------------------
     let mut mono_cfg = config;
@@ -125,7 +132,11 @@ fn main() {
     println!("\n== monotone constraint (+1 on feature 0) ==");
     println!(
         "  prediction sweep along feature 0 is {}",
-        if monotone { "non-decreasing ✓" } else { "NOT monotone ✗" }
+        if monotone {
+            "non-decreasing ✓"
+        } else {
+            "NOT monotone ✗"
+        }
     );
     assert!(monotone);
 }

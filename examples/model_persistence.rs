@@ -31,7 +31,10 @@ fn main() {
     };
     let model = GpuTrainer::new(Device::rtx4090(), config).fit(&train);
     let before = rmse(&model.predict(test.features()), test.targets());
-    println!("trained: {} trees, test RMSE {before:.4}", model.num_trees());
+    println!(
+        "trained: {} trees, test RMSE {before:.4}",
+        model.num_trees()
+    );
 
     // --- persist ------------------------------------------------------
     let json = model.to_json();

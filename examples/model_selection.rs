@@ -67,7 +67,10 @@ fn main() {
     let mut best = (0usize, 0.0f64);
     for (i, (name, cfg)) in candidates.iter().enumerate() {
         let r = cross_validate(&train, cfg, 3, 7);
-        println!("  {name:<32} {}: {:.3} ± {:.3}", r.metric_name, r.mean, r.std);
+        println!(
+            "  {name:<32} {}: {:.3} ± {:.3}",
+            r.metric_name, r.mean, r.std
+        );
         if r.mean > best.1 {
             best = (i, r.mean);
         }

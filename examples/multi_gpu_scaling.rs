@@ -49,10 +49,7 @@ fn main() {
         let report = trainer.fit_report(&train);
         let t = report.sim_seconds;
         let t1v = *t1.get_or_insert(t);
-        let acc = gbdt_mo::core::accuracy(
-            &report.model.predict(test.features()),
-            &test.labels(),
-        );
+        let acc = gbdt_mo::core::accuracy(&report.model.predict(test.features()), &test.labels());
         println!(
             "{:<6} {:>10.2}ms {:>8.2}× {:>11.1}% {:>11.1}% {:>9.1}%",
             k,

@@ -62,16 +62,14 @@ fn main() {
     let so_rmse = prob_rmse(&so.model.predict(test.features()));
 
     // --- SketchBoost: split search in a 5-dim sketch -------------------
-    let sk = SketchBoostTrainer::new(
-        Device::rtx4090(),
-        config,
-        SketchStrategy::TopOutputs,
-        5,
-    )
-    .fit_report(&train);
+    let sk = SketchBoostTrainer::new(Device::rtx4090(), config, SketchStrategy::TopOutputs, 5)
+        .fit_report(&train);
     let sk_rmse = prob_rmse(&sk.model.predict(test.features()));
 
-    println!("{:<12} {:>10} {:>10} {:>12}", "system", "trees", "sim time", "prob RMSE");
+    println!(
+        "{:<12} {:>10} {:>10} {:>12}",
+        "system", "trees", "sim time", "prob RMSE"
+    );
     println!("{}", "-".repeat(48));
     println!(
         "{:<12} {:>10} {:>9.2}ms {:>12.4}",

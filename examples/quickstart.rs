@@ -39,10 +39,7 @@ fn main() {
     let trainer = GpuTrainer::new(device, config);
     let report = trainer.fit_report(&train);
 
-    let acc = accuracy(
-        &report.model.predict(test.features()),
-        &test.labels(),
-    );
+    let acc = accuracy(&report.model.predict(test.features()), &test.labels());
     println!("\ntest accuracy: {:.1}%", 100.0 * acc);
     println!(
         "model: {} trees, {} leaves, ~{} KiB",

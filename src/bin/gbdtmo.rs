@@ -119,13 +119,18 @@ fn parse_task(s: &str) -> Result<Task, String> {
 fn load_dataset(flags: &Flags) -> Result<Dataset, String> {
     let path = flags.require("data")?;
     let task = parse_task(flags.require("task")?)?;
-    let outputs: usize = flags.require("outputs")?.parse().map_err(|e| format!("--outputs: {e}"))?;
+    let outputs: usize = flags
+        .require("outputs")?
+        .parse()
+        .map_err(|e| format!("--outputs: {e}"))?;
     let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
     let reader = BufReader::new(file);
     match flags.get("format").unwrap_or("libsvm") {
         "libsvm" => {
-            let features: usize =
-                flags.require("features")?.parse().map_err(|e| format!("--features: {e}"))?;
+            let features: usize = flags
+                .require("features")?
+                .parse()
+                .map_err(|e| format!("--features: {e}"))?;
             read_libsvm(reader, features, outputs, task)
         }
         "csv" => read_csv(reader, outputs, task),
@@ -147,10 +152,7 @@ fn load_model(flags: &Flags) -> Result<Model, String> {
 fn metric_line(task: Task, model: &Model, ds: &Dataset) -> String {
     let scores = model.predict(ds.features());
     match task {
-        Task::MultiClass => format!(
-            "accuracy: {:.4}",
-            accuracy(&scores, &ds.labels())
-        ),
+        Task::MultiClass => format!("accuracy: {:.4}", accuracy(&scores, &ds.labels())),
         Task::MultiRegression => format!("rmse: {:.6}", rmse(&scores, ds.targets())),
         Task::MultiLabel => {
             let mut probs = model.predict_transformed(ds.features());

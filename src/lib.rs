@@ -51,8 +51,8 @@ pub mod prelude {
         accuracy, rmse, GpuTrainer, HistogramMethod, Model, MultiGpuTrainer, TrainConfig,
     };
     pub use crate::data::{
-        make_classification, make_multilabel, make_regression, BinnedDataset,
-        ClassificationSpec, Dataset, MultilabelSpec, RegressionSpec, Task,
+        make_classification, make_multilabel, make_regression, BinnedDataset, ClassificationSpec,
+        Dataset, MultilabelSpec, RegressionSpec, Task,
     };
     pub use gpusim::{Device, DeviceGroup, Phase};
 }

@@ -25,29 +25,66 @@ fn full_cli_workflow() {
 
     // synth
     let out = gbdtmo(&[
-        "synth", "--dataset", "otto", "--scale", "0.01", "--seed", "3", "--out", data_s,
+        "synth",
+        "--dataset",
+        "otto",
+        "--scale",
+        "0.01",
+        "--seed",
+        "3",
+        "--out",
+        data_s,
     ]);
-    assert!(out.status.success(), "synth failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "synth failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(data.exists());
 
     let common = [
-        "--data", data_s, "--task", "multiclass", "--outputs", "9", "--features", "93",
+        "--data",
+        data_s,
+        "--task",
+        "multiclass",
+        "--outputs",
+        "9",
+        "--features",
+        "93",
     ];
 
     // train (JSON model)
     let mut args = vec![
-        "train", "--trees", "8", "--depth", "4", "--bins", "32", "--out",
+        "train",
+        "--trees",
+        "8",
+        "--depth",
+        "4",
+        "--bins",
+        "32",
+        "--out",
         model_json.to_str().unwrap(),
     ];
     args.extend_from_slice(&common);
     let out = gbdtmo(&args);
-    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("trained 8 trees"), "stderr: {stderr}");
 
     // train (binary model)
     let mut args = vec![
-        "train", "--trees", "8", "--depth", "4", "--bins", "32", "--out",
+        "train",
+        "--trees",
+        "8",
+        "--depth",
+        "4",
+        "--bins",
+        "32",
+        "--out",
         model_bin.to_str().unwrap(),
     ];
     args.extend_from_slice(&common);
@@ -61,19 +98,32 @@ fn full_cli_workflow() {
         let mut args = vec!["evaluate", "--model", model];
         args.extend_from_slice(&common);
         let out = gbdtmo(&args);
-        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         String::from_utf8_lossy(&out.stdout).to_string()
     };
     let a = eval(model_json.to_str().unwrap());
     let b = eval(model_bin.to_str().unwrap());
     assert_eq!(a, b, "JSON and binary models must evaluate identically");
     assert!(a.contains("accuracy:"), "got: {a}");
-    let acc: f64 = a.trim().strip_prefix("accuracy:").unwrap().trim().parse().unwrap();
+    let acc: f64 = a
+        .trim()
+        .strip_prefix("accuracy:")
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap();
     assert!(acc > 0.5, "train accuracy {acc}");
 
     // predict
     let mut args = vec![
-        "predict", "--model", model_json.to_str().unwrap(), "--out",
+        "predict",
+        "--model",
+        model_json.to_str().unwrap(),
+        "--out",
         preds.to_str().unwrap(),
     ];
     args.extend_from_slice(&common);
@@ -113,7 +163,19 @@ fn helpful_errors() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("--data is required"));
 
     // Bad task value.
-    let out = gbdtmo(&["evaluate", "--model", "/nonexistent", "--data", "/nonexistent", "--task", "nope", "--outputs", "2", "--features", "2"]);
+    let out = gbdtmo(&[
+        "evaluate",
+        "--model",
+        "/nonexistent",
+        "--data",
+        "/nonexistent",
+        "--task",
+        "nope",
+        "--outputs",
+        "2",
+        "--features",
+        "2",
+    ]);
     assert!(!out.status.success());
 
     // Missing file is a clean error, not a panic.

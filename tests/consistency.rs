@@ -38,7 +38,11 @@ fn four_substrates_one_model() {
     let reference = gpu.predict(x);
 
     let cpu_dense = CpuMoTrainer::new(config(), CpuStorage::Dense).fit(&ds);
-    assert_eq!(cpu_dense.predict(x), reference, "CPU dense differs from GPU");
+    assert_eq!(
+        cpu_dense.predict(x),
+        reference,
+        "CPU dense differs from GPU"
+    );
 
     let cpu_sparse = CpuMoTrainer::new(config(), CpuStorage::Sparse).fit(&ds);
     let sparse_pred = cpu_sparse.predict(x);
@@ -81,7 +85,9 @@ fn histogram_methods_do_not_change_the_model() {
 fn warp_packing_and_subtraction_do_not_change_the_model() {
     let ds = dataset(3);
     let x = ds.features();
-    let base = GpuTrainer::new(Device::rtx4090(), config()).fit(&ds).predict(x);
+    let base = GpuTrainer::new(Device::rtx4090(), config())
+        .fit(&ds)
+        .predict(x);
 
     let mut c = config();
     c.hist.warp_packing = false;
@@ -105,7 +111,11 @@ fn training_is_deterministic_across_runs_and_devices() {
     let a = GpuTrainer::new(Device::rtx4090(), config()).fit(&ds);
     let b = GpuTrainer::new(Device::rtx4090(), config()).fit(&ds);
     assert_eq!(a.predict(ds.features()), b.predict(ds.features()));
-    assert_eq!(a.to_json(), b.to_json(), "serialized models must be identical");
+    assert_eq!(
+        a.to_json(),
+        b.to_json(),
+        "serialized models must be identical"
+    );
 }
 
 #[test]

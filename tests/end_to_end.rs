@@ -79,8 +79,7 @@ fn multilabel_end_to_end() {
         loss.transform_row(row);
     }
     let e = rmse(&probs, test.targets());
-    let rate: f32 =
-        train.targets().iter().sum::<f32>() / train.targets().len() as f32;
+    let rate: f32 = train.targets().iter().sum::<f32>() / train.targets().len() as f32;
     let prior: Vec<f32> = vec![rate; test.targets().len()];
     let e0 = rmse(&prior, test.targets());
     assert!(e < e0, "prob rmse {e} vs prior {e0}");
@@ -107,7 +106,10 @@ fn boosting_monotonically_improves_training_fit() {
         );
         last = acc;
     }
-    assert!(last > 0.9, "30 trees should nearly fit the training set: {last}");
+    assert!(
+        last > 0.9,
+        "30 trees should nearly fit the training set: {last}"
+    );
 }
 
 #[test]

@@ -175,7 +175,10 @@ fn streams_and_compiled_serving_preserve_the_model() {
         "streams must not change the model"
     );
     let compiled = CompiledEnsemble::compile(&streamed);
-    assert_eq!(compiled.predict(ds.features()), streamed.predict(ds.features()));
+    assert_eq!(
+        compiled.predict(ds.features()),
+        streamed.predict(ds.features())
+    );
 }
 
 #[test]
@@ -226,7 +229,9 @@ fn leaf_embedding_has_expected_shape_and_granularity() {
     // A useful embedding distinguishes instances: more than one distinct
     // leaf per tree.
     for t in 0..model.num_trees() {
-        let mut leaves: Vec<u32> = (0..ds.n()).map(|i| emb[i * model.num_trees() + t]).collect();
+        let mut leaves: Vec<u32> = (0..ds.n())
+            .map(|i| emb[i * model.num_trees() + t])
+            .collect();
         leaves.sort_unstable();
         leaves.dedup();
         assert!(leaves.len() > 1, "tree {t} routed everything to one leaf");

@@ -213,5 +213,8 @@ fn rtx3090_is_slower_than_rtx4090() {
     let t3090 = GpuTrainer::new(Dev::new(0, DeviceProps::rtx3090()), config(5, 4))
         .fit_report(&ds)
         .sim_seconds;
-    assert!(t3090 > t4090, "3090 ({t3090}) should be slower than 4090 ({t4090})");
+    assert!(
+        t3090 > t4090,
+        "3090 ({t3090}) should be slower than 4090 ({t4090})"
+    );
 }

@@ -1,0 +1,199 @@
+//! Vendored minimal stand-in for [criterion](https://docs.rs/criterion).
+//!
+//! Provides the API surface the `gbdt-bench` targets compile against
+//! (`Criterion`, `BenchmarkGroup`, `Bencher::{iter, iter_custom}`,
+//! `BenchmarkId`, the `criterion_group!` / `criterion_main!` macros and
+//! `black_box`) with a simple mean-of-samples measurement loop instead
+//! of criterion's statistical machinery. Results print as one line per
+//! benchmark; there is no HTML report or comparison baseline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: function name plus a parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            param: param.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.name, self.param)
+    }
+}
+
+/// Measurement driver handed to benchmark closures.
+pub struct Bencher<'a> {
+    iters: u64,
+    /// Measured time for the requested iterations.
+    elapsed: Duration,
+    _lifetime: std::marker::PhantomData<&'a ()>,
+}
+
+impl Bencher<'_> {
+    /// Time `routine` over the requested iteration count.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Let the routine report its own duration for `iters` iterations
+    /// (used to feed simulated seconds into the harness).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut routine: F) {
+        self.elapsed = routine(self.iters);
+    }
+}
+
+/// Shared settings for a group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for compatibility; the stub has no warm-up phase.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; sampling is count-based here.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run `routine` against `input`, printing a mean-time line.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let mut total = Duration::ZERO;
+        let mut iters_total = 0u64;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+                _lifetime: std::marker::PhantomData,
+            };
+            routine(&mut b, input);
+            total += b.elapsed;
+            iters_total += b.iters;
+        }
+        let mean = total.as_secs_f64() / iters_total.max(1) as f64;
+        println!("{}/{:<40} {:>12.6} s/iter", self.name, id.to_string(), mean);
+        self
+    }
+
+    /// Run a parameterless benchmark.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.bench_with_input(id, &(), |b, _| routine(b))
+    }
+
+    /// End the group (no-op beyond matching the real API).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark harness.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Fresh harness with default settings.
+    pub fn new() -> Self {
+        Criterion {}
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::new();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_closures() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("unit");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_with_input(BenchmarkId::new("count", 1), &2u32, |b, &two| {
+            b.iter(|| {
+                runs += two;
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 6);
+    }
+
+    #[test]
+    fn iter_custom_records_duration() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("unit");
+        group.sample_size(2);
+        group.bench_function(BenchmarkId::new("custom", "x"), |b| {
+            b.iter_custom(|iters| Duration::from_nanos(100 * iters))
+        });
+    }
+}

@@ -1,0 +1,501 @@
+//! Vendored subset of [proptest](https://docs.rs/proptest).
+//!
+//! Implements the strategy combinators and macros this workspace uses:
+//! `proptest!` with `#![proptest_config(...)]`, `any::<T>()`, range
+//! strategies, `Just`, tuple strategies, `prop_map` / `prop_flat_map`,
+//! `prop_oneof!`, `collection::vec`, and `prop_assert!` /
+//! `prop_assert_eq!`.
+//!
+//! Differences from upstream: **no shrinking** (the first failing input
+//! is reported as-is) and a deterministic per-test RNG seeded from the
+//! test name, so failures reproduce across runs.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::fmt::Debug;
+use std::rc::Rc;
+
+/// Per-test randomness source (deterministic; seeded from the test name).
+pub struct TestRng(ChaCha8Rng);
+
+impl TestRng {
+    /// Deterministic RNG for the named test.
+    pub fn deterministic(test_name: &str) -> Self {
+        // FNV-1a over the test name → stable seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(ChaCha8Rng::seed_from_u64(h))
+    }
+
+    /// Access the underlying RNG.
+    pub fn rng(&mut self) -> &mut ChaCha8Rng {
+        &mut self.0
+    }
+}
+
+/// Runner configuration (subset: case count only).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of random values (upstream's `Strategy`, minus shrinking).
+pub trait Strategy {
+    /// Generated value type.
+    type Value: Clone + Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: Clone + Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate an intermediate value, then a strategy from it.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erase into a [`BoxedStrategy`].
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Object-safe strategy facade backing [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// Type-erased strategy (upstream's `BoxedStrategy`).
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: Clone + Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `.prop_map` adapter.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: Clone + Debug,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// `.prop_flat_map` adapter.
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        let mid = self.inner.generate(rng);
+        (self.f)(mid).generate(rng)
+    }
+}
+
+/// Weighted choice between type-erased strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T: Clone + Debug> Union<T> {
+    /// Build from `(weight, strategy)` arms.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! weights sum to zero");
+        Union { arms, total }
+    }
+}
+
+impl<T: Clone + Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.rng().gen_range(0..self.total);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weight accounting");
+    }
+}
+
+/// Whole-domain sampling for `any::<T>()`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Uniform strategy over the full domain of `T`.
+pub fn any<T>() -> Any<T>
+where
+    T: rand::StandardSample + Clone + Debug,
+{
+    Any(std::marker::PhantomData)
+}
+
+impl<T> Strategy for Any<T>
+where
+    T: rand::StandardSample + Clone + Debug,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_standard(rng.rng())
+    }
+}
+
+impl<T> Strategy for std::ops::Range<T>
+where
+    T: Clone + Debug,
+    std::ops::Range<T>: rand::SampleRange<T> + Clone,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.rng().gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    T: Clone + Debug,
+    std::ops::RangeInclusive<T>: rand::SampleRange<T> + Clone,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.rng().gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $i:tt),+)),+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+);
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Length specifications accepted by [`vec`] (upstream's
+    /// `IntoSizeRange`): an exact `usize` or a half-open range.
+    pub trait IntoSizeRange {
+        /// Convert into a half-open length range.
+        fn into_size_range(self) -> std::ops::Range<usize>;
+    }
+
+    impl IntoSizeRange for usize {
+        fn into_size_range(self) -> std::ops::Range<usize> {
+            self..self + 1
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn into_size_range(self) -> std::ops::Range<usize> {
+            self
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn into_size_range(self) -> std::ops::Range<usize> {
+            *self.start()..*self.end() + 1
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Vector of `element` values with a length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: impl IntoSizeRange) -> VecStrategy<S> {
+        let len = len.into_size_range();
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.rng().gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Property-test failure (produced by `prop_assert!`).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+/// Commonly used re-exports.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Discard a case whose inputs do not satisfy a precondition. Upstream
+/// proptest re-draws inputs; this subset simply treats the case as
+/// vacuously passing (the deterministic RNG still advances, so
+/// remaining cases are unaffected).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Assert inside a property, reporting the failing inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+/// Weighted (or unweighted) choice among strategies with a common
+/// value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(($weight as u32, $crate::Strategy::boxed($strat))),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$((1u32, $crate::Strategy::boxed($strat))),+])
+    };
+}
+
+/// Define property tests. Each `#[test] fn name(arg in strategy, ...)
+/// { body }` becomes a zero-argument `#[test]` running `config.cases`
+/// random cases; failing inputs are printed before the panic
+/// propagates. As in upstream proptest, the `#[test]` attribute is
+/// written by the caller and forwarded.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let inputs = ($($crate::Strategy::generate(&($strat), &mut rng),)+);
+                let cloned = inputs.clone();
+                // The body runs in a Result-returning closure so that
+                // upstream-style `return Ok(())` early exits typecheck.
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        #[allow(unused_parens, unused_mut)]
+                        let ($(mut $arg),+ ,) = cloned;
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                ));
+                let report = || {
+                    eprintln!(
+                        "proptest case {case} of {} failed for `{}` with inputs {:#?}",
+                        config.cases,
+                        stringify!($name),
+                        inputs,
+                    );
+                };
+                match outcome {
+                    ::std::result::Result::Ok(::std::result::Result::Ok(())) => {}
+                    ::std::result::Result::Ok(::std::result::Result::Err(e)) => {
+                        report();
+                        panic!("proptest case rejected: {}", e.0);
+                    }
+                    ::std::result::Result::Err(payload) => {
+                        report();
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn union_respects_weights_loosely() {
+        let s = prop_oneof![9 => Just(1u32), 1 => Just(2u32)];
+        let mut rng = crate::TestRng::deterministic("weights");
+        let ones = (0..1000)
+            .filter(|_| Strategy::generate(&s, &mut rng) == 1)
+            .count();
+        assert!(ones > 700, "{ones}/1000 picks of the 90% arm");
+    }
+
+    #[test]
+    fn vec_lengths_in_range() {
+        let s = crate::collection::vec(0u32..10, 2..5);
+        let mut rng = crate::TestRng::deterministic("vec");
+        for _ in 0..100 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn flat_map_chains() {
+        let s = (1usize..4).prop_flat_map(|n| crate::collection::vec(0u8..4, n..n + 1));
+        let mut rng = crate::TestRng::deterministic("flat");
+        for _ in 0..50 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_generates_cases(x in 0u32..100, flip in any::<bool>()) {
+            prop_assert!(x < 100);
+            let _ = flip;
+        }
+    }
+}

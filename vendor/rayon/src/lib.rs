@@ -1,0 +1,722 @@
+//! Vendored, API-compatible subset of [rayon](https://docs.rs/rayon).
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the *exact* parallel-iterator surface the codebase
+//! uses, implemented over `std::thread::scope`:
+//!
+//! * `par_iter` / `par_iter_mut` on slices,
+//! * `par_chunks` / `par_chunks_mut` / `par_windows`,
+//! * `into_par_iter` on `Range<usize>` and `Vec<T>`,
+//! * the `map` / `zip` / `enumerate` adapters plus `for_each`,
+//!   `collect`, `sum` and `reduce` drivers,
+//! * `ThreadPoolBuilder` / `ThreadPool::install` with a thread-count
+//!   override (used by the determinism tests to pin 1 vs N threads).
+//!
+//! Every iterator here is *indexed*: the driver splits `0..len` into
+//! contiguous per-thread ranges, so any order-sensitive operation
+//! (`collect`, in-order `reduce`) is **bit-identical across thread
+//! counts** — a stronger guarantee than rayon's (which is only
+//! deterministic for `collect` on indexed iterators as well).
+//!
+//! Nested parallel calls run inline on the worker thread (one pool
+//! level), mirroring rayon's work-stealing behaviour closely enough for
+//! this workspace while avoiding thread explosions.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::OnceLock;
+
+// ---------------------------------------------------------------------------
+// Thread-count policy
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`].
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Set on worker threads: nested parallel calls run inline.
+    static NESTED: Cell<bool> = const { Cell::new(false) };
+}
+
+fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// The number of threads the current scope would use.
+pub fn current_num_threads() -> usize {
+    THREAD_OVERRIDE
+        .with(|t| t.get())
+        .unwrap_or_else(default_threads)
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`] (infallible
+/// here, kept for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a scoped [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pin the pool to `n` threads (0 = default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(default_threads),
+        })
+    }
+}
+
+/// A logical thread pool: parallel calls made inside
+/// [`ThreadPool::install`] use this pool's thread count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count as the ambient default.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        THREAD_OVERRIDE.with(|t| {
+            let prev = t.replace(Some(self.num_threads));
+            let out = f();
+            t.set(prev);
+            out
+        })
+    }
+
+    /// This pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Run `a` and `b`, potentially in parallel, returning both results.
+pub fn join<RA, RB>(a: impl FnOnce() -> RA + Send, b: impl FnOnce() -> RB + Send) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 || NESTED.with(|n| n.get()) {
+        (a(), b())
+    } else {
+        std::thread::scope(|s| {
+            let hb = s.spawn(|| {
+                NESTED.with(|n| n.set(true));
+                b()
+            });
+            let ra = a();
+            (ra, hb.join().expect("rayon::join worker panicked"))
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Indexed producer model
+// ---------------------------------------------------------------------------
+
+/// A random-access producer of `len()` items. `get(i)` must be called
+/// at most once per index across all threads (mutable sources hand out
+/// disjoint `&mut` borrows under that contract).
+///
+/// This is the internal engine trait; user code interacts through
+/// [`ParallelIterator`].
+pub trait IndexedSource: Send + Sync {
+    /// The produced item type.
+    type Item: Send;
+    /// Number of items.
+    fn len(&self) -> usize;
+    /// Whether the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Produce item `i`.
+    ///
+    /// # Safety
+    /// Each index must be produced at most once overall; mutable
+    /// sources rely on this for aliasing safety.
+    unsafe fn get(&self, i: usize) -> Self::Item;
+}
+
+/// Execute `body(i, item)` for every index, split across threads in
+/// contiguous ranges. Returns without spawning when one thread (or a
+/// nested context) suffices.
+fn drive<I: IndexedSource, F: Fn(usize, I::Item) + Send + Sync>(source: &I, body: F) {
+    let len = source.len();
+    if len == 0 {
+        return;
+    }
+    let threads = current_num_threads().min(len);
+    if threads <= 1 || NESTED.with(|n| n.get()) {
+        for i in 0..len {
+            // SAFETY: each index visited exactly once.
+            unsafe { body(i, source.get(i)) };
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let lo = t * len / threads;
+            let hi = (t + 1) * len / threads;
+            let body = &body;
+            scope.spawn(move || {
+                NESTED.with(|n| n.set(true));
+                for i in lo..hi {
+                    // SAFETY: [lo, hi) ranges are disjoint across threads,
+                    // so each index is produced exactly once.
+                    unsafe { body(i, source.get(i)) };
+                }
+            });
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Public combinator surface
+// ---------------------------------------------------------------------------
+
+/// The user-facing parallel iterator trait (rayon's `ParallelIterator`
+/// + `IndexedParallelIterator`, collapsed).
+pub trait ParallelIterator: IndexedSource + Sized {
+    /// Map each item through `f`.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Send + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pair up with another parallel iterator (length = min of both).
+    fn zip<B>(self, other: B) -> Zip<Self, B::Iter>
+    where
+        B: IntoParallelIterator,
+    {
+        Zip {
+            a: self,
+            b: other.into_par_iter(),
+        }
+    }
+
+    /// Attach the item index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Hint accepted for API compatibility (chunking is always even).
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Consume every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        drive(&self, |_, item| f(item));
+    }
+
+    /// Collect into a container (in index order, deterministically).
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Sum the items (tree-free: in index order, deterministic).
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + Send,
+        Self::Item: Send,
+    {
+        let items: Vec<Self::Item> = collect_vec(self);
+        items.into_iter().sum()
+    }
+
+    /// Reduce with `identity` and `op`, folding per-thread results in
+    /// index order (deterministic for non-commutative `op`).
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Send + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
+    {
+        let items: Vec<Self::Item> = collect_vec(self);
+        items.into_iter().fold(identity(), &op)
+    }
+}
+
+impl<T: IndexedSource + Sized> ParallelIterator for T {}
+
+/// Collect a source into a `Vec` preserving index order.
+fn collect_vec<I: IndexedSource>(source: I) -> Vec<I::Item> {
+    let len = source.len();
+    let mut out: Vec<std::mem::MaybeUninit<I::Item>> = Vec::with_capacity(len);
+    // SAFETY: MaybeUninit needs no initialization; every slot is
+    // written exactly once below before assuming init.
+    #[allow(clippy::uninit_vec)]
+    unsafe {
+        out.set_len(len);
+    }
+    struct Target<T>(*mut std::mem::MaybeUninit<T>);
+    // SAFETY: threads write disjoint indices.
+    unsafe impl<T> Send for Target<T> {}
+    unsafe impl<T> Sync for Target<T> {}
+    let target = Target(out.as_mut_ptr());
+    let tref = &target;
+    drive(&source, move |i, item| {
+        // SAFETY: index i is visited exactly once; slots are disjoint.
+        unsafe { (*tref.0.add(i)).write(item) };
+    });
+    // SAFETY: all len slots were initialized by drive.
+    unsafe {
+        let ptr = out.as_mut_ptr() as *mut I::Item;
+        let cap = out.capacity();
+        std::mem::forget(out);
+        Vec::from_raw_parts(ptr, len, cap)
+    }
+}
+
+/// Conversion into a parallel iterator (rayon's `IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Iterator type produced.
+    type Iter: IndexedSource<Item = Self::Item>;
+    /// Item type.
+    type Item: Send;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: IndexedSource> IntoParallelIterator for T {
+    type Iter = T;
+    type Item = T::Item;
+    fn into_par_iter(self) -> T {
+        self
+    }
+}
+
+/// Collection construction from a parallel iterator.
+pub trait FromParallelIterator<T: Send> {
+    /// Build the collection.
+    fn from_par_iter<I: IndexedSource<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: IndexedSource<Item = T>>(iter: I) -> Self {
+        collect_vec(iter)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over a `Range<usize>`.
+pub struct RangeIter {
+    start: usize,
+    len: usize,
+}
+
+impl IndexedSource for RangeIter {
+    type Item = usize;
+    fn len(&self) -> usize {
+        self.len
+    }
+    unsafe fn get(&self, i: usize) -> usize {
+        self.start + i
+    }
+}
+
+/// `(0..n).into_par_iter()` support. (Free impl: Range is foreign but
+/// the trait is ours.)
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangeIter;
+    type Item = usize;
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        }
+    }
+}
+
+impl IntoParallelIterator for Range<u32> {
+    type Iter = MapRange;
+    type Item = u32;
+    fn into_par_iter(self) -> MapRange {
+        MapRange {
+            start: self.start,
+            len: (self.end.saturating_sub(self.start)) as usize,
+        }
+    }
+}
+
+/// Parallel iterator over a `Range<u32>`.
+pub struct MapRange {
+    start: u32,
+    len: usize,
+}
+
+impl IndexedSource for MapRange {
+    type Item = u32;
+    fn len(&self) -> usize {
+        self.len
+    }
+    unsafe fn get(&self, i: usize) -> u32 {
+        self.start + i as u32
+    }
+}
+
+/// Owned-vec parallel iterator (moves items out).
+pub struct VecIter<T: Send> {
+    data: Vec<T>,
+    taken: std::sync::atomic::AtomicBool,
+}
+
+impl<T: Send + Sync> IndexedSource for VecIter<T> {
+    type Item = T;
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+    unsafe fn get(&self, i: usize) -> T {
+        // SAFETY: each index is taken at most once per the trait
+        // contract; Drop is disarmed by `taken`.
+        std::ptr::read(self.data.as_ptr().add(i))
+    }
+}
+
+impl<T: Send + Sync> IntoParallelIterator for Vec<T> {
+    type Iter = VecIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter {
+            data: self,
+            taken: std::sync::atomic::AtomicBool::new(true),
+        }
+    }
+}
+
+impl<T: Send> Drop for VecIter<T> {
+    fn drop(&mut self) {
+        if self.taken.load(std::sync::atomic::Ordering::Relaxed) {
+            // Items were moved out; forget them (leak-free: the drive
+            // visits every index exactly once before drop).
+            unsafe { self.data.set_len(0) };
+        }
+    }
+}
+
+/// Shared-slice parallel iterator.
+pub struct SliceIter<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> IndexedSource for SliceIter<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    unsafe fn get(&self, i: usize) -> &'a T {
+        self.slice.get_unchecked(i)
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter {
+            slice: self.as_slice(),
+        }
+    }
+}
+
+/// Shared chunks of a slice.
+pub struct ChunksIter<'a, T: Sync> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> IndexedSource for ChunksIter<'a, T> {
+    type Item = &'a [T];
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    unsafe fn get(&self, i: usize) -> &'a [T] {
+        let lo = i * self.size;
+        let hi = (lo + self.size).min(self.slice.len());
+        self.slice.get_unchecked(lo..hi)
+    }
+}
+
+/// Overlapping windows of a slice.
+pub struct WindowsIter<'a, T: Sync> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> IndexedSource for WindowsIter<'a, T> {
+    type Item = &'a [T];
+    fn len(&self) -> usize {
+        self.slice.len().saturating_sub(self.size - 1)
+    }
+    unsafe fn get(&self, i: usize) -> &'a [T] {
+        self.slice.get_unchecked(i..i + self.size)
+    }
+}
+
+/// Exclusive per-item iterator over a mutable slice.
+pub struct SliceIterMut<'a, T: Send> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: items are handed out disjointly (one index once).
+unsafe impl<T: Send> Send for SliceIterMut<'_, T> {}
+unsafe impl<T: Send> Sync for SliceIterMut<'_, T> {}
+
+impl<'a, T: Send> IndexedSource for SliceIterMut<'a, T> {
+    type Item = &'a mut T;
+    fn len(&self) -> usize {
+        self.len
+    }
+    unsafe fn get(&self, i: usize) -> &'a mut T {
+        &mut *self.ptr.add(i)
+    }
+}
+
+/// Exclusive chunked iterator over a mutable slice.
+pub struct ChunksMutIter<'a, T: Send> {
+    ptr: *mut T,
+    len: usize,
+    size: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: chunks are disjoint (one index once).
+unsafe impl<T: Send> Send for ChunksMutIter<'_, T> {}
+unsafe impl<T: Send> Sync for ChunksMutIter<'_, T> {}
+
+impl<'a, T: Send> IndexedSource for ChunksMutIter<'a, T> {
+    type Item = &'a mut [T];
+    fn len(&self) -> usize {
+        self.len.div_ceil(self.size)
+    }
+    unsafe fn get(&self, i: usize) -> &'a mut [T] {
+        let lo = i * self.size;
+        let hi = (lo + self.size).min(self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo)
+    }
+}
+
+/// `par_iter` / `par_chunks` / `par_windows` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> SliceIter<'_, T>;
+    /// Parallel iterator over non-overlapping chunks.
+    fn par_chunks(&self, size: usize) -> ChunksIter<'_, T>;
+    /// Parallel iterator over overlapping windows.
+    fn par_windows(&self, size: usize) -> WindowsIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> SliceIter<'_, T> {
+        SliceIter { slice: self }
+    }
+    fn par_chunks(&self, size: usize) -> ChunksIter<'_, T> {
+        assert!(size != 0, "chunk size must be non-zero");
+        ChunksIter { slice: self, size }
+    }
+    fn par_windows(&self, size: usize) -> WindowsIter<'_, T> {
+        assert!(size != 0, "window size must be non-zero");
+        WindowsIter { slice: self, size }
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over `&mut T`.
+    fn par_iter_mut(&mut self) -> SliceIterMut<'_, T>;
+    /// Parallel iterator over non-overlapping mutable chunks.
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMutIter<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> SliceIterMut<'_, T> {
+        SliceIterMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMutIter<'_, T> {
+        assert!(size != 0, "chunk size must be non-zero");
+        ChunksMutIter {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            size,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+/// Map adapter.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> IndexedSource for Map<I, F>
+where
+    I: IndexedSource,
+    F: Fn(I::Item) -> R + Send + Sync,
+    R: Send,
+{
+    type Item = R;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    unsafe fn get(&self, i: usize) -> R {
+        (self.f)(self.base.get(i))
+    }
+}
+
+/// Zip adapter.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: IndexedSource, B: IndexedSource> IndexedSource for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    unsafe fn get(&self, i: usize) -> (A::Item, B::Item) {
+        (self.a.get(i), self.b.get(i))
+    }
+}
+
+/// Enumerate adapter.
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I: IndexedSource> IndexedSource for Enumerate<I> {
+    type Item = (usize, I::Item);
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    unsafe fn get(&self, i: usize) -> (usize, I::Item) {
+        (i, self.base.get(i))
+    }
+}
+
+/// The rayon prelude: traits needed for method resolution.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, ParallelIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000usize).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_mut_zip_for_each() {
+        let mut a = vec![0u32; 100];
+        let b: Vec<u32> = (0..100).collect();
+        a.par_chunks_mut(7)
+            .zip(b.par_chunks(7))
+            .enumerate()
+            .for_each(|(ci, (ac, bc))| {
+                for (x, y) in ac.iter_mut().zip(bc) {
+                    *x = *y + ci as u32;
+                }
+            });
+        for (i, &x) in a.iter().enumerate() {
+            assert_eq!(x as usize, i + i / 7);
+        }
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+    }
+
+    #[test]
+    fn windows_sum() {
+        let v = [1.0f64, 2.0, 3.0, 4.0];
+        let sums: Vec<f64> = v.par_windows(2).map(|w| w.iter().sum()).collect();
+        assert_eq!(sums, vec![3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn vec_into_par_iter_moves() {
+        let v: Vec<String> = (0..50).map(|i| i.to_string()).collect();
+        let out: Vec<String> = v.into_par_iter().map(|s| s + "!").collect();
+        assert_eq!(out[49], "49!");
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+}

@@ -1,0 +1,484 @@
+//! Vendored `#[derive(Serialize, Deserialize)]` macros for the vendored
+//! `serde` subset (see `vendor/README.md`).
+//!
+//! Parses the item token stream by hand (no `syn`/`quote`) and emits
+//! impls of the vendored `serde::Serialize` / `serde::Deserialize`
+//! traits, which route through the `serde::Value` data model.
+//!
+//! Supported shapes — exactly what this workspace uses:
+//! - structs with named fields, including `#[serde(skip)]` fields
+//! - enums with unit, tuple, and struct (named-field) variants,
+//!   encoded with serde's externally-tagged convention
+//!
+//! Generics are not supported (nothing in the workspace derives serde
+//! on a generic type).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Ser)
+}
+
+/// Derive the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::De)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Ser,
+    De,
+}
+
+/// A named field with its `#[serde(skip)]` flag.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn expand(input: TokenStream, dir: Direction) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});")
+                .parse()
+                .expect("error tokens")
+        }
+    };
+    let code = match (&item, dir) {
+        (Item::Struct { name, fields }, Direction::Ser) => gen_struct_ser(name, fields),
+        (Item::Struct { name, fields }, Direction::De) => gen_struct_de(name, fields),
+        (Item::Enum { name, variants }, Direction::Ser) => gen_enum_ser(name, variants),
+        (Item::Enum { name, variants }, Direction::De) => gen_enum_de(name, variants),
+    };
+    code.parse().expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Does an attribute group contain `serde(skip)`? Rejects any other
+/// `serde(...)` content so unsupported attributes fail loudly.
+fn attr_serde_skip(group: &proc_macro::Group) -> Result<bool, String> {
+    let mut it = group.stream().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Ok(false), // doc comment, cfg, etc.
+    }
+    match it.next() {
+        Some(TokenTree::Group(inner)) => {
+            let body: String = inner
+                .stream()
+                .into_iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(" ");
+            if body.trim() == "skip" {
+                Ok(true)
+            } else {
+                Err(format!("unsupported serde attribute: #[serde({body})]"))
+            }
+        }
+        _ => Err("unsupported bare #[serde] attribute".to_string()),
+    }
+}
+
+/// Consume attributes (`# [ ... ]`) from the front of `tokens`,
+/// returning whether any was `#[serde(skip)]`.
+fn eat_attrs(
+    tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>,
+) -> Result<bool, String> {
+    let mut skip = false;
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        skip |= attr_serde_skip(&g)?;
+                    }
+                    _ => return Err("malformed attribute".to_string()),
+                }
+            }
+            _ => return Ok(skip),
+        }
+    }
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...), if present.
+fn eat_vis(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if let Some(TokenTree::Ident(id)) = tokens.peek() {
+        if id.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    eat_attrs(&mut tokens)?;
+    eat_vis(&mut tokens);
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "generic type `{name}` not supported by vendored serde derive"
+            ));
+        }
+    }
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => return Err(format!("expected braced body for `{name}`, got {other:?}")),
+    };
+
+    match kind.as_str() {
+        "struct" => Ok(Item::Struct {
+            name,
+            fields: parse_named_fields(body.stream())?,
+        }),
+        "enum" => Ok(Item::Enum {
+            name,
+            variants: parse_variants(body.stream())?,
+        }),
+        other => Err(format!("cannot derive serde traits for `{other}` items")),
+    }
+}
+
+/// Parse `name: Type, ...` named fields; only names and skip flags are
+/// retained (types are recovered by inference in the generated code).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        if tokens.peek().is_none() {
+            return Ok(fields);
+        }
+        let skip = eat_attrs(&mut tokens)?;
+        eat_vis(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after `{name}`, got {other:?}")),
+        }
+        // Swallow the type: everything up to a top-level comma. Generics
+        // arrive pre-grouped except for `<`/`>` puncts, so track depth.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle_depth -= 1;
+                    tokens.next();
+                }
+                _ => {
+                    tokens.next();
+                }
+            }
+        }
+        fields.push(Field { name, skip });
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        if tokens.peek().is_none() {
+            return Ok(variants);
+        }
+        let skip = eat_attrs(&mut tokens)?;
+        if skip {
+            return Err("#[serde(skip)] on enum variants is not supported".to_string());
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                tokens.next();
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_commas(g.stream());
+                tokens.next();
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Optional discriminant (`= expr`) then optional trailing comma.
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '=' {
+                return Err("explicit enum discriminants are not supported".to_string());
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == ',' {
+                tokens.next();
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+}
+
+/// Number of comma-separated entries at the top level of a stream
+/// (i.e. tuple-variant arity). Empty stream → 0.
+fn count_top_level_commas(stream: TokenStream) -> usize {
+    let mut n = 0usize;
+    let mut saw_any = false;
+    let mut angle_depth = 0i32;
+    for t in stream {
+        saw_any = true;
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => n += 1,
+                _ => {}
+            }
+        }
+    }
+    if saw_any {
+        n + 1
+    } else {
+        0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_struct_ser(name: &str, fields: &[Field]) -> String {
+    let mut pushes = String::new();
+    for f in fields.iter().filter(|f| !f.skip) {
+        let fname = &f.name;
+        pushes.push_str(&format!(
+            "obj.push(({fname:?}.to_string(), ::serde::Serialize::to_value(&self.{fname})));\n"
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(obj)\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_struct_de(name: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let fname = &f.name;
+        if f.skip {
+            inits.push_str(&format!("{fname}: ::std::default::Default::default(),\n"));
+        } else {
+            inits.push_str(&format!("{fname}: ::serde::field(obj, {fname:?})?,\n"));
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                 let obj = v.as_object().ok_or_else(|| format!(\"expected object for {name}, got {{}}\", v.kind()))?;\n\
+                 ::std::result::Result::Ok({name} {{\n\
+                     {inits}\
+                 }})\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_enum_ser(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.kind {
+            VariantKind::Unit => {
+                arms.push_str(&format!(
+                    "{name}::{vname} => ::serde::Value::String({vname:?}.to_string()),\n"
+                ));
+            }
+            VariantKind::Tuple(arity) => {
+                let binders: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                let pat = binders.join(", ");
+                let inner = if *arity == 1 {
+                    "::serde::Serialize::to_value(f0)".to_string()
+                } else {
+                    let elems: Vec<String> = binders
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                };
+                arms.push_str(&format!(
+                    "{name}::{vname}({pat}) => ::serde::Value::Object(vec![({vname:?}.to_string(), {inner})]),\n"
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let pat: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                let pat = pat.join(", ");
+                let mut pushes = String::new();
+                for f in fields.iter().filter(|f| !f.skip) {
+                    let fname = &f.name;
+                    pushes.push_str(&format!(
+                        "obj.push(({fname:?}.to_string(), ::serde::Serialize::to_value({fname})));\n"
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {pat} }} => {{\n\
+                         let mut obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Value::Object(obj))])\n\
+                     }}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n\
+                     {arms}\
+                 }}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    // Unit variants arrive as plain strings; data variants as
+    // single-entry objects (externally tagged).
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.kind {
+            VariantKind::Unit => {
+                unit_arms.push_str(&format!(
+                    "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                ));
+            }
+            VariantKind::Tuple(arity) => {
+                let body = if *arity == 1 {
+                    format!(
+                        "::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?))"
+                    )
+                } else {
+                    let mut elems = String::new();
+                    for i in 0..*arity {
+                        elems.push_str(&format!(
+                            "::serde::Deserialize::from_value(items.get({i}).ok_or_else(|| \"tuple variant too short\".to_string())?)?,"
+                        ));
+                    }
+                    format!(
+                        "{{ let items = inner.as_array().ok_or_else(|| \"expected array for tuple variant {vname}\".to_string())?;\n\
+                           ::std::result::Result::Ok({name}::{vname}({elems})) }}"
+                    )
+                };
+                data_arms.push_str(&format!("{vname:?} => {body},\n"));
+            }
+            VariantKind::Struct(fields) => {
+                let mut inits = String::new();
+                for f in fields {
+                    let fname = &f.name;
+                    if f.skip {
+                        inits.push_str(&format!("{fname}: ::std::default::Default::default(),\n"));
+                    } else {
+                        inits.push_str(&format!("{fname}: ::serde::field(fields, {fname:?})?,\n"));
+                    }
+                }
+                data_arms.push_str(&format!(
+                    "{vname:?} => {{\n\
+                         let fields = inner.as_object().ok_or_else(|| \"expected object for variant {vname}\".to_string())?;\n\
+                         ::std::result::Result::Ok({name}::{vname} {{ {inits} }})\n\
+                     }}\n"
+                ));
+            }
+        }
+    }
+    let unit_match = if unit_arms.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "if let ::std::option::Option::Some(s) = v.as_str() {{\n\
+                 return match s {{\n\
+                     {unit_arms}\
+                     other => ::std::result::Result::Err(format!(\"unknown {name} variant `{{other}}`\")),\n\
+                 }};\n\
+             }}\n"
+        )
+    };
+    let data_match = if data_arms.is_empty() {
+        format!("::std::result::Result::Err(format!(\"expected string for {name}, got {{}}\", v.kind()))")
+    } else {
+        format!(
+            "let obj = v.as_object().ok_or_else(|| format!(\"expected variant object for {name}, got {{}}\", v.kind()))?;\n\
+             let (tag, inner) = obj.first().ok_or_else(|| \"empty variant object\".to_string())?;\n\
+             match tag.as_str() {{\n\
+                 {data_arms}\
+                 other => ::std::result::Result::Err(format!(\"unknown {name} variant `{{other}}`\")),\n\
+             }}\n"
+        )
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                 {unit_match}\
+                 {data_match}\
+             }}\n\
+         }}\n"
+    )
+}

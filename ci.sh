@@ -19,4 +19,16 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> repo-lint (crates/core, crates/gpusim)"
+cargo run --release -q -p repo-lint -- crates/core/src crates/gpusim/src
+
+echo "==> repo-lint self-check (must fail on seeded fixture)"
+if cargo run --release -q -p repo-lint -- crates/lint/fixtures >/dev/null 2>&1; then
+  echo "ci: repo-lint failed to flag the seeded fixture violations" >&2
+  exit 1
+fi
+
+echo "==> sanitized smoke train (repro sanitize)"
+cargo run --release -q -p gbdt-bench --bin repro -- sanitize --trees 2 --depth 4 --bins 32 >/dev/null
+
 echo "ci: all checks passed"

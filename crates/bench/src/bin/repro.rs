@@ -18,6 +18,9 @@
 //!   ablations  design-choice ablations from DESIGN.md
 //!   hostbench  host wall-clock of the level-wise grower (subtraction
 //!              × parallel_level_hist), simulated time held fixed
+//!   sanitize   one boosting round per histogram method under full
+//!              memcheck+racecheck, plus a determinism audit; exits
+//!              nonzero if any violation is found
 //!   all        everything above
 //! ```
 //!
@@ -69,7 +72,7 @@ impl Opts {
     }
 }
 
-const USAGE: &str = "usage: repro <datasets|table2|table3|table4|fig4|fig5|fig6a|fig6b|fig7|ablations|hostbench|all> [flags]\n\
+const USAGE: &str = "usage: repro <datasets|table2|table3|table4|fig4|fig5|fig6a|fig6b|fig7|ablations|hostbench|sanitize|all> [flags]\n\
 flags: --trees N --depth N --bins N --scale F --gpus K --seed S --full";
 
 /// Parse a flag value, naming the flag in the error.
@@ -125,6 +128,11 @@ fn main() {
         "fig7" => fig7(&opts),
         "ablations" => ablations(&opts),
         "hostbench" => hostbench(&opts),
+        "sanitize" => {
+            if !sanitize_cmd(&opts) {
+                std::process::exit(1);
+            }
+        }
         "all" => {
             datasets();
             table2_3(&opts, true, true);
@@ -142,55 +150,6 @@ fn main() {
             eprintln!("{USAGE}");
             std::process::exit(2);
         }
-    }
-}
-
-#[cfg(test)]
-mod cli_tests {
-    use super::*;
-
-    fn argv(s: &[&str]) -> std::vec::IntoIter<String> {
-        s.iter()
-            .map(|a| a.to_string())
-            .collect::<Vec<_>>()
-            .into_iter()
-    }
-
-    #[test]
-    fn parses_command_and_flags() {
-        let (cmd, opts) =
-            parse_args(argv(&["fig4", "--trees", "7", "--scale", "0.5", "--full"])).unwrap();
-        assert_eq!(cmd, "fig4");
-        assert_eq!(opts.trees, 7);
-        assert_eq!(opts.scale, 0.5);
-        assert!(opts.full);
-    }
-
-    #[test]
-    fn empty_args_default_to_help() {
-        let (cmd, _) = parse_args(argv(&[])).unwrap();
-        assert_eq!(cmd, "help");
-    }
-
-    #[test]
-    fn unknown_flag_is_an_error() {
-        let err = parse_args(argv(&["fig4", "--bogus"])).unwrap_err();
-        assert!(err.contains("unknown flag"), "{err}");
-        assert!(err.contains("--bogus"), "{err}");
-    }
-
-    #[test]
-    fn missing_value_is_an_error() {
-        let err = parse_args(argv(&["fig4", "--trees"])).unwrap_err();
-        assert!(err.contains("missing value"), "{err}");
-        assert!(err.contains("--trees"), "{err}");
-    }
-
-    #[test]
-    fn unparsable_value_is_an_error() {
-        let err = parse_args(argv(&["fig4", "--trees", "many"])).unwrap_err();
-        assert!(err.contains("invalid value"), "{err}");
-        assert!(err.contains("many"), "{err}");
     }
 }
 
@@ -838,7 +797,7 @@ fn ablations(opts: &Opts) {
 /// (the toggle moves host arithmetic only, never device charges).
 fn hostbench(opts: &Opts) {
     let spec = ClassificationSpec {
-        instances: (4_000 as f64 * opts.scale).round() as usize,
+        instances: (4_000.0 * opts.scale).round() as usize,
         features: 64,
         classes: 24,
         informative: 24,
@@ -887,4 +846,113 @@ fn hostbench(opts: &Opts) {
             &rows
         )
     );
+}
+
+/// `repro sanitize` — run one boosting round per histogram method under
+/// full memcheck+racecheck, print the per-kernel violation report, then
+/// replay one round twice as a determinism audit. Returns `false` (exit
+/// 1 from `main`) if any violation or divergence is found.
+fn sanitize_cmd(opts: &Opts) -> bool {
+    use gpusim::sanitize::{audit_determinism, digest_f32s};
+    use gpusim::SanitizeMode;
+
+    let ds = make_classification(&ClassificationSpec {
+        instances: (600.0 * opts.scale).max(50.0) as usize,
+        features: 10,
+        classes: 5,
+        informative: 8,
+        class_sep: 1.5,
+        flip_y: 0.02,
+        seed: opts.seed,
+        ..Default::default()
+    });
+    let base = opts.config().with_trees(1);
+
+    println!("== sanitize: one boosting round, full memcheck+racecheck ==");
+    let mut ok = true;
+    for (label, method) in [
+        ("gmem", HistogramMethod::GlobalMemory),
+        ("smem", HistogramMethod::SharedMemory),
+        ("sort-reduce", HistogramMethod::SortReduce),
+        ("adaptive", HistogramMethod::Adaptive),
+    ] {
+        let device = Device::rtx4090();
+        device.enable_sanitizer(SanitizeMode::Full);
+        let _ = GpuTrainer::new(device.clone(), base.clone().with_hist_method(method)).fit(&ds);
+        let report = device.sanitize_report().expect("sanitizer enabled");
+        let verdict = if report.is_clean() {
+            "clean"
+        } else {
+            "VIOLATIONS"
+        };
+        println!("-- method {label}: {verdict} --");
+        println!("{}", report.table());
+        ok &= report.is_clean();
+    }
+
+    println!("== sanitize: determinism audit (adaptive, 2 runs) ==");
+    let props = Device::rtx4090().props().clone();
+    let cfg = base.with_hist_method(HistogramMethod::Adaptive);
+    let audit = audit_determinism(&props, |dev| {
+        let model = GpuTrainer::new(dev.clone(), cfg.clone()).fit(&ds);
+        digest_f32s(&model.predict(ds.features()))
+    });
+    println!("{}", audit.table());
+    ok &= audit.is_deterministic();
+
+    if ok {
+        println!("sanitize: OK — zero violations, deterministic replay");
+    } else {
+        println!("sanitize: FAILED — see report above");
+    }
+    ok
+}
+
+#[cfg(test)]
+mod cli_tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> std::vec::IntoIter<String> {
+        s.iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let (cmd, opts) =
+            parse_args(argv(&["fig4", "--trees", "7", "--scale", "0.5", "--full"])).unwrap();
+        assert_eq!(cmd, "fig4");
+        assert_eq!(opts.trees, 7);
+        assert_eq!(opts.scale, 0.5);
+        assert!(opts.full);
+    }
+
+    #[test]
+    fn empty_args_default_to_help() {
+        let (cmd, _) = parse_args(argv(&[])).unwrap();
+        assert_eq!(cmd, "help");
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        let err = parse_args(argv(&["fig4", "--bogus"])).unwrap_err();
+        assert!(err.contains("unknown flag"), "{err}");
+        assert!(err.contains("--bogus"), "{err}");
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let err = parse_args(argv(&["fig4", "--trees"])).unwrap_err();
+        assert!(err.contains("missing value"), "{err}");
+        assert!(err.contains("--trees"), "{err}");
+    }
+
+    #[test]
+    fn unparsable_value_is_an_error() {
+        let err = parse_args(argv(&["fig4", "--trees", "many"])).unwrap_err();
+        assert!(err.contains("invalid value"), "{err}");
+        assert!(err.contains("many"), "{err}");
+    }
 }

@@ -143,6 +143,7 @@ pub fn update_scores_from_leaves(
             (touched * d * 8 + leaf_assignments.len() * d * 4) as f64,
         ),
     );
+    crate::sanitize::trace_update_scores(device, d, scores.len() / d.max(1), leaf_assignments);
 }
 
 #[cfg(test)]

@@ -61,6 +61,9 @@ impl HistCharges {
         if self.stream_loads.len() == 1 {
             charge_method(ctx, idx, method);
         } else {
+            // Streamed charging bypasses the builders' own charge()
+            // entry points, so declare the access stream explicitly.
+            crate::sanitize::trace_hist(ctx, idx, method);
             let ns = ctx.device.model().kernel_ns(&method_cost(ctx, idx, method));
             // Least-loaded stream first (greedy LPT scheduling).
             let min = self
@@ -310,6 +313,7 @@ pub fn grow_tree_pooled(
                     Phase::Histogram,
                     &KernelCost::streaming(out.g.len() as f64 * 2.0, (out.g.len() * 3 * 8) as f64),
                 );
+                crate::sanitize::trace_subtract(device, out.g.len());
                 hists[i] = Some(out);
             }
         }
@@ -334,6 +338,7 @@ pub fn grow_tree_pooled(
                 if let Some(b) = &leaf_bounds {
                     clamp_leaf(&mut v, b, config.learning_rate);
                 }
+                crate::sanitize::trace_leaf_values(device, v.len());
                 tree.set_leaf(tree_node, v.clone());
                 leaf_assignments.push((instances, v));
                 leaf_nodes.push(tree_node);
@@ -394,6 +399,7 @@ pub fn grow_tree_pooled(
                 .map(|&i| col[i as usize] <= split.bin)
                 .collect();
             partition_elems += instances.len();
+            crate::sanitize::trace_partition(device, &flags);
             let (left_idx, right_idx) = partition_stable(&instances, &flags);
             debug_assert_eq!(left_idx.len(), split.left_count as usize);
             debug_assert_eq!(right_idx.len(), split.right_count as usize);
@@ -514,6 +520,7 @@ pub fn grow_tree_pooled(
         if let Some(b) = &work.bounds {
             clamp_leaf(&mut v, b, config.learning_rate);
         }
+        crate::sanitize::trace_leaf_values(device, v.len());
         tree.set_leaf(work.tree_node, v.clone());
         leaf_assignments.push((work.instances, v));
         leaf_nodes.push(work.tree_node);

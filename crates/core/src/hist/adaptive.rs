@@ -52,6 +52,19 @@ pub fn select_method(ctx: &HistContext<'_>, node_size: usize) -> HistogramMethod
     predict_costs(ctx, node_size).best()
 }
 
+/// Declare the access stream of the adaptively-selected concrete
+/// method: selection happens exactly as in the charged run, then the
+/// winner's own tracer runs, so sanitized adaptive training checks the
+/// same kernel mix it charges.
+pub fn trace(ctx: &HistContext<'_>, idx: &[u32], san: &gpusim::sanitize::Sanitizer) {
+    match select_method(ctx, idx.len()) {
+        HistogramMethod::GlobalMemory => gmem::trace(ctx, idx, san),
+        HistogramMethod::SharedMemory => smem::trace(ctx, idx, san),
+        HistogramMethod::SortReduce => sortreduce::trace(ctx, idx, san),
+        HistogramMethod::Adaptive => unreachable!("select_method returns a concrete method"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::super::test_support::fixture;

@@ -56,6 +56,21 @@ pub fn charge(ctx: &HistContext<'_>, idx: &[u32]) {
     };
     ctx.device
         .charge_kernel(name, Phase::Histogram, &cost_descriptor(ctx, idx.len(), &s));
+    if let Some(san) = ctx.device.sanitizer() {
+        trace(ctx, idx, &san);
+    }
+}
+
+/// Declare this kernel's access stream to an attached sanitizer: one
+/// thread per (instance, feature) pair issuing *declared-atomic*
+/// global-memory updates, which racecheck verifies rather than trusts.
+pub fn trace(ctx: &HistContext<'_>, idx: &[u32], san: &gpusim::sanitize::Sanitizer) {
+    let name = if ctx.opts.warp_packing {
+        "hist_gmem_packed"
+    } else {
+        "hist_gmem"
+    };
+    crate::sanitize::trace_pair_kernel(san, ctx, idx, name, gpusim::MemSpace::Global, true);
 }
 
 /// Predicted cost (ns) for the adaptive selector.

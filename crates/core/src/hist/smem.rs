@@ -80,6 +80,21 @@ pub fn charge(ctx: &HistContext<'_>, idx: &[u32]) {
     };
     ctx.device
         .charge_kernel(name, Phase::Histogram, &cost_descriptor(ctx, idx.len(), &s));
+    if let Some(san) = ctx.device.sanitizer() {
+        trace(ctx, idx, &san);
+    }
+}
+
+/// Declare this kernel's access stream to an attached sanitizer:
+/// per-block shared-memory tile atomics (intra-warp collisions legal
+/// because declared atomic) followed by a spread global-atomic flush.
+pub fn trace(ctx: &HistContext<'_>, idx: &[u32], san: &gpusim::sanitize::Sanitizer) {
+    let name = if ctx.opts.warp_packing {
+        "hist_smem_packed"
+    } else {
+        "hist_smem"
+    };
+    crate::sanitize::trace_pair_kernel(san, ctx, idx, name, gpusim::MemSpace::Shared, true);
 }
 
 /// Predicted cost (ns) for the adaptive selector.

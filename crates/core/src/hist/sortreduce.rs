@@ -50,6 +50,58 @@ pub fn charge(ctx: &HistContext<'_>, idx: &[u32]) {
         Phase::Histogram,
         &cost_descriptor(ctx, idx.len()),
     );
+    if let Some(san) = ctx.device.sanitizer() {
+        trace(ctx, idx, &san);
+    }
+}
+
+/// Declare this kernel's access stream to an attached sanitizer. After
+/// the radix sort, `reduce_by_key` assigns each run of equal keys to
+/// one thread, which writes each histogram slot exactly once with a
+/// *plain* store — no atomics anywhere, and racecheck verifies the
+/// slots really are disjoint.
+pub fn trace(ctx: &HistContext<'_>, idx: &[u32], san: &gpusim::sanitize::Sanitizer) {
+    use gpusim::{AccessKind, MemSpace, ThreadCtx};
+    let mf = ctx.features.len();
+    let d = ctx.d();
+    let bins = ctx.bins;
+    let nn = idx.len();
+    let scope = san.scope("hist_sort_reduce");
+    let k_id = scope.register("sorted_keys", nn * mf, MemSpace::Global, true);
+    let g_id = scope.register("hist_g", mf * d * bins, MemSpace::Global, false);
+    let h_id = scope.register("hist_h", mf * d * bins, MemSpace::Global, false);
+    let c_id = scope.register("hist_counts", mf * bins, MemSpace::Global, false);
+
+    // Distinct (feature, bin) slots among a deterministic sample of
+    // pairs; each slot is owned by exactly one reducer thread.
+    let f_stride = mf.div_ceil(crate::sanitize::MAX_TRACE_FEATURES).max(1);
+    let mut slots: Vec<(usize, usize)> = Vec::new();
+    for f_local in (0..mf).step_by(f_stride) {
+        let f = ctx.features[f_local] as usize;
+        let col = ctx.data.bins.col(f);
+        for j in crate::sanitize::sample_stride(nn, crate::sanitize::MAX_TRACE_INSTANCES) {
+            slots.push((f_local, col[idx[j] as usize] as usize));
+        }
+    }
+    slots.sort_unstable();
+    slots.dedup();
+    for (t, &(f_local, b)) in slots.iter().enumerate() {
+        let tctx = ThreadCtx::from_global(t, 256);
+        // The reducer reads the head key of its run…
+        scope.touch(
+            k_id,
+            tctx,
+            (f_local * nn).min(nn * mf - 1),
+            AccessKind::Read,
+        );
+        // …and writes each output's (g, h) slot plus the count once.
+        for k in 0..d.min(crate::sanitize::MAX_TRACE_OUTPUTS) {
+            let slot = (f_local * d + k) * bins + b;
+            scope.touch(g_id, tctx, slot, AccessKind::Write);
+            scope.touch(h_id, tctx, slot, AccessKind::Write);
+        }
+        scope.touch(c_id, tctx, f_local * bins + b, AccessKind::Write);
+    }
 }
 
 /// Predicted cost (ns) for the adaptive selector.

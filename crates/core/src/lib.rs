@@ -35,6 +35,7 @@ pub mod metrics;
 pub mod model;
 pub mod multigpu;
 pub mod predict;
+pub mod sanitize;
 pub mod serialize;
 pub mod split;
 pub mod trainer;

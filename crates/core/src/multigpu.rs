@@ -346,6 +346,7 @@ impl MultiGpuTrainer {
 
                     // Every device partitions its (replicated) index list.
                     partition_elems += instances.len();
+                    crate::sanitize::trace_partition(&self.group.devices()[owner], &flags);
                     let (left_idx, right_idx) = partition_stable(&instances, &flags);
 
                     let threshold = binned.cuts.threshold(split.feature as usize, split.bin);
@@ -626,6 +627,7 @@ impl MultiGpuTrainer {
                         .iter()
                         .map(|&i| col[i as usize] <= split.bin)
                         .collect();
+                    crate::sanitize::trace_partition(&self.group.devices()[0], &flags);
                     let (left_idx, right_idx) = partition_stable(&instances, &flags);
                     for dev in self.group.devices() {
                         dev.charge_kernel(

@@ -1,0 +1,403 @@
+//! Sanitizer wiring for the training pipeline's simulated kernels.
+//!
+//! The histogram, partition, subtraction and leaf-value kernels execute
+//! functionally as deterministic host folds; what `compute-sanitizer`
+//! would check on hardware is the *access pattern the launch implies*.
+//! When a [`gpusim::Sanitizer`] is attached to the device
+//! ([`gpusim::Device::enable_sanitizer`]), the helpers in this module
+//! declare that pattern — thread coordinates, buffer offsets, and most
+//! importantly which updates are *claimed atomic* — so racecheck can
+//! verify the claims (atomic collisions legal, plain-write collisions
+//! flagged) instead of trusting them.
+//!
+//! Declaration is deterministically sampled (feature/instance/output
+//! caps below): the sanitizer checks structure, it does not account
+//! cost, so a bounded sample that preserves the collision structure
+//! (many blocks updating the same histogram bins) is sufficient and
+//! keeps sanitized runs memory-bounded. With no sanitizer attached
+//! every helper is a single `Option` check — the hot path is untouched
+//! and nothing is ever charged to the time ledger.
+
+use crate::hist::HistContext;
+use gpusim::sanitize::Sanitizer;
+use gpusim::{AccessKind, Device, MemSpace, ThreadCtx};
+
+/// Max features whose access streams are declared per histogram launch.
+pub(crate) const MAX_TRACE_FEATURES: usize = 4;
+/// Max instances declared per (feature) stream.
+pub(crate) const MAX_TRACE_INSTANCES: usize = 256;
+/// Max output dimensions declared per (instance, feature) pair.
+pub(crate) const MAX_TRACE_OUTPUTS: usize = 4;
+/// Max elements declared for streaming kernels (partition, subtract).
+pub(crate) const MAX_TRACE_ELEMS: usize = 4096;
+
+/// Stride-sampled positions `0, s, 2s, …` covering `len` with at most
+/// `cap` points (deterministic; mirrors the cost model's warp sampler).
+pub(crate) fn sample_stride(len: usize, cap: usize) -> impl Iterator<Item = usize> {
+    let stride = len.div_ceil(cap.max(1)).max(1);
+    (0..len).step_by(stride)
+}
+
+/// Declare one node's histogram build with the *resolved* method.
+/// No-op without an attached sanitizer. Used by the stream-batched
+/// charging path, which bypasses the per-method `charge` functions.
+pub fn trace_hist(ctx: &HistContext<'_>, idx: &[u32], method: crate::config::HistogramMethod) {
+    let Some(san) = ctx.device.sanitizer() else {
+        return;
+    };
+    use crate::config::HistogramMethod;
+    match method {
+        HistogramMethod::GlobalMemory => crate::hist::gmem::trace(ctx, idx, &san),
+        HistogramMethod::SharedMemory => crate::hist::smem::trace(ctx, idx, &san),
+        HistogramMethod::SortReduce => crate::hist::sortreduce::trace(ctx, idx, &san),
+        HistogramMethod::Adaptive => crate::hist::adaptive::trace(ctx, idx, &san),
+    }
+}
+
+/// Declare the histogram-subtraction kernel (`out = parent − sibling`):
+/// one thread per element, two reads and one plain write, all at the
+/// thread's own offset — disjoint by construction, and racecheck
+/// verifies exactly that.
+pub fn trace_subtract(device: &Device, elems: usize) {
+    let Some(san) = device.sanitizer() else {
+        return;
+    };
+    let scope = san.scope("hist_subtract");
+    let parent = scope.register("parent_hist", elems, MemSpace::Global, true);
+    let sibling = scope.register("sibling_hist", elems, MemSpace::Global, true);
+    let out = scope.register("derived_hist", elems, MemSpace::Global, false);
+    for e in sample_stride(elems, MAX_TRACE_ELEMS) {
+        let ctx = ThreadCtx::from_global(e, 256);
+        scope.touch(parent, ctx, e, AccessKind::Read);
+        scope.touch(sibling, ctx, e, AccessKind::Read);
+        scope.touch(out, ctx, e, AccessKind::Write);
+    }
+}
+
+/// Declare one node's scan-based partition: every thread reads its flag
+/// and index, then scatters to an exclusive-scan-derived slot. The
+/// scatter offsets are computed from the *real* flags, so a broken scan
+/// (two instances mapped to one slot) would surface as a
+/// write-write race.
+pub fn trace_partition(device: &Device, flags: &[bool]) {
+    let Some(san) = device.sanitizer() else {
+        return;
+    };
+    let n = flags.len();
+    if n == 0 {
+        return;
+    }
+    let left_total: usize = flags.iter().filter(|&&f| f).count();
+    let scope = san.scope("partition_level");
+    let f_id = scope.register("flags", n, MemSpace::Global, true);
+    let i_id = scope.register("node_indices", n, MemSpace::Global, true);
+    let o_id = scope.register("partition_out", n, MemSpace::Global, false);
+    // Exclusive prefix of flags gives each thread its scatter slot.
+    let mut left_before = 0usize;
+    let mut right_before = 0usize;
+    let stride = n.div_ceil(MAX_TRACE_ELEMS).max(1);
+    for (e, &flag) in flags.iter().enumerate() {
+        if e % stride == 0 {
+            let ctx = ThreadCtx::from_global(e, 256);
+            scope.touch(f_id, ctx, e, AccessKind::Read);
+            scope.touch(i_id, ctx, e, AccessKind::Read);
+            let slot = if flag {
+                left_before
+            } else {
+                left_total + right_before
+            };
+            scope.touch(o_id, ctx, slot, AccessKind::Write);
+        }
+        if flag {
+            left_before += 1;
+        } else {
+            right_before += 1;
+        }
+    }
+}
+
+/// Declare one leaf's value computation: one thread per output writes
+/// its own slot of the leaf-value vector.
+pub fn trace_leaf_values(device: &Device, d: usize) {
+    let Some(san) = device.sanitizer() else {
+        return;
+    };
+    let scope = san.scope("leaf_values");
+    let g_id = scope.register("node_g", d, MemSpace::Global, true);
+    let h_id = scope.register("node_h", d, MemSpace::Global, true);
+    let v_id = scope.register("leaf_value", d, MemSpace::Global, false);
+    for k in 0..d {
+        let ctx = ThreadCtx::from_global(k, 256);
+        scope.touch(g_id, ctx, k, AccessKind::Read);
+        scope.touch(h_id, ctx, k, AccessKind::Read);
+        scope.touch(v_id, ctx, k, AccessKind::Write);
+    }
+}
+
+/// Declare the leaf-scatter score update: one thread per resident
+/// instance reads its leaf's value row and read-modify-writes its own
+/// score row. Rows are disjoint across instances (each instance lives
+/// in exactly one leaf), which is exactly what racecheck verifies.
+pub fn trace_update_scores(
+    device: &Device,
+    d: usize,
+    n: usize,
+    leaf_assignments: &[(Vec<u32>, Vec<f32>)],
+) {
+    let Some(san) = device.sanitizer() else {
+        return;
+    };
+    let scope = san.scope("update_scores");
+    let v_id = scope.register(
+        "leaf_value",
+        leaf_assignments.len() * d,
+        MemSpace::Global,
+        true,
+    );
+    let s_id = scope.register("scores", n * d, MemSpace::Global, true);
+    let mut traced = 0usize;
+    'outer: for (leaf, (instances, _)) in leaf_assignments.iter().enumerate() {
+        for &i in instances
+            .iter()
+            .take(MAX_TRACE_ELEMS / leaf_assignments.len().max(1) + 1)
+        {
+            if traced >= MAX_TRACE_ELEMS {
+                break 'outer;
+            }
+            traced += 1;
+            let ctx = ThreadCtx::from_global(i as usize, 256);
+            for k in 0..d.min(MAX_TRACE_OUTPUTS) {
+                scope.touch(v_id, ctx, leaf * d + k, AccessKind::Read);
+                let at = i as usize * d + k;
+                scope.touch(s_id, ctx, at, AccessKind::Read);
+                scope.touch(s_id, ctx, at, AccessKind::Write);
+            }
+        }
+    }
+}
+
+/// Shared declaration core of the gmem/smem histogram kernels: one
+/// thread per (instance, feature) pair, feature-major, reading its bin
+/// ID and gradient row, then issuing `kind` updates to the histogram
+/// accumulators named by `g_label`/`h_label` in `space`.
+///
+/// Returns nothing; violations accumulate on the sanitizer.
+pub(crate) fn trace_pair_kernel(
+    san: &Sanitizer,
+    ctx: &HistContext<'_>,
+    idx: &[u32],
+    name: &'static str,
+    space: MemSpace,
+    atomic: bool,
+) {
+    let mf = ctx.features.len();
+    let d = ctx.d();
+    let bins = ctx.bins;
+    let n = ctx.data.n();
+    let nn = idx.len();
+    let scope = san.scope(name);
+
+    let b_id = scope.register("bin_ids", mf * n, MemSpace::Global, true);
+    let gr_id = scope.register("grad_rows", n * d * 2, MemSpace::Global, true);
+    // Shared-memory strategies accumulate into a per-block tile; the
+    // global strategy hits the global plane directly.
+    let (g_id, h_id, c_id, tile) = match space {
+        MemSpace::Shared => (
+            scope.register("smem_tile_g", d * bins, MemSpace::Shared, true),
+            scope.register("smem_tile_h", d * bins, MemSpace::Shared, true),
+            scope.register("smem_tile_cnt", bins, MemSpace::Shared, true),
+            true,
+        ),
+        MemSpace::Global => (
+            scope.register("hist_g", mf * d * bins, MemSpace::Global, true),
+            scope.register("hist_h", mf * d * bins, MemSpace::Global, true),
+            scope.register("hist_counts", mf * bins, MemSpace::Global, true),
+            false,
+        ),
+    };
+    let kind = if atomic {
+        AccessKind::Atomic
+    } else {
+        AccessKind::Write
+    };
+
+    let f_stride = mf.div_ceil(MAX_TRACE_FEATURES).max(1);
+    for f_local in (0..mf).step_by(f_stride) {
+        let f = ctx.features[f_local] as usize;
+        let col = ctx.data.bins.col(f);
+        for j in sample_stride(nn, MAX_TRACE_INSTANCES) {
+            let i = idx[j] as usize;
+            let b = col[i] as usize;
+            // Thread per pair, feature-major over the node's instances.
+            let tctx = ThreadCtx::from_global(f_local * nn + j, 256);
+            scope.touch(b_id, tctx, f * n + i, AccessKind::Read);
+            for k in 0..d.min(MAX_TRACE_OUTPUTS) {
+                scope.touch(gr_id, tctx, (i * d + k) * 2, AccessKind::Read);
+                scope.touch(gr_id, tctx, (i * d + k) * 2 + 1, AccessKind::Read);
+                let slot = if tile {
+                    k * bins + b
+                } else {
+                    (f_local * d + k) * bins + b
+                };
+                scope.touch(g_id, tctx, slot, kind);
+                scope.touch(h_id, tctx, slot, kind);
+            }
+            let cnt_slot = if tile { b } else { f_local * bins + b };
+            scope.touch(c_id, tctx, cnt_slot, kind);
+        }
+    }
+
+    // Shared-memory tiles flush once per block into the global plane —
+    // spread atomics, one per histogram slot, verified legal across
+    // blocks.
+    if tile {
+        let fg = scope.register("hist_g", mf * d * bins, MemSpace::Global, true);
+        let fh = scope.register("hist_h", mf * d * bins, MemSpace::Global, true);
+        for block in 0..2u32 {
+            for f_local in (0..mf).step_by(f_stride) {
+                for k in 0..d.min(MAX_TRACE_OUTPUTS) {
+                    for b in sample_stride(bins, 32) {
+                        let slot = (f_local * d + k) * bins + b;
+                        let tctx = ThreadCtx {
+                            block,
+                            thread: (k * bins + b) as u32 % 256,
+                        };
+                        scope.touch(fg, tctx, slot, AccessKind::Atomic);
+                        scope.touch(fh, tctx, slot, AccessKind::Atomic);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{HistOptions, HistogramMethod};
+    use crate::hist::test_support::fixture;
+    use crate::hist::HistContext;
+    use gpusim::{Device, SanitizeMode};
+
+    fn make_ctx<'a>(
+        device: &'a Device,
+        data: &'a gbdt_data::BinnedDataset,
+        grads: &'a crate::grad::Gradients,
+        features: &'a [u32],
+        method: HistogramMethod,
+    ) -> HistContext<'a> {
+        HistContext {
+            device,
+            data,
+            grads,
+            features,
+            bins: 32,
+            opts: HistOptions {
+                method,
+                ..HistOptions::default()
+            },
+        }
+    }
+
+    #[test]
+    fn all_hist_methods_trace_clean() {
+        let (_, data, grads) = fixture(300, 6, 3, 1);
+        let features: Vec<u32> = (0..6).collect();
+        let idx: Vec<u32> = (0..300).collect();
+        for method in [
+            HistogramMethod::GlobalMemory,
+            HistogramMethod::SharedMemory,
+            HistogramMethod::SortReduce,
+            HistogramMethod::Adaptive,
+        ] {
+            let device = Device::rtx4090();
+            device.enable_sanitizer(SanitizeMode::Full);
+            let ctx = make_ctx(&device, &data, &grads, &features, method);
+            trace_hist(&ctx, &idx, method);
+            let report = device.sanitize_report().expect("sanitizer attached");
+            assert!(report.is_clean(), "{method:?}: {}", report.table());
+            assert!(report.total_accesses > 0, "{method:?} declared nothing");
+        }
+    }
+
+    #[test]
+    fn gmem_and_smem_declare_atomics_sortreduce_does_not() {
+        let (_, data, grads) = fixture(200, 4, 2, 2);
+        let features: Vec<u32> = (0..4).collect();
+        let idx: Vec<u32> = (0..200).collect();
+
+        let atomics_of = |method: HistogramMethod| {
+            let device = Device::rtx4090();
+            device.enable_sanitizer(SanitizeMode::Full);
+            let ctx = make_ctx(&device, &data, &grads, &features, method);
+            trace_hist(&ctx, &idx, method);
+            let r = device.sanitize_report().expect("sanitizer");
+            assert!(r.is_clean(), "{method:?}: {}", r.table());
+            r.kernels.values().map(|s| s.atomics).sum::<u64>()
+        };
+        assert!(atomics_of(HistogramMethod::GlobalMemory) > 0);
+        assert!(atomics_of(HistogramMethod::SharedMemory) > 0);
+        assert_eq!(atomics_of(HistogramMethod::SortReduce), 0);
+    }
+
+    #[test]
+    fn partition_subtract_and_leaf_traces_are_clean() {
+        let device = Device::rtx4090();
+        device.enable_sanitizer(SanitizeMode::Full);
+        let flags: Vec<bool> = (0..1000).map(|i| i % 3 == 0).collect();
+        trace_partition(&device, &flags);
+        trace_subtract(&device, 4096);
+        trace_leaf_values(&device, 8);
+        let leaves = vec![
+            (vec![0u32, 2, 4], vec![0.5f32; 3]),
+            (vec![1, 3], vec![0.1; 3]),
+        ];
+        trace_update_scores(&device, 3, 5, &leaves);
+        let report = device.sanitize_report().expect("sanitizer");
+        assert!(report.is_clean(), "{}", report.table());
+        assert!(report.kernels.contains_key("partition_level"));
+        assert!(report.kernels.contains_key("hist_subtract"));
+        assert!(report.kernels.contains_key("leaf_values"));
+        assert!(report.kernels.contains_key("update_scores"));
+    }
+
+    #[test]
+    fn traces_are_noops_without_sanitizer() {
+        let device = Device::rtx4090();
+        trace_partition(&device, &[true, false]);
+        trace_subtract(&device, 64);
+        trace_leaf_values(&device, 4);
+        assert!(device.sanitize_report().is_none());
+        assert_eq!(device.now_ns(), 0.0, "tracing must never charge");
+    }
+
+    #[test]
+    fn tracing_never_charges_the_ledger() {
+        let (_, data, grads) = fixture(150, 4, 2, 3);
+        let features: Vec<u32> = (0..4).collect();
+        let idx: Vec<u32> = (0..150).collect();
+        let device = Device::rtx4090();
+        device.enable_sanitizer(SanitizeMode::Full);
+        let before = device.now_ns();
+        let ctx = make_ctx(
+            &device,
+            &data,
+            &grads,
+            &features,
+            HistogramMethod::GlobalMemory,
+        );
+        trace_hist(&ctx, &idx, HistogramMethod::GlobalMemory);
+        trace_partition(&device, &vec![true; 150]);
+        assert_eq!(device.now_ns(), before);
+    }
+
+    #[test]
+    fn sample_stride_bounds_and_covers() {
+        assert_eq!(sample_stride(0, 16).count(), 0);
+        assert_eq!(sample_stride(10, 16).count(), 10);
+        let s: Vec<usize> = sample_stride(100, 10).collect();
+        assert!(s.len() <= 10);
+        assert_eq!(s[0], 0);
+        assert!(s.iter().all(|&x| x < 100));
+    }
+}

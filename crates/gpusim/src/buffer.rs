@@ -19,6 +19,20 @@ impl<T: Copy + Send + Sync> GpuBuffer<T> {
     /// Wrap an already-materialized vector as a buffer on `device_id`.
     /// Crate-internal construction path; external users go through
     /// [`crate::Device::htod`] / [`crate::Device::alloc_zeroed`].
+    ///
+    /// # Invariant
+    ///
+    /// `device_id` is taken on trust: there is no global device registry
+    /// to validate against (devices are plain `Arc`s, and multi-device
+    /// topologies are assembled ad hoc by [`crate::DeviceGroup`]), so a
+    /// buffer's owner cannot be checked at construction time. The
+    /// invariant is instead enforced at every *use* that crosses a
+    /// device boundary: [`crate::Device::dtoh`] panics when asked to
+    /// read a buffer whose `device_id` differs from the device's own
+    /// `id` — the simulator's analogue of an invalid-device-pointer
+    /// fault. Callers constructing buffers directly must pass the `id`
+    /// of the device whose ledger will be charged for kernels touching
+    /// the buffer.
     pub fn from_vec(device_id: usize, data: Vec<T>) -> Self {
         GpuBuffer { device_id, data }
     }
@@ -81,6 +95,37 @@ mod tests {
     fn empty_buffer() {
         let b: GpuBuffer<f64> = GpuBuffer::from_vec(0, vec![]);
         assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
         assert_eq!(b.size_bytes(), 0);
+        assert_eq!(b.as_slice(), &[] as &[f64]);
+        assert_eq!(b.into_vec(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn empty_buffer_keeps_device_id_and_mut_slice() {
+        let mut b: GpuBuffer<u8> = GpuBuffer::from_vec(7, vec![]);
+        assert_eq!(b.device_id(), 7);
+        assert!(b.as_mut_slice().is_empty());
+    }
+
+    #[test]
+    fn empty_buffer_roundtrips_through_device() {
+        use crate::device::Device;
+        let dev = Device::rtx4090();
+        let buf = dev.htod::<f32>(&[]);
+        assert!(buf.is_empty());
+        assert_eq!(buf.device_id(), dev.id);
+        let back = dev.dtoh(&buf);
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn alloc_zeroed_empty_is_well_formed() {
+        use crate::device::Device;
+        let dev = Device::rtx4090();
+        let buf = dev.alloc_zeroed::<u32>(0);
+        assert!(buf.is_empty());
+        assert_eq!(buf.size_bytes(), 0);
+        assert_eq!(buf.into_vec(), Vec::<u32>::new());
     }
 }

@@ -2,7 +2,9 @@
 
 use crate::buffer::GpuBuffer;
 use crate::cost::{CostModel, CostParams, KernelCost};
+use crate::sanitize::{SanitizeMode, SanitizeReport, Sanitizer};
 use crate::timeline::{Ledger, LedgerSummary};
+use crate::KernelRecord;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -91,6 +93,7 @@ pub struct Device {
     props: DeviceProps,
     model: CostModel,
     ledger: Mutex<Ledger>,
+    sanitizer: Mutex<Option<Arc<Sanitizer>>>,
 }
 
 impl std::fmt::Debug for Device {
@@ -115,6 +118,7 @@ impl Device {
             props,
             model,
             ledger: Mutex::new(Ledger::new(Self::DEFAULT_RECORD_LIMIT)),
+            sanitizer: Mutex::new(None),
         })
     }
 
@@ -159,6 +163,46 @@ impl Device {
     /// Snapshot of the ledger.
     pub fn summary(&self) -> LedgerSummary {
         self.ledger.lock().summary()
+    }
+
+    /// Clone of the retained detailed kernel records (up to
+    /// [`Device::DEFAULT_RECORD_LIMIT`]). Used by the determinism audit
+    /// to diff replayed cost streams.
+    pub fn records(&self) -> Vec<KernelRecord> {
+        self.ledger.lock().records().to_vec()
+    }
+
+    // ---- sanitizer ---------------------------------------------------------
+
+    /// Attach a sanitizer in the given mode. Replaces any previous
+    /// sanitizer (its accumulated state is dropped). Passing
+    /// [`SanitizeMode::Off`] is equivalent to [`Device::disable_sanitizer`].
+    pub fn enable_sanitizer(&self, mode: SanitizeMode) {
+        let mut slot = self.sanitizer.lock();
+        if mode.enabled() {
+            *slot = Some(Arc::new(Sanitizer::new(mode, self.props.cost.warp_size)));
+        } else {
+            *slot = None;
+        }
+    }
+
+    /// Detach the sanitizer; subsequent kernels run unchecked (and
+    /// unrecorded). Accumulated state is dropped.
+    pub fn disable_sanitizer(&self) {
+        *self.sanitizer.lock() = None;
+    }
+
+    /// The attached sanitizer, if any. Kernels call this once per launch;
+    /// `None` (the default) must keep the hot path free of recording
+    /// overhead.
+    pub fn sanitizer(&self) -> Option<Arc<Sanitizer>> {
+        self.sanitizer.lock().clone()
+    }
+
+    /// Snapshot the sanitizer's accumulated report, or `None` when no
+    /// sanitizer is attached.
+    pub fn sanitize_report(&self) -> Option<SanitizeReport> {
+        self.sanitizer.lock().as_ref().map(|s| s.report())
     }
 
     /// Reset the ledger to zero (e.g. between benchmark repetitions).

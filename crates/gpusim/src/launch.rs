@@ -27,8 +27,20 @@ impl LaunchCfg {
     }
 
     /// One thread per element with an explicit block size.
+    ///
+    /// Degenerate inputs are guarded rather than UB-adjacent:
+    /// `block_threads == 0` falls back to [`LaunchCfg::DEFAULT_BLOCK`]
+    /// (a zero-wide block cannot execute anything and would divide by
+    /// zero), and `n == 0` yields a single block whose
+    /// [`LaunchCfg::block_range`] is empty for every block — the kernel
+    /// launches, does no work, and the cost model still charges launch
+    /// overhead, exactly like an empty-grid guard clause on hardware.
     pub fn for_elems_with_block(n: usize, block_threads: usize) -> Self {
-        assert!(block_threads > 0, "block_threads must be positive");
+        let block_threads = if block_threads == 0 {
+            Self::DEFAULT_BLOCK
+        } else {
+            block_threads
+        };
         LaunchCfg {
             grid_blocks: n.div_ceil(block_threads).max(1),
             block_threads,
@@ -75,7 +87,8 @@ where
     F: Fn(usize) -> R + Sync + Send,
     M: FnMut(R, R) -> R,
 {
-    run_blocks(cfg, f).into_iter().fold(init, merge)
+    // Combinator, not a launch site: callers charge their own kernel.
+    run_blocks(cfg, f).into_iter().fold(init, merge) // lint:allow(uncharged_launch)
 }
 
 #[cfg(test)]
@@ -145,8 +158,31 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "block_threads must be positive")]
-    fn zero_block_threads_panics() {
-        let _ = LaunchCfg::for_elems_with_block(10, 0);
+    fn zero_block_threads_falls_back_to_default() {
+        let cfg = LaunchCfg::for_elems_with_block(10, 0);
+        assert_eq!(cfg.block_threads, LaunchCfg::DEFAULT_BLOCK);
+        assert_eq!(cfg.grid_blocks, 1);
+        assert!(cfg.total_threads() >= 10);
+    }
+
+    #[test]
+    fn zero_elems_zero_block_is_fully_degenerate_but_safe() {
+        let cfg = LaunchCfg::for_elems_with_block(0, 0);
+        assert_eq!(cfg.grid_blocks, 1);
+        assert_eq!(cfg.block_threads, LaunchCfg::DEFAULT_BLOCK);
+        // Every block owns an empty range over zero elements.
+        assert_eq!(cfg.block_range(0, 0), (0, 0));
+        // And the executor runs the single do-nothing block fine.
+        let out = run_blocks(cfg, |b| b);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn zero_elems_block_ranges_are_empty() {
+        let cfg = LaunchCfg::for_elems(0);
+        assert_eq!(cfg.grid_blocks, 1);
+        for b in 0..cfg.grid_blocks {
+            assert_eq!(cfg.block_range(b, 0), (0, 0));
+        }
     }
 }

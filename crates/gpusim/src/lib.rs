@@ -40,6 +40,7 @@ pub mod device;
 pub mod launch;
 pub mod occupancy;
 pub mod primitives;
+pub mod sanitize;
 pub mod timeline;
 pub mod warp;
 
@@ -48,6 +49,10 @@ pub use collective::DeviceGroup;
 pub use cost::{CostModel, CostParams, KernelCost};
 pub use device::{Device, DeviceProps, Phase};
 pub use launch::LaunchCfg;
+pub use sanitize::{
+    AccessKind, MemSpace, SanitizeMode, SanitizeReport, Sanitizer, ThreadCtx, Violation,
+    ViolationKind,
+};
 pub use timeline::{KernelRecord, LedgerSummary};
 
 /// Seconds represented as `f64` nanoseconds, the unit of the ledger.

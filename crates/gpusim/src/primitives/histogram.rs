@@ -16,6 +16,7 @@
 use crate::cost::KernelCost;
 use crate::device::{Device, Phase};
 use crate::launch::{run_blocks, LaunchCfg};
+use crate::sanitize::{AccessKind, MemSpace, Sanitizer, ThreadCtx};
 use crate::warp::{atomic_replay_excess, WarpSampler};
 
 /// Histogram of `weights` over `keys` (bin indices), `nbins` wide, built
@@ -54,7 +55,49 @@ pub fn atomic_histogram_gmem(
 
     // ---- cost: warp-sampled atomic contention ----
     dev.charge_kernel(name, phase, &gmem_histogram_cost(dev, keys, 8));
+
+    // ---- sanitize: declare the access stream the launch implies ----
+    if let Some(san) = dev.sanitizer() {
+        trace_atomic_histogram(&san, name, cfg, keys, nbins);
+    }
     hist
+}
+
+/// Maximum warps whose accesses are declared per sanitized launch; the
+/// sanitizer extrapolates nothing (it checks, it does not cost), so a
+/// deterministic sample keeps logs bounded while still covering the
+/// cross-block collision structure.
+const MAX_TRACE_WARPS: usize = 256;
+
+/// Declare the per-thread access stream of the global-atomic histogram
+/// kernel to the sanitizer: each thread reads its key and weight, then
+/// issues one *declared-atomic* update to the histogram bin. Racecheck
+/// then verifies the atomicity claim instead of trusting it.
+fn trace_atomic_histogram(
+    san: &Sanitizer,
+    name: &'static str,
+    cfg: LaunchCfg,
+    keys: &[u32],
+    nbins: usize,
+) {
+    let n = keys.len();
+    let scope = san.scope(name);
+    let k_id = scope.register("keys", n, MemSpace::Global, true);
+    let w_id = scope.register("weights", n, MemSpace::Global, true);
+    let h_id = scope.register("hist", nbins, MemSpace::Global, true);
+    let warp = 32usize;
+    let total_warps = n.div_ceil(warp).max(1);
+    let sampler = WarpSampler::with_cap(total_warps, MAX_TRACE_WARPS);
+    for w in sampler.indices() {
+        let s = w * warp;
+        let e = (s + warp).min(n);
+        for (i, &key) in keys.iter().enumerate().take(e).skip(s) {
+            let ctx = ThreadCtx::from_global(i, cfg.block_threads);
+            scope.touch(k_id, ctx, i, AccessKind::Read);
+            scope.touch(w_id, ctx, i, AccessKind::Read);
+            scope.touch(h_id, ctx, key as usize, AccessKind::Atomic);
+        }
+    }
 }
 
 /// Cost descriptor for a global-atomic histogram over `keys`, where each
@@ -153,6 +196,31 @@ mod tests {
             dev_s.now_ns(),
             dev_u.now_ns()
         );
+    }
+
+    #[test]
+    fn sanitized_run_is_clean_and_charges_identically() {
+        use crate::sanitize::SanitizeMode;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        let keys: Vec<u32> = (0..20_000).map(|_| rng.gen_range(0..64)).collect();
+        let weights = vec![1.0f64; keys.len()];
+
+        let plain = Device::rtx4090();
+        let a = atomic_histogram_gmem(&plain, Phase::Other, "h", &keys, &weights, 64);
+
+        let sanitized = Device::rtx4090();
+        sanitized.enable_sanitizer(SanitizeMode::Full);
+        let b = atomic_histogram_gmem(&sanitized, Phase::Other, "h", &keys, &weights, 64);
+
+        assert_eq!(a, b, "sanitizer must not perturb results");
+        assert_eq!(
+            plain.now_ns().to_bits(),
+            sanitized.now_ns().to_bits(),
+            "sanitizer must not charge the ledger"
+        );
+        let report = sanitized.sanitize_report().expect("sanitizer attached");
+        assert!(report.is_clean(), "{}", report.table());
+        assert!(report.kernels["h"].atomics > 0, "atomics were declared");
     }
 
     #[test]

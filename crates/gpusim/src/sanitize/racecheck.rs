@@ -1,0 +1,355 @@
+//! Post-kernel race analysis over a recorded access log.
+//!
+//! The analysis mirrors the subset of `compute-sanitizer --tool racecheck`
+//! semantics that matter for the simulated substrate:
+//!
+//! * **Inter-block conflicts** — two different blocks touching the same
+//!   global-memory word where at least one access is a plain (non-atomic)
+//!   write. Blocks have no ordering guarantee in the simulator (they run
+//!   under rayon in arbitrary order), so a plain write racing with anything
+//!   from another block is a genuine hazard. Collisions where *every*
+//!   involved access is [`AccessKind::Atomic`] are legal — this is exactly
+//!   the escape hatch the histogram builders use.
+//! * **Intra-warp conflicts** — two different lanes of the same warp writing
+//!   the same word without declaring atomicity. On hardware this is
+//!   undefined (one lane wins); in the simulator it usually signals a
+//!   missing `atomic` annotation on a histogram-style scatter.
+//!
+//! [`MemSpace::Shared`] buffers are private to a block, so inter-block
+//! checks are skipped for them; intra-warp checks still apply.
+
+use super::{AccessKind, AccessRecord, BufferMeta, MemSpace, Violation, ViolationKind};
+
+/// Per-offset access summary used while folding over the sorted log.
+#[derive(Default)]
+struct OffsetState {
+    /// Block id of the first writer seen (plain write), if any.
+    first_plain_write_block: Option<u32>,
+    /// Block id of the first reader seen, if any.
+    first_read_block: Option<u32>,
+    /// Block id of the first atomic seen, if any.
+    first_atomic_block: Option<u32>,
+    /// True once more than one distinct block issued a plain write.
+    plain_write_multi_block: bool,
+    /// True once a read and a plain write came from different blocks.
+    read_write_cross_block: bool,
+    /// True once an atomic and a plain write came from different blocks.
+    atomic_write_cross_block: bool,
+}
+
+impl OffsetState {
+    fn absorb(&mut self, rec: &AccessRecord) {
+        match rec.kind {
+            AccessKind::Write => {
+                match self.first_plain_write_block {
+                    None => self.first_plain_write_block = Some(rec.block),
+                    Some(b) if b != rec.block => self.plain_write_multi_block = true,
+                    Some(_) => {}
+                }
+                if let Some(rb) = self.first_read_block {
+                    if rb != rec.block {
+                        self.read_write_cross_block = true;
+                    }
+                }
+                if let Some(ab) = self.first_atomic_block {
+                    if ab != rec.block {
+                        self.atomic_write_cross_block = true;
+                    }
+                }
+            }
+            AccessKind::Read => {
+                if self.first_read_block.is_none() {
+                    self.first_read_block = Some(rec.block);
+                }
+                if let Some(wb) = self.first_plain_write_block {
+                    if wb != rec.block {
+                        self.read_write_cross_block = true;
+                    }
+                }
+            }
+            AccessKind::Atomic => {
+                if self.first_atomic_block.is_none() {
+                    self.first_atomic_block = Some(rec.block);
+                }
+                if let Some(wb) = self.first_plain_write_block {
+                    if wb != rec.block {
+                        self.atomic_write_cross_block = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Analyze one kernel scope's access log and append aggregated violations.
+///
+/// `log` holds every in-bounds access recorded during the scope; `buffers`
+/// maps `AccessRecord::buffer` ids to their metadata. `warp_size` defines
+/// the lane grouping for intra-warp checks.
+pub(crate) fn analyze(
+    kernel: &'static str,
+    log: &[AccessRecord],
+    buffers: &[BufferMeta],
+    warp_size: u32,
+    out: &mut Vec<Violation>,
+) {
+    if log.is_empty() {
+        return;
+    }
+    let warp_size = warp_size.max(1);
+
+    // Sort a copy by (buffer, offset) so each word's accesses are adjacent.
+    let mut sorted: Vec<&AccessRecord> = log.iter().collect();
+    sorted.sort_by_key(|a| (a.buffer, a.offset));
+
+    let mut i = 0usize;
+    while i < sorted.len() {
+        let buf = sorted[i].buffer;
+        let off = sorted[i].offset;
+        let mut j = i;
+        while j < sorted.len() && sorted[j].buffer == buf && sorted[j].offset == off {
+            j += 1;
+        }
+        let group = &sorted[i..j];
+        let meta = &buffers[buf as usize];
+        check_group(kernel, meta, off, group, warp_size, out);
+        i = j;
+    }
+}
+
+/// Run inter-block and intra-warp checks on all accesses to one word.
+fn check_group(
+    kernel: &'static str,
+    meta: &BufferMeta,
+    offset: u32,
+    group: &[&AccessRecord],
+    warp_size: u32,
+    out: &mut Vec<Violation>,
+) {
+    // ---- Inter-block (global memory only). ----
+    if meta.space == MemSpace::Global {
+        let mut st = OffsetState::default();
+        for rec in group {
+            st.absorb(rec);
+        }
+        if st.plain_write_multi_block || st.atomic_write_cross_block {
+            super::push_aggregated(
+                out,
+                Violation {
+                    kernel,
+                    buffer: meta.label,
+                    kind: ViolationKind::WriteWriteRace,
+                    count: 1,
+                    example: format!("offset {offset}: plain writes from multiple blocks"),
+                },
+            );
+        }
+        if st.read_write_cross_block {
+            super::push_aggregated(
+                out,
+                Violation {
+                    kernel,
+                    buffer: meta.label,
+                    kind: ViolationKind::ReadWriteRace,
+                    count: 1,
+                    example: format!("offset {offset}: read and plain write from different blocks"),
+                },
+            );
+        }
+    }
+
+    // ---- Intra-warp: same (block, warp), distinct lanes, >=1 plain write. ----
+    // Group members by (block, warp id); groups are tiny so a nested scan
+    // keyed on first occurrence keeps this allocation-free.
+    for (idx, rec) in group.iter().enumerate() {
+        if rec.kind != AccessKind::Write {
+            continue;
+        }
+        let warp = rec.thread / warp_size;
+        // Only report once per (block, warp): skip if an earlier plain write
+        // from the same warp exists (that one is the designated reporter).
+        let is_first = group[..idx].iter().all(|r| {
+            !(r.kind == AccessKind::Write && r.block == rec.block && r.thread / warp_size == warp)
+        });
+        if !is_first {
+            continue;
+        }
+        let conflicting = group.iter().any(|r| {
+            r.block == rec.block && r.thread / warp_size == warp && r.thread != rec.thread
+        });
+        if conflicting {
+            super::push_aggregated(
+                out,
+                Violation {
+                    kernel,
+                    buffer: meta.label,
+                    kind: ViolationKind::IntraWarpRace,
+                    count: 1,
+                    example: format!(
+                        "offset {offset}: lanes of block {} warp {} collide without atomic",
+                        rec.block, warp
+                    ),
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{AccessKind, AccessRecord, BufferMeta, MemSpace, ViolationKind};
+    use super::analyze;
+
+    fn meta(label: &'static str, space: MemSpace) -> BufferMeta {
+        BufferMeta {
+            label,
+            len: 1024,
+            space,
+            init: None,
+        }
+    }
+
+    fn rec(buffer: u32, block: u32, thread: u32, offset: u32, kind: AccessKind) -> AccessRecord {
+        AccessRecord {
+            buffer,
+            block,
+            thread,
+            offset,
+            kind,
+        }
+    }
+
+    #[test]
+    fn cross_block_plain_writes_are_flagged() {
+        let bufs = vec![meta("hist", MemSpace::Global)];
+        let log = vec![
+            rec(0, 0, 0, 7, AccessKind::Write),
+            rec(0, 1, 0, 7, AccessKind::Write),
+        ];
+        let mut out = Vec::new();
+        analyze("k", &log, &bufs, 32, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].kind, ViolationKind::WriteWriteRace);
+    }
+
+    #[test]
+    fn atomic_only_collisions_are_legal() {
+        let bufs = vec![meta("hist", MemSpace::Global)];
+        let log = vec![
+            rec(0, 0, 0, 7, AccessKind::Atomic),
+            rec(0, 1, 0, 7, AccessKind::Atomic),
+            rec(0, 2, 5, 7, AccessKind::Atomic),
+        ];
+        let mut out = Vec::new();
+        analyze("k", &log, &bufs, 32, &mut out);
+        assert!(out.is_empty(), "atomic collisions must not be races");
+    }
+
+    #[test]
+    fn atomic_mixed_with_plain_write_races() {
+        let bufs = vec![meta("hist", MemSpace::Global)];
+        let log = vec![
+            rec(0, 0, 0, 3, AccessKind::Atomic),
+            rec(0, 1, 0, 3, AccessKind::Write),
+        ];
+        let mut out = Vec::new();
+        analyze("k", &log, &bufs, 32, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].kind, ViolationKind::WriteWriteRace);
+    }
+
+    #[test]
+    fn cross_block_read_write_is_flagged() {
+        let bufs = vec![meta("out", MemSpace::Global)];
+        let log = vec![
+            rec(0, 0, 0, 9, AccessKind::Read),
+            rec(0, 1, 0, 9, AccessKind::Write),
+        ];
+        let mut out = Vec::new();
+        analyze("k", &log, &bufs, 32, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].kind, ViolationKind::ReadWriteRace);
+    }
+
+    #[test]
+    fn same_block_write_then_read_is_not_cross_block() {
+        let bufs = vec![meta("tile", MemSpace::Global)];
+        let log = vec![
+            rec(0, 2, 0, 1, AccessKind::Write),
+            rec(0, 2, 64, 1, AccessKind::Read),
+        ];
+        let mut out = Vec::new();
+        analyze("k", &log, &bufs, 32, &mut out);
+        // Same block => no inter-block race; lanes 0 and 64 are different
+        // warps so no intra-warp race either.
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn shared_memory_skips_inter_block_checks() {
+        let bufs = vec![meta("smem_tile", MemSpace::Shared)];
+        // Two blocks "touch" offset 0 — legal for per-block shared memory
+        // (each block has its own tile; ids just collide in the log).
+        let log = vec![
+            rec(0, 0, 0, 0, AccessKind::Write),
+            rec(0, 1, 0, 0, AccessKind::Write),
+        ];
+        let mut out = Vec::new();
+        analyze("k", &log, &bufs, 32, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn intra_warp_plain_write_collision_is_flagged() {
+        let bufs = vec![meta("smem_tile", MemSpace::Shared)];
+        let log = vec![
+            rec(0, 0, 3, 12, AccessKind::Write),
+            rec(0, 0, 17, 12, AccessKind::Write),
+        ];
+        let mut out = Vec::new();
+        analyze("k", &log, &bufs, 32, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].kind, ViolationKind::IntraWarpRace);
+    }
+
+    #[test]
+    fn intra_warp_atomic_collision_is_legal() {
+        let bufs = vec![meta("smem_tile", MemSpace::Shared)];
+        let log = vec![
+            rec(0, 0, 3, 12, AccessKind::Atomic),
+            rec(0, 0, 17, 12, AccessKind::Atomic),
+        ];
+        let mut out = Vec::new();
+        analyze("k", &log, &bufs, 32, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn different_warps_same_block_plain_writes_not_intra_warp() {
+        let bufs = vec![meta("buf", MemSpace::Shared)];
+        let log = vec![
+            rec(0, 0, 3, 12, AccessKind::Write),
+            rec(0, 0, 40, 12, AccessKind::Write),
+        ];
+        let mut out = Vec::new();
+        analyze("k", &log, &bufs, 32, &mut out);
+        // Lanes 3 and 40 are warps 0 and 1: not an intra-warp hazard (the
+        // block can synchronize between warps), and same block => no
+        // inter-block report either. Shared space also skips inter-block.
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn violations_aggregate_counts() {
+        let bufs = vec![meta("hist", MemSpace::Global)];
+        let mut log = Vec::new();
+        for off in 0..5u32 {
+            log.push(rec(0, 0, 0, off, AccessKind::Write));
+            log.push(rec(0, 1, 0, off, AccessKind::Write));
+        }
+        let mut out = Vec::new();
+        analyze("k", &log, &bufs, 32, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].count, 5);
+    }
+}

@@ -268,4 +268,87 @@ mod tests {
         let est = s.scale() * s.sampled as f64;
         assert!((est - 12345.0).abs() < 1.0);
     }
+
+    // ---- edge cases ----------------------------------------------------
+
+    #[test]
+    fn bank_conflict_all_lanes_same_bank_distinct_words() {
+        // 32 lanes, each a *different* word in bank 0 (stride = banks
+        // words): worst case, fully serialized.
+        let banks = 32u32;
+        let addrs: Vec<u64> = (0..32u64).map(|i| i * 4 * banks as u64).collect();
+        assert_eq!(bank_conflict_degree(&addrs, banks), banks);
+        // Duplicate those addresses: broadcast dedup keeps degree at 32.
+        let doubled: Vec<u64> = addrs.iter().chain(addrs.iter()).copied().collect();
+        assert_eq!(bank_conflict_degree(&doubled, banks), banks);
+    }
+
+    #[test]
+    fn bank_conflict_empty_addrs_is_zero() {
+        assert_eq!(bank_conflict_degree(&[], 32), 0);
+    }
+
+    #[test]
+    fn bank_conflict_single_lane_is_one_pass() {
+        assert_eq!(bank_conflict_degree(&[4096], 32), 1);
+    }
+
+    #[test]
+    fn replay_duplicate_free_lanes_have_no_excess() {
+        let addrs: Vec<u64> = (0..32).map(|i| 1000 + i * 4).collect();
+        assert_eq!(atomic_replay_degree(&addrs), 1);
+        assert_eq!(atomic_replay_excess(&addrs), 0);
+    }
+
+    #[test]
+    fn replay_all_duplicate_lanes_fully_serialize() {
+        let addrs = vec![42u64; 32];
+        assert_eq!(atomic_replay_degree(&addrs), 32);
+        assert_eq!(atomic_replay_excess(&addrs), 31);
+        // Single lane: degree 1, no excess.
+        assert_eq!(atomic_replay_degree(&[42]), 1);
+        assert_eq!(atomic_replay_excess(&[42]), 0);
+    }
+
+    #[test]
+    fn replay_excess_consistent_with_degree_bound() {
+        // excess ≤ ops − ops/degree for any multiset.
+        let addrs = vec![1u64, 1, 2, 2, 2, 3];
+        assert_eq!(atomic_replay_degree(&addrs), 3);
+        assert_eq!(atomic_replay_excess(&addrs), 3); // 6 ops − 3 distinct
+    }
+
+    #[test]
+    fn sampler_with_cap_zero_warps() {
+        let s = WarpSampler::with_cap(0, 64);
+        assert_eq!(s.sampled, 0);
+        assert_eq!(s.indices().count(), 0);
+        assert_eq!(s.scale(), 0.0);
+    }
+
+    #[test]
+    fn sampler_with_cap_zero_cap_is_clamped_to_one() {
+        let s = WarpSampler::with_cap(1000, 0);
+        assert_eq!(s.sampled, 1);
+        assert!(s.stride >= 1000);
+        let idx: Vec<usize> = s.indices().collect();
+        assert_eq!(idx, vec![0]);
+        assert!((s.scale() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampler_with_cap_indices_stay_in_bounds_and_respect_cap() {
+        for total in [1usize, 2, 7, 63, 64, 65, 511, 512, 513, 100_000] {
+            for cap in [1usize, 2, 3, 64, 512] {
+                let s = WarpSampler::with_cap(total, cap);
+                assert!(s.sampled <= cap.max(1), "total={total} cap={cap}");
+                assert!(s.sampled <= total.max(0));
+                let idx: Vec<usize> = s.indices().collect();
+                assert_eq!(idx.len(), s.sampled);
+                assert!(idx.iter().all(|&i| i < total.max(1)));
+                // Indices are strictly increasing (deterministic stride).
+                assert!(idx.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
 }

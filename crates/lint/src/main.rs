@@ -1,0 +1,481 @@
+//! `repo-lint` — text-heuristic repo-invariant lints, run by `ci.sh`.
+//!
+//! Three rules guard the simulated-GPU codebase's conventions:
+//!
+//! * `raw_buffer_mut` — no direct `as_mut_slice` on a
+//!   [`GpuBuffer`](../gpusim/buffer) outside the buffer module itself;
+//!   kernels mutate device data through the sanctioned helpers (or the
+//!   sanitizer's checked views), never through a raw slice grab.
+//! * `uncharged_launch` — every `run_blocks` call site must charge the
+//!   device ledger (`charge_kernel` / `charge_ns`) somewhere in the same
+//!   function; a launch the timeline never sees is a simulation bug.
+//! * `unwrap_in_lib` — no `.unwrap()` in non-test library code of
+//!   `crates/core` and `crates/gpusim`; use `expect` with an invariant
+//!   message or propagate the error.
+//!
+//! Heuristics, not a compiler: string/comment contents are stripped
+//! before matching, `#[cfg(test)]` blocks are skipped by brace
+//! matching, and any finding can be waived on its line with
+//! `// lint:allow(<rule>)`. Exit status is nonzero iff findings remain.
+
+use std::path::{Path, PathBuf};
+
+/// One lint finding: file, 1-based line, rule name, and the offending
+/// source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// File the finding is in (display path).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier, as accepted by `lint:allow(...)`.
+    pub rule: &'static str,
+    /// The raw source line, trimmed.
+    pub excerpt: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.excerpt
+        )
+    }
+}
+
+/// A source line split into its raw text and a "code" view with
+/// comments and string-literal contents blanked out (so needles never
+/// match prose or embedded text).
+struct Line {
+    raw: String,
+    code: String,
+}
+
+/// Strip comments and string contents, preserving line structure and
+/// brace characters that are real code. A tiny scanner, good enough for
+/// rustfmt-formatted sources.
+fn strip(src: &str) -> Vec<Line> {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        Str,
+        RawStr(usize),
+        Char,
+        Block(usize),
+    }
+    let mut st = St::Code;
+    let mut out = Vec::new();
+    for raw in src.lines() {
+        let mut code = String::with_capacity(raw.len());
+        let bytes: Vec<char> = raw.chars().collect();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i];
+            let next = bytes.get(i + 1).copied();
+            match st {
+                St::Code => match c {
+                    '/' if next == Some('/') => break, // line comment: rest ignored
+                    '/' if next == Some('*') => {
+                        st = St::Block(1);
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        st = St::Str;
+                        code.push(' ');
+                    }
+                    'r' if next == Some('"') || next == Some('#') => {
+                        // Possible raw string r"…" / r#"…"#.
+                        let mut hashes = 0;
+                        let mut j = i + 1;
+                        while bytes.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if bytes.get(j) == Some(&'"') {
+                            st = St::RawStr(hashes);
+                            code.push(' ');
+                            i = j + 1;
+                            continue;
+                        }
+                        code.push(c);
+                    }
+                    '\'' => {
+                        // Char literal vs lifetime: a lifetime is not
+                        // closed by a quote within a few chars.
+                        if matches!(
+                            (next, bytes.get(i + 2), bytes.get(i + 3)),
+                            (Some('\\'), _, _)
+                                | (Some(_), Some('\''), _)
+                                | (Some(_), Some(_), Some('\''))
+                        ) {
+                            st = St::Char;
+                        }
+                        code.push(' ');
+                    }
+                    _ => code.push(c),
+                },
+                St::Str => {
+                    if c == '\\' {
+                        i += 2;
+                        continue;
+                    }
+                    if c == '"' {
+                        st = St::Code;
+                    }
+                }
+                St::RawStr(h) => {
+                    if c == '"' {
+                        let mut ok = true;
+                        for k in 0..h {
+                            if bytes.get(i + 1 + k) != Some(&'#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            st = St::Code;
+                            i += 1 + h;
+                            continue;
+                        }
+                    }
+                }
+                St::Char => {
+                    if c == '\\' {
+                        i += 2;
+                        continue;
+                    }
+                    if c == '\'' {
+                        st = St::Code;
+                    }
+                }
+                St::Block(depth) => {
+                    if c == '*' && next == Some('/') {
+                        st = if depth == 1 {
+                            St::Code
+                        } else {
+                            St::Block(depth - 1)
+                        };
+                        i += 2;
+                        continue;
+                    }
+                    if c == '/' && next == Some('*') {
+                        st = St::Block(depth + 1);
+                        i += 2;
+                        continue;
+                    }
+                }
+            }
+            i += 1;
+        }
+        // Strings and char literals do not continue across lines here
+        // (multi-line strings are rare in this repo; close them).
+        if st == St::Str || st == St::Char {
+            st = St::Code;
+        }
+        out.push(Line {
+            raw: raw.to_string(),
+            code,
+        });
+    }
+    out
+}
+
+/// Mark every line that belongs to a `#[cfg(test)]`-gated item (the
+/// attribute line, through the matching close brace of the item body).
+fn test_mask(lines: &[Line]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].code.contains("#[cfg(test)]") {
+            let mut depth: i32 = 0;
+            let mut opened = false;
+            let mut j = i;
+            while j < lines.len() {
+                mask[j] = true;
+                for c in lines[j].code.chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// `(start, end)` inclusive line spans of every function body.
+fn fn_spans(lines: &[Line]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for (i, l) in lines.iter().enumerate() {
+        let code = &l.code;
+        let Some(pos) = code.find("fn ") else {
+            continue;
+        };
+        // `fn ` must start a word (not e.g. part of an identifier).
+        if pos > 0 {
+            let prev = code.as_bytes()[pos - 1] as char;
+            if prev.is_alphanumeric() || prev == '_' {
+                continue;
+            }
+        }
+        // Find the body's opening brace before any terminating `;`.
+        let mut depth: i32 = 0;
+        let mut opened = false;
+        let mut end = None;
+        'scan: for (j, line) in lines.iter().enumerate().skip(i) {
+            let tail = if j == i {
+                &line.code[pos..]
+            } else {
+                &line.code
+            };
+            for c in tail.chars() {
+                match c {
+                    ';' if !opened => break 'scan, // declaration only
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if opened && depth == 0 {
+                            end = Some(j);
+                            break 'scan;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if let Some(end) = end {
+            spans.push((i, end));
+        }
+    }
+    spans
+}
+
+/// Whether `line` waives `rule` via a `lint:allow(rule)` comment.
+fn allowed(raw: &str, rule: &str) -> bool {
+    raw.contains(&format!("lint:allow({rule})"))
+}
+
+/// Lint one file's source. `display` is the path shown in findings and
+/// also drives path-scoped rules (e.g. the buffer module may name its
+/// own accessor).
+pub fn lint_source(display: &str, src: &str) -> Vec<Finding> {
+    let lines = strip(src);
+    let tests = test_mask(&lines);
+    let spans = fn_spans(&lines);
+    let mut findings = Vec::new();
+
+    // Needles are assembled so this file never matches itself if it is
+    // ever pointed at its own source tree.
+    let unwrap_needle = concat!(".unwrap", "()");
+    let raw_mut_needle = concat!("as_mut", "_slice");
+    let launch_needle = concat!("run_", "blocks");
+
+    let is_buffer_home = display.ends_with("gpusim/src/buffer.rs");
+
+    for (i, l) in lines.iter().enumerate() {
+        if tests[i] {
+            continue;
+        }
+        let code = &l.code;
+
+        if code.contains(unwrap_needle) && !allowed(&l.raw, "unwrap_in_lib") {
+            findings.push(Finding {
+                file: display.to_string(),
+                line: i + 1,
+                rule: "unwrap_in_lib",
+                excerpt: l.raw.trim().to_string(),
+            });
+        }
+
+        if code.contains(raw_mut_needle) && !is_buffer_home && !allowed(&l.raw, "raw_buffer_mut") {
+            findings.push(Finding {
+                file: display.to_string(),
+                line: i + 1,
+                rule: "raw_buffer_mut",
+                excerpt: l.raw.trim().to_string(),
+            });
+        }
+
+        if code.contains(launch_needle)
+            && code.contains('(')
+            && !code.trim_start().starts_with("use ")
+            && !code.contains(&format!("fn {launch_needle}"))
+            && !allowed(&l.raw, "uncharged_launch")
+        {
+            let span = spans
+                .iter()
+                .filter(|&&(s, e)| s <= i && i <= e)
+                .max_by_key(|&&(s, _)| s);
+            let charged = span.is_some_and(|&(s, e)| {
+                lines[s..=e]
+                    .iter()
+                    .any(|l| l.code.contains("charge_kernel") || l.code.contains("charge_ns"))
+            });
+            if !charged {
+                findings.push(Finding {
+                    file: display.to_string(),
+                    line: i + 1,
+                    rule: "uncharged_launch",
+                    excerpt: l.raw.trim().to_string(),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Recursively collect `.rs` (and `.rs.txt` fixture) files under `root`.
+fn collect(root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if root.is_file() {
+        out.push(root.to_path_buf());
+        return Ok(());
+    }
+    let mut entries: Vec<_> = std::fs::read_dir(root)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect(&p, out)?;
+        } else {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.ends_with(".rs") || name.ends_with(".rs.txt") {
+                out.push(p);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Lint every source file under the given roots; returns all findings.
+pub fn lint_roots(roots: &[PathBuf]) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    for r in roots {
+        collect(r, &mut files)?;
+    }
+    let mut findings = Vec::new();
+    for f in &files {
+        let src = std::fs::read_to_string(f)?;
+        findings.extend(lint_source(&f.display().to_string(), &src));
+    }
+    Ok(findings)
+}
+
+fn main() {
+    let args: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
+    let roots = if args.is_empty() {
+        vec![
+            PathBuf::from("crates/core/src"),
+            PathBuf::from("crates/gpusim/src"),
+        ]
+    } else {
+        args
+    };
+    match lint_roots(&roots) {
+        Ok(findings) if findings.is_empty() => {
+            println!("repo-lint: clean ({} roots)", roots.len());
+        }
+        Ok(findings) => {
+            for f in &findings {
+                eprintln!("{f}");
+            }
+            eprintln!("repo-lint: {} finding(s)", findings.len());
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("repo-lint: io error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VIOLATIONS: &str = include_str!("../fixtures/violations.rs.txt");
+    const CLEAN: &str = include_str!("../fixtures/clean.rs.txt");
+
+    fn rules(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn fixture_violations_all_fire() {
+        let f = lint_source("fixtures/violations.rs.txt", VIOLATIONS);
+        let r = rules(&f);
+        assert!(r.contains(&"unwrap_in_lib"), "{f:?}");
+        assert!(r.contains(&"raw_buffer_mut"), "{f:?}");
+        assert!(r.contains(&"uncharged_launch"), "{f:?}");
+    }
+
+    #[test]
+    fn fixture_clean_passes() {
+        let f = lint_source("fixtures/clean.rs.txt", CLEAN);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_skipped() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(lint_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_annotation_waives_a_finding() {
+        let src = "fn f() { x.unwrap(); // lint:allow(unwrap_in_lib)\n}\n";
+        assert!(lint_source("x.rs", src).is_empty());
+        let src = "fn f() { x.unwrap();\n}\n";
+        assert_eq!(rules(&lint_source("x.rs", src)), vec!["unwrap_in_lib"]);
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_match() {
+        let src =
+            "fn f() {\n    // x.unwrap() in prose\n    let s = \".unwrap()\";\n    let _ = s;\n}\n";
+        assert!(lint_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn charged_launch_in_same_fn_is_clean() {
+        let src = "fn k(dev: &Device) {\n    let p = run_blocks(cfg, |b| b);\n    dev.charge_kernel(\"k\", Phase::Histogram, &c);\n}\n";
+        assert!(lint_source("x.rs", src).is_empty());
+        let src = "fn k() {\n    let p = run_blocks(cfg, |b| b);\n}\n";
+        assert_eq!(rules(&lint_source("x.rs", src)), vec!["uncharged_launch"]);
+    }
+
+    #[test]
+    fn buffer_module_may_define_its_own_accessor() {
+        let src = "pub fn as_mut_slice(&mut self) -> &mut [T] { &mut self.data }\n";
+        assert!(lint_source("crates/gpusim/src/buffer.rs", src).is_empty());
+        assert_eq!(
+            rules(&lint_source("crates/core/src/x.rs", src)),
+            vec!["raw_buffer_mut"]
+        );
+    }
+
+    #[test]
+    fn use_lines_are_not_launch_sites() {
+        let src = "use crate::launch::{run_blocks, LaunchCfg};\n";
+        assert!(lint_source("x.rs", src).is_empty());
+    }
+}

@@ -31,4 +31,12 @@ fi
 echo "==> sanitized smoke train (repro sanitize)"
 cargo run --release -q -p gbdt-bench --bin repro -- sanitize --trees 2 --depth 4 --bins 32 >/dev/null
 
+echo "==> bench smoke grid + schema validation + regression gate"
+# Runs the reduced paper grid, writes a schema-versioned BENCH_repro.json,
+# validates it parses under the strict schema reader, and diff-gates
+# hist-share / quality against the committed baseline (host wall-clock is
+# informational only and never gated).
+cargo run --release -q -p gbdt-bench --bin repro -- bench --smoke \
+  --out BENCH_repro.json --baseline BENCH_baseline.json --check >/dev/null
+
 echo "ci: all checks passed"

@@ -21,8 +21,17 @@
 //!   sanitize   one boosting round per histogram method under full
 //!              memcheck+racecheck, plus a determinism audit; exits
 //!              nonzero if any violation is found
+//!   bench      machine-readable perf/quality grid (per hist method ×
+//!              dataset): writes schema-versioned BENCH_repro.json with
+//!              per-phase simulated ns, hist-share %, host wall-clock
+//!              and model quality; `--baseline F --check` diff-gates
+//!              against a committed baseline (exit 1 on drift)
 //!   all        everything above
 //! ```
+//!
+//! `bench` flags: `--smoke` (reduced CI grid), `--out F` (default
+//! BENCH_repro.json), `--baseline F`, `--check`, `--trace F` (Chrome
+//! trace of the first profiled run; open in chrome://tracing).
 //!
 //! `--full` restores the paper's §4.1 hyper-parameters (100 trees,
 //! depth 7, 256 bins) — expect minutes of host time. Without it the
@@ -46,6 +55,11 @@ struct Opts {
     gpus: usize,
     seed: u64,
     full: bool,
+    smoke: bool,
+    out: String,
+    baseline: Option<String>,
+    check: bool,
+    trace: Option<String>,
 }
 
 impl Default for Opts {
@@ -58,6 +72,11 @@ impl Default for Opts {
             gpus: 2,
             seed: 42,
             full: false,
+            smoke: false,
+            out: "BENCH_repro.json".to_string(),
+            baseline: None,
+            check: false,
+            trace: None,
         }
     }
 }
@@ -72,8 +91,9 @@ impl Opts {
     }
 }
 
-const USAGE: &str = "usage: repro <datasets|table2|table3|table4|fig4|fig5|fig6a|fig6b|fig7|ablations|hostbench|sanitize|all> [flags]\n\
-flags: --trees N --depth N --bins N --scale F --gpus K --seed S --full";
+const USAGE: &str = "usage: repro <datasets|table2|table3|table4|fig4|fig5|fig6a|fig6b|fig7|ablations|hostbench|sanitize|bench|all> [flags]\n\
+flags: --trees N --depth N --bins N --scale F --gpus K --seed S --full\n\
+bench: --smoke --out FILE --baseline FILE --check --trace FILE";
 
 /// Parse a flag value, naming the flag in the error.
 fn parse_value<T: std::str::FromStr>(value: String, name: &str) -> Result<T, String> {
@@ -101,6 +121,11 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<(String, Opts), 
             "--gpus" => opts.gpus = parse_value(grab("--gpus")?, "--gpus")?,
             "--seed" => opts.seed = parse_value(grab("--seed")?, "--seed")?,
             "--full" => opts.full = true,
+            "--smoke" => opts.smoke = true,
+            "--out" => opts.out = grab("--out")?,
+            "--baseline" => opts.baseline = Some(grab("--baseline")?),
+            "--check" => opts.check = true,
+            "--trace" => opts.trace = Some(grab("--trace")?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -130,6 +155,11 @@ fn main() {
         "hostbench" => hostbench(&opts),
         "sanitize" => {
             if !sanitize_cmd(&opts) {
+                std::process::exit(1);
+            }
+        }
+        "bench" => {
+            if !bench_cmd(&opts) {
                 std::process::exit(1);
             }
         }
@@ -906,6 +936,150 @@ fn sanitize_cmd(opts: &Opts) -> bool {
         println!("sanitize: FAILED — see report above");
     }
     ok
+}
+
+/// The machine-readable perf/quality grid behind `BENCH_repro.json`:
+/// per histogram method × dataset, reporting *deterministic* simulated
+/// phase breakdowns + hist share + quality (and informational host
+/// wall-clock). With `--baseline F --check`, diff-gates the run against
+/// the committed baseline and returns `false` on drift.
+fn bench_cmd(opts: &Opts) -> bool {
+    use gbdt_bench::metric_of;
+    use gbdt_bench::report::{diff_gate, make_record, BenchReport, BenchSetup};
+
+    // Grid: smoke keeps a clf/multilabel/reg triple at reduced scale so
+    // CI stays fast; the regular grid runs the Fig. 4 datasets plus Rf1
+    // for regression coverage.
+    let (datasets, scale_mult, cfg) = if opts.smoke {
+        let grid = vec![
+            PaperDataset::Mnist,
+            PaperDataset::NusWide,
+            PaperDataset::Rf1,
+        ];
+        (grid, opts.scale * 0.25, bench_config(3, 4, 32))
+    } else {
+        let grid = vec![
+            PaperDataset::Mnist,
+            PaperDataset::Caltech101,
+            PaperDataset::MnistIn,
+            PaperDataset::NusWide,
+            PaperDataset::Rf1,
+        ];
+        (grid, opts.scale, opts.config())
+    };
+    let setup = BenchSetup {
+        trees: cfg.num_trees as u64,
+        depth: cfg.max_depth as u64,
+        bins: cfg.max_bins as u64,
+        scale: scale_mult,
+        seed: opts.seed,
+        smoke: opts.smoke,
+    };
+    let methods = [
+        HistogramMethod::GlobalMemory,
+        HistogramMethod::SharedMemory,
+        HistogramMethod::SortReduce,
+        HistogramMethod::Adaptive,
+    ];
+
+    println!("== bench: perf/quality grid (hist method × dataset) ==");
+    println!(
+        "{:<12} {:<10} {:>10} {:>10} {:>9} {:>12}",
+        "dataset", "method", "sim (s)", "host (s)", "hist%", "metric"
+    );
+    let mut records = Vec::new();
+    let mut trace_pending = opts.trace.as_deref();
+    for ds in datasets {
+        let (train, test, name) = bench_dataset(ds, scale_mult, opts.seed);
+        for method in methods {
+            let device = Device::rtx4090();
+            let tracing_this_run = trace_pending.is_some();
+            if tracing_this_run {
+                device.enable_profiler();
+            }
+            let r = GpuTrainer::new(device.clone(), cfg.clone().with_hist_method(method))
+                .fit_report(&train);
+            if let Some(path) = trace_pending.take() {
+                let trace = device.chrome_trace().expect("profiler enabled");
+                if let Err(e) = std::fs::write(path, trace) {
+                    eprintln!("error: cannot write trace {path}: {e}");
+                    return false;
+                }
+                println!("(wrote Chrome trace of {name}/{method:?} to {path})");
+            }
+            let (metric_name, metric) =
+                metric_of(train.task(), &r.model.predict(test.features()), &test);
+            let rec = make_record(&name, method, &r.sim, r.host_seconds, metric_name, metric);
+            println!(
+                "{:<12} {:<10} {:>10.4} {:>10.3} {:>8.1}% {:>12.4}",
+                rec.dataset,
+                rec.hist_method,
+                rec.sim_seconds,
+                rec.host_seconds,
+                100.0 * rec.hist_share,
+                rec.metric
+            );
+            records.push(rec);
+        }
+    }
+    let report = BenchReport {
+        schema_version: gbdt_bench::report::BENCH_SCHEMA_VERSION,
+        device: Device::rtx4090().props().name.clone(),
+        setup,
+        records,
+    };
+    if let Err(e) = std::fs::write(&opts.out, report.to_json()) {
+        eprintln!("error: cannot write {}: {e}", opts.out);
+        return false;
+    }
+    println!("(wrote {} records to {})", report.records.len(), opts.out);
+
+    // Schema self-validation: the freshly written file must round-trip
+    // through the strict reader (schema version + full phase-key set).
+    match std::fs::read_to_string(&opts.out).map_err(|e| e.to_string()) {
+        Ok(text) => {
+            if let Err(e) = BenchReport::from_json(&text) {
+                eprintln!("error: {} failed schema validation: {e}", opts.out);
+                return false;
+            }
+        }
+        Err(e) => {
+            eprintln!("error: cannot re-read {}: {e}", opts.out);
+            return false;
+        }
+    }
+
+    if opts.check {
+        let Some(path) = &opts.baseline else {
+            eprintln!("error: --check requires --baseline FILE");
+            return false;
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read baseline {path}: {e}");
+                return false;
+            }
+        };
+        let baseline = match BenchReport::from_json(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: invalid baseline {path}: {e}");
+                return false;
+            }
+        };
+        let fails = diff_gate(&report, &baseline);
+        if fails.is_empty() {
+            println!("bench: OK — within tolerance of {path}");
+        } else {
+            eprintln!("bench: FAILED regression gate vs {path}:");
+            for f in &fails {
+                eprintln!("  {f}");
+            }
+            return false;
+        }
+    }
+    true
 }
 
 #[cfg(test)]

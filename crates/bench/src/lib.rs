@@ -14,6 +14,8 @@
 
 #![warn(missing_docs)]
 
+pub mod report;
+
 use gbdt_baselines::{
     CpuMoTrainer, CpuStorage, GbdtSoTrainer, GrowthPolicy, SketchBoostTrainer, SketchStrategy,
 };

@@ -242,6 +242,9 @@ pub fn grow_tree_pooled(
     let mut parents: Vec<NodeHistogram> = Vec::new();
 
     for depth in 0..config.max_depth {
+        // Per-level profiling scope nested under the trainer's round
+        // scope (no-op when profiling is off; purely observational).
+        let _level_scope = device.prof_scope("level", Some(depth as u64));
         let mut next = Vec::new();
         let mut next_parents: Vec<NodeHistogram> = Vec::new();
         // Split evaluation and partitioning are charged once per level

@@ -48,6 +48,7 @@ pub fn cost_descriptor(ctx: &HistContext<'_>, nn: usize, s: &ContentionStats) ->
 
 /// Charge one node's gmem histogram build using measured statistics.
 pub fn charge(ctx: &HistContext<'_>, idx: &[u32]) {
+    let _scope = ctx.device.prof_scope("hist_gmem", None);
     let s = stats::measure(ctx, idx);
     let name = if ctx.opts.warp_packing {
         "hist_gmem_packed"

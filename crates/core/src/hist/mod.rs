@@ -336,7 +336,12 @@ pub fn charge_method(ctx: &HistContext<'_>, idx: &[u32], method: HistogramMethod
         HistogramMethod::GlobalMemory => gmem::charge(ctx, idx),
         HistogramMethod::SharedMemory => smem::charge(ctx, idx),
         HistogramMethod::SortReduce => sortreduce::charge(ctx, idx),
-        HistogramMethod::Adaptive => charge_method(ctx, idx, resolve_method(ctx, idx.len())),
+        HistogramMethod::Adaptive => {
+            // Scope the selector so adaptive picks show up as nested
+            // `hist_adaptive/hist_*` paths in the profile.
+            let _scope = ctx.device.prof_scope("hist_adaptive", None);
+            charge_method(ctx, idx, resolve_method(ctx, idx.len()))
+        }
     }
 }
 

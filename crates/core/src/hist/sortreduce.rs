@@ -45,6 +45,7 @@ pub fn cost_descriptor(ctx: &HistContext<'_>, nn: usize) -> KernelCost {
 
 /// Charge one node's sort-and-reduce histogram build.
 pub fn charge(ctx: &HistContext<'_>, idx: &[u32]) {
+    let _scope = ctx.device.prof_scope("hist_sortreduce", None);
     ctx.device.charge_kernel(
         "hist_sort_reduce",
         Phase::Histogram,

@@ -175,7 +175,10 @@ impl MultiGpuTrainer {
         let mut hist_methods: BTreeMap<HistogramMethod, usize> = BTreeMap::new();
         let mut hist = NodeHistogram::new(m, d, self.config.max_bins);
 
-        for _t in 0..self.config.num_trees {
+        for t in 0..self.config.num_trees {
+            // Scope the round on device 0 (the representative timeline;
+            // devices run in lockstep between collectives).
+            let _round_scope = self.group.device(0).prof_scope("round", Some(t as u64));
             // Gradients are replicated: every device computes them for
             // all instances (standard in feature-parallel training —
             // gradients depend on all outputs but no feature exchange).
@@ -207,7 +210,8 @@ impl MultiGpuTrainer {
             let (rg, rh) = grads.sums(&root_idx);
             let mut frontier = vec![(0usize, root_idx, rg, rh)];
 
-            for _depth in 0..self.config.max_depth {
+            for depth in 0..self.config.max_depth {
+                let _level_scope = self.group.device(0).prof_scope("level", Some(depth as u64));
                 // --- pass 1: histograms + local candidates per node ---
                 // Candidates for the whole level are exchanged in ONE
                 // all-gather (summary statistics only), not per node.
@@ -495,7 +499,8 @@ impl MultiGpuTrainer {
         let mut hist_methods: BTreeMap<HistogramMethod, usize> = BTreeMap::new();
         let mut hist = NodeHistogram::new(m, d, self.config.max_bins);
 
-        for _t in 0..self.config.num_trees {
+        for t in 0..self.config.num_trees {
+            let _round_scope = self.group.device(0).prof_scope("round", Some(t as u64));
             // Gradients: each device computes its own shard only.
             let grads = {
                 let g = compute_gradients(
@@ -528,7 +533,8 @@ impl MultiGpuTrainer {
             let (rg, rh) = grads.sums(&root_idx);
             let mut frontier = vec![(0usize, root_idx, rg, rh)];
 
-            for _depth in 0..self.config.max_depth {
+            for depth in 0..self.config.max_depth {
+                let _level_scope = self.group.device(0).prof_scope("level", Some(depth as u64));
                 let mut next = Vec::new();
                 let mut reduced_nodes = 0usize;
                 for (tree_node, instances, node_g, node_h) in frontier {

@@ -100,6 +100,7 @@ pub fn predict_on_device(
     features: &DenseMatrix,
     mode: PredictMode,
 ) -> Vec<f32> {
+    let _scope = device.prof_scope("predict", None);
     let n = features.rows();
     let d = base.len();
     let scores = predict_raw(trees, base, features, mode);

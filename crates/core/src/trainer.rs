@@ -130,6 +130,7 @@ impl GpuTrainer {
         let device = &*self.device;
 
         // --- preprocessing: upload + quantile binning (charged) -------
+        let prep_scope = device.prof_scope("preprocess", None);
         let raw_bytes = (n * ds.m() * 4) as f64;
         device.charge_ns(
             "htod_features",
@@ -142,6 +143,7 @@ impl GpuTrainer {
             Phase::Binning,
             &KernelCost::streaming((n * ds.m()) as f64 * 16.0, raw_bytes * 2.5),
         );
+        drop(prep_scope);
 
         // --- base scores ----------------------------------------------
         let base = base_scores(ds);
@@ -175,6 +177,9 @@ impl GpuTrainer {
         let mut pool = HistogramPool::new(0, 0, 0);
 
         for t in 0..self.config.num_trees {
+            // Per-boosting-round profiling scope (no-op when profiling
+            // is off); levels and kernels nest beneath it.
+            let _round_scope = device.prof_scope("round", Some(t as u64));
             let mut grads_full = compute_gradients(device, loss, &scores, ds.targets(), n, d);
             if self.config.hist.quantized_gradients {
                 crate::grad::quantize_bf16(device, &mut grads_full);

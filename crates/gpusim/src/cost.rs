@@ -228,6 +228,25 @@ impl CostModel {
         secs * 1e9
     }
 
+    /// True when a launch's serialized terms (atomics, replays, sort,
+    /// launch overhead) exceed its overlapped streaming time
+    /// `max(compute, dram)` — i.e. the kernel is limited by
+    /// serialization/occupancy rather than raw throughput. Used for the
+    /// profiler's occupancy-limited flag; deliberately *not* shared
+    /// with [`CostModel::kernel_ns`] so the charged time's float
+    /// summation order stays untouched.
+    pub fn serialization_limited(&self, c: &KernelCost) -> bool {
+        let p = &self.params;
+        let streaming = (c.flops / p.flops()).max(c.dram_bytes / p.dram_bw);
+        let serialized = c.gmem_atomics / p.gmem_atomic_ops_per_sec
+            + c.gmem_atomic_replays * p.gmem_atomic_replay_sec
+            + c.smem_atomics / p.smem_atomic_ops_per_sec
+            + c.smem_atomic_replays * p.smem_atomic_replay_sec
+            + c.sort_keys / p.sort_keys_per_sec
+            + c.launches * p.launch_overhead_sec;
+        serialized > streaming
+    }
+
     /// Time to move `bytes` across the host link (H2D or D2H), ns.
     pub fn host_copy_ns(&self, bytes: f64) -> f64 {
         (bytes / self.params.pcie_bw + self.params.p2p_latency_sec) * 1e9

@@ -2,6 +2,7 @@
 
 use crate::buffer::GpuBuffer;
 use crate::cost::{CostModel, CostParams, KernelCost};
+use crate::prof::{ProfScope, ProfileSummary, Profiler};
 use crate::sanitize::{SanitizeMode, SanitizeReport, Sanitizer};
 use crate::timeline::{Ledger, LedgerSummary};
 use crate::KernelRecord;
@@ -35,6 +36,43 @@ pub enum Phase {
     Idle,
     /// Anything else.
     Other,
+}
+
+impl Phase {
+    /// Every variant, in `Ord` (declaration) order. Used by the bench
+    /// schema to emit a complete per-phase breakdown.
+    pub const ALL: [Phase; 11] = [
+        Phase::Binning,
+        Phase::Gradient,
+        Phase::Histogram,
+        Phase::SplitEval,
+        Phase::Partition,
+        Phase::LeafValue,
+        Phase::Predict,
+        Phase::Transfer,
+        Phase::Comm,
+        Phase::Idle,
+        Phase::Other,
+    ];
+
+    /// Stable name used as a JSON key by the profiler and bench
+    /// schemas. The match is exhaustive on purpose: adding a `Phase`
+    /// variant must not compile until every schema knows about it.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Binning => "Binning",
+            Phase::Gradient => "Gradient",
+            Phase::Histogram => "Histogram",
+            Phase::SplitEval => "SplitEval",
+            Phase::Partition => "Partition",
+            Phase::LeafValue => "LeafValue",
+            Phase::Predict => "Predict",
+            Phase::Transfer => "Transfer",
+            Phase::Comm => "Comm",
+            Phase::Idle => "Idle",
+            Phase::Other => "Other",
+        }
+    }
 }
 
 /// Static properties of a simulated device.
@@ -94,6 +132,7 @@ pub struct Device {
     model: CostModel,
     ledger: Mutex<Ledger>,
     sanitizer: Mutex<Option<Arc<Sanitizer>>>,
+    profiler: Mutex<Option<Arc<Profiler>>>,
 }
 
 impl std::fmt::Debug for Device {
@@ -119,6 +158,7 @@ impl Device {
             model,
             ledger: Mutex::new(Ledger::new(Self::DEFAULT_RECORD_LIMIT)),
             sanitizer: Mutex::new(None),
+            profiler: Mutex::new(None),
         })
     }
 
@@ -141,13 +181,22 @@ impl Device {
     /// Charge one kernel launch described by `cost`.
     pub fn charge_kernel(&self, name: &'static str, phase: Phase, cost: &KernelCost) {
         let ns = self.model.kernel_ns(cost);
-        self.ledger.lock().charge(name, phase, ns);
+        let start_ns = self.ledger.lock().charge(name, phase, ns);
+        if let Some(prof) = self.profiler.lock().clone() {
+            // Observer only: the ledger charge above is complete and the
+            // profiler never feeds anything back into it.
+            let limited = self.model.serialization_limited(cost);
+            prof.on_kernel(name, phase, ns, start_ns, cost.dram_bytes, limited);
+        }
     }
 
     /// Charge a raw duration (used by collectives and transfers whose
     /// time is computed outside the kernel model).
     pub fn charge_ns(&self, name: &'static str, phase: Phase, ns: f64) {
-        self.ledger.lock().charge(name, phase, ns);
+        let start_ns = self.ledger.lock().charge(name, phase, ns);
+        if let Some(prof) = self.profiler.lock().clone() {
+            prof.on_kernel(name, phase, ns, start_ns, 0.0, false);
+        }
     }
 
     /// Current simulated time, nanoseconds.
@@ -203,6 +252,52 @@ impl Device {
     /// sanitizer is attached.
     pub fn sanitize_report(&self) -> Option<SanitizeReport> {
         self.sanitizer.lock().as_ref().map(|s| s.report())
+    }
+
+    // ---- profiler ----------------------------------------------------------
+
+    /// Attach a fresh profiler (replacing any previous one, whose state
+    /// is dropped). Purely observational: attached or not, trees and
+    /// charged nanoseconds are bit-identical (regression-tested in
+    /// `crates/core/tests/profiling.rs`).
+    pub fn enable_profiler(&self) {
+        *self.profiler.lock() = Some(Arc::new(Profiler::default()));
+    }
+
+    /// Detach the profiler; accumulated state is dropped.
+    pub fn disable_profiler(&self) {
+        *self.profiler.lock() = None;
+    }
+
+    /// The attached profiler, if any. `None` (the default) keeps the
+    /// charge hot path free of recording overhead.
+    pub fn profiler(&self) -> Option<Arc<Profiler>> {
+        self.profiler.lock().clone()
+    }
+
+    /// Open a hierarchical profiling scope (`kind` is the aggregation
+    /// key, `index` labels this instance in the trace). No-op guard
+    /// when no profiler is attached.
+    pub fn prof_scope(&self, kind: &'static str, index: Option<u64>) -> ProfScope<'_> {
+        ProfScope::open(self, kind, index)
+    }
+
+    /// Snapshot the schema-versioned profile summary, or `None` when no
+    /// profiler is attached.
+    pub fn profile_summary(&self) -> Option<ProfileSummary> {
+        self.profiler
+            .lock()
+            .as_ref()
+            .map(|p| p.summarize(&self.props.name, &self.ledger.lock().summary()))
+    }
+
+    /// Export the Chrome `chrome://tracing` JSON for this device, or
+    /// `None` when no profiler is attached.
+    pub fn chrome_trace(&self) -> Option<String> {
+        self.profiler
+            .lock()
+            .as_ref()
+            .map(|p| p.chrome_trace(self.id))
     }
 
     /// Reset the ledger to zero (e.g. between benchmark repetitions).

@@ -40,6 +40,7 @@ pub mod device;
 pub mod launch;
 pub mod occupancy;
 pub mod primitives;
+pub mod prof;
 pub mod sanitize;
 pub mod timeline;
 pub mod warp;
@@ -49,6 +50,9 @@ pub use collective::DeviceGroup;
 pub use cost::{CostModel, CostParams, KernelCost};
 pub use device::{Device, DeviceProps, Phase};
 pub use launch::LaunchCfg;
+pub use prof::{
+    KernelStatRow, ProfScope, ProfileSummary, Profiler, ScopeRow, PROFILE_SCHEMA_VERSION,
+};
 pub use sanitize::{
     AccessKind, MemSpace, SanitizeMode, SanitizeReport, Sanitizer, ThreadCtx, Violation,
     ViolationKind,

@@ -33,6 +33,7 @@ pub struct Ledger {
     kernel_count: u64,
     records: Vec<KernelRecord>,
     record_limit: usize,
+    dropped_records: u64,
 }
 
 impl Ledger {
@@ -45,20 +46,28 @@ impl Ledger {
         }
     }
 
-    /// Append `ns` of simulated time in `phase`.
-    pub fn charge(&mut self, name: &'static str, phase: Phase, ns: f64) {
+    /// Append `ns` of simulated time in `phase`. Returns the charge's
+    /// start timestamp (the device clock *before* the charge), so
+    /// observers can reconstruct the timeline without re-locking.
+    pub fn charge(&mut self, name: &'static str, phase: Phase, ns: f64) -> f64 {
         debug_assert!(ns >= 0.0, "negative charge: {name} {ns}");
+        let start_ns = self.total_ns;
         if self.records.len() < self.record_limit {
             self.records.push(KernelRecord {
                 name,
                 phase,
                 ns,
-                start_ns: self.total_ns,
+                start_ns,
             });
+        } else {
+            // Subtotals stay exact past the limit; count what we shed so
+            // downstream consumers know the record list is partial.
+            self.dropped_records += 1;
         }
         self.total_ns += ns;
         *self.by_phase.entry(phase).or_insert(0.0) += ns;
         self.kernel_count += 1;
+        start_ns
     }
 
     /// Raise the device clock to `target_ns`, booking the gap as idle
@@ -91,12 +100,19 @@ impl Ledger {
         &self.records
     }
 
+    /// Charges that exceeded `record_limit` and were not retained as
+    /// detailed records. Subtotals and `kernel_count` still include them.
+    pub fn dropped_records(&self) -> u64 {
+        self.dropped_records
+    }
+
     /// Snapshot of totals for reporting.
     pub fn summary(&self) -> LedgerSummary {
         LedgerSummary {
             total_ns: self.total_ns,
             by_phase: self.by_phase.clone(),
             kernel_count: self.kernel_count,
+            dropped_records: self.dropped_records,
         }
     }
 
@@ -117,6 +133,9 @@ pub struct LedgerSummary {
     pub by_phase: BTreeMap<Phase, f64>,
     /// Number of charges.
     pub kernel_count: u64,
+    /// Charges whose detailed records were shed past the record limit
+    /// (subtotals and `kernel_count` remain exact regardless).
+    pub dropped_records: u64,
 }
 
 impl LedgerSummary {
@@ -142,6 +161,7 @@ impl LedgerSummary {
             total_ns: self.total_ns - earlier.total_ns,
             by_phase,
             kernel_count: self.kernel_count - earlier.kernel_count,
+            dropped_records: self.dropped_records - earlier.dropped_records,
         }
     }
 
@@ -196,6 +216,49 @@ mod tests {
         assert_eq!(l.records().len(), 2);
         assert_eq!(l.total_ns(), 10.0);
         assert_eq!(l.kernel_count(), 10);
+        assert_eq!(l.dropped_records(), 8);
+        assert_eq!(l.summary().dropped_records, 8);
+    }
+
+    #[test]
+    fn capped_ledger_keeps_subtotals_exact_and_counts_overflow() {
+        let mut l = Ledger::new(3);
+        for i in 0..7 {
+            l.charge("h", Phase::Histogram, 2.0 + i as f64);
+        }
+        l.charge("s", Phase::SplitEval, 1.5);
+        // Phase subtotals exact despite 5 shed records.
+        assert_eq!(
+            l.phase_ns(Phase::Histogram),
+            (0..7).map(|i| 2.0 + i as f64).sum()
+        );
+        assert_eq!(l.phase_ns(Phase::SplitEval), 1.5);
+        assert_eq!(l.records().len(), 3);
+        assert_eq!(l.dropped_records(), 5);
+        // Reset clears the overflow counter too.
+        l.reset();
+        assert_eq!(l.dropped_records(), 0);
+    }
+
+    #[test]
+    fn charge_returns_start_timestamp() {
+        let mut l = Ledger::new(1);
+        assert_eq!(l.charge("a", Phase::Other, 4.0), 0.0);
+        // Returned start time is correct even past the record limit.
+        assert_eq!(l.charge("b", Phase::Other, 6.0), 4.0);
+        assert_eq!(l.charge("c", Phase::Other, 1.0), 10.0);
+    }
+
+    #[test]
+    fn since_diffs_dropped_records() {
+        let mut l = Ledger::new(1);
+        l.charge("a", Phase::Other, 1.0);
+        l.charge("b", Phase::Other, 1.0);
+        let early = l.summary();
+        l.charge("c", Phase::Other, 1.0);
+        l.charge("d", Phase::Other, 1.0);
+        let delta = l.summary().since(&early);
+        assert_eq!(delta.dropped_records, 2);
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! Golden-snapshot tests for the profiler's exporters.
+//!
+//! The simulated clock is deterministic, charges issue serially, and
+//! the vendored JSON writer emits fields in declaration order with
+//! shortest-round-trip floats — so a fixed workload exports a
+//! **byte-identical** Chrome trace every run, on every machine. The
+//! committed fixture pins that byte stream; any change to event field
+//! names, ordering, or float formatting must be deliberate (and must
+//! bump [`PROFILE_SCHEMA_VERSION`]).
+
+use gpusim::{Device, Phase, ProfileSummary, PROFILE_SCHEMA_VERSION};
+use serde::{Deserialize, Serialize};
+
+/// A fixed, fully deterministic profiled workload.
+fn golden_device() -> std::sync::Arc<Device> {
+    let device = Device::rtx4090();
+    device.enable_profiler();
+    {
+        let _round = device.prof_scope("round", Some(0));
+        {
+            let _level = device.prof_scope("level", Some(0));
+            device.charge_ns("hist_build", Phase::Histogram, 1200.0);
+            device.charge_ns("split_eval", Phase::SplitEval, 300.0);
+        }
+        {
+            let _level = device.prof_scope("level", Some(1));
+            device.charge_ns("hist_build", Phase::Histogram, 800.0);
+            device.charge_ns("partition", Phase::Partition, 150.5);
+        }
+    }
+    device.charge_ns("predict", Phase::Predict, 50.25);
+    device
+}
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/chrome_trace.json"
+);
+
+/// The exported trace is byte-identical to the committed fixture.
+///
+/// To regenerate after an *intentional* format change:
+/// `UPDATE_GOLDEN=1 cargo test -p gpusim --test trace_golden` — and
+/// bump `PROFILE_SCHEMA_VERSION` if field names/types moved.
+#[test]
+fn chrome_trace_matches_golden_fixture() {
+    let device = golden_device();
+    let trace = device.chrome_trace().expect("profiler enabled");
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN_PATH, &trace).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("missing fixture: run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        trace, want,
+        "chrome trace drifted from tests/golden/chrome_trace.json; if \
+         intentional, bump PROFILE_SCHEMA_VERSION and regenerate with \
+         UPDATE_GOLDEN=1"
+    );
+}
+
+/// Structural contract, independent of the byte-level fixture: the
+/// envelope and every event carry exactly the documented field names.
+#[test]
+fn chrome_trace_field_names_are_stable() {
+    let device = golden_device();
+    let trace = device.chrome_trace().expect("profiler enabled");
+    let v: serde::Value = serde_json::from_str(&trace).expect("valid JSON");
+    let obj = v.as_object().expect("envelope object");
+    let keys: Vec<&str> = obj.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(
+        keys,
+        ["traceEvents", "displayTimeUnit", "otherData"],
+        "envelope keys changed — bump PROFILE_SCHEMA_VERSION"
+    );
+
+    let events = obj
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .and_then(|(_, v)| v.as_array())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    for e in events {
+        let eo = e.as_object().expect("event object");
+        let ekeys: Vec<&str> = eo.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            ekeys,
+            ["name", "cat", "ph", "ts", "dur", "pid", "tid"],
+            "event keys changed — bump PROFILE_SCHEMA_VERSION"
+        );
+        let ph = eo
+            .iter()
+            .find(|(k, _)| k == "ph")
+            .and_then(|(_, v)| v.as_str())
+            .expect("ph");
+        assert_eq!(ph, "X", "complete events only");
+    }
+
+    let other = obj
+        .iter()
+        .find(|(k, _)| k == "otherData")
+        .and_then(|(_, v)| v.as_object())
+        .expect("otherData object");
+    let okeys: Vec<&str> = other.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(okeys, ["schema_version", "dropped_events"]);
+}
+
+/// Schema-version bump rule for [`ProfileSummary`]: the serialized
+/// field-name set is pinned here. Changing it without bumping
+/// `PROFILE_SCHEMA_VERSION` fails this test on purpose.
+#[test]
+fn profile_summary_schema_is_pinned_to_version() {
+    assert_eq!(
+        PROFILE_SCHEMA_VERSION, 1,
+        "schema version changed: update the pinned field lists below \
+         to match the new layout"
+    );
+    let device = golden_device();
+    let prof = device.profile_summary().expect("profiler enabled");
+    let v = prof.to_value();
+    let obj = v.as_object().expect("summary object");
+    let keys: Vec<&str> = obj.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(
+        keys,
+        [
+            "schema_version",
+            "device",
+            "total_ns",
+            "kernel_count",
+            "dropped_records",
+            "dropped_events",
+            "by_phase",
+            "kernels",
+            "scopes",
+        ],
+        "ProfileSummary fields changed — bump PROFILE_SCHEMA_VERSION"
+    );
+
+    let kernels = obj
+        .iter()
+        .find(|(k, _)| k == "kernels")
+        .and_then(|(_, v)| v.as_array())
+        .expect("kernels array");
+    let k0 = kernels[0].as_object().expect("kernel row object");
+    let kkeys: Vec<&str> = k0.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(
+        kkeys,
+        [
+            "name",
+            "phase",
+            "count",
+            "total_ns",
+            "mean_ns",
+            "max_ns",
+            "dram_bytes",
+            "occupancy_limited",
+        ],
+        "KernelStatRow fields changed — bump PROFILE_SCHEMA_VERSION"
+    );
+
+    let scopes = obj
+        .iter()
+        .find(|(k, _)| k == "scopes")
+        .and_then(|(_, v)| v.as_array())
+        .expect("scopes array");
+    let s0 = scopes[0].as_object().expect("scope row object");
+    let skeys: Vec<&str> = s0.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(
+        skeys,
+        ["path", "depth", "count", "total_ns"],
+        "ScopeRow fields changed — bump PROFILE_SCHEMA_VERSION"
+    );
+
+    // Round-trip: the summary survives serialize → deserialize intact.
+    let back = ProfileSummary::from_value(&v).expect("round-trip");
+    assert_eq!(back.schema_version, prof.schema_version);
+    assert_eq!(back.kernels.len(), prof.kernels.len());
+    assert_eq!(back.scopes.len(), prof.scopes.len());
+    assert_eq!(back.total_ns.to_bits(), prof.total_ns.to_bits());
+}

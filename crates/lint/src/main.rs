@@ -12,6 +12,12 @@
 //! * `unwrap_in_lib` — no `.unwrap()` in non-test library code of
 //!   `crates/core` and `crates/gpusim`; use `expect` with an invariant
 //!   message or propagate the error.
+//! * `phase_in_bench_schema` — a cross-file rule: every variant of
+//!   `gpusim::Phase` (parsed from `crates/gpusim/src/device.rs`) must
+//!   appear as a string key in the bench report schema
+//!   (`crates/bench/src/report.rs`), so a new phase can never silently
+//!   vanish from `BENCH_repro.json`. Skipped when either file is
+//!   absent (fixture runs).
 //!
 //! Heuristics, not a compiler: string/comment contents are stripped
 //! before matching, `#[cfg(test)]` blocks are skipped by brace
@@ -341,6 +347,81 @@ pub fn lint_source(display: &str, src: &str) -> Vec<Finding> {
     findings
 }
 
+/// Parse the variant names of `pub enum Phase { ... }` from gpusim's
+/// device module source. Returns an empty list when no such enum is
+/// present (e.g. fixture trees).
+pub fn phase_variants(device_src: &str) -> Vec<String> {
+    let lines = strip(device_src);
+    let mut out = Vec::new();
+    let mut in_enum = false;
+    for l in &lines {
+        let code = l.code.trim();
+        if !in_enum {
+            if code.contains("enum Phase") && code.contains('{') {
+                in_enum = true;
+            }
+            continue;
+        }
+        if code.starts_with('}') {
+            break;
+        }
+        // Variant lines are `Ident,` after comment stripping.
+        let name = code.trim_end_matches(',').trim();
+        if !name.is_empty()
+            && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+            && name.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+        {
+            out.push(name.to_string());
+        }
+    }
+    out
+}
+
+/// Cross-file rule `phase_in_bench_schema`: every `Phase` variant must
+/// appear as a `"Variant"` string in the bench schema module, which is
+/// where `phase_key` maps variants to JSON keys. A variant the schema
+/// never names would drop out of `BENCH_repro.json` unnoticed.
+pub fn lint_phase_schema(
+    device_display: &str,
+    device_src: &str,
+    report_display: &str,
+    report_src: &str,
+) -> Vec<Finding> {
+    let variants = phase_variants(device_src);
+    let mut findings = Vec::new();
+    for v in &variants {
+        let needle = format!("\"{v}\"");
+        if !report_src.contains(&needle) {
+            findings.push(Finding {
+                file: report_display.to_string(),
+                line: 1,
+                rule: "phase_in_bench_schema",
+                excerpt: format!(
+                    "Phase::{v} (declared in {device_display}) has no \"{v}\" key \
+                     in the bench schema — add it to phase_key and bump \
+                     BENCH_SCHEMA_VERSION"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Run the cross-file phase/schema rule against the repo layout rooted
+/// at the current directory. Silently a no-op when either file is
+/// missing, so fixture-only invocations stay self-contained.
+fn lint_phase_schema_repo() -> Vec<Finding> {
+    let device_path = "crates/gpusim/src/device.rs";
+    let report_path = "crates/bench/src/report.rs";
+    let (Ok(device_src), Ok(report_src)) = (
+        std::fs::read_to_string(device_path),
+        std::fs::read_to_string(report_path),
+    ) else {
+        return Vec::new();
+    };
+    lint_phase_schema(device_path, &device_src, report_path, &report_src)
+}
+
 /// Recursively collect `.rs` (and `.rs.txt` fixture) files under `root`.
 fn collect(root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     if root.is_file() {
@@ -390,7 +471,10 @@ fn main() {
     } else {
         args
     };
-    match lint_roots(&roots) {
+    match lint_roots(&roots).map(|mut f| {
+        f.extend(lint_phase_schema_repo());
+        f
+    }) {
         Ok(findings) if findings.is_empty() => {
             println!("repo-lint: clean ({} roots)", roots.len());
         }
@@ -477,5 +561,49 @@ mod tests {
     fn use_lines_are_not_launch_sites() {
         let src = "use crate::launch::{run_blocks, LaunchCfg};\n";
         assert!(lint_source("x.rs", src).is_empty());
+    }
+
+    const PHASE_ENUM: &str = "/// Phases.\npub enum Phase {\n    /// Binning.\n    Binning,\n    /// Hist.\n    Histogram,\n    /// New.\n    Shiny,\n}\n";
+
+    #[test]
+    fn phase_variants_are_parsed_from_enum_body() {
+        assert_eq!(
+            phase_variants(PHASE_ENUM),
+            ["Binning", "Histogram", "Shiny"]
+        );
+        assert!(phase_variants("fn no_enum_here() {}\n").is_empty());
+    }
+
+    #[test]
+    fn phase_missing_from_bench_schema_fires() {
+        let schema = "match p {\n    Phase::Binning => \"Binning\",\n    Phase::Histogram => \"Histogram\",\n}\n";
+        let f = lint_phase_schema("device.rs", PHASE_ENUM, "report.rs", schema);
+        assert_eq!(rules(&f), vec!["phase_in_bench_schema"]);
+        assert!(f[0].excerpt.contains("Shiny"), "{f:?}");
+    }
+
+    #[test]
+    fn phase_schema_complete_is_clean() {
+        let schema = "Phase::Binning => \"Binning\", Phase::Histogram => \"Histogram\", Phase::Shiny => \"Shiny\"";
+        assert!(lint_phase_schema("d.rs", PHASE_ENUM, "r.rs", schema).is_empty());
+    }
+
+    /// The real repo files satisfy the cross-file rule (no-op when run
+    /// outside the repo root, matching the binary's behaviour).
+    #[test]
+    fn repo_phase_schema_is_in_sync() {
+        let dev = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../gpusim/src/device.rs"
+        ))
+        .expect("device.rs");
+        let rep = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../bench/src/report.rs"
+        ))
+        .expect("report.rs");
+        assert!(!phase_variants(&dev).is_empty(), "Phase enum parse failed");
+        let f = lint_phase_schema("device.rs", &dev, "report.rs", &rep);
+        assert!(f.is_empty(), "{f:?}");
     }
 }

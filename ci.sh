@@ -28,7 +28,7 @@ if cargo run --release -q -p repo-lint -- crates/lint/fixtures >/dev/null 2>&1; 
   exit 1
 fi
 
-echo "==> sanitized smoke train (repro sanitize)"
+echo "==> sanitized smoke train (repro sanitize: dense + every sketch mode × hist method)"
 cargo run --release -q -p gbdt-bench --bin repro -- sanitize --trees 2 --depth 4 --bins 32 >/dev/null
 
 echo "==> bench smoke grid + schema validation + regression gate"

@@ -41,7 +41,7 @@
 use gbdt_bench::{
     bench_config, bench_dataset, fmt_secs, render_table, run_system, RunOutcome, SystemId,
 };
-use gbdt_core::{GpuTrainer, HistogramMethod, MultiGpuTrainer, TrainConfig};
+use gbdt_core::{GpuTrainer, HistogramMethod, MultiGpuTrainer, OutputSketch, TrainConfig};
 use gbdt_data::synth::{make_classification, ClassificationSpec};
 use gbdt_data::PaperDataset;
 use gpusim::{Device, DeviceGroup, Phase};
@@ -59,6 +59,8 @@ struct Opts {
     out: String,
     baseline: Option<String>,
     check: bool,
+    update_baseline: bool,
+    sketch: OutputSketch,
     trace: Option<String>,
 }
 
@@ -76,6 +78,8 @@ impl Default for Opts {
             out: "BENCH_repro.json".to_string(),
             baseline: None,
             check: false,
+            update_baseline: false,
+            sketch: OutputSketch::None,
             trace: None,
         }
     }
@@ -93,7 +97,27 @@ impl Opts {
 
 const USAGE: &str = "usage: repro <datasets|table2|table3|table4|fig4|fig5|fig6a|fig6b|fig7|ablations|hostbench|sanitize|bench|all> [flags]\n\
 flags: --trees N --depth N --bins N --scale F --gpus K --seed S --full\n\
-bench: --smoke --out FILE --baseline FILE --check --trace FILE";
+bench: --smoke --out FILE --baseline FILE --check --update-baseline\n\
+       --sketch LABEL (none|topK|randK|projK, e.g. top4) --trace FILE";
+
+/// Parse a sketch label (`OutputSketch::label()` inverse): `none`, or
+/// `top{k}` / `rand{k}` / `proj{k}`.
+fn parse_sketch(label: &str) -> Result<OutputSketch, String> {
+    let bad = |_| format!("invalid sketch label `{label}` (want none|topK|randK|projK)");
+    if label == "none" {
+        Ok(OutputSketch::None)
+    } else if let Some(k) = label.strip_prefix("top") {
+        Ok(OutputSketch::TopOutputs(k.parse().map_err(bad)?))
+    } else if let Some(k) = label.strip_prefix("rand") {
+        Ok(OutputSketch::RandomSampling(k.parse().map_err(bad)?))
+    } else if let Some(k) = label.strip_prefix("proj") {
+        Ok(OutputSketch::RandomProjection(k.parse().map_err(bad)?))
+    } else {
+        Err(format!(
+            "invalid sketch label `{label}` (want none|topK|randK|projK)"
+        ))
+    }
+}
 
 /// Parse a flag value, naming the flag in the error.
 fn parse_value<T: std::str::FromStr>(value: String, name: &str) -> Result<T, String> {
@@ -125,6 +149,8 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<(String, Opts), 
             "--out" => opts.out = grab("--out")?,
             "--baseline" => opts.baseline = Some(grab("--baseline")?),
             "--check" => opts.check = true,
+            "--update-baseline" => opts.update_baseline = true,
+            "--sketch" => opts.sketch = parse_sketch(&grab("--sketch")?)?,
             "--trace" => opts.trace = Some(grab("--trace")?),
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -920,11 +946,62 @@ fn sanitize_cmd(opts: &Opts) -> bool {
         ok &= report.is_clean();
     }
 
+    println!("== sanitize: sketched smoke train (sketch mode × hist method) ==");
+    // Every sketch mode crossed with every histogram method, one tree
+    // each, under full memcheck+racecheck: the sketch kernels (column
+    // norms, top-k select, gather, projection) and the full-d leaf
+    // refit all carry sanitizer traces that must come back clean.
+    let sketch_k = 2; // d = 5 outputs above → a genuine k < d sketch
+    for (slabel, sketch) in [
+        ("top", OutputSketch::TopOutputs(sketch_k)),
+        ("rand", OutputSketch::RandomSampling(sketch_k)),
+        ("proj", OutputSketch::RandomProjection(sketch_k)),
+    ] {
+        for (mlabel, method) in [
+            ("gmem", HistogramMethod::GlobalMemory),
+            ("smem", HistogramMethod::SharedMemory),
+            ("sort-reduce", HistogramMethod::SortReduce),
+            ("adaptive", HistogramMethod::Adaptive),
+        ] {
+            let device = Device::rtx4090();
+            device.enable_sanitizer(SanitizeMode::Full);
+            let _ = GpuTrainer::new(
+                device.clone(),
+                base.clone().with_hist_method(method).with_sketch(sketch),
+            )
+            .fit(&ds);
+            let report = device.sanitize_report().expect("sanitizer enabled");
+            let verdict = if report.is_clean() {
+                "clean"
+            } else {
+                "VIOLATIONS"
+            };
+            println!("-- sketch {slabel}{sketch_k} × {mlabel}: {verdict} --");
+            if !report.is_clean() {
+                println!("{}", report.table());
+            }
+            ok &= report.is_clean();
+        }
+    }
+
     println!("== sanitize: determinism audit (adaptive, 2 runs) ==");
     let props = Device::rtx4090().props().clone();
     let cfg = base.with_hist_method(HistogramMethod::Adaptive);
     let audit = audit_determinism(&props, |dev| {
         let model = GpuTrainer::new(dev.clone(), cfg.clone()).fit(&ds);
+        digest_f32s(&model.predict(ds.features()))
+    });
+    println!("{}", audit.table());
+    ok &= audit.is_deterministic();
+
+    println!("== sanitize: determinism audit (adaptive + top2 sketch, 2 runs) ==");
+    let cfg_sketch = opts
+        .config()
+        .with_trees(1)
+        .with_hist_method(HistogramMethod::Adaptive)
+        .with_sketch(OutputSketch::TopOutputs(2));
+    let audit = audit_determinism(&props, |dev| {
+        let model = GpuTrainer::new(dev.clone(), cfg_sketch.clone()).fit(&ds);
         digest_f32s(&model.predict(ds.features()))
     });
     println!("{}", audit.table());
@@ -984,8 +1061,8 @@ fn bench_cmd(opts: &Opts) -> bool {
 
     println!("== bench: perf/quality grid (hist method × dataset) ==");
     println!(
-        "{:<12} {:<10} {:>10} {:>10} {:>9} {:>12}",
-        "dataset", "method", "sim (s)", "host (s)", "hist%", "metric"
+        "{:<12} {:<10} {:<8} {:>10} {:>10} {:>9} {:>12}",
+        "dataset", "method", "sketch", "sim (s)", "host (s)", "hist%", "metric"
     );
     let mut records = Vec::new();
     let mut trace_pending = opts.trace.as_deref();
@@ -997,8 +1074,13 @@ fn bench_cmd(opts: &Opts) -> bool {
             if tracing_this_run {
                 device.enable_profiler();
             }
-            let r = GpuTrainer::new(device.clone(), cfg.clone().with_hist_method(method))
-                .fit_report(&train);
+            let r = GpuTrainer::new(
+                device.clone(),
+                cfg.clone()
+                    .with_hist_method(method)
+                    .with_sketch(opts.sketch),
+            )
+            .fit_report(&train);
             if let Some(path) = trace_pending.take() {
                 let trace = device.chrome_trace().expect("profiler enabled");
                 if let Err(e) = std::fs::write(path, trace) {
@@ -1009,11 +1091,110 @@ fn bench_cmd(opts: &Opts) -> bool {
             }
             let (metric_name, metric) =
                 metric_of(train.task(), &r.model.predict(test.features()), &test);
-            let rec = make_record(&name, method, &r.sim, r.host_seconds, metric_name, metric);
+            let rec = make_record(
+                &name,
+                method,
+                opts.sketch.label().as_str(),
+                &r.sim,
+                r.host_seconds,
+                metric_name,
+                metric,
+            );
             println!(
-                "{:<12} {:<10} {:>10.4} {:>10.3} {:>8.1}% {:>12.4}",
+                "{:<12} {:<10} {:<8} {:>10.4} {:>10.3} {:>8.1}% {:>12.4}",
                 rec.dataset,
                 rec.hist_method,
+                rec.sketch,
+                rec.sim_seconds,
+                rec.host_seconds,
+                100.0 * rec.hist_share,
+                rec.metric
+            );
+            records.push(rec);
+        }
+    }
+
+    // Wide-output sketch comparison (the issue's headline number): on
+    // the widest-output grid dataset (d ≥ 16) train the adaptive method
+    // under every sketch mode at k = d/4 and report the simulated-ns
+    // reduction against a dense reference. Runs at the *unreduced*
+    // `--scale` even under `--smoke` (the smoke grid floors NUS-WIDE at
+    // 300 instances, where fixed per-tree overheads mask the n × d → n
+    // × k histogram saving); the dataset is small enough that this
+    // stays CI-fast. Only meaningful when the main grid ran dense
+    // (`--sketch none`, the default).
+    if opts.sketch.is_none() {
+        let ds = PaperDataset::NusWide;
+        let (train, test, name) = bench_dataset(ds, opts.scale, opts.seed);
+        // Distinct record identity: the main grid may carry the same
+        // (dataset, method, sketch) triple at the reduced smoke scale.
+        let name = format!("{name}@1x");
+        let d = train.d();
+        let k = (d / 4).max(1);
+        let dense_dev = Device::rtx4090();
+        let dense = GpuTrainer::new(
+            dense_dev.clone(),
+            cfg.clone().with_hist_method(HistogramMethod::Adaptive),
+        )
+        .fit_report(&train);
+        let (dense_metric_name, dense_metric) =
+            metric_of(train.task(), &dense.model.predict(test.features()), &test);
+        let dense_rec = make_record(
+            &name,
+            HistogramMethod::Adaptive,
+            "none",
+            &dense.sim,
+            dense.host_seconds,
+            dense_metric_name,
+            dense_metric,
+        );
+        let dense_sim = dense_rec.sim_seconds;
+        println!("== bench: sketch comparison ({name}, adaptive, d={d}, k={k}) ==");
+        println!(
+            "{:<12} {:<10} {:<8} {:>10.4} {:>10.3} {:>8.1}% {:>12.4}",
+            dense_rec.dataset,
+            dense_rec.hist_method,
+            dense_rec.sketch,
+            dense_rec.sim_seconds,
+            dense_rec.host_seconds,
+            100.0 * dense_rec.hist_share,
+            dense_rec.metric
+        );
+        records.push(dense_rec);
+        for sketch in [
+            OutputSketch::TopOutputs(k),
+            OutputSketch::RandomSampling(k),
+            OutputSketch::RandomProjection(k),
+        ] {
+            let device = Device::rtx4090();
+            let r = GpuTrainer::new(
+                device.clone(),
+                cfg.clone()
+                    .with_hist_method(HistogramMethod::Adaptive)
+                    .with_sketch(sketch),
+            )
+            .fit_report(&train);
+            let (metric_name, metric) =
+                metric_of(train.task(), &r.model.predict(test.features()), &test);
+            let rec = make_record(
+                &name,
+                HistogramMethod::Adaptive,
+                sketch.label().as_str(),
+                &r.sim,
+                r.host_seconds,
+                metric_name,
+                metric,
+            );
+            let speedup = if dense_sim > 0.0 {
+                100.0 * (1.0 - rec.sim_seconds / dense_sim)
+            } else {
+                0.0
+            };
+            println!(
+                "{:<12} {:<10} {:<8} {:>10.4} {:>10.3} {:>8.1}% {:>12.4}   (sim-ns -{speedup:.1}%)",
+                rec.dataset,
+                rec.hist_method,
+                rec.sketch,
                 rec.sim_seconds,
                 rec.host_seconds,
                 100.0 * rec.hist_share,
@@ -1047,6 +1228,18 @@ fn bench_cmd(opts: &Opts) -> bool {
             eprintln!("error: cannot re-read {}: {e}", opts.out);
             return false;
         }
+    }
+
+    if opts.update_baseline {
+        let Some(path) = &opts.baseline else {
+            eprintln!("error: --update-baseline requires --baseline FILE");
+            return false;
+        };
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("error: cannot rewrite baseline {path}: {e}");
+            return false;
+        }
+        println!("(rewrote baseline {path} from this run)");
     }
 
     if opts.check {
@@ -1107,6 +1300,37 @@ mod cli_tests {
     fn empty_args_default_to_help() {
         let (cmd, _) = parse_args(argv(&[])).unwrap();
         assert_eq!(cmd, "help");
+    }
+
+    #[test]
+    fn parses_sketch_and_update_baseline_flags() {
+        let (cmd, opts) = parse_args(argv(&[
+            "bench",
+            "--sketch",
+            "top4",
+            "--update-baseline",
+            "--baseline",
+            "BENCH_baseline.json",
+        ]))
+        .unwrap();
+        assert_eq!(cmd, "bench");
+        assert_eq!(opts.sketch, OutputSketch::TopOutputs(4));
+        assert!(opts.update_baseline);
+        assert_eq!(parse_sketch("none").unwrap(), OutputSketch::None);
+        assert_eq!(
+            parse_sketch("rand8").unwrap(),
+            OutputSketch::RandomSampling(8)
+        );
+        assert_eq!(
+            parse_sketch("proj16").unwrap(),
+            OutputSketch::RandomProjection(16)
+        );
+        // Round-trips through the config label.
+        for label in ["none", "top4", "rand8", "proj16"] {
+            assert_eq!(parse_sketch(label).unwrap().label(), label);
+        }
+        assert!(parse_sketch("topk").is_err());
+        assert!(parse_sketch("banana").is_err());
     }
 
     #[test]

@@ -26,7 +26,7 @@ use std::collections::BTreeMap;
 /// field or changing a field's meaning bumps this (and CI's committed
 /// baseline must be regenerated); purely additive optional fields may
 /// keep it, but the golden schema test must be updated either way.
-pub const BENCH_SCHEMA_VERSION: u32 = 1;
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
 
 /// Maximum tolerated relative drift of the histogram share before the
 /// diff gate fails (the issue's >10 % criterion).
@@ -45,6 +45,7 @@ pub fn phase_key(p: Phase) -> &'static str {
     match p {
         Phase::Binning => "Binning",
         Phase::Gradient => "Gradient",
+        Phase::Sketch => "Sketch",
         Phase::Histogram => "Histogram",
         Phase::SplitEval => "SplitEval",
         Phase::Partition => "Partition",
@@ -92,6 +93,9 @@ pub struct BenchRecord {
     pub dataset: String,
     /// Histogram method key (see [`method_key`]).
     pub hist_method: String,
+    /// Gradient-sketch label (`OutputSketch::label()`): `none`, or
+    /// `top{k}` / `rand{k}` / `proj{k}`. Part of record identity.
+    pub sketch: String,
     /// Metric name (`accuracy%` or `rmse`).
     pub metric_name: String,
     /// Metric value on the held-out test split.
@@ -156,18 +160,20 @@ impl BenchReport {
         Ok(r)
     }
 
-    /// Find a record by (dataset, method) identity.
-    pub fn find(&self, dataset: &str, hist_method: &str) -> Option<&BenchRecord> {
+    /// Find a record by (dataset, method, sketch) identity.
+    pub fn find(&self, dataset: &str, hist_method: &str, sketch: &str) -> Option<&BenchRecord> {
         self.records
             .iter()
-            .find(|r| r.dataset == dataset && r.hist_method == hist_method)
+            .find(|r| r.dataset == dataset && r.hist_method == hist_method && r.sketch == sketch)
     }
 }
 
 /// Build one record from a fit's ledger delta and test metric.
+#[allow(clippy::too_many_arguments)]
 pub fn make_record(
     dataset: &str,
     method: HistogramMethod,
+    sketch: &str,
     sim: &LedgerSummary,
     host_seconds: f64,
     metric_name: &str,
@@ -183,6 +189,7 @@ pub fn make_record(
     BenchRecord {
         dataset: dataset.to_string(),
         hist_method: method_key(method).to_string(),
+        sketch: sketch.to_string(),
         metric_name: metric_name.to_string(),
         metric,
         sim_seconds: sim.total_ns * 1e-9,
@@ -213,11 +220,9 @@ pub fn diff_gate(current: &BenchReport, baseline: &BenchReport) -> Vec<String> {
         return fails;
     }
     for b in &baseline.records {
-        let Some(c) = current.find(&b.dataset, &b.hist_method) else {
-            fails.push(format!(
-                "{}/{}: record missing from current run",
-                b.dataset, b.hist_method
-            ));
+        let id = format!("{}/{}/{}", b.dataset, b.hist_method, b.sketch);
+        let Some(c) = current.find(&b.dataset, &b.hist_method, &b.sketch) else {
+            fails.push(format!("{id}: record missing from current run"));
             continue;
         };
         // Histogram-share drift, relative to the baseline share.
@@ -225,9 +230,7 @@ pub fn diff_gate(current: &BenchReport, baseline: &BenchReport) -> Vec<String> {
             let rel = (c.hist_share - b.hist_share).abs() / b.hist_share;
             if rel > HIST_SHARE_REL_TOL {
                 fails.push(format!(
-                    "{}/{}: hist-share drifted {:.1}% ({:.4} -> {:.4}; tol {:.0}%)",
-                    b.dataset,
-                    b.hist_method,
+                    "{id}: hist-share drifted {:.1}% ({:.4} -> {:.4}; tol {:.0}%)",
                     100.0 * rel,
                     b.hist_share,
                     c.hist_share,
@@ -238,8 +241,8 @@ pub fn diff_gate(current: &BenchReport, baseline: &BenchReport) -> Vec<String> {
         // Quality regression (improvements pass).
         if c.metric_name != b.metric_name {
             fails.push(format!(
-                "{}/{}: metric changed from {} to {}",
-                b.dataset, b.hist_method, b.metric_name, c.metric_name
+                "{id}: metric changed from {} to {}",
+                b.metric_name, c.metric_name
             ));
             continue;
         }
@@ -247,17 +250,14 @@ pub fn diff_gate(current: &BenchReport, baseline: &BenchReport) -> Vec<String> {
             "accuracy%" => c.metric < b.metric - ACCURACY_ABS_TOL,
             "rmse" => c.metric > b.metric * (1.0 + RMSE_REL_TOL),
             other => {
-                fails.push(format!(
-                    "{}/{}: unknown metric `{other}` cannot be gated",
-                    b.dataset, b.hist_method
-                ));
+                fails.push(format!("{id}: unknown metric `{other}` cannot be gated"));
                 continue;
             }
         };
         if regressed {
             fails.push(format!(
-                "{}/{}: {} regressed {:.4} -> {:.4}",
-                b.dataset, b.hist_method, b.metric_name, b.metric, c.metric
+                "{id}: {} regressed {:.4} -> {:.4}",
+                b.metric_name, b.metric, c.metric
             ));
         }
     }
@@ -288,6 +288,7 @@ mod tests {
         BenchRecord {
             dataset: dataset.to_string(),
             hist_method: method.to_string(),
+            sketch: "none".to_string(),
             metric_name: metric_name.to_string(),
             metric,
             sim_seconds: 1e-3,
@@ -397,6 +398,22 @@ mod tests {
     }
 
     #[test]
+    fn sketch_is_part_of_record_identity() {
+        let mut sketched = rec("mnist", "gmem", "accuracy%", 90.0, 0.7);
+        sketched.sketch = "top4".to_string();
+        let r = report(vec![rec("mnist", "gmem", "accuracy%", 90.0, 0.7), sketched]);
+        assert!(r.find("mnist", "gmem", "none").is_some());
+        assert!(r.find("mnist", "gmem", "top4").is_some());
+        assert!(r.find("mnist", "gmem", "proj4").is_none());
+        // A baseline sketched record missing from current fails the gate
+        // with the sketch label in the message.
+        let current = report(vec![rec("mnist", "gmem", "accuracy%", 90.0, 0.7)]);
+        let fails = diff_gate(&current, &r);
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("top4"), "{fails:?}");
+    }
+
+    #[test]
     fn make_record_fills_every_phase_key() {
         let mut sim = LedgerSummary::default();
         sim.total_ns = 100.0;
@@ -406,12 +423,14 @@ mod tests {
         let r = make_record(
             "mnist",
             HistogramMethod::Adaptive,
+            "top4",
             &sim,
             0.1,
             "accuracy%",
             91.0,
         );
         assert_eq!(r.hist_method, "adaptive");
+        assert_eq!(r.sketch, "top4");
         assert_eq!(r.phase_ns.len(), Phase::ALL.len());
         assert_eq!(r.phase_ns["Histogram"], 80.0);
         assert_eq!(r.phase_ns["Comm"], 0.0);

@@ -27,6 +27,7 @@ fn golden_report() -> BenchReport {
     let r0 = make_record(
         "MNIST",
         HistogramMethod::SharedMemory,
+        "none",
         &sim,
         0.125,
         "accuracy%",
@@ -34,10 +35,19 @@ fn golden_report() -> BenchReport {
     );
 
     device.reset();
+    device.charge_ns("sketch", Phase::Sketch, 120.0);
     device.charge_ns("hist", Phase::Histogram, 1000.0);
     device.charge_ns("comm", Phase::Comm, 250.0);
     let sim = device.summary();
-    let r1 = make_record("RF1", HistogramMethod::SortReduce, &sim, 0.5, "rmse", 1.75);
+    let r1 = make_record(
+        "RF1",
+        HistogramMethod::SortReduce,
+        "top4",
+        &sim,
+        0.5,
+        "rmse",
+        1.75,
+    );
 
     BenchReport {
         schema_version: BENCH_SCHEMA_VERSION,
@@ -74,11 +84,12 @@ fn bench_json_matches_golden_fixture() {
     );
 }
 
-/// The serialized field names are pinned to schema version 1.
+/// The serialized field names are pinned to schema version 2 (v2 added
+/// the `sketch` record column and the `Sketch` phase key).
 #[test]
 fn bench_schema_field_names_are_pinned_to_version() {
     assert_eq!(
-        BENCH_SCHEMA_VERSION, 1,
+        BENCH_SCHEMA_VERSION, 2,
         "schema version changed: update the pinned field lists below"
     );
     let v = golden_report().to_value();
@@ -114,6 +125,7 @@ fn bench_schema_field_names_are_pinned_to_version() {
         [
             "dataset",
             "hist_method",
+            "sketch",
             "metric_name",
             "metric",
             "sim_seconds",
@@ -149,7 +161,7 @@ fn from_json_rejects_schema_violations() {
     assert!(BenchReport::from_json(&good).is_ok());
 
     // Version bump without a reader upgrade is rejected.
-    let bumped = good.replace("\"schema_version\":1", "\"schema_version\":2");
+    let bumped = good.replace("\"schema_version\":2", "\"schema_version\":3");
     let err = BenchReport::from_json(&bumped).expect_err("must reject");
     assert!(err.contains("schema_version"), "{err}");
 

@@ -23,6 +23,72 @@ pub enum HistogramMethod {
     Adaptive,
 }
 
+/// Gradient-sketching option for tree-*structure* search (SketchBoost,
+/// Iosipoi & Vakhrushev 2022 — the paper's strongest baseline).
+///
+/// When active, each boosting round reduces the `n × d` gradient matrix
+/// to an `n × k` sketch on-device and grows the whole tree — histogram
+/// building, split search, partition — on `k`-dimensional histograms.
+/// Leaf *values* are always refit from the full `d`-dimensional
+/// gradients afterwards, so predictions and model quality stay
+/// full-output. [`OutputSketch::None`] is guaranteed bit-identical to a
+/// trainer without sketching (no extra kernels, no extra charges).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum OutputSketch {
+    /// Exact multi-output training on all `d` outputs (the default).
+    #[default]
+    None,
+    /// Keep the `k` output columns with the largest total absolute
+    /// gradient (per-output norm reduction + top-k select + gather).
+    TopOutputs(usize),
+    /// Keep `k` uniformly random output columns, re-drawn per tree
+    /// (sampling + gather).
+    RandomSampling(usize),
+    /// Project the gradient rows onto `k` random Gaussian directions,
+    /// re-drawn per tree (GEMM-style pass). Hessians use the
+    /// per-instance mean (exact for MSE).
+    RandomProjection(usize),
+}
+
+impl OutputSketch {
+    /// Whether sketching is disabled.
+    pub fn is_none(self) -> bool {
+        self == OutputSketch::None
+    }
+
+    /// The sketch dimension `k`, or `None` when sketching is off.
+    pub fn k(self) -> Option<usize> {
+        match self {
+            OutputSketch::None => None,
+            OutputSketch::TopOutputs(k)
+            | OutputSketch::RandomSampling(k)
+            | OutputSketch::RandomProjection(k) => Some(k),
+        }
+    }
+
+    /// The output dimension tree-structure search actually runs at for
+    /// a `d`-output dataset: `d` when off, otherwise `k` clamped to
+    /// `1..=d`. Every histogram/split/partition kernel and the
+    /// histogram pool are shaped by this.
+    pub fn effective_dim(self, d: usize) -> usize {
+        match self.k() {
+            None => d,
+            Some(k) => k.min(d).max(1),
+        }
+    }
+
+    /// Short stable label used by bench reports and CLI flags
+    /// (`none`, `top<k>`, `rand<k>`, `proj<k>`).
+    pub fn label(self) -> String {
+        match self {
+            OutputSketch::None => "none".to_string(),
+            OutputSketch::TopOutputs(k) => format!("top{k}"),
+            OutputSketch::RandomSampling(k) => format!("rand{k}"),
+            OutputSketch::RandomProjection(k) => format!("proj{k}"),
+        }
+    }
+}
+
 /// Histogram-pipeline options.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct HistOptions {
@@ -107,6 +173,11 @@ pub struct TrainConfig {
     /// node-index order either way, so the simulated timeline and the
     /// grown tree are bit-identical at any thread count.
     pub parallel_level_hist: bool,
+    /// Gradient sketching for tree-structure search: grow each tree on
+    /// an `n × k` sketch of the gradients while leaf values stay
+    /// full-`d` (SketchBoost's recipe). [`OutputSketch::None`] (the
+    /// default) is bit-identical to a trainer without sketching.
+    pub sketch: OutputSketch,
     /// RNG seed for any stochastic component.
     pub seed: u64,
 }
@@ -129,6 +200,7 @@ impl Default for TrainConfig {
             monotone_constraints: Vec::new(),
             streams: 1,
             parallel_level_hist: true,
+            sketch: OutputSketch::None,
             seed: 0,
         }
     }
@@ -239,6 +311,9 @@ impl TrainConfig {
         {
             return Err("monotone constraints must be −1, 0 or +1".into());
         }
+        if self.sketch.k() == Some(0) {
+            return Err("sketch dimension k must be ≥ 1".into());
+        }
         Ok(())
     }
 
@@ -263,6 +338,12 @@ impl TrainConfig {
     /// Builder-style setter for warp packing.
     pub fn with_warp_packing(mut self, on: bool) -> Self {
         self.hist.warp_packing = on;
+        self
+    }
+
+    /// Builder-style setter for gradient sketching.
+    pub fn with_sketch(mut self, s: OutputSketch) -> Self {
+        self.sketch = s;
         self
     }
 }
@@ -297,6 +378,30 @@ mod tests {
         let mut c = TrainConfig::default();
         c.lambda = -1.0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn sketch_defaults_off_and_validates() {
+        let c = TrainConfig::default();
+        assert!(c.sketch.is_none());
+        assert_eq!(c.sketch.k(), None);
+        assert_eq!(c.sketch.label(), "none");
+        assert!(c.validate().is_ok());
+
+        for mk in [
+            OutputSketch::TopOutputs as fn(usize) -> OutputSketch,
+            OutputSketch::RandomSampling,
+            OutputSketch::RandomProjection,
+        ] {
+            let ok = TrainConfig::default().with_sketch(mk(4));
+            assert_eq!(ok.sketch.k(), Some(4));
+            assert!(ok.validate().is_ok());
+            let bad = TrainConfig::default().with_sketch(mk(0));
+            assert!(bad.validate().is_err(), "k = 0 must be rejected");
+        }
+        assert_eq!(OutputSketch::TopOutputs(4).label(), "top4");
+        assert_eq!(OutputSketch::RandomSampling(8).label(), "rand8");
+        assert_eq!(OutputSketch::RandomProjection(2).label(), "proj2");
     }
 
     #[test]

@@ -22,7 +22,12 @@ pub struct Gradients {
     pub h: Vec<f32>,
     /// Instance count.
     pub n: usize,
-    /// Output dimension.
+    /// Output dimension. This is the *effective* width of the matrix,
+    /// not necessarily the model's: during a sketched round
+    /// ([`crate::sketch`]) the trainer hands the grower an `n × k`
+    /// `Gradients` with `d == k`, and every downstream consumer
+    /// (histogram shapes, cost formulas via `HistContext::d()`, split
+    /// scan, leaf widths) sizes itself from this field.
     pub d: usize,
 }
 
@@ -183,6 +188,34 @@ mod tests {
         assert_eq!(hs, vec![4.0, 4.0]);
         let (gs, _) = gr.sums(&[1]);
         assert_eq!(gs, vec![6.0, 8.0]);
+    }
+
+    #[test]
+    fn sums_width_follows_effective_d() {
+        // `sums` (and everything downstream) must size itself from the
+        // matrix's own `d`, so a k-column sketch yields k-wide (G, H)
+        // totals while the untouched full set still yields d-wide ones
+        // — the contract the sketched-round leaf refit relies on.
+        use crate::config::OutputSketch;
+        use crate::sketch::{apply_sketch, plan_sketch};
+        let device = Device::rtx4090();
+        let scores = vec![0.5f32; 4 * 6];
+        let targets: Vec<f32> = (0..24).map(|i| (i % 3) as f32).collect();
+        let full = compute_gradients(&device, &MseLoss, &scores, &targets, 4, 6);
+        let plan = plan_sketch(&device, &full, OutputSketch::TopOutputs(2), 17);
+        let sketched = apply_sketch(&device, &full, &plan);
+        let idx = [0u32, 1, 2, 3];
+        let (gf, hf) = full.sums(&idx);
+        let (gk, hk) = sketched.sums(&idx);
+        assert_eq!((gf.len(), hf.len()), (6, 6));
+        assert_eq!((gk.len(), hk.len()), (2, 2));
+        // Column selection preserves the selected columns' sums exactly.
+        for (j, &gs) in gk.iter().enumerate() {
+            assert!(
+                gf.iter().any(|&x| (x - gs).abs() < 1e-12),
+                "sketched column sum {gs} (col {j}) not found in full sums"
+            );
+        }
     }
 
     #[test]

@@ -189,6 +189,14 @@ pub fn grow_tree_on(
 
 /// [`grow_tree_on`] with a caller-owned histogram-buffer pool, so
 /// consecutive trees reuse the same multi-MB allocations.
+///
+/// The grower is deliberately sketch-agnostic: every histogram shape,
+/// cost estimate, and leaf value is sized by `grads.d` — the width of
+/// whatever gradient matrix it is handed. Under gradient sketching
+/// ([`crate::sketch`]) the trainer passes an `n × k` sketch here (so
+/// the whole structure search runs at effective dimension `k`) and then
+/// overwrites the resulting leaves from the full-`d` gradients with
+/// [`crate::sketch::refit_leaves_full_d`].
 pub fn grow_tree_pooled(
     device: &Device,
     data: &BinnedDataset,

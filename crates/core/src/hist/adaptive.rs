@@ -10,6 +10,14 @@
 //! deep nodes favour global memory (the smem flush is a fixed cost);
 //! sort-and-reduce wins only when contention is extreme relative to the
 //! output width.
+//!
+//! All three predictors price the output dimension at
+//! [`HistContext::d()`] = `grads.d` — the *effective* width of the
+//! gradient matrix actually handed to the kernels. Under gradient
+//! sketching ([`crate::sketch`]) that is `k`, not the model's `d`, so a
+//! sketched round's predicted costs shrink automatically and the
+//! selector can flip its choice (e.g. sort-and-reduce loses its appeal
+//! once the per-key payload drops from `2d` to `2k` floats).
 
 use super::{gmem, smem, sortreduce, HistContext};
 use crate::config::HistogramMethod;
@@ -137,5 +145,47 @@ mod tests {
         let ctx = make_ctx(&device, &data, &grads, &features, 32);
         let c = predict_costs(&ctx, 0);
         assert!(c.gmem_ns.is_finite() && c.smem_ns.is_finite() && c.sort_ns.is_finite());
+    }
+
+    #[test]
+    fn sketched_rounds_price_histograms_at_effective_d_k() {
+        // The cost model reads the output width from `ctx.grads.d`, so a
+        // round trained on a k-column gradient sketch must predict
+        // strictly cheaper histograms for every method — the mechanism
+        // behind the `repro bench --sketch` speedups.
+        use crate::config::OutputSketch;
+        use crate::sketch::{apply_sketch, plan_sketch};
+        let (_, data, grads) = fixture(3000, 8, 16, 5);
+        let device = Device::rtx4090();
+        let plan = plan_sketch(&device, &grads, OutputSketch::TopOutputs(4), 11);
+        let sketched = apply_sketch(&device, &grads, &plan);
+        assert_eq!(sketched.d, 4);
+        let features: Vec<u32> = (0..8).collect();
+        let full = make_ctx(&device, &data, &grads, &features, 64);
+        let thin = make_ctx(&device, &data, &sketched, &features, 64);
+        assert_eq!(full.d(), 16);
+        assert_eq!(thin.d(), 4);
+        for size in [200, 3000] {
+            let cf = predict_costs(&full, size);
+            let ct = predict_costs(&thin, size);
+            assert!(
+                ct.gmem_ns < cf.gmem_ns,
+                "gmem {} !< {}",
+                ct.gmem_ns,
+                cf.gmem_ns
+            );
+            assert!(
+                ct.smem_ns < cf.smem_ns,
+                "smem {} !< {}",
+                ct.smem_ns,
+                cf.smem_ns
+            );
+            assert!(
+                ct.sort_ns < cf.sort_ns,
+                "sort {} !< {}",
+                ct.sort_ns,
+                cf.sort_ns
+            );
+        }
     }
 }

@@ -226,9 +226,17 @@ pub fn accumulate_dense(ctx: &HistContext<'_>, idx: &[u32], out: &mut NodeHistog
                 cnt[b] += 1;
                 let grow = &g[i * d..(i + 1) * d];
                 let hrow = &h[i * d..(i + 1) * d];
-                for k in 0..d {
-                    gh[k * bins + b] += grow[k] as f64;
-                    hh[k * bins + b] += hrow[k] as f64;
+                // One bins-sized slice per output: the `chunks_exact`
+                // pair hoists the `k * bins` index arithmetic and its
+                // bounds checks out of the inner loop while keeping the
+                // ascending-`k` f64 accumulation order bit-identical.
+                for ((gf, hf), (&gv, &hv)) in gh
+                    .chunks_exact_mut(bins)
+                    .zip(hh.chunks_exact_mut(bins))
+                    .zip(grow.iter().zip(hrow.iter()))
+                {
+                    gf[b] += gv as f64;
+                    hf[b] += hv as f64;
                 }
             }
         });
@@ -282,26 +290,37 @@ pub fn accumulate_sparse(
                 cnt[b] += 1;
                 let grow = &g[i * d..(i + 1) * d];
                 let hrow = &h[i * d..(i + 1) * d];
-                for k in 0..d {
-                    gh[k * bins + b] += grow[k] as f64;
-                    hh[k * bins + b] += hrow[k] as f64;
+                // Same `chunks_exact` pattern as [`accumulate_dense`]:
+                // per-output slices instead of `k * bins + b` indexing,
+                // identical ascending-`k` accumulation order.
+                for ((gf, hf), (&gv, &hv)) in gh
+                    .chunks_exact_mut(bins)
+                    .zip(hh.chunks_exact_mut(bins))
+                    .zip(grow.iter().zip(hrow.iter()))
+                {
+                    gf[b] += gv as f64;
+                    hf[b] += hv as f64;
                 }
             }
             // Implicit entries: everything in the node not explicit here.
             cnt[zb] += idx.len() as u32 - explicit_in_node;
-            for k in 0..d {
+            for ((gf, hf), (&ng, &nh)) in gh
+                .chunks_exact_mut(bins)
+                .zip(hh.chunks_exact_mut(bins))
+                .zip(node_g.iter().zip(node_h.iter()))
+            {
                 let mut eg = 0.0;
                 let mut eh = 0.0;
-                for b in 0..bins {
+                for (b, (&gv, &hv)) in gf.iter().zip(hf.iter()).enumerate() {
                     if b != zb {
-                        eg += gh[k * bins + b];
-                        eh += hh[k * bins + b];
+                        eg += gv;
+                        eh += hv;
                     }
                 }
-                // zero-bin currently holds explicit zero-valued? entries
+                // zero-bin currently holds explicit zero-valued entries
                 // accumulated above; add the implicit remainder.
-                gh[k * bins + zb] = node_g[k] - eg;
-                hh[k * bins + zb] = node_h[k] - eh;
+                gf[zb] = ng - eg;
+                hf[zb] = nh - eh;
             }
         });
 }

@@ -262,4 +262,54 @@ mod tests {
         // Quantized pairs halve the traffic.
         assert!((gh_bytes(1000, 100, 10, 4.0) - many / 2.0).abs() < 1e-6);
     }
+
+    #[test]
+    fn contention_stats_are_per_output_pass_invariant_under_sketching() {
+        // Replay/traffic statistics describe the bin-access pattern only
+        // (per output-pass, see `ContentionStats::replay_excess`), so a
+        // k-column gradient sketch must leave them bit-identical — the
+        // whole sketch saving enters through the `2d → 2k` multiplier in
+        // the per-method cost formulas, not through contention.
+        use crate::config::OutputSketch;
+        use crate::sketch::{apply_sketch, plan_sketch};
+        let (_, data, grads) = fixture(1500, 6, 12, 9);
+        let device = Device::rtx4090();
+        let plan = plan_sketch(&device, &grads, OutputSketch::RandomSampling(3), 13);
+        let sketched = apply_sketch(&device, &grads, &plan);
+        assert_eq!(sketched.d, 3);
+        let features: Vec<u32> = (0..6).collect();
+        let full = HistContext {
+            device: &device,
+            data: &data,
+            grads: &grads,
+            features: &features,
+            bins: 32,
+            opts: HistOptions::default(),
+        };
+        let thin = HistContext {
+            device: &device,
+            data: &data,
+            grads: &sketched,
+            features: &features,
+            bins: 32,
+            opts: HistOptions::default(),
+        };
+        let idx: Vec<u32> = (0..1500).collect();
+        let (mf, mt) = (measure(&full, &idx), measure(&thin, &idx));
+        assert_eq!(mf.replay_excess.to_bits(), mt.replay_excess.to_bits());
+        assert_eq!(
+            mf.bin_transactions_unpacked.to_bits(),
+            mt.bin_transactions_unpacked.to_bits()
+        );
+        assert_eq!(
+            mf.bin_transactions_packed.to_bits(),
+            mt.bin_transactions_packed.to_bits()
+        );
+        assert_eq!(
+            mf.packed_aggregation_ratio.to_bits(),
+            mt.packed_aggregation_ratio.to_bits()
+        );
+        let (ef, et) = (expect(&full, 1500), expect(&thin, 1500));
+        assert_eq!(ef.replay_excess.to_bits(), et.replay_excess.to_bits());
+    }
 }

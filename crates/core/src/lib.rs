@@ -37,11 +37,12 @@ pub mod multigpu;
 pub mod predict;
 pub mod sanitize;
 pub mod serialize;
+pub mod sketch;
 pub mod split;
 pub mod trainer;
 pub mod tree;
 
-pub use config::{ConfigError, HistOptions, HistogramMethod, TrainConfig};
+pub use config::{ConfigError, HistOptions, HistogramMethod, OutputSketch, TrainConfig};
 pub use grad::Gradients;
 pub use metrics::{accuracy, logloss, rmse, top_k_accuracy};
 pub use model::Model;

@@ -10,11 +10,12 @@
 //! The group runs bulk-synchronously; barrier waits book as idle time.
 
 use crate::config::{ConfigError, HistogramMethod, TrainConfig};
-use crate::grad::{compute_gradients, update_scores_from_leaves};
-use crate::grow::partition_stable;
+use crate::grad::{compute_gradients, update_scores_from_leaves, Gradients};
+use crate::grow::{partition_stable, GrowResult};
 use crate::hist::{accumulate_dense, adaptive, gmem, smem, sortreduce, HistContext, NodeHistogram};
 use crate::loss::loss_for_task;
 use crate::model::Model;
+use crate::sketch::{apply_sketch, charge_apply, plan_sketch, refit_leaves_full_d};
 use crate::split::{find_best_split_range, leaf_values, SplitCandidate, SplitParams};
 use crate::trainer::{base_scores, TrainReport};
 use crate::tree::Tree;
@@ -132,6 +133,65 @@ impl MultiGpuTrainer {
         }
     }
 
+    /// Sketch the round's gradients once on device 0, broadcast the
+    /// plan (selected column indices or the projection matrix) as a
+    /// collective, and mirror the gather/projection apply on the
+    /// replica devices: `mirror_n` instances each — the full `n` under
+    /// feature parallelism (gradients are replicated), the shard size
+    /// under data parallelism.
+    fn sketch_round(&self, grads: &Gradients, t: usize, mirror_n: usize) -> Gradients {
+        let dev0 = self.group.device(0);
+        let _sketch_scope = dev0.prof_scope("sketch", Some(t as u64));
+        let plan = plan_sketch(
+            dev0,
+            grads,
+            self.config.sketch,
+            self.config.seed.wrapping_add(t as u64),
+        );
+        let bytes = plan.broadcast_bytes(grads.d);
+        if self.group.len() > 1 && bytes > 0.0 {
+            self.group.broadcast(0, bytes as usize);
+        }
+        let sketched = apply_sketch(dev0, grads, &plan);
+        for dev in &self.group.devices()[1..] {
+            charge_apply(dev, mirror_n, grads.d, &plan);
+        }
+        sketched
+    }
+
+    /// Refit a sketch-grown tree's leaves to the full `d`-dimensional
+    /// optimum on device 0 and mirror the gather-reduce charge on the
+    /// replicas (`mirror_touched` resident instances each).
+    #[allow(clippy::type_complexity)]
+    fn refit_round(
+        &self,
+        tree: Tree,
+        leaf_assignments: Vec<(Vec<u32>, Vec<f32>)>,
+        leaf_nodes: Vec<usize>,
+        full: &Gradients,
+        mirror_touched: usize,
+    ) -> (Tree, Vec<(Vec<u32>, Vec<f32>)>) {
+        let mut grown = GrowResult {
+            tree,
+            leaf_assignments,
+            leaf_nodes,
+            methods_used: BTreeMap::new(),
+        };
+        refit_leaves_full_d(self.group.device(0), &mut grown, full, &self.config);
+        let d = full.d;
+        for dev in &self.group.devices()[1..] {
+            dev.charge_kernel(
+                "leaf_refit_full_d",
+                Phase::LeafValue,
+                &KernelCost::streaming(
+                    (mirror_touched * d * 2) as f64,
+                    (mirror_touched * d * 8) as f64,
+                ),
+            );
+        }
+        (grown.tree, grown.leaf_assignments)
+    }
+
     fn fit_feature_parallel(&self, ds: &Dataset) -> TrainReport {
         let host_start = Instant::now();
         let k = self.group.len();
@@ -173,7 +233,10 @@ impl MultiGpuTrainer {
 
         let mut trees = Vec::with_capacity(self.config.num_trees);
         let mut hist_methods: BTreeMap<HistogramMethod, usize> = BTreeMap::new();
-        let mut hist = NodeHistogram::new(m, d, self.config.max_bins);
+        // Structure search runs at the sketch's effective output
+        // dimension; the histogram shrinks from d to k columns.
+        let d_eff = self.config.sketch.effective_dim(d);
+        let mut hist = NodeHistogram::new(m, d_eff, self.config.max_bins);
 
         for t in 0..self.config.num_trees {
             // Scope the round on device 0 (the representative timeline;
@@ -182,7 +245,7 @@ impl MultiGpuTrainer {
             // Gradients are replicated: every device computes them for
             // all instances (standard in feature-parallel training —
             // gradients depend on all outputs but no feature exchange).
-            let grads = {
+            let grads_full = {
                 let g = compute_gradients(
                     self.group.device(0),
                     loss.as_ref(),
@@ -203,9 +266,18 @@ impl MultiGpuTrainer {
                 }
                 g
             };
+            // Sketch once per tree: device 0 selects, the plan is
+            // broadcast, every device applies locally.
+            let (grads, full_for_refit) = if self.config.sketch.is_none() {
+                (grads_full, None)
+            } else {
+                let sketched = self.sketch_round(&grads_full, t, n);
+                (sketched, Some(grads_full))
+            };
 
-            let mut tree = Tree::new(d);
+            let mut tree = Tree::new(grads.d);
             let mut leaf_assignments: Vec<(Vec<u32>, Vec<f32>)> = Vec::new();
+            let mut leaf_nodes: Vec<usize> = Vec::new();
             let root_idx: Vec<u32> = (0..n as u32).collect();
             let (rg, rh) = grads.sums(&root_idx);
             let mut frontier = vec![(0usize, root_idx, rg, rh)];
@@ -226,6 +298,7 @@ impl MultiGpuTrainer {
                             self.config.learning_rate,
                         );
                         tree.set_leaf(tree_node, v.clone());
+                        leaf_nodes.push(tree_node);
                         leaf_assignments.push((instances, v));
                         continue;
                     }
@@ -325,6 +398,7 @@ impl MultiGpuTrainer {
                             self.config.learning_rate,
                         );
                         tree.set_leaf(tree_node, v.clone());
+                        leaf_nodes.push(tree_node);
                         leaf_assignments.push((instances, v));
                         continue;
                     };
@@ -410,8 +484,16 @@ impl MultiGpuTrainer {
                     self.config.learning_rate,
                 );
                 tree.set_leaf(tree_node, v.clone());
+                leaf_nodes.push(tree_node);
                 leaf_assignments.push((instances, v));
             }
+            // Sketched structure, full-output leaves: one gather-reduce
+            // pass over the complete gradients per leaf.
+            let (tree, leaf_assignments) = if let Some(full) = &full_for_refit {
+                self.refit_round(tree, leaf_assignments, leaf_nodes, full, n)
+            } else {
+                (tree, leaf_assignments)
+            };
 
             // Replicated incremental score update on every device.
             for (i, dev) in self.group.devices().iter().enumerate() {
@@ -494,15 +576,18 @@ impl MultiGpuTrainer {
             min_instances: self.config.min_instances,
             segments_c: self.config.segments_per_block_c,
         };
-        let hist_len = m * self.config.max_bins * d * 2;
+        // Structure search — and, crucially here, the ring all-reduce
+        // payload — shrink from d to the sketch's effective dimension.
+        let d_eff = self.config.sketch.effective_dim(d);
+        let hist_len = m * self.config.max_bins * d_eff * 2;
         let mut trees = Vec::with_capacity(self.config.num_trees);
         let mut hist_methods: BTreeMap<HistogramMethod, usize> = BTreeMap::new();
-        let mut hist = NodeHistogram::new(m, d, self.config.max_bins);
+        let mut hist = NodeHistogram::new(m, d_eff, self.config.max_bins);
 
         for t in 0..self.config.num_trees {
             let _round_scope = self.group.device(0).prof_scope("round", Some(t as u64));
             // Gradients: each device computes its own shard only.
-            let grads = {
+            let grads_full = {
                 let g = compute_gradients(
                     self.group.device(0),
                     loss.as_ref(),
@@ -526,9 +611,18 @@ impl MultiGpuTrainer {
                 }
                 g
             };
+            // Sketch once per tree: device 0 selects, the plan is
+            // broadcast, every device gathers/projects its shard.
+            let (grads, full_for_refit) = if self.config.sketch.is_none() {
+                (grads_full, None)
+            } else {
+                let sketched = self.sketch_round(&grads_full, t, n / k);
+                (sketched, Some(grads_full))
+            };
 
-            let mut tree = Tree::new(d);
+            let mut tree = Tree::new(grads.d);
             let mut leaf_assignments: Vec<(Vec<u32>, Vec<f32>)> = Vec::new();
+            let mut leaf_nodes: Vec<usize> = Vec::new();
             let root_idx: Vec<u32> = (0..n as u32).collect();
             let (rg, rh) = grads.sums(&root_idx);
             let mut frontier = vec![(0usize, root_idx, rg, rh)];
@@ -546,6 +640,7 @@ impl MultiGpuTrainer {
                             self.config.learning_rate,
                         );
                         tree.set_leaf(tree_node, v.clone());
+                        leaf_nodes.push(tree_node);
                         leaf_assignments.push((instances, v));
                         continue;
                     }
@@ -611,8 +706,8 @@ impl MultiGpuTrainer {
                             "split_eval_replicated",
                             Phase::SplitEval,
                             &KernelCost::streaming(
-                                (m * d * self.config.max_bins) as f64 * 10.0,
-                                (m * d * self.config.max_bins * 16) as f64,
+                                (m * grads.d * self.config.max_bins) as f64 * 10.0,
+                                (m * grads.d * self.config.max_bins * 16) as f64,
                             ),
                         );
                     }
@@ -625,6 +720,7 @@ impl MultiGpuTrainer {
                             self.config.learning_rate,
                         );
                         tree.set_leaf(tree_node, v.clone());
+                        leaf_nodes.push(tree_node);
                         leaf_assignments.push((instances, v));
                         continue;
                     };
@@ -689,8 +785,16 @@ impl MultiGpuTrainer {
                     self.config.learning_rate,
                 );
                 tree.set_leaf(tree_node, v.clone());
+                leaf_nodes.push(tree_node);
                 leaf_assignments.push((instances, v));
             }
+            // Sketched structure, full-output leaves: refit on device 0,
+            // shard-sized mirror charges on the replicas.
+            let (tree, leaf_assignments) = if let Some(full) = &full_for_refit {
+                self.refit_round(tree, leaf_assignments, leaf_nodes, full, n / k)
+            } else {
+                (tree, leaf_assignments)
+            };
             for (rank, dev) in self.group.devices().iter().enumerate() {
                 if rank == 0 {
                     update_scores_from_leaves(dev, &mut scores, d, &leaf_assignments);

@@ -176,6 +176,108 @@ pub fn trace_update_scores(
     }
 }
 
+/// Declare the per-output gradient-energy reduction of the TopOutputs
+/// sketch: one thread per instance reads its gradient row and
+/// atomically accumulates `|g|` into the per-column energy — atomic
+/// collisions across instances are the point, and racecheck verifies
+/// they are claimed.
+pub fn trace_sketch_colnorm(device: &Device, n: usize, d: usize) {
+    let Some(san) = device.sanitizer() else {
+        return;
+    };
+    let scope = san.scope("sketch_colnorm");
+    let g_id = scope.register("grad_plane", n * d, MemSpace::Global, true);
+    let e_id = scope.register("col_energy", d, MemSpace::Global, true);
+    for i in sample_stride(n, MAX_TRACE_INSTANCES) {
+        let ctx = ThreadCtx::from_global(i, 256);
+        for k in 0..d.min(MAX_TRACE_OUTPUTS) {
+            scope.touch(g_id, ctx, i * d + k, AccessKind::Read);
+            scope.touch(e_id, ctx, k, AccessKind::Atomic);
+        }
+    }
+}
+
+/// Declare the column-gather sketch kernel: one thread per
+/// (instance, sketched column) reads its column index and the full
+/// gradient/Hessian entries, then plain-writes its own slot of the
+/// `n × k` sketch — disjoint by construction.
+pub fn trace_sketch_gather(device: &Device, n: usize, d: usize, cols: &[usize]) {
+    let Some(san) = device.sanitizer() else {
+        return;
+    };
+    let k = cols.len();
+    let scope = san.scope("sketch_gather");
+    let c_id = scope.register("sketch_cols", k, MemSpace::Global, true);
+    let g_id = scope.register("grad_full", n * d * 2, MemSpace::Global, true);
+    let s_id = scope.register("grad_sketch", n * k * 2, MemSpace::Global, false);
+    for i in sample_stride(n, MAX_TRACE_INSTANCES) {
+        for (j, &c) in cols.iter().enumerate().take(MAX_TRACE_OUTPUTS) {
+            let ctx = ThreadCtx::from_global(i * k + j, 256);
+            scope.touch(c_id, ctx, j, AccessKind::Read);
+            scope.touch(g_id, ctx, (i * d + c) * 2, AccessKind::Read);
+            scope.touch(g_id, ctx, (i * d + c) * 2 + 1, AccessKind::Read);
+            scope.touch(s_id, ctx, (i * k + j) * 2, AccessKind::Write);
+            scope.touch(s_id, ctx, (i * k + j) * 2 + 1, AccessKind::Write);
+        }
+    }
+}
+
+/// Declare the GEMM-style projection sketch: one thread per
+/// (instance, sketched column) reads the instance's gradient row and
+/// the projection matrix column, then plain-writes its own `n × k`
+/// slot — disjoint writes, shared reads.
+pub fn trace_sketch_projection(device: &Device, n: usize, d: usize, k: usize) {
+    let Some(san) = device.sanitizer() else {
+        return;
+    };
+    let scope = san.scope("sketch_projection");
+    let g_id = scope.register("grad_full", n * d * 2, MemSpace::Global, true);
+    let r_id = scope.register("proj_matrix", d * k, MemSpace::Global, true);
+    let s_id = scope.register("grad_sketch", n * k * 2, MemSpace::Global, false);
+    for i in sample_stride(n, MAX_TRACE_INSTANCES) {
+        for j in 0..k.min(MAX_TRACE_OUTPUTS) {
+            let ctx = ThreadCtx::from_global(i * k + j, 256);
+            for kk in sample_stride(d, MAX_TRACE_OUTPUTS) {
+                scope.touch(g_id, ctx, (i * d + kk) * 2, AccessKind::Read);
+                scope.touch(g_id, ctx, (i * d + kk) * 2 + 1, AccessKind::Read);
+                scope.touch(r_id, ctx, kk * k + j, AccessKind::Read);
+            }
+            scope.touch(s_id, ctx, (i * k + j) * 2, AccessKind::Write);
+            scope.touch(s_id, ctx, (i * k + j) * 2 + 1, AccessKind::Write);
+        }
+    }
+}
+
+/// Declare the full-`d` leaf-value refit gather-reduce: one thread per
+/// (leaf, output) reads the resident instances' full gradient entries
+/// and plain-writes its own slot of the leaf-value table — leaves are
+/// disjoint instance sets, outputs are disjoint slots.
+pub fn trace_leaf_refit(
+    device: &Device,
+    n: usize,
+    d: usize,
+    leaf_assignments: &[(Vec<u32>, Vec<f32>)],
+) {
+    let Some(san) = device.sanitizer() else {
+        return;
+    };
+    let leaves = leaf_assignments.len();
+    let scope = san.scope("leaf_refit_full_d");
+    let g_id = scope.register("grad_full", n * d * 2, MemSpace::Global, true);
+    let v_id = scope.register("leaf_values_full", leaves * d, MemSpace::Global, false);
+    let per_leaf = (MAX_TRACE_ELEMS / leaves.max(1)).max(1);
+    for (leaf, (instances, _)) in leaf_assignments.iter().enumerate() {
+        for k in 0..d.min(MAX_TRACE_OUTPUTS) {
+            let ctx = ThreadCtx::from_global(leaf * d + k, 256);
+            for &i in instances.iter().take(per_leaf) {
+                scope.touch(g_id, ctx, (i as usize * d + k) * 2, AccessKind::Read);
+                scope.touch(g_id, ctx, (i as usize * d + k) * 2 + 1, AccessKind::Read);
+            }
+            scope.touch(v_id, ctx, leaf * d + k, AccessKind::Write);
+        }
+    }
+}
+
 /// Shared declaration core of the gmem/smem histogram kernels: one
 /// thread per (instance, feature) pair, feature-major, reading its bin
 /// ID and gradient row, then issuing `kind` updates to the histogram
@@ -389,6 +491,35 @@ mod tests {
         trace_hist(&ctx, &idx, HistogramMethod::GlobalMemory);
         trace_partition(&device, &vec![true; 150]);
         assert_eq!(device.now_ns(), before);
+    }
+
+    #[test]
+    fn sketch_traces_are_clean_and_never_charge() {
+        let device = Device::rtx4090();
+        device.enable_sanitizer(SanitizeMode::Full);
+        let before = device.now_ns();
+        trace_sketch_colnorm(&device, 300, 8);
+        trace_sketch_gather(&device, 300, 8, &[1, 4, 6]);
+        trace_sketch_projection(&device, 300, 8, 3);
+        let leaves = vec![
+            (vec![0u32, 2, 4], vec![0.5f32; 8]),
+            (vec![1, 3], vec![0.1; 8]),
+        ];
+        trace_leaf_refit(&device, 5, 8, &leaves);
+        let report = device.sanitize_report().expect("sanitizer");
+        assert!(report.is_clean(), "{}", report.table());
+        for k in [
+            "sketch_colnorm",
+            "sketch_gather",
+            "sketch_projection",
+            "leaf_refit_full_d",
+        ] {
+            assert!(report.kernels.contains_key(k), "{k} missing");
+        }
+        // The colnorm reduction claims its accumulation atomics.
+        assert!(report.kernels["sketch_colnorm"].atomics > 0);
+        assert_eq!(report.kernels["sketch_gather"].atomics, 0);
+        assert_eq!(device.now_ns(), before, "tracing must never charge");
     }
 
     #[test]

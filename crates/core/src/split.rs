@@ -390,7 +390,12 @@ pub fn find_best_split_constrained(
 }
 
 /// Optimal leaf values `v*_k = −G_k / (H_k + λ)` (paper §2.2), scaled by
-/// the learning rate.
+/// the learning rate. The output width follows the input sums, so the
+/// same routine serves both the in-grow leaf assignment (at the
+/// effective dimension of the gradients being grown — `k` during a
+/// sketched round) and the full-`d` refit
+/// ([`crate::sketch::refit_leaves_full_d`], SketchBoost's "retarget"
+/// step) that replaces those k-dim leaves afterwards.
 pub fn leaf_values(node_g: &[f64], node_h: &[f64], lambda: f64, learning_rate: f32) -> Vec<f32> {
     node_g
         .iter()

@@ -217,15 +217,42 @@ impl GpuTrainer {
                 grads = grads_full;
             }
 
-            let grown = grow_tree_pooled(
-                device,
-                &binned,
-                &grads,
-                &self.config,
-                &tree_features,
-                root,
-                &mut pool,
-            );
+            let grown = if self.config.sketch.is_none() {
+                grow_tree_pooled(
+                    device,
+                    &binned,
+                    &grads,
+                    &self.config,
+                    &tree_features,
+                    root,
+                    &mut pool,
+                )
+            } else {
+                // SketchBoost's recipe on the GPU pipeline: search the
+                // tree structure on an n × k sketch (every histogram,
+                // split and partition kernel runs at effective output
+                // dimension k), then refit the leaves on the full
+                // d-dimensional gradients.
+                let sketch_scope = device.prof_scope("sketch", Some(t as u64));
+                let sketched = crate::sketch::sketch_gradients_device(
+                    device,
+                    &grads,
+                    self.config.sketch,
+                    self.config.seed.wrapping_add(t as u64),
+                );
+                drop(sketch_scope);
+                let mut grown = grow_tree_pooled(
+                    device,
+                    &binned,
+                    &sketched,
+                    &self.config,
+                    &tree_features,
+                    root,
+                    &mut pool,
+                );
+                crate::sketch::refit_leaves_full_d(device, &mut grown, &grads, &self.config);
+                grown
+            };
             if subsampled {
                 // Out-of-sample instances still receive the tree's
                 // contribution: route every instance to its leaf.

@@ -18,6 +18,10 @@ pub enum Phase {
     Binning,
     /// Loss evaluation and g/h computation (paper §3.1.1).
     Gradient,
+    /// Gradient sketching: shrinking the `n × d` gradient matrix to an
+    /// `n × k` sketch before histogram building (SketchBoost's recipe),
+    /// so the dominant histogram cost scales with `k` instead of `d`.
+    Sketch,
     /// Histogram construction (paper §3.3) — the headline bottleneck.
     Histogram,
     /// Gain computation and best-split reduction (paper §3.1.3).
@@ -41,9 +45,10 @@ pub enum Phase {
 impl Phase {
     /// Every variant, in `Ord` (declaration) order. Used by the bench
     /// schema to emit a complete per-phase breakdown.
-    pub const ALL: [Phase; 11] = [
+    pub const ALL: [Phase; 12] = [
         Phase::Binning,
         Phase::Gradient,
+        Phase::Sketch,
         Phase::Histogram,
         Phase::SplitEval,
         Phase::Partition,
@@ -62,6 +67,7 @@ impl Phase {
         match self {
             Phase::Binning => "Binning",
             Phase::Gradient => "Gradient",
+            Phase::Sketch => "Sketch",
             Phase::Histogram => "Histogram",
             Phase::SplitEval => "SplitEval",
             Phase::Partition => "Partition",

@@ -588,6 +588,33 @@ mod tests {
         assert!(lint_phase_schema("d.rs", PHASE_ENUM, "r.rs", schema).is_empty());
     }
 
+    /// Seeded failure for the gradient-sketching phase: the *real*
+    /// `Phase` enum (which carries `Sketch`) against the *real* bench
+    /// schema with every `"Sketch"` key stripped must fire — proving
+    /// the cross-file rule would have caught a bench schema that never
+    /// learned about the new profiler/bench phase.
+    #[test]
+    fn phase_schema_catches_missing_sketch_phase() {
+        let dev = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../gpusim/src/device.rs"
+        ))
+        .expect("device.rs");
+        assert!(
+            phase_variants(&dev).iter().any(|v| v == "Sketch"),
+            "Phase::Sketch missing from device.rs — update this fixture"
+        );
+        let rep = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../bench/src/report.rs"
+        ))
+        .expect("report.rs");
+        let stripped = rep.replace("\"Sketch\"", "\"_removed_\"");
+        let f = lint_phase_schema("device.rs", &dev, "report.rs", &stripped);
+        assert_eq!(rules(&f), vec!["phase_in_bench_schema"]);
+        assert!(f[0].excerpt.contains("Sketch"), "{f:?}");
+    }
+
     /// The real repo files satisfy the cross-file rule (no-op when run
     /// outside the repo root, matching the binary's behaviour).
     #[test]

@@ -39,4 +39,22 @@ echo "==> bench smoke grid + schema validation + regression gate"
 cargo run --release -q -p gbdt-bench --bin repro -- bench --smoke \
   --out BENCH_repro.json --baseline BENCH_baseline.json --check >/dev/null
 
+echo "==> sanitized serving smoke (both predict modes under full memcheck)"
+# The serving observer test uploads a compiled ensemble and predicts in
+# both parallelization schemes with the sanitizer at SanitizeMode::Full,
+# asserting a clean report and zero charge perturbation.
+cargo test -q -p gbdt-core --test serving observers_do_not_perturb_serving >/dev/null
+
+echo "==> serve smoke benchmark + schema validation + regression gate"
+# Batched-serving invariants (bit-identity, >=5x batched speedup,
+# tree-level strictly costlier) plus a throughput/resident-bytes
+# diff-gate against the committed baseline.
+cargo run --release -q -p gbdt-bench --bin repro -- serve --smoke \
+  --baseline SERVE_baseline.json --check >/dev/null
+
+echo "==> repo-lint Serve-phase fixture (missing schema key must fire)"
+# Proves phase_in_bench_schema would catch a bench schema that never
+# learned about Phase::Serve.
+cargo test -q -p repo-lint phase_schema_catches_missing_serve_phase >/dev/null
+
 echo "ci: all checks passed"

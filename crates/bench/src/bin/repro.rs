@@ -26,6 +26,13 @@
 //!              per-phase simulated ns, hist-share %, host wall-clock
 //!              and model quality; `--baseline F --check` diff-gates
 //!              against a committed baseline (exit 1 on drift)
+//!   serve      batched-serving benchmark: compiles a NUS-WIDE-shaped
+//!              model, uploads it as device-resident SoA arrays, and
+//!              drives a burst of single-row submissions through the
+//!              micro-batching BatchServer at max_batch 1 vs --batch;
+//!              writes schema-versioned SERVE_repro.json and enforces
+//!              the ≥5× batched-speedup, bit-identity and tree>instance
+//!              cost invariants; `--baseline F --check` diff-gates
 //!   all        everything above
 //! ```
 //!
@@ -62,6 +69,7 @@ struct Opts {
     update_baseline: bool,
     sketch: OutputSketch,
     trace: Option<String>,
+    batch: usize,
 }
 
 impl Default for Opts {
@@ -81,6 +89,7 @@ impl Default for Opts {
             update_baseline: false,
             sketch: OutputSketch::None,
             trace: None,
+            batch: 256,
         }
     }
 }
@@ -95,10 +104,12 @@ impl Opts {
     }
 }
 
-const USAGE: &str = "usage: repro <datasets|table2|table3|table4|fig4|fig5|fig6a|fig6b|fig7|ablations|hostbench|sanitize|bench|all> [flags]\n\
+const USAGE: &str = "usage: repro <datasets|table2|table3|table4|fig4|fig5|fig6a|fig6b|fig7|ablations|hostbench|sanitize|bench|serve|all> [flags]\n\
 flags: --trees N --depth N --bins N --scale F --gpus K --seed S --full\n\
 bench: --smoke --out FILE --baseline FILE --check --update-baseline\n\
-       --sketch LABEL (none|topK|randK|projK, e.g. top4) --trace FILE";
+       --sketch LABEL (none|topK|randK|projK, e.g. top4) --trace FILE\n\
+serve: --smoke --batch N --out FILE (default SERVE_repro.json)\n\
+       --baseline FILE --check --update-baseline";
 
 /// Parse a sketch label (`OutputSketch::label()` inverse): `none`, or
 /// `top{k}` / `rand{k}` / `proj{k}`.
@@ -152,6 +163,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<(String, Opts), 
             "--update-baseline" => opts.update_baseline = true,
             "--sketch" => opts.sketch = parse_sketch(&grab("--sketch")?)?,
             "--trace" => opts.trace = Some(grab("--trace")?),
+            "--batch" => opts.batch = parse_value(grab("--batch")?, "--batch")?,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -186,6 +198,11 @@ fn main() {
         }
         "bench" => {
             if !bench_cmd(&opts) {
+                std::process::exit(1);
+            }
+        }
+        "serve" => {
+            if !serve_cmd(&opts) {
                 std::process::exit(1);
             }
         }
@@ -1266,6 +1283,256 @@ fn bench_cmd(opts: &Opts) -> bool {
             println!("bench: OK — within tolerance of {path}");
         } else {
             eprintln!("bench: FAILED regression gate vs {path}:");
+            for f in &fails {
+                eprintln!("  {f}");
+            }
+            return false;
+        }
+    }
+    true
+}
+
+/// `repro serve`: the batched-serving benchmark. Trains a NUS-WIDE-
+/// shaped model, compares `predict_on_device` under both
+/// parallelization schemes (the tree-level scheme must charge strictly
+/// more — it pays the T×n×d partial reduction), compiles + validates +
+/// uploads the ensemble, then drives a burst of single-row submissions
+/// through the `BatchServer` at `max_batch` 1 vs `--batch`, checking
+/// bit-identity against `Model::predict` throughout.
+fn serve_cmd(opts: &Opts) -> bool {
+    use gbdt_bench::serve_report::{
+        serve_diff_gate, serve_self_check, ServeRecord, ServeReport, ServeSetup,
+        SERVE_SCHEMA_VERSION,
+    };
+    use gbdt_core::predict::predict_on_device;
+    use gbdt_core::{BatchConfig, BatchServer, DeviceEnsemble, PredictMode, ServedBatch};
+
+    if opts.batch == 0 {
+        eprintln!("error: --batch must be positive");
+        return false;
+    }
+    let (scale_mult, cfg) = if opts.smoke {
+        (opts.scale * 0.25, bench_config(3, 4, 32))
+    } else {
+        (opts.scale, opts.config())
+    };
+    let (train, test, name) = bench_dataset(PaperDataset::NusWide, scale_mult, opts.seed);
+    let model = GpuTrainer::new(Device::rtx4090(), cfg.clone()).fit(&train);
+    let reference = model.predict(test.features());
+    let n = test.features().rows();
+    let d = model.d;
+    let mut bit_identical = true;
+
+    println!("== serve: batched serving of a compiled ensemble ({name}) ==");
+
+    // Offline scheme comparison on fresh devices. The tree-level column
+    // existing strictly above the instance-level one is the fixed
+    // under-charge made visible.
+    let mut predict_ns = Vec::new();
+    for mode in [PredictMode::InstanceLevel, PredictMode::TreeLevel] {
+        let device = Device::rtx4090();
+        let t0 = device.now_ns();
+        let scores = predict_on_device(&device, &model.trees, &model.base, test.features(), mode);
+        bit_identical &= scores == reference;
+        predict_ns.push(device.now_ns() - t0);
+    }
+    println!(
+        "predict_on_device ({n} rows, d={d}): instance {:.0} ns, tree {:.0} ns ({:.2}x)",
+        predict_ns[0],
+        predict_ns[1],
+        predict_ns[1] / predict_ns[0].max(1.0)
+    );
+
+    let compiled = model.compile();
+    if let Err(e) = compiled.validate() {
+        eprintln!("error: compiled ensemble failed validation: {e}");
+        return false;
+    }
+
+    let runs = [
+        ("single", "instance", 1usize, PredictMode::InstanceLevel),
+        (
+            "batched",
+            "instance",
+            opts.batch,
+            PredictMode::InstanceLevel,
+        ),
+        ("batched", "tree", opts.batch, PredictMode::TreeLevel),
+    ];
+    let mut records = Vec::new();
+    let mut table_rows = Vec::new();
+    for (mode_key, predict_key, max_batch, pmode) in runs {
+        let device = Device::rtx4090();
+        let ens = DeviceEnsemble::upload(device.clone(), &compiled);
+        let upload_ns = device
+            .summary()
+            .by_phase
+            .get(&Phase::Transfer)
+            .copied()
+            .unwrap_or(0.0);
+        let resident_bytes = ens.resident_bytes() as u64;
+        let mut server = BatchServer::new(
+            ens,
+            BatchConfig {
+                max_batch,
+                mode: pmode,
+                ..BatchConfig::default()
+            },
+        );
+        // Burst arrival: every row is already queued when the upload
+        // finishes, so throughput measures pure kernel efficiency.
+        let t0 = device.now_ns();
+        let mut out = vec![0.0f32; n * d];
+        let mut deliver = |b: ServedBatch| {
+            let start = b.first_id as usize * d;
+            out[start..start + b.scores.len()].copy_from_slice(&b.scores);
+        };
+        for i in 0..n {
+            for b in server.submit(t0, test.features().row(i)) {
+                deliver(b);
+            }
+        }
+        if let Some(b) = server.flush() {
+            deliver(b);
+        }
+        bit_identical &= out == reference;
+        let stats = server.stats();
+        let serve_ns = device
+            .summary()
+            .by_phase
+            .get(&Phase::Serve)
+            .copied()
+            .unwrap_or(0.0);
+        table_rows.push(vec![
+            mode_key.to_string(),
+            predict_key.to_string(),
+            format!("{max_batch}"),
+            format!("{}", stats.batches),
+            format!("{:.0}", stats.p50_ns),
+            format!("{:.0}", stats.p99_ns),
+            format!("{:.0}", stats.throughput_rps),
+        ]);
+        records.push(ServeRecord {
+            dataset: name.clone(),
+            mode: mode_key.to_string(),
+            predict: predict_key.to_string(),
+            rows: n as u64,
+            batches: stats.batches,
+            latency_p50_ns: stats.p50_ns,
+            latency_p99_ns: stats.p99_ns,
+            throughput_rps: stats.throughput_rps,
+            serve_ns,
+            upload_ns,
+            resident_bytes,
+        });
+    }
+    println!(
+        "{}",
+        render_table(
+            &["mode", "predict", "batch", "batches", "p50 (ns)", "p99 (ns)", "rows/s"],
+            &table_rows
+        )
+    );
+    println!(
+        "resident ensemble: {} bytes (upload {:.0} ns)",
+        records[0].resident_bytes, records[0].upload_ns
+    );
+    let batched_speedup =
+        records[1].throughput_rps / records[0].throughput_rps.max(f64::MIN_POSITIVE);
+    println!(
+        "batched speedup: {batched_speedup:.1}x over single-row; bit-identical: {bit_identical}"
+    );
+
+    let report = ServeReport {
+        schema_version: SERVE_SCHEMA_VERSION,
+        device: Device::rtx4090().props().name.clone(),
+        setup: ServeSetup {
+            trees: cfg.num_trees as u64,
+            depth: cfg.max_depth as u64,
+            bins: cfg.max_bins as u64,
+            scale: scale_mult,
+            seed: opts.seed,
+            smoke: opts.smoke,
+            batch: opts.batch as u64,
+            rows: n as u64,
+        },
+        instance_predict_ns: predict_ns[0],
+        tree_predict_ns: predict_ns[1],
+        batched_speedup,
+        bit_identical,
+        records,
+    };
+
+    let fails = serve_self_check(&report);
+    if !fails.is_empty() {
+        eprintln!("serve: FAILED self-check:");
+        for f in &fails {
+            eprintln!("  {f}");
+        }
+        return false;
+    }
+
+    // `--out` defaults to the bench report's name; serve writes its own
+    // file unless the flag was passed explicitly.
+    let out = if opts.out == "BENCH_repro.json" {
+        "SERVE_repro.json".to_string()
+    } else {
+        opts.out.clone()
+    };
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("error: cannot write {out}: {e}");
+        return false;
+    }
+    println!("(wrote {} records to {out})", report.records.len());
+    match std::fs::read_to_string(&out).map_err(|e| e.to_string()) {
+        Ok(text) => {
+            if let Err(e) = ServeReport::from_json(&text) {
+                eprintln!("error: {out} failed schema validation: {e}");
+                return false;
+            }
+        }
+        Err(e) => {
+            eprintln!("error: cannot re-read {out}: {e}");
+            return false;
+        }
+    }
+
+    if opts.update_baseline {
+        let Some(path) = &opts.baseline else {
+            eprintln!("error: --update-baseline requires --baseline FILE");
+            return false;
+        };
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("error: cannot rewrite baseline {path}: {e}");
+            return false;
+        }
+        println!("(rewrote baseline {path} from this run)");
+    }
+
+    if opts.check {
+        let Some(path) = &opts.baseline else {
+            eprintln!("error: --check requires --baseline FILE");
+            return false;
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read baseline {path}: {e}");
+                return false;
+            }
+        };
+        let baseline = match ServeReport::from_json(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: invalid baseline {path}: {e}");
+                return false;
+            }
+        };
+        let fails = serve_diff_gate(&report, &baseline);
+        if fails.is_empty() {
+            println!("serve: OK — within tolerance of {path}");
+        } else {
+            eprintln!("serve: FAILED regression gate vs {path}:");
             for f in &fails {
                 eprintln!("  {f}");
             }

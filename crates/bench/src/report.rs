@@ -26,7 +26,8 @@ use std::collections::BTreeMap;
 /// field or changing a field's meaning bumps this (and CI's committed
 /// baseline must be regenerated); purely additive optional fields may
 /// keep it, but the golden schema test must be updated either way.
-pub const BENCH_SCHEMA_VERSION: u32 = 2;
+/// v3: `phase_ns` gained the `Serve` key (serving subsystem phase).
+pub const BENCH_SCHEMA_VERSION: u32 = 3;
 
 /// Maximum tolerated relative drift of the histogram share before the
 /// diff gate fails (the issue's >10 % criterion).
@@ -51,6 +52,7 @@ pub fn phase_key(p: Phase) -> &'static str {
         Phase::Partition => "Partition",
         Phase::LeafValue => "LeafValue",
         Phase::Predict => "Predict",
+        Phase::Serve => "Serve",
         Phase::Transfer => "Transfer",
         Phase::Comm => "Comm",
         Phase::Idle => "Idle",

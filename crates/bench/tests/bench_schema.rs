@@ -84,12 +84,12 @@ fn bench_json_matches_golden_fixture() {
     );
 }
 
-/// The serialized field names are pinned to schema version 2 (v2 added
-/// the `sketch` record column and the `Sketch` phase key).
+/// The serialized field names are pinned to schema version 3 (v3 added
+/// the `Serve` phase key for the serving subsystem).
 #[test]
 fn bench_schema_field_names_are_pinned_to_version() {
     assert_eq!(
-        BENCH_SCHEMA_VERSION, 2,
+        BENCH_SCHEMA_VERSION, 3,
         "schema version changed: update the pinned field lists below"
     );
     let v = golden_report().to_value();
@@ -161,7 +161,7 @@ fn from_json_rejects_schema_violations() {
     assert!(BenchReport::from_json(&good).is_ok());
 
     // Version bump without a reader upgrade is rejected.
-    let bumped = good.replace("\"schema_version\":2", "\"schema_version\":3");
+    let bumped = good.replace("\"schema_version\":3", "\"schema_version\":4");
     let err = BenchReport::from_json(&bumped).expect_err("must reject");
     assert!(err.contains("schema_version"), "{err}");
 

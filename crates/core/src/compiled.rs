@@ -14,21 +14,23 @@ use gbdt_data::DenseMatrix;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-/// One tree in flattened SoA form.
+/// One tree in flattened SoA form. Fields are crate-visible so the
+/// serving layer ([`crate::serve`]) can upload them as device buffers.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-struct CompiledTree {
+pub(crate) struct CompiledTree {
     /// Split feature per node (undefined for leaves).
-    feature: Vec<u32>,
+    pub(crate) feature: Vec<u32>,
     /// Split threshold per node (undefined for leaves).
-    threshold: Vec<f32>,
+    pub(crate) threshold: Vec<f32>,
     /// Child indices: `≥ 0` → node index, `< 0` → leaf, whose values
     /// start at `(-child − 1) × d` in `leaf_values`.
-    left: Vec<i32>,
-    right: Vec<i32>,
+    pub(crate) left: Vec<i32>,
+    /// Right siblings of [`CompiledTree::left`].
+    pub(crate) right: Vec<i32>,
     /// Root marker: `< 0` if the whole tree is one leaf.
-    root: i32,
+    pub(crate) root: i32,
     /// Concatenated leaf value vectors (`num_leaves × d`).
-    leaf_values: Vec<f32>,
+    pub(crate) leaf_values: Vec<f32>,
 }
 
 impl CompiledTree {
@@ -96,14 +98,110 @@ impl CompiledTree {
         }
         ((-at - 1) as usize) * d
     }
+
+    /// Check the structural invariants of the flat layout: parallel
+    /// arrays agree on node count, leaf slots stay inside
+    /// `leaf_values`, and every reachable child link points strictly
+    /// forward (the compiler emits children after their parents), so
+    /// traversal provably terminates.
+    fn validate(&self, d: usize) -> Result<(), String> {
+        let n = self.feature.len();
+        if self.threshold.len() != n || self.left.len() != n || self.right.len() != n {
+            return Err(format!(
+                "SoA arrays disagree on node count: feature {}, threshold {}, left {}, right {}",
+                n,
+                self.threshold.len(),
+                self.left.len(),
+                self.right.len()
+            ));
+        }
+        if !self.leaf_values.len().is_multiple_of(d) {
+            return Err(format!(
+                "leaf_values length {} is not a multiple of d = {d}",
+                self.leaf_values.len()
+            ));
+        }
+        let leaves = self.leaf_values.len() / d;
+        let check_leaf = |c: i32| -> Result<(), String> {
+            let slot = (-(c as i64) - 1) as usize;
+            if slot >= leaves {
+                return Err(format!(
+                    "leaf slot {slot} out of range (have {leaves} leaves)"
+                ));
+            }
+            Ok(())
+        };
+        if self.root < 0 {
+            return check_leaf(self.root);
+        }
+        if (self.root as usize) >= n {
+            return Err(format!("root {} out of range (have {n} nodes)", self.root));
+        }
+        // Only nodes reachable from the root are splits (leaf-occupied
+        // slots keep zeroed child links that traversal never reads).
+        let mut visited = vec![false; n];
+        let mut stack = vec![self.root as usize];
+        while let Some(at) = stack.pop() {
+            if std::mem::replace(&mut visited[at], true) {
+                continue;
+            }
+            for c in [self.left[at], self.right[at]] {
+                if c < 0 {
+                    check_leaf(c).map_err(|e| format!("node {at}: {e}"))?;
+                } else if (c as usize) >= n {
+                    return Err(format!(
+                        "node {at}: child index {c} out of range (have {n} nodes)"
+                    ));
+                } else if c as usize <= at {
+                    return Err(format!(
+                        "node {at}: child index {c} does not point forward (traversal \
+                         would not terminate)"
+                    ));
+                } else {
+                    stack.push(c as usize);
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A whole model compiled for serving.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `Deserialize` is hand-written (not derived): a decoded ensemble
+/// passes through [`CompiledEnsemble::validate`] before it is returned,
+/// so inconsistent data — out-of-range leaf offsets, child indices
+/// beyond the node count, `base.len() != d` — is a parse error instead
+/// of an out-of-bounds read at predict time.
+#[derive(Debug, Clone, Serialize)]
 pub struct CompiledEnsemble {
     trees: Vec<CompiledTree>,
     base: Vec<f32>,
     d: usize,
+}
+
+impl serde::Deserialize for CompiledEnsemble {
+    fn from_value(v: &serde::Value) -> Result<Self, String> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| format!("expected object, got {}", v.kind()))?;
+        let ens = CompiledEnsemble {
+            trees: serde::field(obj, "trees")?,
+            base: serde::field(obj, "base")?,
+            d: serde::field(obj, "d")?,
+        };
+        ens.validate()?;
+        Ok(ens)
+    }
+}
+
+impl TryFrom<&str> for CompiledEnsemble {
+    type Error = String;
+
+    /// Parse a JSON-serialized ensemble, validated.
+    fn try_from(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
 }
 
 impl CompiledEnsemble {
@@ -124,6 +222,46 @@ impl CompiledEnsemble {
     /// Number of trees.
     pub fn num_trees(&self) -> usize {
         self.trees.len()
+    }
+
+    /// Base scores (length `d`).
+    pub fn base(&self) -> &[f32] {
+        &self.base
+    }
+
+    /// Total node count across all trees.
+    pub fn num_nodes(&self) -> usize {
+        self.trees.iter().map(|t| t.feature.len()).sum()
+    }
+
+    /// Total leaf-value elements across all trees.
+    pub fn num_leaf_values(&self) -> usize {
+        self.trees.iter().map(|t| t.leaf_values.len()).sum()
+    }
+
+    /// The flattened trees (for the serving layer's device upload).
+    pub(crate) fn trees(&self) -> &[CompiledTree] {
+        &self.trees
+    }
+
+    /// Check every structural invariant the traversal loop relies on.
+    /// [`CompiledEnsemble::compile`] always produces valid ensembles;
+    /// this guards data arriving through deserialization.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.d == 0 {
+            return Err("output dimension d must be positive".to_string());
+        }
+        if self.base.len() != self.d {
+            return Err(format!(
+                "base length {} != output dimension d = {}",
+                self.base.len(),
+                self.d
+            ));
+        }
+        for (i, t) in self.trees.iter().enumerate() {
+            t.validate(self.d).map_err(|e| format!("tree {i}: {e}"))?;
+        }
+        Ok(())
     }
 
     /// Raw scores for one instance, written into `out` (length `d`).
@@ -234,6 +372,62 @@ mod tests {
         let json = serde_json::to_string(&compiled).unwrap();
         let back: CompiledEnsemble = serde_json::from_str(&json).unwrap();
         assert_eq!(back.predict(ds.features()), compiled.predict(ds.features()));
+    }
+
+    /// A deterministic one-split ensemble whose JSON layout is known
+    /// exactly, so tests can corrupt specific substrings.
+    fn tiny_json() -> String {
+        let mut t = Tree::new(2);
+        let (l, r) = t.split_node(0, 0, 0, 0.5);
+        t.set_leaf(l, vec![1.0, 2.0]);
+        t.set_leaf(r, vec![3.0, 4.0]);
+        let model = Model {
+            trees: vec![t],
+            base: vec![0.5, -0.5],
+            d: 2,
+            task: gbdt_data::Task::MultiRegression,
+            config: TrainConfig::default(),
+        };
+        serde_json::to_string(&CompiledEnsemble::compile(&model)).unwrap()
+    }
+
+    #[test]
+    fn try_from_accepts_valid_json() {
+        let json = tiny_json();
+        let ens = CompiledEnsemble::try_from(json.as_str()).expect("valid ensemble");
+        ens.validate().expect("compile output validates");
+        let x = DenseMatrix::from_rows(&[vec![0.0], vec![1.0]]);
+        assert_eq!(ens.predict(&x), vec![1.5, 1.5, 3.5, 3.5]);
+    }
+
+    #[test]
+    fn deserialize_rejects_out_of_range_leaf_offset() {
+        // left[0] = -1 points at leaf slot 0; slot 8 does not exist.
+        let bad = tiny_json().replace("\"left\":[-1", "\"left\":[-9");
+        let err = CompiledEnsemble::try_from(bad.as_str()).expect_err("must reject");
+        assert!(err.contains("leaf slot"), "{err}");
+    }
+
+    #[test]
+    fn deserialize_rejects_child_index_beyond_node_count() {
+        let bad = tiny_json().replace("\"right\":[-2", "\"right\":[7");
+        let err = CompiledEnsemble::try_from(bad.as_str()).expect_err("must reject");
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn deserialize_rejects_backward_child_link() {
+        // A child pointing at its own slot would loop forever.
+        let bad = tiny_json().replace("\"right\":[-2", "\"right\":[0");
+        let err = CompiledEnsemble::try_from(bad.as_str()).expect_err("must reject");
+        assert!(err.contains("point forward"), "{err}");
+    }
+
+    #[test]
+    fn deserialize_rejects_base_d_mismatch() {
+        let bad = tiny_json().replace("\"d\":2", "\"d\":3");
+        let err = CompiledEnsemble::try_from(bad.as_str()).expect_err("must reject");
+        assert!(err.contains("d = 3"), "{err}");
     }
 
     #[test]

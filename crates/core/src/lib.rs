@@ -19,6 +19,10 @@
 //! [`trainer::GpuTrainer`] drives a single device;
 //! [`multigpu::MultiGpuTrainer`] partitions features across a
 //! [`gpusim::DeviceGroup`] (paper §3.4.2).
+//!
+//! For inference beyond training, [`compiled::CompiledEnsemble`]
+//! flattens trees into SoA arrays and [`serve`] uploads them to a
+//! device behind a micro-batching [`serve::BatchServer`].
 
 #![warn(missing_docs)]
 
@@ -37,16 +41,19 @@ pub mod multigpu;
 pub mod predict;
 pub mod sanitize;
 pub mod serialize;
+pub mod serve;
 pub mod sketch;
 pub mod split;
 pub mod trainer;
 pub mod tree;
 
+pub use compiled::CompiledEnsemble;
 pub use config::{ConfigError, HistOptions, HistogramMethod, OutputSketch, TrainConfig};
 pub use grad::Gradients;
 pub use metrics::{accuracy, logloss, rmse, top_k_accuracy};
 pub use model::Model;
 pub use multigpu::{MultiGpuStrategy, MultiGpuTrainer};
 pub use predict::PredictMode;
+pub use serve::{BatchConfig, BatchServer, DeviceEnsemble, ServeStats, ServedBatch};
 pub use trainer::{GpuTrainer, TrainReport, ValidationReport};
 pub use tree::{Node, Tree};

@@ -199,6 +199,61 @@ pub fn estimate_training_bytes(
     }
 }
 
+/// Byte-level breakdown of a *serving* deployment: the resident
+/// compiled ensemble plus one in-flight batch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServingEstimate {
+    /// SoA node arrays (feature, threshold, left, right — 16 B/node).
+    pub node_bytes: usize,
+    /// Concatenated `num_leaves × d` leaf-value vectors.
+    pub leaf_bytes: usize,
+    /// Base scores plus per-tree root markers.
+    pub base_bytes: usize,
+    /// One max-size batch: feature rows in, score matrix out.
+    pub batch_bytes: usize,
+    /// Sum of the above.
+    pub total_bytes: usize,
+}
+
+impl ServingEstimate {
+    /// Bytes that stay resident between batches (everything except the
+    /// in-flight batch buffers). Matches
+    /// `crate::serve::DeviceEnsemble::resident_bytes` exactly.
+    pub fn resident_bytes(&self) -> usize {
+        self.node_bytes + self.leaf_bytes + self.base_bytes
+    }
+
+    /// Human-readable size.
+    pub fn total_human(&self) -> String {
+        human(self.total_bytes)
+    }
+}
+
+/// Estimate the serving footprint of a compiled ensemble with `nodes`
+/// total nodes, `leaf_values` total leaf-value elements and `trees`
+/// trees over `d` outputs, serving `m`-feature rows in batches of up to
+/// `max_batch`.
+pub fn estimate_serving_bytes(
+    nodes: usize,
+    leaf_values: usize,
+    trees: usize,
+    d: usize,
+    m: usize,
+    max_batch: usize,
+) -> ServingEstimate {
+    let node_bytes = nodes * 16;
+    let leaf_bytes = leaf_values * 4;
+    let base_bytes = d * 4 + trees * 4;
+    let batch_bytes = max_batch * (m + d) * 4;
+    ServingEstimate {
+        node_bytes,
+        leaf_bytes,
+        base_bytes,
+        batch_bytes,
+        total_bytes: node_bytes + leaf_bytes + base_bytes + batch_bytes,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,6 +365,24 @@ mod tests {
         assert_eq!(pool.available(), 0);
         let h = pool.acquire();
         assert_eq!(h.num_features, 6);
+    }
+
+    #[test]
+    fn serving_estimate_components_sum() {
+        let e = estimate_serving_bytes(1000, 5000, 20, 10, 50, 256);
+        assert_eq!(e.node_bytes, 16_000);
+        assert_eq!(e.leaf_bytes, 20_000);
+        assert_eq!(e.base_bytes, 10 * 4 + 20 * 4);
+        assert_eq!(e.batch_bytes, 256 * 60 * 4);
+        assert_eq!(
+            e.total_bytes,
+            e.node_bytes + e.leaf_bytes + e.base_bytes + e.batch_bytes
+        );
+        assert_eq!(
+            e.resident_bytes(),
+            e.node_bytes + e.leaf_bytes + e.base_bytes
+        );
+        assert!(!e.total_human().is_empty());
     }
 
     #[test]

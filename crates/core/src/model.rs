@@ -61,6 +61,12 @@ impl Model {
             .collect()
     }
 
+    /// Compile to the SoA serving form (see [`crate::serve`] for the
+    /// device-resident side).
+    pub fn compile(&self) -> crate::compiled::CompiledEnsemble {
+        crate::compiled::CompiledEnsemble::compile(self)
+    }
+
     /// Total tree count (for the GBDT-MO-vs-SO model-size comparison).
     pub fn num_trees(&self) -> usize {
         self.trees.len()

@@ -43,28 +43,35 @@ pub fn predict_raw(
             scores
         }
         PredictMode::TreeLevel => {
-            // Per-tree partial score matrices, reduced in tree order
-            // (deterministic, and bit-identical to the instance path
-            // would require the same accumulation order — we assert
-            // approximate equality in tests instead).
-            let partials: Vec<Vec<f32>> = trees
-                .par_iter()
-                .map(|t| {
-                    let mut p = vec![0.0f32; n * d];
-                    for i in 0..n {
-                        t.predict_into(features.row(i), &mut p[i * d..(i + 1) * d]);
-                    }
-                    p
-                })
-                .collect();
+            // Per-tree partial score matrices, reduced in tree order.
+            // Every element accumulates `base + t₀ + t₁ + …` — exactly
+            // the order the instance path uses (each tree's partial is
+            // `0.0 + value`, which is value-preserving in IEEE 754) —
+            // so the two modes are bit-identical, not approximately so.
+            //
+            // Trees are processed in groups of at most `threads`, so at
+            // most that many `n × d` partials are live at once: peak
+            // memory is `O(threads · n · d)`, not `O(T · n · d)`.
             let mut scores = vec![0.0f32; n * d];
-            for (i, out) in scores.chunks_mut(d).enumerate() {
+            for out in scores.chunks_mut(d) {
                 out.copy_from_slice(base);
-                let _ = i;
             }
-            for p in partials {
-                for (s, v) in scores.iter_mut().zip(p) {
-                    *s += v;
+            let group = rayon::current_num_threads().max(1);
+            for chunk in trees.chunks(group) {
+                let partials: Vec<Vec<f32>> = chunk
+                    .par_iter()
+                    .map(|t| {
+                        let mut p = vec![0.0f32; n * d];
+                        for i in 0..n {
+                            t.predict_into(features.row(i), &mut p[i * d..(i + 1) * d]);
+                        }
+                        p
+                    })
+                    .collect();
+                for p in partials {
+                    for (s, v) in scores.iter_mut().zip(p) {
+                        *s += v;
+                    }
                 }
             }
             scores
@@ -106,21 +113,37 @@ pub fn predict_on_device(
     let scores = predict_raw(trees, base, features, mode);
     let total_depth: usize = trees.iter().map(Tree::depth).sum();
     let hops = (n * total_depth.max(1)) as f64;
-    device.charge_kernel(
-        "predict",
-        Phase::Predict,
-        &KernelCost {
-            flops: hops * 4.0,
-            // Each hop reads a node (~16 B, poorly coalesced → sector)
-            // plus the tested feature value; leaves stream d values out.
-            dram_bytes: hops * 32.0 + (n * d * 4) as f64,
-            launches: match mode {
-                PredictMode::InstanceLevel => 1.0,
-                PredictMode::TreeLevel => trees.len().max(1) as f64,
-            },
-            ..Default::default()
+    let traversal = KernelCost {
+        flops: hops * 4.0,
+        // Each hop reads a node (~16 B, poorly coalesced → sector)
+        // plus the tested feature value; leaves stream d values out.
+        dram_bytes: hops * 32.0 + (n * d * 4) as f64,
+        launches: match mode {
+            PredictMode::InstanceLevel => 1.0,
+            PredictMode::TreeLevel => trees.len().max(1) as f64,
         },
-    );
+        ..Default::default()
+    };
+    let cost = match mode {
+        PredictMode::InstanceLevel => traversal,
+        PredictMode::TreeLevel => {
+            // The tree-level scheme materializes one `n × d` partial
+            // score matrix per tree and reduces them afterwards — the
+            // "extra reduction" of §3.4.2. Charge it: each of the
+            // `T × n × d` partials is written by its tree's kernel and
+            // read back by the reduce kernel, which adds them into the
+            // final `n × d` matrix in one extra launch.
+            let t = trees.len().max(1) as f64;
+            let elems = (n * d) as f64;
+            traversal.merged(&KernelCost {
+                flops: t * elems,
+                dram_bytes: 2.0 * t * elems * 4.0 + elems * 4.0,
+                launches: 1.0,
+                ..Default::default()
+            })
+        }
+    };
+    device.charge_kernel("predict", Phase::Predict, &cost);
     scores
 }
 
@@ -152,13 +175,25 @@ mod tests {
     }
 
     #[test]
-    fn both_modes_agree() {
+    fn both_modes_agree_bit_exactly() {
+        // Both paths accumulate `base + t₀ + t₁ + …` per element in the
+        // same order, so agreement is exact — serving-path refactors
+        // must not silently reorder the float sum.
         let (trees, x) = two_trees();
-        let a = predict_raw(&trees, &[0.0, 0.0], &x, PredictMode::InstanceLevel);
-        let b = predict_raw(&trees, &[0.0, 0.0], &x, PredictMode::TreeLevel);
-        for (x, y) in a.iter().zip(&b) {
-            assert!((x - y).abs() < 1e-6);
-        }
+        let a = predict_raw(&trees, &[0.25, -3.5], &x, PredictMode::InstanceLevel);
+        let b = predict_raw(&trees, &[0.25, -3.5], &x, PredictMode::TreeLevel);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tree_level_is_bit_exact_beyond_thread_chunks() {
+        // More trees than worker threads forces several fold chunks;
+        // the chunked reduction must keep the tree-order sum.
+        let (seed, x) = two_trees();
+        let trees: Vec<Tree> = (0..64).map(|i| seed[i % 2].clone()).collect();
+        let a = predict_raw(&trees, &[0.1, 0.2], &x, PredictMode::InstanceLevel);
+        let b = predict_raw(&trees, &[0.1, 0.2], &x, PredictMode::TreeLevel);
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -193,12 +228,21 @@ mod tests {
     }
 
     #[test]
-    fn tree_level_mode_charges_more_launches() {
+    fn tree_level_mode_charges_strictly_more() {
+        // The tree-level scheme pays the `T × n × d` partial-matrix
+        // reduction (plus per-tree launches) on top of the traversal,
+        // so its simulated time strictly exceeds instance-level.
         let (trees, x) = two_trees();
+        assert!(trees.len() > 1, "needs a multi-tree ensemble");
         let d1 = Device::rtx4090();
         let _ = predict_on_device(&d1, &trees, &[0.0, 0.0], &x, PredictMode::InstanceLevel);
         let d2 = Device::rtx4090();
         let _ = predict_on_device(&d2, &trees, &[0.0, 0.0], &x, PredictMode::TreeLevel);
-        assert!(d2.now_ns() >= d1.now_ns());
+        assert!(
+            d2.now_ns() > d1.now_ns(),
+            "tree-level {} ns must exceed instance-level {} ns",
+            d2.now_ns(),
+            d1.now_ns()
+        );
     }
 }

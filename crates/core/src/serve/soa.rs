@@ -1,0 +1,306 @@
+//! Device-resident SoA ensemble and the charged traversal kernels.
+//!
+//! Cost formulas (RTX 4090 sector size `S = 32 B`, batch of `n` rows,
+//! `T` trees, `d` outputs, `H` = measured total hops over all
+//! (row, tree) traversals):
+//!
+//! * `predict_compiled_instance` — one launch, one thread per row:
+//!   - flops: `4·H` (load/compare/select per hop) + `n·T·d` leaf-gather
+//!     adds + `n·d` base initialization;
+//!   - DRAM: `H·(S + 4)` — each hop pulls one poorly-coalesced node
+//!     quad (feature/threshold/left/right share a sector) plus the
+//!     tested feature value — `n·T·⌈4d/S⌉·S` leaf-vector gathers,
+//!     `4·n·d` score writes, `4·d` base broadcast.
+//! * `predict_compiled_tree` — `T` launches, one thread per row per
+//!   tree: same traversal/gather terms, plus `4·T·n·d` partial-matrix
+//!   writes (each tree materializes its own `n × d` delta).
+//! * `predict_reduce` — one launch folding the `T` partials into the
+//!   final matrix: `T·n·d + n·d` adds; reads `4·T·n·d + 4·d`, writes
+//!   `4·n·d`.
+//!
+//! The tree-level path therefore always charges strictly more than the
+//! instance path on a multi-tree ensemble — the "extra reduction" of
+//! paper §3.4.2 — while exposing more parallelism for small batches.
+
+use crate::compiled::CompiledEnsemble;
+use crate::predict::PredictMode;
+use crate::serve::trace;
+use gbdt_data::DenseMatrix;
+use gpusim::cost::KernelCost;
+use gpusim::{Device, GpuBuffer, Phase};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Borrowed view of the concatenated SoA arrays: everything a traversal
+/// (or a sanitizer trace replaying one) needs.
+pub(crate) struct SoaView<'a> {
+    /// Split feature per node, all trees concatenated.
+    pub feature: &'a [u32],
+    /// Split threshold per node.
+    pub threshold: &'a [f32],
+    /// Left child per node (tree-local encoding; `< 0` → leaf slot).
+    pub left: &'a [i32],
+    /// Right child per node.
+    pub right: &'a [i32],
+    /// Concatenated leaf-value vectors.
+    pub leaf_values: &'a [f32],
+    /// Per-tree root marker (tree-local encoding).
+    pub roots: &'a [i32],
+    /// Per-tree node offset into the concatenated node arrays.
+    pub node_base: &'a [usize],
+    /// Per-tree element offset into `leaf_values`.
+    pub leaf_base: &'a [usize],
+    /// Output dimension.
+    pub d: usize,
+}
+
+impl SoaView<'_> {
+    /// Walk tree `t` for `row`; returns the global element offset of
+    /// the reached leaf vector in `leaf_values` and the hop count.
+    #[inline]
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(v > t)` routes NaN left
+    pub(crate) fn walk(&self, t: usize, row: &[f32]) -> (usize, u64) {
+        let nb = self.node_base[t];
+        let mut at = self.roots[t];
+        let mut hops = 0u64;
+        while at >= 0 {
+            let i = nb + at as usize;
+            let v = row[self.feature[i] as usize];
+            at = if !(v > self.threshold[i]) {
+                self.left[i]
+            } else {
+                self.right[i]
+            };
+            hops += 1;
+        }
+        (self.leaf_base[t] + ((-at - 1) as usize) * self.d, hops)
+    }
+}
+
+/// A [`CompiledEnsemble`] resident on a simulated device as
+/// structure-of-arrays buffers, traversed by charged kernels.
+pub struct DeviceEnsemble {
+    device: Arc<Device>,
+    feature: GpuBuffer<u32>,
+    threshold: GpuBuffer<f32>,
+    left: GpuBuffer<i32>,
+    right: GpuBuffer<i32>,
+    leaf_values: GpuBuffer<f32>,
+    roots: GpuBuffer<i32>,
+    base: GpuBuffer<f32>,
+    // Host-side layout tables (tree → offset); on hardware these would
+    // be kernel parameters, not resident arrays.
+    node_base: Vec<usize>,
+    leaf_base: Vec<usize>,
+    d: usize,
+}
+
+impl DeviceEnsemble {
+    /// Upload `ens` to `device`, charging the H2D transfer of every
+    /// array ([`Phase::Transfer`] via the PCIe cost model).
+    pub fn upload(device: Arc<Device>, ens: &CompiledEnsemble) -> Self {
+        let trees = ens.trees();
+        let mut feature = Vec::with_capacity(ens.num_nodes());
+        let mut threshold = Vec::with_capacity(ens.num_nodes());
+        let mut left = Vec::with_capacity(ens.num_nodes());
+        let mut right = Vec::with_capacity(ens.num_nodes());
+        let mut leaf_values = Vec::with_capacity(ens.num_leaf_values());
+        let mut roots = Vec::with_capacity(trees.len());
+        let mut node_base = Vec::with_capacity(trees.len());
+        let mut leaf_base = Vec::with_capacity(trees.len());
+        for t in trees {
+            node_base.push(feature.len());
+            leaf_base.push(leaf_values.len());
+            feature.extend_from_slice(&t.feature);
+            threshold.extend_from_slice(&t.threshold);
+            left.extend_from_slice(&t.left);
+            right.extend_from_slice(&t.right);
+            leaf_values.extend_from_slice(&t.leaf_values);
+            roots.push(t.root);
+        }
+        DeviceEnsemble {
+            feature: device.htod(&feature),
+            threshold: device.htod(&threshold),
+            left: device.htod(&left),
+            right: device.htod(&right),
+            leaf_values: device.htod(&leaf_values),
+            roots: device.htod(&roots),
+            base: device.htod(ens.base()),
+            node_base,
+            leaf_base,
+            d: ens.d(),
+            device,
+        }
+    }
+
+    /// The device this ensemble is resident on.
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    /// Output dimension.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Number of resident trees.
+    pub fn num_trees(&self) -> usize {
+        self.node_base.len()
+    }
+
+    /// Device bytes held by the resident SoA buffers.
+    pub fn resident_bytes(&self) -> usize {
+        self.feature.size_bytes()
+            + self.threshold.size_bytes()
+            + self.left.size_bytes()
+            + self.right.size_bytes()
+            + self.leaf_values.size_bytes()
+            + self.roots.size_bytes()
+            + self.base.size_bytes()
+    }
+
+    pub(crate) fn view(&self) -> SoaView<'_> {
+        SoaView {
+            feature: self.feature.as_slice(),
+            threshold: self.threshold.as_slice(),
+            left: self.left.as_slice(),
+            right: self.right.as_slice(),
+            leaf_values: self.leaf_values.as_slice(),
+            roots: self.roots.as_slice(),
+            node_base: &self.node_base,
+            leaf_base: &self.leaf_base,
+            d: self.d,
+        }
+    }
+
+    /// Batched raw scores (`n × d`) with the given parallelization
+    /// scheme. Bit-identical to [`CompiledEnsemble::predict`] (and so
+    /// to [`crate::model::Model::predict`]) in both modes.
+    pub fn predict(&self, mode: PredictMode, features: &DenseMatrix) -> Vec<f32> {
+        match mode {
+            PredictMode::InstanceLevel => self.predict_instance(features),
+            PredictMode::TreeLevel => self.predict_tree(features),
+        }
+    }
+
+    /// Instance-level scheme: one thread per row walks every tree.
+    fn predict_instance(&self, features: &DenseMatrix) -> Vec<f32> {
+        let _scope = self.device.prof_scope("serve_predict", None);
+        let n = features.rows();
+        let d = self.d;
+        let t = self.num_trees();
+        let view = self.view();
+        let base = self.base.as_slice();
+        let mut scores = vec![0.0f32; n * d];
+        let total_hops = AtomicU64::new(0);
+        scores.par_chunks_mut(d).enumerate().for_each(|(i, out)| {
+            out.copy_from_slice(base);
+            let row = features.row(i);
+            let mut hops = 0u64;
+            for tree in 0..t {
+                let (off, h) = view.walk(tree, row);
+                hops += h;
+                for (o, v) in out.iter_mut().zip(&view.leaf_values[off..off + d]) {
+                    *o += v;
+                }
+            }
+            // u64 addition is associative: the total is deterministic
+            // regardless of rayon's reduction order.
+            total_hops.fetch_add(hops, Ordering::Relaxed);
+        });
+        trace::trace_predict_instance(&self.device, &view, features);
+        let hops = total_hops.load(Ordering::Relaxed) as f64;
+        let (traverse_flops, traverse_dram) = self.traversal_cost(hops, n);
+        let out_elems = (n * d) as f64;
+        self.device.charge_kernel(
+            "predict_compiled_instance",
+            Phase::Serve,
+            &KernelCost {
+                flops: traverse_flops + out_elems,
+                dram_bytes: traverse_dram + out_elems * 4.0 + (d * 4) as f64,
+                launches: 1.0,
+                ..Default::default()
+            },
+        );
+        scores
+    }
+
+    /// Tree-level scheme: one launch per tree materializes an `n × d`
+    /// partial, folded by an extra reduce kernel. Partials are produced
+    /// in groups of at most `threads`, so peak host memory stays
+    /// `O(threads · n · d)`; the fold runs in tree order, keeping the
+    /// result bit-identical to the instance path.
+    fn predict_tree(&self, features: &DenseMatrix) -> Vec<f32> {
+        let _scope = self.device.prof_scope("serve_predict", None);
+        let n = features.rows();
+        let d = self.d;
+        let t = self.num_trees();
+        let view = self.view();
+        let mut scores = vec![0.0f32; n * d];
+        for out in scores.chunks_mut(d) {
+            out.copy_from_slice(self.base.as_slice());
+        }
+        let mut total_hops = 0u64;
+        let group = rayon::current_num_threads().max(1);
+        let tree_ids: Vec<usize> = (0..t).collect();
+        for chunk in tree_ids.chunks(group) {
+            let partials: Vec<(Vec<f32>, u64)> = chunk
+                .par_iter()
+                .map(|&tree| {
+                    let mut p = vec![0.0f32; n * d];
+                    let mut hops = 0u64;
+                    for i in 0..n {
+                        let (off, h) = view.walk(tree, features.row(i));
+                        hops += h;
+                        p[i * d..(i + 1) * d].copy_from_slice(&view.leaf_values[off..off + d]);
+                    }
+                    (p, hops)
+                })
+                .collect();
+            for (p, hops) in partials {
+                total_hops += hops;
+                for (s, v) in scores.iter_mut().zip(p) {
+                    *s += v;
+                }
+            }
+        }
+        trace::trace_predict_tree(&self.device, &view, features);
+        let hops = total_hops as f64;
+        let (traverse_flops, traverse_dram) = self.traversal_cost(hops, n);
+        let out_elems = (n * d) as f64;
+        let tf = t.max(1) as f64;
+        self.device.charge_kernel(
+            "predict_compiled_tree",
+            Phase::Serve,
+            &KernelCost {
+                flops: traverse_flops,
+                dram_bytes: traverse_dram + tf * out_elems * 4.0,
+                launches: tf,
+                ..Default::default()
+            },
+        );
+        self.device.charge_kernel(
+            "predict_reduce",
+            Phase::Serve,
+            &KernelCost {
+                flops: tf * out_elems + out_elems,
+                dram_bytes: tf * out_elems * 4.0 + out_elems * 4.0 + (d * 4) as f64,
+                launches: 1.0,
+                ..Default::default()
+            },
+        );
+        scores
+    }
+
+    /// Shared traversal cost terms: hop arithmetic + node/feature loads
+    /// + per-(row, tree) leaf-vector gathers at sector granularity.
+    fn traversal_cost(&self, hops: f64, n: usize) -> (f64, f64) {
+        let sect = self.device.props().cost.sector_bytes as f64;
+        let pairs = (n * self.num_trees()) as f64;
+        let leaf_gather = ((self.d * 4) as f64 / sect).ceil() * sect;
+        let flops = hops * 4.0 + pairs * self.d as f64;
+        let dram = hops * (sect + 4.0) + pairs * leaf_gather;
+        (flops, dram)
+    }
+}

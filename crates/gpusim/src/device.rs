@@ -32,6 +32,9 @@ pub enum Phase {
     LeafValue,
     /// Model inference / incremental prediction update.
     Predict,
+    /// Online serving of compiled ensembles (batched inference over
+    /// resident SoA trees — see `gbdt_core::serve`).
+    Serve,
     /// Host↔device copies.
     Transfer,
     /// Inter-device collectives (paper §3.4.2).
@@ -45,7 +48,7 @@ pub enum Phase {
 impl Phase {
     /// Every variant, in `Ord` (declaration) order. Used by the bench
     /// schema to emit a complete per-phase breakdown.
-    pub const ALL: [Phase; 12] = [
+    pub const ALL: [Phase; 13] = [
         Phase::Binning,
         Phase::Gradient,
         Phase::Sketch,
@@ -54,6 +57,7 @@ impl Phase {
         Phase::Partition,
         Phase::LeafValue,
         Phase::Predict,
+        Phase::Serve,
         Phase::Transfer,
         Phase::Comm,
         Phase::Idle,
@@ -73,6 +77,7 @@ impl Phase {
             Phase::Partition => "Partition",
             Phase::LeafValue => "LeafValue",
             Phase::Predict => "Predict",
+            Phase::Serve => "Serve",
             Phase::Transfer => "Transfer",
             Phase::Comm => "Comm",
             Phase::Idle => "Idle",

@@ -615,6 +615,33 @@ mod tests {
         assert!(f[0].excerpt.contains("Sketch"), "{f:?}");
     }
 
+    /// Seeded failure for the serving phase, same shape as the Sketch
+    /// fixture: the real `Phase` enum (which carries `Serve`) against
+    /// the real bench schema with every `"Serve"` key stripped must
+    /// fire — a bench schema that never learned about the serving
+    /// phase cannot pass repo-lint.
+    #[test]
+    fn phase_schema_catches_missing_serve_phase() {
+        let dev = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../gpusim/src/device.rs"
+        ))
+        .expect("device.rs");
+        assert!(
+            phase_variants(&dev).iter().any(|v| v == "Serve"),
+            "Phase::Serve missing from device.rs — update this fixture"
+        );
+        let rep = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../bench/src/report.rs"
+        ))
+        .expect("report.rs");
+        let stripped = rep.replace("\"Serve\"", "\"_removed_\"");
+        let f = lint_phase_schema("device.rs", &dev, "report.rs", &stripped);
+        assert_eq!(rules(&f), vec!["phase_in_bench_schema"]);
+        assert!(f[0].excerpt.contains("Serve"), "{f:?}");
+    }
+
     /// The real repo files satisfy the cross-file rule (no-op when run
     /// outside the repo root, matching the binary's behaviour).
     #[test]

@@ -19,14 +19,49 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> repo-lint (crates/core, crates/gpusim)"
-cargo run --release -q -p repo-lint -- crates/core/src crates/gpusim/src
+echo "==> repo-lint workspace contract (zero violations, JSON emitted)"
+# Full kernel-contract pass over the workspace: style + determinism
+# hazards + cross-artifact checks (phase schema, canonical names,
+# profiler coverage, sanitizer coverage, DESIGN.md inventory). Writes
+# the schema-versioned diagnostics to LINT_repro.json.
+cargo run --release -q -p repo-lint -- --json LINT_repro.json
+grep -q '"lint_schema_version": 1' LINT_repro.json || {
+  echo "ci: LINT_repro.json missing schema version header" >&2
+  exit 1
+}
 
-echo "==> repo-lint self-check (must fail on seeded fixture)"
-if cargo run --release -q -p repo-lint -- crates/lint/fixtures >/dev/null 2>&1; then
+echo "==> repo-lint self-check (style rules must fire on seeded fixture)"
+if cargo run --release -q -p repo-lint -- crates/lint/fixtures/violations.rs.txt >/dev/null 2>&1; then
   echo "ci: repo-lint failed to flag the seeded fixture violations" >&2
   exit 1
 fi
+
+echo "==> repo-lint self-check (contract rules must fire on bad_repo)"
+# Every v2 rule — near-dup kernel names, missing phase key, profiler
+# coverage, sanitizer coverage, inventory, HashMap iteration, unordered
+# parallel float reduce, and waiver-without-reason rejection — is seeded
+# in this fixture tree; the golden test pins the exact JSON.
+if cargo run --release -q -p repo-lint -- --contract-root crates/lint/fixtures/bad_repo >/dev/null 2>&1; then
+  echo "ci: repo-lint failed to flag the bad_repo contract violations" >&2
+  exit 1
+fi
+for rule in canonical_kernel_name phase_in_bench_schema prof_coverage sanitize \
+            design_inventory hashmap_iteration unordered_float_reduce \
+            waiver_without_reason; do
+  # `|| true` inside the pipeline: the analyzer exits 1 on violations,
+  # which is exactly the state being asserted — pipefail must not trip.
+  (cargo run --release -q -p repo-lint -- --contract-root crates/lint/fixtures/bad_repo 2>/dev/null || true) \
+    | grep -q "\[$rule\]" || {
+      echo "ci: rule $rule did not fire on bad_repo" >&2
+      exit 1
+    }
+done
+
+echo "==> repo-lint self-check (good_repo must satisfy the contract)"
+cargo run --release -q -p repo-lint -- --contract-root crates/lint/fixtures/good_repo >/dev/null
+
+echo "==> repo-lint golden JSON diagnostics"
+cargo test -q -p repo-lint --test golden_json >/dev/null
 
 echo "==> sanitized smoke train (repro sanitize: dense + every sketch mode × hist method)"
 cargo run --release -q -p gbdt-bench --bin repro -- sanitize --trees 2 --depth 4 --bins 32 >/dev/null

@@ -94,6 +94,7 @@ pub fn compute_gradients(
             (n * d * 16) as f64,
         ),
     );
+    crate::sanitize::trace_grad_hess(device, n, d);
     Gradients { g, h, n, d }
 }
 
@@ -117,6 +118,7 @@ pub fn quantize_bf16(device: &Device, grads: &mut Gradients) {
         Phase::Gradient,
         &KernelCost::streaming((grads.g.len() * 2) as f64, (grads.g.len() * 2 * 6) as f64),
     );
+    crate::sanitize::trace_quantize_bf16(device, grads.g.len());
 }
 
 /// Scatter a finished tree's leaf values onto the training scores:

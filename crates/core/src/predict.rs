@@ -144,6 +144,7 @@ pub fn predict_on_device(
         }
     };
     device.charge_kernel("predict", Phase::Predict, &cost);
+    crate::sanitize::trace_predict(device, n, d, total_depth);
     scores
 }
 

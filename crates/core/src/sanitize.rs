@@ -278,6 +278,140 @@ pub fn trace_leaf_refit(
     }
 }
 
+/// Declare the elementwise gradient/Hessian kernel: one thread per
+/// (instance, output) reads its score and target slots and plain-writes
+/// its own g/h slots — fully disjoint by construction.
+pub fn trace_grad_hess(device: &Device, n: usize, d: usize) {
+    let Some(san) = device.sanitizer() else {
+        return;
+    };
+    let scope = san.scope("grad_hess");
+    let s_id = scope.register("scores", n * d, MemSpace::Global, true);
+    let t_id = scope.register("targets", n * d, MemSpace::Global, true);
+    let g_id = scope.register("grad_out", n * d, MemSpace::Global, false);
+    let h_id = scope.register("hess_out", n * d, MemSpace::Global, false);
+    for i in sample_stride(n, MAX_TRACE_INSTANCES) {
+        let ctx = ThreadCtx::from_global(i, 256);
+        for k in 0..d.min(MAX_TRACE_OUTPUTS) {
+            let at = i * d + k;
+            scope.touch(s_id, ctx, at, AccessKind::Read);
+            scope.touch(t_id, ctx, at, AccessKind::Read);
+            scope.touch(g_id, ctx, at, AccessKind::Write);
+            scope.touch(h_id, ctx, at, AccessKind::Write);
+        }
+    }
+}
+
+/// Declare the in-place bf16 gradient quantization: one thread per
+/// element read-modify-writes its own slot of the interleaved g/h
+/// plane — no cross-thread traffic at all.
+pub fn trace_quantize_bf16(device: &Device, elems: usize) {
+    let Some(san) = device.sanitizer() else {
+        return;
+    };
+    let scope = san.scope("quantize_bf16");
+    let p_id = scope.register("grad_plane", elems * 2, MemSpace::Global, true);
+    for e in sample_stride(elems, MAX_TRACE_ELEMS) {
+        let ctx = ThreadCtx::from_global(e, 256);
+        scope.touch(p_id, ctx, e, AccessKind::Read);
+        scope.touch(p_id, ctx, e, AccessKind::Write);
+    }
+}
+
+/// Declare the quantile-binning preprocessing kernel: one thread per
+/// (instance, feature) reads its raw value plus the feature's shared
+/// cut array and writes its own bin id — reads may collide (read-read
+/// is always legal), writes are disjoint.
+pub fn trace_quantile_binning(device: &Device, n: usize, m: usize, max_bins: usize) {
+    let Some(san) = device.sanitizer() else {
+        return;
+    };
+    let scope = san.scope("quantile_binning");
+    let r_id = scope.register("raw_features", n * m, MemSpace::Global, true);
+    let c_id = scope.register("bin_cuts", m * max_bins.max(1), MemSpace::Global, true);
+    let b_id = scope.register("bin_ids", n * m, MemSpace::Global, false);
+    let mf = m.clamp(1, MAX_TRACE_FEATURES);
+    for f in 0..mf {
+        for i in sample_stride(n, MAX_TRACE_INSTANCES / mf + 1) {
+            let ctx = ThreadCtx::from_global(f * n + i, 256);
+            let at = i * m + f;
+            scope.touch(r_id, ctx, at, AccessKind::Read);
+            scope.touch(c_id, ctx, f * max_bins.max(1), AccessKind::Read);
+            scope.touch(b_id, ctx, at, AccessKind::Write);
+        }
+    }
+}
+
+/// Declare the level's three split-evaluation kernels (scan+gain,
+/// per-segment argmax, global per-node argmax). Scan and segment
+/// reductions write disjoint slots; the cross-segment winner update is
+/// claimed atomic — which is exactly what a broken segment mapping
+/// would violate.
+pub fn trace_split_level(device: &Device, segments: usize, candidates: usize, nodes: usize) {
+    let Some(san) = device.sanitizer() else {
+        return;
+    };
+    let (segments, candidates, nodes) = (segments.max(1), candidates.max(1), nodes.max(1));
+    {
+        let scope = san.scope("split_scan_gain_level");
+        let h_id = scope.register("node_hist", candidates, MemSpace::Global, true);
+        let g_id = scope.register("gain_out", candidates, MemSpace::Global, false);
+        for e in sample_stride(candidates, MAX_TRACE_ELEMS) {
+            let ctx = ThreadCtx::from_global(e, 256);
+            scope.touch(h_id, ctx, e, AccessKind::Read);
+            scope.touch(g_id, ctx, e, AccessKind::Write);
+        }
+    }
+    {
+        let scope = san.scope("split_seg_argmax_level");
+        let g_id = scope.register("gain_out", candidates, MemSpace::Global, true);
+        let s_id = scope.register("seg_best", segments, MemSpace::Global, false);
+        let per_seg = (candidates / segments).max(1);
+        for s in sample_stride(segments, MAX_TRACE_ELEMS) {
+            let ctx = ThreadCtx::from_global(s, 256);
+            scope.touch(
+                g_id,
+                ctx,
+                (s * per_seg).min(candidates - 1),
+                AccessKind::Read,
+            );
+            scope.touch(s_id, ctx, s, AccessKind::Write);
+        }
+    }
+    {
+        let scope = san.scope("split_global_argmax_level");
+        let s_id = scope.register("seg_best", segments, MemSpace::Global, true);
+        let w_id = scope.register("node_winner", nodes, MemSpace::Global, true);
+        for s in sample_stride(segments, MAX_TRACE_ELEMS) {
+            let ctx = ThreadCtx::from_global(s, 256);
+            scope.touch(s_id, ctx, s, AccessKind::Read);
+            scope.touch(w_id, ctx, s % nodes, AccessKind::Atomic);
+        }
+    }
+}
+
+/// Declare the training-path ensemble predict kernel: one thread per
+/// instance walks node records (shared reads) and writes its own score
+/// row — the same disjoint row-scatter the serving kernels replay.
+pub fn trace_predict(device: &Device, n: usize, d: usize, total_depth: usize) {
+    let Some(san) = device.sanitizer() else {
+        return;
+    };
+    let scope = san.scope("predict");
+    let hops = total_depth.max(1);
+    let t_id = scope.register("tree_nodes", hops, MemSpace::Global, true);
+    let s_id = scope.register("scores_out", n * d, MemSpace::Global, false);
+    for i in sample_stride(n, MAX_TRACE_INSTANCES) {
+        let ctx = ThreadCtx::from_global(i, 256);
+        for hop in sample_stride(hops, 8) {
+            scope.touch(t_id, ctx, hop, AccessKind::Read);
+        }
+        for k in 0..d.min(MAX_TRACE_OUTPUTS) {
+            scope.touch(s_id, ctx, i * d + k, AccessKind::Write);
+        }
+    }
+}
+
 /// Shared declaration core of the gmem/smem histogram kernels: one
 /// thread per (instance, feature) pair, feature-major, reading its bin
 /// ID and gradient row, then issuing `kind` updates to the histogram

@@ -42,7 +42,7 @@ use gpusim::{Device, Phase};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Standard-normal sample via Box–Muller (bit-identical to the
 /// baselines reference).
@@ -302,7 +302,10 @@ pub fn refit_leaves_full_d(
     config: &TrainConfig,
 ) {
     let d = full.d;
-    let mut values: HashMap<usize, Vec<f32>> = grown
+    // BTreeMap keeps node→value association in sorted node order; with a
+    // HashMap here, any future iteration over `values` would visit leaves in
+    // a run-dependent order and break the repo's bit-identity guarantees.
+    let mut values: BTreeMap<usize, Vec<f32>> = grown
         .leaf_assignments
         .iter()
         .zip(&grown.leaf_nodes)

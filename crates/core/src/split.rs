@@ -143,6 +143,12 @@ impl LevelSplitCharges {
                 ..Default::default()
             },
         );
+        crate::sanitize::trace_split_level(
+            device,
+            self.segments as usize,
+            self.gain_candidates as usize,
+            self.nodes as usize,
+        );
         *self = Self::default();
     }
 }

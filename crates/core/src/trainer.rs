@@ -143,6 +143,7 @@ impl GpuTrainer {
             Phase::Binning,
             &KernelCost::streaming((n * ds.m()) as f64 * 16.0, raw_bytes * 2.5),
         );
+        crate::sanitize::trace_quantile_binning(device, n, ds.m(), self.config.max_bins);
         drop(prep_scope);
 
         // --- base scores ----------------------------------------------
@@ -192,6 +193,7 @@ impl GpuTrainer {
             let (root, grads, subsampled);
             if let Some(goss) = self.config.goss {
                 let (idx, amplified) = goss_sample(&grads_full, goss, &mut rng);
+                // lint:allow(sanitize): host-side RNG rank sampling emits a private index list; no cross-thread access stream to replay
                 device.charge_kernel(
                     "goss_rank_sample",
                     Phase::Gradient,
@@ -261,6 +263,7 @@ impl GpuTrainer {
                         .tree
                         .predict_into(ds.features().row(i), &mut scores[i * d..(i + 1) * d]);
                 }
+                // lint:allow(sanitize): same disjoint per-instance row scatter as `update_scores`, replayed by trace_update_scores on the dense path
                 device.charge_kernel(
                     "update_scores_routed",
                     Phase::Predict,
@@ -282,6 +285,7 @@ impl GpuTrainer {
                 for i in 0..vd.n() {
                     tree.predict_into(vd.features().row(i), &mut valid_scores[i * d..(i + 1) * d]);
                 }
+                // lint:allow(sanitize): identical traversal/scatter pattern to `predict`, replayed by trace_predict on the training path
                 device.charge_kernel(
                     "validation_predict",
                     Phase::Predict,

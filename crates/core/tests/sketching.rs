@@ -373,3 +373,69 @@ fn multi_gpu_sketched_training_matches_single_gpu() {
         "data-parallel sketched predictions must equal single-GPU"
     );
 }
+
+/// Satellite regression for the `HashMap` → `BTreeMap` change in
+/// `sketch.rs` (repo-lint's `hashmap_iteration` rule): two fits of the
+/// same sketched config on fresh devices must be *bit-identical* —
+/// same tree structure and leaf bits, same predictions, and the same
+/// kernel charge stream record for record. A `HashMap` anywhere on the
+/// training path would let iteration order (and thus float summation
+/// order) vary between runs and break this.
+#[test]
+fn sketched_training_is_bit_identical_across_runs() {
+    for (tag, ds) in datasets() {
+        let cfg = config().with_sketch(OutputSketch::TopOutputs(3));
+        let dev_a = Device::rtx4090();
+        let dev_b = Device::rtx4090();
+        let model_a = GpuTrainer::new(dev_a.clone(), cfg.clone()).fit(&ds);
+        let model_b = GpuTrainer::new(dev_b.clone(), cfg.clone()).fit(&ds);
+
+        for (t, (ta, tb)) in model_a.trees.iter().zip(&model_b.trees).enumerate() {
+            assert_eq!(
+                ta.num_nodes(),
+                tb.num_nodes(),
+                "{tag}: tree {t} node counts differ between identical runs"
+            );
+            for (i, (na, nb)) in ta.nodes().iter().zip(tb.nodes()).enumerate() {
+                match (na, nb) {
+                    (Node::Leaf { value: va }, Node::Leaf { value: vb }) => {
+                        let bits_a: Vec<u32> = va.iter().map(|v| v.to_bits()).collect();
+                        let bits_b: Vec<u32> = vb.iter().map(|v| v.to_bits()).collect();
+                        assert_eq!(bits_a, bits_b, "{tag}: tree {t} leaf {i} bits differ");
+                    }
+                    _ => assert_eq!(na, nb, "{tag}: tree {t} node {i} differs"),
+                }
+            }
+        }
+
+        let pred_a: Vec<u32> = model_a
+            .predict(ds.features())
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let pred_b: Vec<u32> = model_b
+            .predict(ds.features())
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(pred_a, pred_b, "{tag}: predictions differ between runs");
+
+        let rec_a = dev_a.records();
+        let rec_b = dev_b.records();
+        assert_eq!(
+            rec_a.len(),
+            rec_b.len(),
+            "{tag}: charge-stream lengths differ"
+        );
+        for (i, (a, b)) in rec_a.iter().zip(&rec_b).enumerate() {
+            assert_eq!(a.name, b.name, "{tag}: charge {i} kernel name differs");
+            assert_eq!(a.phase, b.phase, "{tag}: charge {i} phase differs");
+            assert_eq!(
+                a.ns.to_bits(),
+                b.ns.to_bits(),
+                "{tag}: charge {i} ({}) duration bits differ",
+                a.name
+            );
+        }
+    }
+}

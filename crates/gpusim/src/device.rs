@@ -322,6 +322,8 @@ impl Device {
     /// Charges the memset's DRAM write traffic.
     pub fn alloc_zeroed<T: Copy + Default + Send + Sync>(&self, len: usize) -> GpuBuffer<T> {
         let bytes = (len * std::mem::size_of::<T>()) as f64;
+        // lint:allow(prof_coverage): allocation-time zero-fill can happen before any profiler scope exists
+        // lint:allow(sanitize): zero-fill of a freshly allocated buffer has no cross-kernel access stream to replay
         self.charge_kernel("memset", Phase::Other, &KernelCost::streaming(0.0, bytes));
         GpuBuffer::from_vec(self.id, vec![T::default(); len])
     }

@@ -88,7 +88,7 @@ where
     M: FnMut(R, R) -> R,
 {
     // Combinator, not a launch site: callers charge their own kernel.
-    run_blocks(cfg, f).into_iter().fold(init, merge) // lint:allow(uncharged_launch)
+    run_blocks(cfg, f).into_iter().fold(init, merge) // lint:allow(uncharged_launch): combinator, not a launch site — callers charge their own kernel
 }
 
 #[cfg(test)]

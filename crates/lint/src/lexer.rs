@@ -1,0 +1,465 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The v1 scanner stripped comments per line and pattern-matched on the
+//! remaining text, which meant it could not see a `charge_kernel(` call split
+//! across lines and could be fooled by string literals containing Rust-looking
+//! text. v2 lexes the source into a token stream first; every downstream rule
+//! works on tokens, so comments, raw strings, char literals, and lifetimes can
+//! never produce false charge sites.
+//!
+//! The lexer is deliberately lossy where the rules don't care: numeric
+//! suffixes, nested generic disambiguation, and macro bodies are all left to
+//! the consumer. What it gets exactly right is the set of boundaries that
+//! matter for static analysis: where comments, strings, and char literals
+//! start and end.
+
+/// Token kinds. `Punct` carries a single ASCII punctuation character; multi
+/// character operators (`::`, `->`, `=>`) appear as consecutive `Punct`s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `charge_kernel`, `r#match` → `match`).
+    Ident(String),
+    /// String literal contents, unescaped only as far as needed (`"…"`,
+    /// `r#"…"#`, `b"…"`): the raw contents between the delimiters.
+    Str(String),
+    /// Char or byte literal (`'a'`, `b'\n'`); contents between the quotes.
+    Char(String),
+    /// Lifetime (`'a`, `'static`), without the leading quote.
+    Lifetime(String),
+    /// Numeric literal, verbatim.
+    Num(String),
+    /// Single punctuation byte.
+    Punct(char),
+}
+
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+    pub fn str_lit(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// A comment captured during lexing. Only used for `lint:allow` waivers; the
+/// token stream itself never contains comment text.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lex `src` into tokens plus captured comments. Never panics on malformed
+/// input: unterminated literals simply run to end of file.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let bump_lines = |s: &[char]| -> u32 { s.iter().filter(|&&c| c == '\n').count() as u32 };
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i;
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            comments.push(Comment {
+                line,
+                text: chars[start..i].iter().collect(),
+            });
+            continue;
+        }
+        // Block comment, possibly nested (Rust block comments nest).
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            comments.push(Comment {
+                line: start_line,
+                text: chars[start..i.min(n)].iter().collect(),
+            });
+            continue;
+        }
+        // Raw strings / raw identifiers / byte strings: r"…", r#"…"#, br#"…"#,
+        // b"…", r#ident.
+        if c == 'r' || c == 'b' {
+            // Look ahead past an optional `b`/`r` prefix combination.
+            let mut j = i;
+            let mut saw_r = false;
+            let mut saw_b = false;
+            if chars[j] == 'b' {
+                saw_b = true;
+                j += 1;
+            }
+            if j < n && chars[j] == 'r' {
+                saw_r = true;
+                j += 1;
+            }
+            if saw_r {
+                let mut hashes = 0usize;
+                while j < n && chars[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && chars[j] == '"' {
+                    // Raw string: scan for `"` followed by `hashes` hashes.
+                    let body_start = j + 1;
+                    let mut k = body_start;
+                    let close = loop {
+                        if k >= n {
+                            break n;
+                        }
+                        if chars[k] == '"' {
+                            let mut h = 0usize;
+                            while k + 1 + h < n && h < hashes && chars[k + 1 + h] == '#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                break k;
+                            }
+                        }
+                        k += 1;
+                    };
+                    let body: String = chars[body_start..close.min(n)].iter().collect();
+                    toks.push(Tok {
+                        kind: TokKind::Str(body),
+                        line,
+                    });
+                    line += bump_lines(&chars[i..(close + 1 + hashes).min(n)]);
+                    i = (close + 1 + hashes).min(n);
+                    continue;
+                }
+                if hashes == 1 && !saw_b && j < n && is_ident_start(chars[j]) {
+                    // Raw identifier r#match: token is the bare name.
+                    let start = j;
+                    let mut k = j;
+                    while k < n && is_ident_continue(chars[k]) {
+                        k += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Ident(chars[start..k].iter().collect()),
+                        line,
+                    });
+                    i = k;
+                    continue;
+                }
+                // `r` not introducing a raw string/ident: fall through to the
+                // plain identifier path below (e.g. variable named `r`).
+            } else if saw_b && j < n && (chars[j] == '"' || chars[j] == '\'') {
+                // b"…" or b'…': delegate to the normal string/char scanners by
+                // skipping the prefix.
+                i = j;
+                continue;
+            }
+        }
+        // String literal.
+        if c == '"' {
+            let start_line = line;
+            let body_start = i + 1;
+            let mut k = body_start;
+            while k < n {
+                if chars[k] == '\\' {
+                    k += 2;
+                    continue;
+                }
+                if chars[k] == '"' {
+                    break;
+                }
+                k += 1;
+            }
+            let body: String = chars[body_start..k.min(n)].iter().collect();
+            line += bump_lines(&chars[i..(k + 1).min(n)]);
+            toks.push(Tok {
+                kind: TokKind::Str(body),
+                line: start_line,
+            });
+            i = (k + 1).min(n);
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // 'a' → char; '\n' → char; 'a → lifetime; 'static → lifetime.
+            let next = chars.get(i + 1).copied();
+            let after = chars.get(i + 2).copied();
+            let is_char = match next {
+                Some('\\') => true,
+                Some(x) if is_ident_start(x) => after == Some('\''),
+                Some(_) => true, // e.g. '(' — degenerate, treat as char
+                None => false,
+            };
+            if is_char {
+                let body_start = i + 1;
+                let mut k = body_start;
+                while k < n {
+                    if chars[k] == '\\' {
+                        k += 2;
+                        continue;
+                    }
+                    if chars[k] == '\'' {
+                        break;
+                    }
+                    k += 1;
+                }
+                let body: String = chars[body_start..k.min(n)].iter().collect();
+                toks.push(Tok {
+                    kind: TokKind::Char(body),
+                    line,
+                });
+                i = (k + 1).min(n);
+                continue;
+            }
+            // Lifetime.
+            let start = i + 1;
+            let mut k = start;
+            while k < n && is_ident_continue(chars[k]) {
+                k += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Lifetime(chars[start..k].iter().collect()),
+                line,
+            });
+            i = k;
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut k = i;
+            while k < n {
+                let d = chars[k];
+                if d.is_ascii_alphanumeric() || d == '_' {
+                    k += 1;
+                    continue;
+                }
+                // Decimal point only if followed by a digit (so `1..5` and
+                // `1.max(2)` don't swallow the dot).
+                if d == '.' && k + 1 < n && chars[k + 1].is_ascii_digit() {
+                    k += 2;
+                    continue;
+                }
+                // Exponent sign.
+                if (d == '+' || d == '-')
+                    && k > start
+                    && (chars[k - 1] == 'e' || chars[k - 1] == 'E')
+                {
+                    k += 1;
+                    continue;
+                }
+                break;
+            }
+            toks.push(Tok {
+                kind: TokKind::Num(chars[start..k].iter().collect()),
+                line,
+            });
+            i = k;
+            continue;
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let start = i;
+            let mut k = i;
+            while k < n && is_ident_continue(chars[k]) {
+                k += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident(chars[start..k].iter().collect()),
+                line,
+            });
+            i = k;
+            continue;
+        }
+        // Anything else: single punctuation char.
+        toks.push(Tok {
+            kind: TokKind::Punct(c),
+            line,
+        });
+        i += 1;
+    }
+
+    Lexed { toks, comments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(l: &Lexed) -> Vec<&str> {
+        l.toks.iter().filter_map(|t| t.ident()).collect()
+    }
+    fn strs(l: &Lexed) -> Vec<&str> {
+        l.toks.iter().filter_map(|t| t.str_lit()).collect()
+    }
+
+    #[test]
+    fn line_comment_is_not_tokenized() {
+        let l = lex("let x = 1; // charge_kernel(\"fake\", ...)\nlet y = 2;");
+        assert!(!idents(&l).contains(&"charge_kernel"));
+        assert!(strs(&l).is_empty());
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("charge_kernel"));
+    }
+
+    #[test]
+    fn nested_block_comments_do_not_leak_charge_sites() {
+        let src =
+            "/* outer /* charge_kernel(\"ghost\", Phase::Other) */ still comment */ fn f() {}";
+        let l = lex(src);
+        assert_eq!(idents(&l), vec!["fn", "f"]);
+        assert!(strs(&l).is_empty());
+    }
+
+    #[test]
+    fn block_comment_tracks_lines() {
+        let l = lex("/* a\nb\nc */\nfn f() {}");
+        let f = l.toks.iter().find(|t| t.ident() == Some("fn")).unwrap();
+        assert_eq!(f.line, 4);
+    }
+
+    #[test]
+    fn raw_string_containing_charge_kernel_is_one_literal() {
+        let src = r####"let doc = r#"call charge_kernel("x", Phase::Other, &c) like this"#;"####;
+        let l = lex(src);
+        assert!(!idents(&l).contains(&"charge_kernel"));
+        assert_eq!(strs(&l).len(), 1);
+        assert!(strs(&l)[0].contains("charge_kernel"));
+    }
+
+    #[test]
+    fn raw_string_with_two_hashes_and_embedded_quote_hash() {
+        let src = "r##\"has \"# inside\"## + 1";
+        let l = lex(src);
+        assert_eq!(strs(&l), vec!["has \"# inside"]);
+        assert!(l.toks.iter().any(|t| t.is_punct('+')));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let l = lex("let c: char = 'a'; fn f<'a>(x: &'a str, y: &'static str) {} let n = '\\n';");
+        let chars: Vec<&str> = l
+            .toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Char(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        let lifetimes: Vec<&str> = l
+            .toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Lifetime(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(chars, vec!["a", "\\n"]);
+        assert_eq!(lifetimes, vec!["a", "a", "static"]);
+    }
+
+    #[test]
+    fn string_with_escaped_quote_and_fake_call() {
+        let l = lex(r#"let s = "say \"charge_kernel(\" now"; let t = 1;"#);
+        assert!(!idents(&l).contains(&"charge_kernel"));
+        assert_eq!(strs(&l).len(), 1);
+        assert!(idents(&l).contains(&"t"));
+    }
+
+    #[test]
+    fn raw_ident_and_plain_r_variable() {
+        let l = lex("let r#match = 1; let r = 2; let x = r * 3;");
+        let ids = idents(&l);
+        assert!(ids.contains(&"match"));
+        assert_eq!(ids.iter().filter(|&&s| s == "r").count(), 2);
+    }
+
+    #[test]
+    fn byte_string_and_byte_char() {
+        let l = lex("let a = b\"charge_kernel(\"; let b2 = b'x';");
+        assert!(!idents(&l).contains(&"charge_kernel"));
+        assert_eq!(strs(&l), vec!["charge_kernel("]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let l = lex("for i in 0..10 { let x = 1.5e-3; let y = 2.max(3); }");
+        let nums: Vec<&str> = l
+            .toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Num(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5e-3", "2", "3"]);
+        assert!(idents(&l).contains(&"max"));
+    }
+
+    #[test]
+    fn multiline_call_is_visible_in_token_stream() {
+        let src = "dev.charge_kernel(\n    \"hist_gmem\",\n    Phase::Histogram,\n    &cost,\n);";
+        let l = lex(src);
+        assert!(idents(&l).contains(&"charge_kernel"));
+        assert_eq!(strs(&l), vec!["hist_gmem"]);
+        // The name literal is on line 2.
+        let s = l.toks.iter().find(|t| t.str_lit().is_some()).unwrap();
+        assert_eq!(s.line, 2);
+    }
+}

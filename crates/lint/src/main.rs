@@ -1,663 +1,108 @@
-//! `repo-lint` — text-heuristic repo-invariant lints, run by `ci.sh`.
+//! repo-lint CLI.
 //!
-//! Three rules guard the simulated-GPU codebase's conventions:
+//! ```text
+//! repo-lint                          # full kernel-contract check on the repo
+//! repo-lint --json LINT_repro.json   # …plus the versioned JSON report
+//! repo-lint --contract-root DIR      # full check on a fixture tree
+//! repo-lint <paths…>                 # style-only check on explicit roots
+//! ```
 //!
-//! * `raw_buffer_mut` — no direct `as_mut_slice` on a
-//!   [`GpuBuffer`](../gpusim/buffer) outside the buffer module itself;
-//!   kernels mutate device data through the sanctioned helpers (or the
-//!   sanitizer's checked views), never through a raw slice grab.
-//! * `uncharged_launch` — every `run_blocks` call site must charge the
-//!   device ledger (`charge_kernel` / `charge_ns`) somewhere in the same
-//!   function; a launch the timeline never sees is a simulation bug.
-//! * `unwrap_in_lib` — no `.unwrap()` in non-test library code of
-//!   `crates/core` and `crates/gpusim`; use `expect` with an invariant
-//!   message or propagate the error.
-//! * `phase_in_bench_schema` — a cross-file rule: every variant of
-//!   `gpusim::Phase` (parsed from `crates/gpusim/src/device.rs`) must
-//!   appear as a string key in the bench report schema
-//!   (`crates/bench/src/report.rs`), so a new phase can never silently
-//!   vanish from `BENCH_repro.json`. Skipped when either file is
-//!   absent (fixture runs).
-//!
-//! Heuristics, not a compiler: string/comment contents are stripped
-//! before matching, `#[cfg(test)]` blocks are skipped by brace
-//! matching, and any finding can be waived on its line with
-//! `// lint:allow(<rule>)`. Exit status is nonzero iff findings remain.
+//! Exit code 1 when any unwaived finding remains, 2 on usage/IO errors.
 
-use std::path::{Path, PathBuf};
+use repo_lint::{lint_roots, lint_workspace, Report};
+use std::path::PathBuf;
 
-/// One lint finding: file, 1-based line, rule name, and the offending
-/// source line.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Finding {
-    /// File the finding is in (display path).
-    pub file: String,
-    /// 1-based line number.
-    pub line: usize,
-    /// Rule identifier, as accepted by `lint:allow(...)`.
-    pub rule: &'static str,
-    /// The raw source line, trimmed.
-    pub excerpt: String,
-}
-
-impl std::fmt::Display for Finding {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.file, self.line, self.rule, self.excerpt
-        )
+fn finish(report: &Report, json_path: Option<&str>) -> ! {
+    for f in &report.diagnostics {
+        println!("{}", f.human());
     }
-}
-
-/// A source line split into its raw text and a "code" view with
-/// comments and string-literal contents blanked out (so needles never
-/// match prose or embedded text).
-struct Line {
-    raw: String,
-    code: String,
-}
-
-/// Strip comments and string contents, preserving line structure and
-/// brace characters that are real code. A tiny scanner, good enough for
-/// rustfmt-formatted sources.
-fn strip(src: &str) -> Vec<Line> {
-    #[derive(PartialEq)]
-    enum St {
-        Code,
-        Str,
-        RawStr(usize),
-        Char,
-        Block(usize),
-    }
-    let mut st = St::Code;
-    let mut out = Vec::new();
-    for raw in src.lines() {
-        let mut code = String::with_capacity(raw.len());
-        let bytes: Vec<char> = raw.chars().collect();
-        let mut i = 0;
-        while i < bytes.len() {
-            let c = bytes[i];
-            let next = bytes.get(i + 1).copied();
-            match st {
-                St::Code => match c {
-                    '/' if next == Some('/') => break, // line comment: rest ignored
-                    '/' if next == Some('*') => {
-                        st = St::Block(1);
-                        i += 2;
-                        continue;
-                    }
-                    '"' => {
-                        st = St::Str;
-                        code.push(' ');
-                    }
-                    'r' if next == Some('"') || next == Some('#') => {
-                        // Possible raw string r"…" / r#"…"#.
-                        let mut hashes = 0;
-                        let mut j = i + 1;
-                        while bytes.get(j) == Some(&'#') {
-                            hashes += 1;
-                            j += 1;
-                        }
-                        if bytes.get(j) == Some(&'"') {
-                            st = St::RawStr(hashes);
-                            code.push(' ');
-                            i = j + 1;
-                            continue;
-                        }
-                        code.push(c);
-                    }
-                    '\'' => {
-                        // Char literal vs lifetime: a lifetime is not
-                        // closed by a quote within a few chars.
-                        if matches!(
-                            (next, bytes.get(i + 2), bytes.get(i + 3)),
-                            (Some('\\'), _, _)
-                                | (Some(_), Some('\''), _)
-                                | (Some(_), Some(_), Some('\''))
-                        ) {
-                            st = St::Char;
-                        }
-                        code.push(' ');
-                    }
-                    _ => code.push(c),
-                },
-                St::Str => {
-                    if c == '\\' {
-                        i += 2;
-                        continue;
-                    }
-                    if c == '"' {
-                        st = St::Code;
-                    }
-                }
-                St::RawStr(h) => {
-                    if c == '"' {
-                        let mut ok = true;
-                        for k in 0..h {
-                            if bytes.get(i + 1 + k) != Some(&'#') {
-                                ok = false;
-                                break;
-                            }
-                        }
-                        if ok {
-                            st = St::Code;
-                            i += 1 + h;
-                            continue;
-                        }
-                    }
-                }
-                St::Char => {
-                    if c == '\\' {
-                        i += 2;
-                        continue;
-                    }
-                    if c == '\'' {
-                        st = St::Code;
-                    }
-                }
-                St::Block(depth) => {
-                    if c == '*' && next == Some('/') {
-                        st = if depth == 1 {
-                            St::Code
-                        } else {
-                            St::Block(depth - 1)
-                        };
-                        i += 2;
-                        continue;
-                    }
-                    if c == '/' && next == Some('*') {
-                        st = St::Block(depth + 1);
-                        i += 2;
-                        continue;
-                    }
-                }
-            }
-            i += 1;
-        }
-        // Strings and char literals do not continue across lines here
-        // (multi-line strings are rare in this repo; close them).
-        if st == St::Str || st == St::Char {
-            st = St::Code;
-        }
-        out.push(Line {
-            raw: raw.to_string(),
-            code,
-        });
-    }
-    out
-}
-
-/// Mark every line that belongs to a `#[cfg(test)]`-gated item (the
-/// attribute line, through the matching close brace of the item body).
-fn test_mask(lines: &[Line]) -> Vec<bool> {
-    let mut mask = vec![false; lines.len()];
-    let mut i = 0;
-    while i < lines.len() {
-        if lines[i].code.contains("#[cfg(test)]") {
-            let mut depth: i32 = 0;
-            let mut opened = false;
-            let mut j = i;
-            while j < lines.len() {
-                mask[j] = true;
-                for c in lines[j].code.chars() {
-                    match c {
-                        '{' => {
-                            depth += 1;
-                            opened = true;
-                        }
-                        '}' => depth -= 1,
-                        _ => {}
-                    }
-                }
-                if opened && depth <= 0 {
-                    break;
-                }
-                j += 1;
-            }
-            i = j + 1;
-        } else {
-            i += 1;
-        }
-    }
-    mask
-}
-
-/// `(start, end)` inclusive line spans of every function body.
-fn fn_spans(lines: &[Line]) -> Vec<(usize, usize)> {
-    let mut spans = Vec::new();
-    for (i, l) in lines.iter().enumerate() {
-        let code = &l.code;
-        let Some(pos) = code.find("fn ") else {
-            continue;
-        };
-        // `fn ` must start a word (not e.g. part of an identifier).
-        if pos > 0 {
-            let prev = code.as_bytes()[pos - 1] as char;
-            if prev.is_alphanumeric() || prev == '_' {
-                continue;
-            }
-        }
-        // Find the body's opening brace before any terminating `;`.
-        let mut depth: i32 = 0;
-        let mut opened = false;
-        let mut end = None;
-        'scan: for (j, line) in lines.iter().enumerate().skip(i) {
-            let tail = if j == i {
-                &line.code[pos..]
-            } else {
-                &line.code
-            };
-            for c in tail.chars() {
-                match c {
-                    ';' if !opened => break 'scan, // declaration only
-                    '{' => {
-                        depth += 1;
-                        opened = true;
-                    }
-                    '}' => {
-                        depth -= 1;
-                        if opened && depth == 0 {
-                            end = Some(j);
-                            break 'scan;
-                        }
-                    }
-                    _ => {}
-                }
-            }
-        }
-        if let Some(end) = end {
-            spans.push((i, end));
-        }
-    }
-    spans
-}
-
-/// Whether `line` waives `rule` via a `lint:allow(rule)` comment.
-fn allowed(raw: &str, rule: &str) -> bool {
-    raw.contains(&format!("lint:allow({rule})"))
-}
-
-/// Lint one file's source. `display` is the path shown in findings and
-/// also drives path-scoped rules (e.g. the buffer module may name its
-/// own accessor).
-pub fn lint_source(display: &str, src: &str) -> Vec<Finding> {
-    let lines = strip(src);
-    let tests = test_mask(&lines);
-    let spans = fn_spans(&lines);
-    let mut findings = Vec::new();
-
-    // Needles are assembled so this file never matches itself if it is
-    // ever pointed at its own source tree.
-    let unwrap_needle = concat!(".unwrap", "()");
-    let raw_mut_needle = concat!("as_mut", "_slice");
-    let launch_needle = concat!("run_", "blocks");
-
-    let is_buffer_home = display.ends_with("gpusim/src/buffer.rs");
-
-    for (i, l) in lines.iter().enumerate() {
-        if tests[i] {
-            continue;
-        }
-        let code = &l.code;
-
-        if code.contains(unwrap_needle) && !allowed(&l.raw, "unwrap_in_lib") {
-            findings.push(Finding {
-                file: display.to_string(),
-                line: i + 1,
-                rule: "unwrap_in_lib",
-                excerpt: l.raw.trim().to_string(),
-            });
-        }
-
-        if code.contains(raw_mut_needle) && !is_buffer_home && !allowed(&l.raw, "raw_buffer_mut") {
-            findings.push(Finding {
-                file: display.to_string(),
-                line: i + 1,
-                rule: "raw_buffer_mut",
-                excerpt: l.raw.trim().to_string(),
-            });
-        }
-
-        if code.contains(launch_needle)
-            && code.contains('(')
-            && !code.trim_start().starts_with("use ")
-            && !code.contains(&format!("fn {launch_needle}"))
-            && !allowed(&l.raw, "uncharged_launch")
-        {
-            let span = spans
-                .iter()
-                .filter(|&&(s, e)| s <= i && i <= e)
-                .max_by_key(|&&(s, _)| s);
-            let charged = span.is_some_and(|&(s, e)| {
-                lines[s..=e]
-                    .iter()
-                    .any(|l| l.code.contains("charge_kernel") || l.code.contains("charge_ns"))
-            });
-            if !charged {
-                findings.push(Finding {
-                    file: display.to_string(),
-                    line: i + 1,
-                    rule: "uncharged_launch",
-                    excerpt: l.raw.trim().to_string(),
-                });
-            }
-        }
-    }
-    findings
-}
-
-/// Parse the variant names of `pub enum Phase { ... }` from gpusim's
-/// device module source. Returns an empty list when no such enum is
-/// present (e.g. fixture trees).
-pub fn phase_variants(device_src: &str) -> Vec<String> {
-    let lines = strip(device_src);
-    let mut out = Vec::new();
-    let mut in_enum = false;
-    for l in &lines {
-        let code = l.code.trim();
-        if !in_enum {
-            if code.contains("enum Phase") && code.contains('{') {
-                in_enum = true;
-            }
-            continue;
-        }
-        if code.starts_with('}') {
-            break;
-        }
-        // Variant lines are `Ident,` after comment stripping.
-        let name = code.trim_end_matches(',').trim();
-        if !name.is_empty()
-            && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
-            && name.chars().next().is_some_and(|c| c.is_ascii_uppercase())
-        {
-            out.push(name.to_string());
-        }
-    }
-    out
-}
-
-/// Cross-file rule `phase_in_bench_schema`: every `Phase` variant must
-/// appear as a `"Variant"` string in the bench schema module, which is
-/// where `phase_key` maps variants to JSON keys. A variant the schema
-/// never names would drop out of `BENCH_repro.json` unnoticed.
-pub fn lint_phase_schema(
-    device_display: &str,
-    device_src: &str,
-    report_display: &str,
-    report_src: &str,
-) -> Vec<Finding> {
-    let variants = phase_variants(device_src);
-    let mut findings = Vec::new();
-    for v in &variants {
-        let needle = format!("\"{v}\"");
-        if !report_src.contains(&needle) {
-            findings.push(Finding {
-                file: report_display.to_string(),
-                line: 1,
-                rule: "phase_in_bench_schema",
-                excerpt: format!(
-                    "Phase::{v} (declared in {device_display}) has no \"{v}\" key \
-                     in the bench schema — add it to phase_key and bump \
-                     BENCH_SCHEMA_VERSION"
-                ),
-            });
-        }
-    }
-    findings
-}
-
-/// Run the cross-file phase/schema rule against the repo layout rooted
-/// at the current directory. Silently a no-op when either file is
-/// missing, so fixture-only invocations stay self-contained.
-fn lint_phase_schema_repo() -> Vec<Finding> {
-    let device_path = "crates/gpusim/src/device.rs";
-    let report_path = "crates/bench/src/report.rs";
-    let (Ok(device_src), Ok(report_src)) = (
-        std::fs::read_to_string(device_path),
-        std::fs::read_to_string(report_path),
-    ) else {
-        return Vec::new();
-    };
-    lint_phase_schema(device_path, &device_src, report_path, &report_src)
-}
-
-/// Recursively collect `.rs` (and `.rs.txt` fixture) files under `root`.
-fn collect(root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
-    if root.is_file() {
-        out.push(root.to_path_buf());
-        return Ok(());
-    }
-    let mut entries: Vec<_> = std::fs::read_dir(root)?
-        .collect::<Result<Vec<_>, _>>()?
-        .into_iter()
-        .map(|e| e.path())
-        .collect();
-    entries.sort();
-    for p in entries {
-        if p.is_dir() {
-            collect(&p, out)?;
-        } else {
-            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
-            if name.ends_with(".rs") || name.ends_with(".rs.txt") {
-                out.push(p);
-            }
-        }
-    }
-    Ok(())
-}
-
-/// Lint every source file under the given roots; returns all findings.
-pub fn lint_roots(roots: &[PathBuf]) -> std::io::Result<Vec<Finding>> {
-    let mut files = Vec::new();
-    for r in roots {
-        collect(r, &mut files)?;
-    }
-    let mut findings = Vec::new();
-    for f in &files {
-        let src = std::fs::read_to_string(f)?;
-        findings.extend(lint_source(&f.display().to_string(), &src));
-    }
-    Ok(findings)
-}
-
-fn main() {
-    let args: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
-    let roots = if args.is_empty() {
-        vec![
-            PathBuf::from("crates/core/src"),
-            PathBuf::from("crates/gpusim/src"),
-        ]
-    } else {
-        args
-    };
-    match lint_roots(&roots).map(|mut f| {
-        f.extend(lint_phase_schema_repo());
-        f
-    }) {
-        Ok(findings) if findings.is_empty() => {
-            println!("repo-lint: clean ({} roots)", roots.len());
-        }
-        Ok(findings) => {
-            for f in &findings {
-                eprintln!("{f}");
-            }
-            eprintln!("repo-lint: {} finding(s)", findings.len());
-            std::process::exit(1);
-        }
-        Err(e) => {
-            eprintln!("repo-lint: io error: {e}");
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("repo-lint: cannot write {path}: {e}");
             std::process::exit(2);
         }
     }
+    let n = report.violations();
+    if n == 0 {
+        println!(
+            "repo-lint: clean ({} files, {} kernels, {} waived)",
+            report.summary.files_scanned, report.summary.kernels, report.summary.waived
+        );
+        std::process::exit(0);
+    }
+    println!(
+        "repo-lint: {n} violation(s) across {} files ({} waived)",
+        report.summary.files_scanned, report.summary.waived
+    );
+    std::process::exit(1);
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    const VIOLATIONS: &str = include_str!("../fixtures/violations.rs.txt");
-    const CLEAN: &str = include_str!("../fixtures/clean.rs.txt");
-
-    fn rules(findings: &[Finding]) -> Vec<&'static str> {
-        findings.iter().map(|f| f.rule).collect()
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut json_path: Option<String> = None;
+    let mut contract_root: Option<PathBuf> = None;
+    let mut roots: Vec<PathBuf> = Vec::new();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(p),
+                None => {
+                    eprintln!("repo-lint: --json needs a path");
+                    std::process::exit(2);
+                }
+            },
+            "--contract-root" => match args.next() {
+                Some(p) => contract_root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("repo-lint: --contract-root needs a directory");
+                    std::process::exit(2);
+                }
+            },
+            _ => roots.push(PathBuf::from(a)),
+        }
     }
 
-    #[test]
-    fn fixture_violations_all_fire() {
-        let f = lint_source("fixtures/violations.rs.txt", VIOLATIONS);
-        let r = rules(&f);
-        assert!(r.contains(&"unwrap_in_lib"), "{f:?}");
-        assert!(r.contains(&"raw_buffer_mut"), "{f:?}");
-        assert!(r.contains(&"uncharged_launch"), "{f:?}");
+    if let Some(root) = contract_root {
+        if !root.is_dir() {
+            eprintln!(
+                "repo-lint: --contract-root {}: not a directory",
+                root.display()
+            );
+            std::process::exit(2);
+        }
+        let report = lint_workspace(&root);
+        if report.summary.files_scanned == 0 {
+            // A tree with nothing to scan would silently pass CI gates.
+            eprintln!(
+                "repo-lint: --contract-root {}: no sources found under crates/*/src",
+                root.display()
+            );
+            std::process::exit(2);
+        }
+        finish(&report, json_path.as_deref());
     }
-
-    #[test]
-    fn fixture_clean_passes() {
-        let f = lint_source("fixtures/clean.rs.txt", CLEAN);
-        assert!(f.is_empty(), "{f:?}");
+    if roots.is_empty() {
+        // Default: the repo itself, when run from the workspace root.
+        if !PathBuf::from("crates/gpusim/src/device.rs").exists() {
+            eprintln!(
+                "repo-lint: run from the workspace root, or pass explicit roots / --contract-root"
+            );
+            std::process::exit(2);
+        }
+        let report = lint_workspace(&PathBuf::from("."));
+        finish(&report, json_path.as_deref());
     }
-
-    #[test]
-    fn cfg_test_blocks_are_skipped() {
-        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
-        assert!(lint_source("x.rs", src).is_empty());
+    for r in &roots {
+        if !r.exists() {
+            eprintln!("repo-lint: {}: no such file or directory", r.display());
+            std::process::exit(2);
+        }
     }
-
-    #[test]
-    fn allow_annotation_waives_a_finding() {
-        let src = "fn f() { x.unwrap(); // lint:allow(unwrap_in_lib)\n}\n";
-        assert!(lint_source("x.rs", src).is_empty());
-        let src = "fn f() { x.unwrap();\n}\n";
-        assert_eq!(rules(&lint_source("x.rs", src)), vec!["unwrap_in_lib"]);
-    }
-
-    #[test]
-    fn comments_and_strings_do_not_match() {
-        let src =
-            "fn f() {\n    // x.unwrap() in prose\n    let s = \".unwrap()\";\n    let _ = s;\n}\n";
-        assert!(lint_source("x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn charged_launch_in_same_fn_is_clean() {
-        let src = "fn k(dev: &Device) {\n    let p = run_blocks(cfg, |b| b);\n    dev.charge_kernel(\"k\", Phase::Histogram, &c);\n}\n";
-        assert!(lint_source("x.rs", src).is_empty());
-        let src = "fn k() {\n    let p = run_blocks(cfg, |b| b);\n}\n";
-        assert_eq!(rules(&lint_source("x.rs", src)), vec!["uncharged_launch"]);
-    }
-
-    #[test]
-    fn buffer_module_may_define_its_own_accessor() {
-        let src = "pub fn as_mut_slice(&mut self) -> &mut [T] { &mut self.data }\n";
-        assert!(lint_source("crates/gpusim/src/buffer.rs", src).is_empty());
-        assert_eq!(
-            rules(&lint_source("crates/core/src/x.rs", src)),
-            vec!["raw_buffer_mut"]
-        );
-    }
-
-    #[test]
-    fn use_lines_are_not_launch_sites() {
-        let src = "use crate::launch::{run_blocks, LaunchCfg};\n";
-        assert!(lint_source("x.rs", src).is_empty());
-    }
-
-    const PHASE_ENUM: &str = "/// Phases.\npub enum Phase {\n    /// Binning.\n    Binning,\n    /// Hist.\n    Histogram,\n    /// New.\n    Shiny,\n}\n";
-
-    #[test]
-    fn phase_variants_are_parsed_from_enum_body() {
-        assert_eq!(
-            phase_variants(PHASE_ENUM),
-            ["Binning", "Histogram", "Shiny"]
-        );
-        assert!(phase_variants("fn no_enum_here() {}\n").is_empty());
-    }
-
-    #[test]
-    fn phase_missing_from_bench_schema_fires() {
-        let schema = "match p {\n    Phase::Binning => \"Binning\",\n    Phase::Histogram => \"Histogram\",\n}\n";
-        let f = lint_phase_schema("device.rs", PHASE_ENUM, "report.rs", schema);
-        assert_eq!(rules(&f), vec!["phase_in_bench_schema"]);
-        assert!(f[0].excerpt.contains("Shiny"), "{f:?}");
-    }
-
-    #[test]
-    fn phase_schema_complete_is_clean() {
-        let schema = "Phase::Binning => \"Binning\", Phase::Histogram => \"Histogram\", Phase::Shiny => \"Shiny\"";
-        assert!(lint_phase_schema("d.rs", PHASE_ENUM, "r.rs", schema).is_empty());
-    }
-
-    /// Seeded failure for the gradient-sketching phase: the *real*
-    /// `Phase` enum (which carries `Sketch`) against the *real* bench
-    /// schema with every `"Sketch"` key stripped must fire — proving
-    /// the cross-file rule would have caught a bench schema that never
-    /// learned about the new profiler/bench phase.
-    #[test]
-    fn phase_schema_catches_missing_sketch_phase() {
-        let dev = std::fs::read_to_string(concat!(
-            env!("CARGO_MANIFEST_DIR"),
-            "/../gpusim/src/device.rs"
-        ))
-        .expect("device.rs");
-        assert!(
-            phase_variants(&dev).iter().any(|v| v == "Sketch"),
-            "Phase::Sketch missing from device.rs — update this fixture"
-        );
-        let rep = std::fs::read_to_string(concat!(
-            env!("CARGO_MANIFEST_DIR"),
-            "/../bench/src/report.rs"
-        ))
-        .expect("report.rs");
-        let stripped = rep.replace("\"Sketch\"", "\"_removed_\"");
-        let f = lint_phase_schema("device.rs", &dev, "report.rs", &stripped);
-        assert_eq!(rules(&f), vec!["phase_in_bench_schema"]);
-        assert!(f[0].excerpt.contains("Sketch"), "{f:?}");
-    }
-
-    /// Seeded failure for the serving phase, same shape as the Sketch
-    /// fixture: the real `Phase` enum (which carries `Serve`) against
-    /// the real bench schema with every `"Serve"` key stripped must
-    /// fire — a bench schema that never learned about the serving
-    /// phase cannot pass repo-lint.
-    #[test]
-    fn phase_schema_catches_missing_serve_phase() {
-        let dev = std::fs::read_to_string(concat!(
-            env!("CARGO_MANIFEST_DIR"),
-            "/../gpusim/src/device.rs"
-        ))
-        .expect("device.rs");
-        assert!(
-            phase_variants(&dev).iter().any(|v| v == "Serve"),
-            "Phase::Serve missing from device.rs — update this fixture"
-        );
-        let rep = std::fs::read_to_string(concat!(
-            env!("CARGO_MANIFEST_DIR"),
-            "/../bench/src/report.rs"
-        ))
-        .expect("report.rs");
-        let stripped = rep.replace("\"Serve\"", "\"_removed_\"");
-        let f = lint_phase_schema("device.rs", &dev, "report.rs", &stripped);
-        assert_eq!(rules(&f), vec!["phase_in_bench_schema"]);
-        assert!(f[0].excerpt.contains("Serve"), "{f:?}");
-    }
-
-    /// The real repo files satisfy the cross-file rule (no-op when run
-    /// outside the repo root, matching the binary's behaviour).
-    #[test]
-    fn repo_phase_schema_is_in_sync() {
-        let dev = std::fs::read_to_string(concat!(
-            env!("CARGO_MANIFEST_DIR"),
-            "/../gpusim/src/device.rs"
-        ))
-        .expect("device.rs");
-        let rep = std::fs::read_to_string(concat!(
-            env!("CARGO_MANIFEST_DIR"),
-            "/../bench/src/report.rs"
-        ))
-        .expect("report.rs");
-        assert!(!phase_variants(&dev).is_empty(), "Phase enum parse failed");
-        let f = lint_phase_schema("device.rs", &dev, "report.rs", &rep);
-        assert!(f.is_empty(), "{f:?}");
+    match lint_roots(&roots) {
+        Ok(report) => finish(&report, json_path.as_deref()),
+        Err(e) => {
+            eprintln!("repo-lint: {e}");
+            std::process::exit(2);
+        }
     }
 }

@@ -92,4 +92,31 @@ echo "==> repo-lint Serve-phase fixture (missing schema key must fire)"
 # learned about Phase::Serve.
 cargo test -q -p repo-lint phase_schema_catches_missing_serve_phase >/dev/null
 
+echo "==> chaos smoke (seeded fault matrix: transient retry, device loss, resume)"
+# Seeded fault plans against single- and multi-GPU training plus a
+# checkpoint/resume roundtrip: every completion must be bit-identical
+# to the fault-free reference, every failure a typed error.
+cargo run --release -q -p gbdt-bench --bin repro -- chaos --smoke \
+  --trees 5 --depth 3 --bins 16 >/dev/null
+
+echo "==> sanitized chaos smoke (recovery paths under full memcheck+racecheck)"
+# A transient-fault single-GPU fit, a device-loss multi-GPU fit, and a
+# resumed fit, each with the sanitizer at SanitizeMode::Full — the
+# retry/degrade/resume re-execution paths must replay clean.
+cargo test -q -p gbdt-core --test chaos \
+  transient_retry_recovers_bit_identically_and_pays_for_the_retry \
+  >/dev/null
+cargo test -q -p gbdt-core --test chaos \
+  multi_gpu_degrades_to_survivors_with_identical_trees >/dev/null
+cargo test -q -p gbdt-core --test checkpoint_resume \
+  resume_is_bit_identical_across_hist_methods_and_sketches >/dev/null
+cargo test -q -p gbdt-core --test sanitized_recovery >/dev/null
+
+echo "==> repo-lint fault-path fixture (unchecksummed recovery kernel must fire)"
+# Proves the kernel contract gives no pass to recovery-path charge
+# sites: the bad_repo fault_path fixture kernels must trip sanitize,
+# prof_coverage and design_inventory.
+cargo test -q -p repo-lint --test golden_json \
+  unchecksummed_fault_path_kernel_fires_the_contract >/dev/null
+
 echo "ci: all checks passed"

@@ -26,6 +26,11 @@
 //!              per-phase simulated ns, hist-share %, host wall-clock
 //!              and model quality; `--baseline F --check` diff-gates
 //!              against a committed baseline (exit 1 on drift)
+//!   chaos      fault-injection matrix: seeded fault plans against
+//!              single- and multi-GPU training plus a checkpoint/resume
+//!              smoke; every completed run must be bit-identical to the
+//!              fault-free reference and every failure a typed error;
+//!              exits nonzero on any divergence or panic-class outcome
 //!   serve      batched-serving benchmark: compiles a NUS-WIDE-shaped
 //!              model, uploads it as device-resident SoA arrays, and
 //!              drives a burst of single-row submissions through the
@@ -104,12 +109,13 @@ impl Opts {
     }
 }
 
-const USAGE: &str = "usage: repro <datasets|table2|table3|table4|fig4|fig5|fig6a|fig6b|fig7|ablations|hostbench|sanitize|bench|serve|all> [flags]\n\
+const USAGE: &str = "usage: repro <datasets|table2|table3|table4|fig4|fig5|fig6a|fig6b|fig7|ablations|hostbench|sanitize|bench|serve|chaos|all> [flags]\n\
 flags: --trees N --depth N --bins N --scale F --gpus K --seed S --full\n\
 bench: --smoke --out FILE --baseline FILE --check --update-baseline\n\
        --sketch LABEL (none|topK|randK|projK, e.g. top4) --trace FILE\n\
 serve: --smoke --batch N --out FILE (default SERVE_repro.json)\n\
-       --baseline FILE --check --update-baseline";
+       --baseline FILE --check --update-baseline\n\
+chaos: --smoke (reduced sweep) --seed S --gpus K";
 
 /// Parse a sketch label (`OutputSketch::label()` inverse): `none`, or
 /// `top{k}` / `rand{k}` / `proj{k}`.
@@ -203,6 +209,11 @@ fn main() {
         }
         "serve" => {
             if !serve_cmd(&opts) {
+                std::process::exit(1);
+            }
+        }
+        "chaos" => {
+            if !chaos_cmd(&opts) {
                 std::process::exit(1);
             }
         }
@@ -1032,6 +1043,154 @@ fn sanitize_cmd(opts: &Opts) -> bool {
     ok
 }
 
+/// Fault-injection matrix: seeded fault plans driven through single-
+/// and multi-GPU training, printing per-outcome counts and enforcing
+/// the chaos contract — every completed run bit-identical to the
+/// fault-free reference, every failure a typed [`TrainError`].
+fn chaos_cmd(opts: &Opts) -> bool {
+    use gbdt_core::{Checkpoint, RetryPolicy, TrainError};
+    use gpusim::FaultPlan;
+
+    let ds = make_classification(&ClassificationSpec {
+        instances: (400.0 * opts.scale).max(50.0) as usize,
+        features: 10,
+        classes: 4,
+        informative: 7,
+        class_sep: 1.5,
+        seed: opts.seed,
+        ..Default::default()
+    });
+    let cfg = opts.config().with_retry(RetryPolicy::retries(2));
+    let (single_seeds, multi_seeds) = if opts.smoke {
+        (30u64, 10u64)
+    } else {
+        (120, 40)
+    };
+    let mut ok = true;
+
+    println!("== chaos: single-GPU seeded sweep ({single_seeds} plans) ==");
+    let reference = GpuTrainer::new(Device::rtx4090(), cfg.clone()).fit(&ds);
+    let ref_pred = reference.predict(ds.features());
+    let (mut clean, mut recovered, mut exhausted, mut lost, mut diverged) = (0u32, 0, 0, 0, 0);
+    for seed in 0..single_seeds {
+        let device = Device::rtx4090();
+        device.enable_faults(FaultPlan::seeded(opts.seed.wrapping_add(seed), 150));
+        let trainer = GpuTrainer::try_new(device.clone(), cfg.clone()).expect("valid config");
+        match trainer.try_fit(&ds) {
+            Ok(model) => {
+                if model.predict(ds.features()) == ref_pred {
+                    let report = device.fault_report().expect("injector attached");
+                    if report.transient_injected > 0 {
+                        recovered += 1;
+                    } else {
+                        clean += 1;
+                    }
+                } else {
+                    diverged += 1;
+                }
+            }
+            Err(TrainError::RetriesExhausted { .. }) => exhausted += 1,
+            Err(TrainError::DeviceLost { .. }) => lost += 1,
+            Err(e) => {
+                println!("  seed {seed}: UNEXPECTED error class: {e}");
+                diverged += 1;
+            }
+        }
+    }
+    println!(
+        "  clean {clean}  recovered {recovered}  retries-exhausted {exhausted}  \
+         device-lost {lost}  DIVERGED {diverged}"
+    );
+    ok &= diverged == 0;
+
+    println!(
+        "== chaos: multi-GPU seeded sweep ({multi_seeds} plans × {} GPUs) ==",
+        opts.gpus
+    );
+    let reference = MultiGpuTrainer::new(DeviceGroup::rtx4090s(opts.gpus), cfg.clone()).fit(&ds);
+    let ref_pred = reference.predict(ds.features());
+    let (mut survived, mut degraded, mut failed, mut diverged) = (0u32, 0, 0, 0);
+    for seed in 0..multi_seeds {
+        let group = DeviceGroup::rtx4090s(opts.gpus);
+        for (i, dev) in group.devices().iter().enumerate() {
+            let s = opts.seed.wrapping_add(seed * 31 + i as u64);
+            dev.enable_faults(FaultPlan::seeded(s, 120));
+        }
+        let trainer = MultiGpuTrainer::try_new(group.clone(), cfg.clone()).expect("valid config");
+        match trainer.try_fit(&ds) {
+            Ok(model) => {
+                if model.predict(ds.features()) == ref_pred {
+                    let losses: u64 = group
+                        .devices()
+                        .iter()
+                        .filter_map(|d| d.fault_report())
+                        .map(|r| r.device_lost)
+                        .sum();
+                    if losses > 0 {
+                        degraded += 1;
+                    } else {
+                        survived += 1;
+                    }
+                } else {
+                    diverged += 1;
+                }
+            }
+            Err(
+                TrainError::RetriesExhausted { .. }
+                | TrainError::DeviceLost { .. }
+                | TrainError::AllDevicesLost { .. },
+            ) => failed += 1,
+            Err(e) => {
+                println!("  seed {seed}: UNEXPECTED error class: {e}");
+                diverged += 1;
+            }
+        }
+    }
+    println!(
+        "  intact {survived}  degraded {degraded}  typed-failure {failed}  DIVERGED {diverged}"
+    );
+    ok &= diverged == 0;
+
+    println!("== chaos: checkpoint/resume smoke ==");
+    let trainer = GpuTrainer::try_new(Device::rtx4090(), cfg.clone()).expect("valid config");
+    match trainer.try_fit_checkpointed(&ds) {
+        Ok((full, checkpoints)) => {
+            let mid = &checkpoints[checkpoints.len() / 2];
+            let roundtrip = Checkpoint::from_bytes(&mid.to_bytes());
+            match roundtrip
+                .and_then(|ck| gbdt_core::Model::resume_from(Device::rtx4090(), &ck, &ds))
+            {
+                Ok(resumed) if resumed.model.trees == full.model.trees => {
+                    println!(
+                        "  resume from tree {} of {}: bit-identical",
+                        checkpoints.len() / 2 + 1,
+                        checkpoints.len()
+                    );
+                }
+                Ok(_) => {
+                    println!("  resume DIVERGED from the uninterrupted run");
+                    ok = false;
+                }
+                Err(e) => {
+                    println!("  resume FAILED: {e}");
+                    ok = false;
+                }
+            }
+        }
+        Err(e) => {
+            println!("  checkpointed fit FAILED: {e}");
+            ok = false;
+        }
+    }
+
+    if ok {
+        println!("chaos: OK — all completions bit-identical, all failures typed");
+    } else {
+        println!("chaos: FAILED — see report above");
+    }
+    ok
+}
+
 /// The machine-readable perf/quality grid behind `BENCH_repro.json`:
 /// per histogram method × dataset, reporting *deterministic* simulated
 /// phase breakdowns + hist share + quality (and informational host
@@ -1371,14 +1530,20 @@ fn serve_cmd(opts: &Opts) -> bool {
             .copied()
             .unwrap_or(0.0);
         let resident_bytes = ens.resident_bytes() as u64;
-        let mut server = BatchServer::new(
+        let mut server = match BatchServer::new(
             ens,
             BatchConfig {
                 max_batch,
                 mode: pmode,
                 ..BatchConfig::default()
             },
-        );
+        ) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: invalid batch config: {e}");
+                return false;
+            }
+        };
         // Burst arrival: every row is already queued when the upload
         // finishes, so throughput measures pure kernel efficiency.
         let t0 = device.now_ns();

@@ -1,0 +1,267 @@
+//! Per-round training checkpoints.
+//!
+//! After each boosting round the trainer can snapshot everything the
+//! next round depends on — trees so far, the score matrix, the RNG
+//! mid-stream, and the embedded config (sketch plans are re-derived
+//! from `seed + t`, so the round index is the whole "sketch state").
+//! [`crate::Model::resume_from`] restores the snapshot on a fresh
+//! device and finishes training **bit-identically** to an
+//! uninterrupted run (property-tested in
+//! `crates/core/tests/checkpoint_resume.rs`).
+//!
+//! Binary layout (all little-endian):
+//!
+//! ```text
+//! magic "GBCK" | version u16 | task u8
+//! | d u32 | n u32 | completed_trees u32
+//! | config_json_len u32 | config_json bytes
+//! | base[d] f32
+//! | rng: 16 × u32 state, 16 × u32 block, cursor u8
+//! | scores[n × d] f32
+//! | per completed tree: the GBMO node encoding (see [`crate::serialize`])
+//! ```
+
+use crate::config::TrainConfig;
+use crate::error::TrainError;
+use crate::serialize::{need, read_tree, write_tree};
+use crate::tree::Tree;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use gbdt_data::Task;
+
+const MAGIC: &[u8; 4] = b"GBCK";
+const VERSION: u16 = 1;
+const RNG_WORDS: usize = 16;
+
+/// Everything needed to resume training after round
+/// `completed_trees − 1`.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Boosting rounds completed (the next round to run).
+    pub completed_trees: usize,
+    /// Trees grown so far, in training order.
+    pub trees: Vec<Tree>,
+    /// Initial per-output scores (prior).
+    pub base: Vec<f32>,
+    /// The `n × d` additive score matrix after `completed_trees` trees.
+    pub scores: Vec<f32>,
+    /// RNG snapshot (key schedule, keystream block, cursor) taken
+    /// after the completed round consumed its samples.
+    pub rng: ([u32; RNG_WORDS], [u32; RNG_WORDS], usize),
+    /// Training-set rows the scores cover.
+    pub n: usize,
+    /// Output dimension.
+    pub d: usize,
+    /// Task of the originating dataset.
+    pub task: Task,
+    /// The full training configuration (resume re-validates it).
+    pub config: TrainConfig,
+}
+
+fn task_tag(task: Task) -> u8 {
+    match task {
+        Task::MultiClass => 0,
+        Task::MultiLabel => 1,
+        Task::MultiRegression => 2,
+    }
+}
+
+fn task_from_tag(tag: u8) -> Result<Task, String> {
+    match tag {
+        0 => Ok(Task::MultiClass),
+        1 => Ok(Task::MultiLabel),
+        2 => Ok(Task::MultiRegression),
+        other => Err(format!("unknown task tag {other}")),
+    }
+}
+
+impl Checkpoint {
+    /// Serialize into the compact binary checkpoint format.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64 + self.scores.len() * 4);
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(VERSION);
+        buf.put_u8(task_tag(self.task));
+        buf.put_u32_le(self.d as u32);
+        buf.put_u32_le(self.n as u32);
+        buf.put_u32_le(self.completed_trees as u32);
+        let config_json = serde_json::to_vec(&self.config).expect("config serializes");
+        buf.put_u32_le(config_json.len() as u32);
+        buf.put_slice(&config_json);
+        for &b in &self.base {
+            buf.put_f32_le(b);
+        }
+        let (state, block, cursor) = self.rng;
+        for w in state.iter().chain(block.iter()) {
+            buf.put_u32_le(*w);
+        }
+        buf.put_u8(cursor as u8);
+        for &s in &self.scores {
+            buf.put_f32_le(s);
+        }
+        for tree in &self.trees {
+            write_tree(&mut buf, tree, self.d);
+        }
+        buf.freeze()
+    }
+
+    /// Deserialize and validate a checkpoint. Corrupt or truncated
+    /// input yields [`TrainError::Checkpoint`], never a panic.
+    pub fn from_bytes(data: &[u8]) -> Result<Checkpoint, TrainError> {
+        Self::decode(data).map_err(TrainError::Checkpoint)
+    }
+
+    fn decode(data: &[u8]) -> Result<Checkpoint, String> {
+        let mut buf = data;
+        need!(buf, 4 + 2 + 1 + 4 + 4 + 4 + 4);
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err("not a GBCK checkpoint (bad magic)".into());
+        }
+        let version = buf.get_u16_le();
+        if version != VERSION {
+            return Err(format!("unsupported checkpoint version {version}"));
+        }
+        let task = task_from_tag(buf.get_u8())?;
+        let d = buf.get_u32_le() as usize;
+        if d == 0 || d > 1 << 20 {
+            return Err(format!("implausible output dimension {d}"));
+        }
+        let n = buf.get_u32_le() as usize;
+        if n == 0 || n > 1 << 30 {
+            return Err(format!("implausible instance count {n}"));
+        }
+        let completed_trees = buf.get_u32_le() as usize;
+        let config_len = buf.get_u32_le() as usize;
+        need!(buf, config_len);
+        let config: TrainConfig = serde_json::from_slice(&buf[..config_len])
+            .map_err(|e| format!("bad embedded config: {e}"))?;
+        buf.advance(config_len);
+        config.validate()?;
+        if completed_trees > config.num_trees {
+            return Err(format!(
+                "checkpoint claims {completed_trees} trees but config allows {}",
+                config.num_trees
+            ));
+        }
+        need!(buf, d * 4);
+        let base: Vec<f32> = (0..d).map(|_| buf.get_f32_le()).collect();
+        need!(buf, RNG_WORDS * 8 + 1);
+        let mut state = [0u32; RNG_WORDS];
+        let mut block = [0u32; RNG_WORDS];
+        for w in state.iter_mut() {
+            *w = buf.get_u32_le();
+        }
+        for w in block.iter_mut() {
+            *w = buf.get_u32_le();
+        }
+        let cursor = buf.get_u8() as usize;
+        if cursor > RNG_WORDS {
+            return Err(format!("RNG cursor {cursor} out of range"));
+        }
+        need!(buf, n * d * 4);
+        let scores: Vec<f32> = (0..n * d).map(|_| buf.get_f32_le()).collect();
+        let mut trees = Vec::with_capacity(completed_trees.min(1 << 20));
+        for t in 0..completed_trees {
+            trees.push(read_tree(&mut buf, d, t)?);
+        }
+        if buf.has_remaining() {
+            return Err(format!(
+                "{} trailing bytes after checkpoint",
+                buf.remaining()
+            ));
+        }
+        Ok(Checkpoint {
+            completed_trees,
+            trees,
+            base,
+            scores,
+            rng: (state, block, cursor),
+            n,
+            d,
+            task,
+            config,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngCore, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn sample() -> Checkpoint {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let _ = rng.next_u32(); // mid-block cursor
+        let mut tree = Tree::new(2);
+        let (l, r) = tree.split_node(0, 3, 17, 0.25);
+        tree.set_leaf(l, vec![1.0, -1.0]);
+        tree.set_leaf(r, vec![-0.5, 0.5]);
+        Checkpoint {
+            completed_trees: 1,
+            trees: vec![tree],
+            base: vec![0.1, -0.1],
+            scores: vec![0.25; 3 * 2],
+            rng: rng.snapshot(),
+            n: 3,
+            d: 2,
+            task: Task::MultiClass,
+            config: TrainConfig::default().with_trees(4),
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let ck = sample();
+        let back = Checkpoint::from_bytes(&ck.to_bytes()).unwrap();
+        assert_eq!(back.completed_trees, ck.completed_trees);
+        assert_eq!(back.trees, ck.trees);
+        assert_eq!(back.base, ck.base);
+        assert_eq!(back.scores, ck.scores);
+        assert_eq!(back.rng, ck.rng);
+        assert_eq!((back.n, back.d, back.task), (ck.n, ck.d, ck.task));
+        assert_eq!(back.config.num_trees, 4);
+        // The restored RNG continues the exact keystream.
+        let mut a = ChaCha8Rng::from_snapshot(ck.rng.0, ck.rng.1, ck.rng.2);
+        let mut b = ChaCha8Rng::from_snapshot(back.rng.0, back.rng.1, back.rng.2);
+        for _ in 0..40 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            let err = Checkpoint::from_bytes(&bytes[..cut]);
+            assert!(
+                matches!(err, Err(TrainError::Checkpoint(_))),
+                "prefix {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_fields_are_typed_errors() {
+        let good = sample().to_bytes().to_vec();
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(Checkpoint::from_bytes(&bad_magic)
+            .unwrap_err()
+            .to_string()
+            .contains("bad magic"));
+        let mut bad_version = good.clone();
+        bad_version[4] = 99;
+        assert!(Checkpoint::from_bytes(&bad_version).is_err());
+        let mut bad_task = good.clone();
+        bad_task[6] = 7;
+        assert!(Checkpoint::from_bytes(&bad_task).is_err());
+        let mut trailing = good;
+        trailing.push(0);
+        assert!(Checkpoint::from_bytes(&trailing)
+            .unwrap_err()
+            .to_string()
+            .contains("trailing"));
+    }
+}

@@ -205,6 +205,15 @@ impl TryFrom<&str> for CompiledEnsemble {
 }
 
 impl CompiledEnsemble {
+    /// Parse a JSON-serialized ensemble. Every decoded ensemble passes
+    /// [`CompiledEnsemble::validate`] before it is returned, so corrupt
+    /// or adversarial input is an `Err`, never a panic or an
+    /// out-of-bounds traversal later (fuzzed in
+    /// `crates/core/tests/compiled_fuzz.rs`).
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        Self::try_from(json)
+    }
+
     /// Compile a trained model.
     pub fn compile(model: &Model) -> Self {
         CompiledEnsemble {

@@ -180,6 +180,11 @@ pub struct TrainConfig {
     pub sketch: OutputSketch,
     /// RNG seed for any stochastic component.
     pub seed: u64,
+    /// Transient-fault retry budget (see [`crate::RetryPolicy`]). Not
+    /// serialized: fault tolerance is a property of the run, not the
+    /// model, so checkpoints and model files stay byte-stable.
+    #[serde(skip)]
+    pub retry: crate::error::RetryPolicy,
 }
 
 impl Default for TrainConfig {
@@ -202,6 +207,7 @@ impl Default for TrainConfig {
             parallel_level_hist: true,
             sketch: OutputSketch::None,
             seed: 0,
+            retry: crate::error::RetryPolicy::default(),
         }
     }
 }
@@ -344,6 +350,12 @@ impl TrainConfig {
     /// Builder-style setter for gradient sketching.
     pub fn with_sketch(mut self, s: OutputSketch) -> Self {
         self.sketch = s;
+        self
+    }
+
+    /// Builder-style setter for the transient-fault retry budget.
+    pub fn with_retry(mut self, policy: crate::error::RetryPolicy) -> Self {
+        self.retry = policy;
         self
     }
 }

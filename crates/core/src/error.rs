@@ -1,0 +1,218 @@
+//! Typed failure modes for fault-tolerant training and serving.
+//!
+//! The chaos contract (`crates/core/tests/chaos.rs`): under any seeded
+//! [`gpusim::FaultPlan`], training either completes bit-identical to a
+//! fault-free run or returns one of these errors — never a panic.
+
+use crate::config::ConfigError;
+use gpusim::GpuFault;
+
+/// A training run that could not be completed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// The configuration failed validation before any kernel ran.
+    Config(ConfigError),
+    /// A transient kernel fault recurred past the configured
+    /// [`crate::RetryPolicy`] budget.
+    RetriesExhausted {
+        /// Boosting round the retries were burned on (`usize::MAX`
+        /// marks the preprocessing stage, before round 0).
+        round: usize,
+        /// Retries attempted (the policy's `max_retries`).
+        attempts: u32,
+        /// The last fault observed.
+        fault: GpuFault,
+    },
+    /// The (single) training device was lost; single-device training
+    /// cannot degrade, only checkpoint-resume on a fresh device.
+    DeviceLost {
+        /// Boosting round in flight when the device fell over
+        /// (`usize::MAX` marks preprocessing).
+        round: usize,
+        /// The loss fault.
+        fault: GpuFault,
+    },
+    /// Every device in a multi-GPU group was lost before training
+    /// finished.
+    AllDevicesLost {
+        /// Boosting round in flight when the last device fell over.
+        round: usize,
+    },
+    /// A checkpoint could not be decoded (truncated, corrupt, or
+    /// version-incompatible).
+    Checkpoint(String),
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let round = |r: &usize| -> String {
+            if *r == usize::MAX {
+                "preprocess".to_string()
+            } else {
+                format!("round {r}")
+            }
+        };
+        match self {
+            TrainError::Config(e) => write!(f, "{e}"),
+            TrainError::RetriesExhausted {
+                round: r,
+                attempts,
+                fault,
+            } => write!(
+                f,
+                "retries exhausted after {attempts} attempt(s) at {}: {fault}",
+                round(r)
+            ),
+            TrainError::DeviceLost { round: r, fault } => {
+                write!(f, "training device lost at {}: {fault}", round(r))
+            }
+            TrainError::AllDevicesLost { round: r } => {
+                write!(f, "all devices lost at {}", round(r))
+            }
+            TrainError::Checkpoint(msg) => write!(f, "bad checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Config(e) => Some(e),
+            TrainError::RetriesExhausted { fault, .. } | TrainError::DeviceLost { fault, .. } => {
+                Some(fault)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for TrainError {
+    fn from(e: ConfigError) -> Self {
+        TrainError::Config(e)
+    }
+}
+
+/// A serving-side failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// A resident buffer's checksum no longer matches the digest taken
+    /// at upload — ECC-style corruption.
+    Corruption {
+        /// Label of the corrupted buffer (e.g. `serve_threshold`).
+        buffer: &'static str,
+        /// Digest recorded at upload.
+        expected: u64,
+        /// Digest recomputed by [`crate::serve::DeviceEnsemble::verify`].
+        actual: u64,
+    },
+    /// A rejected serving configuration.
+    Config(ConfigError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Corruption {
+                buffer,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "resident buffer `{buffer}` corrupted: checksum {actual:#018x} != uploaded {expected:#018x}"
+            ),
+            ServeError::Config(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for ServeError {
+    fn from(e: ConfigError) -> Self {
+        ServeError::Config(e)
+    }
+}
+
+/// Bounded-retry policy for transient kernel faults.
+///
+/// Retried work is *re-charged*: a faulted round's kernels stay on the
+/// ledger (the grid ran and trapped) and the redo pays full price
+/// again, exactly like re-launching on real hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetryPolicy {
+    /// Transient-fault retries allowed per boosting round (0 = fail on
+    /// the first fault).
+    pub max_retries: u32,
+}
+
+impl RetryPolicy {
+    /// Allow `max_retries` redo attempts per round.
+    pub fn retries(max_retries: u32) -> Self {
+        RetryPolicy { max_retries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_every_variant() {
+        let fault = GpuFault::Transient {
+            device: 0,
+            kernel: "k".into(),
+            charge_index: 7,
+        };
+        let cases: Vec<(TrainError, &str)> = vec![
+            (
+                TrainError::Config(ConfigError::from("num_trees must be ≥ 1".to_string())),
+                "invalid training configuration",
+            ),
+            (
+                TrainError::RetriesExhausted {
+                    round: 3,
+                    attempts: 2,
+                    fault: fault.clone(),
+                },
+                "retries exhausted",
+            ),
+            (
+                TrainError::DeviceLost {
+                    round: usize::MAX,
+                    fault: GpuFault::DeviceLost {
+                        device: 1,
+                        kernel: "k".into(),
+                        charge_index: 9,
+                    },
+                },
+                "preprocess",
+            ),
+            (TrainError::AllDevicesLost { round: 2 }, "all devices lost"),
+            (TrainError::Checkpoint("bad magic".into()), "bad checkpoint"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+        let s = ServeError::Corruption {
+            buffer: "serve_feature",
+            expected: 1,
+            actual: 2,
+        };
+        assert!(s.to_string().contains("serve_feature"));
+        let c = ServeError::from(ConfigError::from("x".to_string()));
+        assert!(c.to_string().contains("invalid"));
+    }
+
+    #[test]
+    fn retry_policy_defaults_to_zero() {
+        assert_eq!(RetryPolicy::default().max_retries, 0);
+        assert_eq!(RetryPolicy::retries(3).max_retries, 3);
+    }
+}

@@ -26,9 +26,11 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod compiled;
 pub mod config;
 pub mod cv;
+pub mod error;
 pub mod grad;
 pub mod grow;
 pub mod hist;
@@ -47,8 +49,10 @@ pub mod split;
 pub mod trainer;
 pub mod tree;
 
+pub use checkpoint::Checkpoint;
 pub use compiled::CompiledEnsemble;
 pub use config::{ConfigError, HistOptions, HistogramMethod, OutputSketch, TrainConfig};
+pub use error::{RetryPolicy, ServeError, TrainError};
 pub use grad::Gradients;
 pub use metrics::{accuracy, logloss, rmse, top_k_accuracy};
 pub use model::Model;

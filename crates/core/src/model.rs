@@ -91,6 +91,23 @@ impl Model {
     pub fn from_json(s: &str) -> Result<Self, String> {
         serde_json::from_str(s).map_err(|e| e.to_string())
     }
+
+    /// Resume an interrupted training run from `checkpoint` on a fresh
+    /// `device`, against the same dataset: the remaining
+    /// `num_trees − completed_trees` rounds replay bit-identically to
+    /// an uninterrupted fit (property-tested in
+    /// `crates/core/tests/checkpoint_resume.rs`). The trainer is
+    /// rebuilt from the checkpoint's embedded config; shape or
+    /// consistency mismatches surface as
+    /// [`crate::TrainError::Checkpoint`].
+    pub fn resume_from(
+        device: std::sync::Arc<gpusim::Device>,
+        checkpoint: &crate::checkpoint::Checkpoint,
+        ds: &gbdt_data::Dataset,
+    ) -> Result<crate::trainer::TrainReport, crate::TrainError> {
+        let trainer = crate::trainer::GpuTrainer::try_new(device, checkpoint.config.clone())?;
+        trainer.try_fit_resumed(ds, checkpoint)
+    }
 }
 
 #[cfg(test)]

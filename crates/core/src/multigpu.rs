@@ -8,8 +8,23 @@
 //! global winner is known, the owner broadcasts the left/right routing
 //! bitmap so every device partitions its instance lists identically.
 //! The group runs bulk-synchronously; barrier waits book as idle time.
+//!
+//! ## Fault recovery
+//!
+//! When any device in the group has a fault injector attached
+//! (`Device::enable_faults`), every bulk-synchronous step ends with a
+//! group-wide poll. A transient launch fault re-runs the round within
+//! the [`crate::RetryPolicy`] budget (the failed attempt's charges stay
+//! booked — the grid ran and trapped). A lost device is *dropped from
+//! the active set*: the survivors re-partition the work, re-charge the
+//! ingest of their enlarged shares, re-run the interrupted round, and
+//! finish training — producing trees bit-identical to a fault-free run,
+//! because the functional compute is independent of the device count.
+//! Only when every device is gone does training fail, with
+//! [`TrainError::AllDevicesLost`].
 
 use crate::config::{ConfigError, HistogramMethod, TrainConfig};
+use crate::error::TrainError;
 use crate::grad::{compute_gradients, update_scores_from_leaves, Gradients};
 use crate::grow::{partition_stable, GrowResult};
 use crate::hist::{accumulate_dense, adaptive, gmem, smem, sortreduce, HistContext, NodeHistogram};
@@ -21,8 +36,9 @@ use crate::trainer::{base_scores, TrainReport};
 use crate::tree::Tree;
 use gbdt_data::{BinnedDataset, Dataset};
 use gpusim::cost::KernelCost;
-use gpusim::{DeviceGroup, Phase};
+use gpusim::{Device, DeviceGroup, GpuFault, Phase};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Frontier entry awaiting its level's collective exchange:
@@ -43,6 +59,93 @@ pub fn partition_features(m: usize, k: usize) -> Vec<(usize, usize)> {
         start += len;
     }
     out
+}
+
+/// Outcome of polling every active device after one bulk-synchronous
+/// step (the group-wide `cudaGetLastError` analogue).
+enum GroupPoll {
+    /// No device reported a fault.
+    Clean,
+    /// At least one device trapped a retryable launch fault; the first
+    /// one (in rank order) is reported.
+    Transient(GpuFault),
+    /// One or more devices are gone. `dead` holds their positions in
+    /// the polled slice; loss dominates any pending transient.
+    Lost { dead: Vec<usize> },
+}
+
+fn poll_group(devices: &[Arc<Device>]) -> GroupPoll {
+    let mut dead = Vec::new();
+    let mut transient = None;
+    for (rank, dev) in devices.iter().enumerate() {
+        match dev.poll_fault() {
+            Ok(()) => {}
+            Err(GpuFault::DeviceLost { .. }) => dead.push(rank),
+            Err(fault @ GpuFault::Transient { .. }) => {
+                if transient.is_none() {
+                    transient = Some(fault);
+                }
+            }
+        }
+    }
+    if !dead.is_empty() {
+        GroupPoll::Lost { dead }
+    } else if let Some(fault) = transient {
+        GroupPoll::Transient(fault)
+    } else {
+        GroupPoll::Clean
+    }
+}
+
+/// What the caller should do after a polled step.
+enum StepVerdict {
+    /// Fault-free: commit the step's results.
+    Commit,
+    /// Transient fault within budget: re-run the step as-is.
+    Retry,
+    /// Devices were dropped: re-partition over the survivors, re-charge
+    /// their enlarged ingest shares, then re-run the step.
+    Degraded,
+}
+
+/// Charge every device for ingesting and binning its feature-range
+/// share (feature-parallel layout). Re-issued after degradation: the
+/// partition boundaries shift globally, so survivors reload and rebin
+/// their full new column ranges.
+fn charge_fp_preprocess(group: &DeviceGroup, n: usize, ranges: &[(usize, usize)]) {
+    for (dev, &(lo, hi)) in group.devices().iter().zip(ranges) {
+        let share_bytes = (n * (hi - lo) * 4) as f64;
+        dev.charge_ns(
+            "htod_features",
+            Phase::Transfer,
+            dev.model().host_copy_ns(share_bytes),
+        );
+        dev.charge_kernel(
+            "quantile_binning",
+            Phase::Binning,
+            &KernelCost::streaming((n * (hi - lo)) as f64 * 16.0, share_bytes * 2.5),
+        );
+    }
+}
+
+/// Charge every device for ingesting and binning all columns of its
+/// instance shard (data-parallel layout).
+fn charge_dp_preprocess(group: &DeviceGroup, n: usize, m: usize) {
+    let k = group.len();
+    for (rank, dev) in group.devices().iter().enumerate() {
+        let shard = n / k + usize::from(rank < n % k);
+        let bytes = (shard * m * 4) as f64;
+        dev.charge_ns(
+            "htod_features",
+            Phase::Transfer,
+            dev.model().host_copy_ns(bytes),
+        );
+        dev.charge_kernel(
+            "quantile_binning",
+            Phase::Binning,
+            &KernelCost::streaming((shard * m) as f64 * 16.0, bytes * 2.5),
+        );
+    }
 }
 
 /// How training work is decomposed across devices.
@@ -120,16 +223,72 @@ impl MultiGpuTrainer {
     }
 
     /// Train and return just the model.
+    ///
+    /// Panics if training fails past the fault-recovery budget; use
+    /// [`MultiGpuTrainer::try_fit`] to handle that as a typed error.
     pub fn fit(&self, ds: &Dataset) -> Model {
         self.fit_report(ds).model
     }
 
     /// Train with the full report. Simulated time is the *group* time:
     /// the slowest device's clock after the final barrier.
+    ///
+    /// Panics if training fails past the fault-recovery budget; use
+    /// [`MultiGpuTrainer::try_fit_report`] to handle that instead.
     pub fn fit_report(&self, ds: &Dataset) -> TrainReport {
+        self.try_fit_report(ds)
+            .unwrap_or_else(|e| panic!("multi-GPU training failed: {e}"))
+    }
+
+    /// Fallible training: returns just the model, or the typed
+    /// [`TrainError`] when injected faults exhaust the retry budget or
+    /// every device in the group is lost.
+    pub fn try_fit(&self, ds: &Dataset) -> Result<Model, TrainError> {
+        Ok(self.try_fit_report(ds)?.model)
+    }
+
+    /// Fallible counterpart of [`MultiGpuTrainer::fit_report`]: on a
+    /// `DeviceLost` the group degrades to the survivors and keeps
+    /// training (see the module docs); the error cases are an exhausted
+    /// transient-retry budget and the loss of every device.
+    pub fn try_fit_report(&self, ds: &Dataset) -> Result<TrainReport, TrainError> {
         match self.strategy {
             MultiGpuStrategy::FeatureParallel => self.fit_feature_parallel(ds),
             MultiGpuStrategy::DataParallel => self.fit_data_parallel(ds),
+        }
+    }
+
+    /// End-of-step poll and recovery decision for one bulk-synchronous
+    /// step. Trims `active` on device loss. `round` is the boosting
+    /// round, or `usize::MAX` for preprocessing.
+    fn recover_step(
+        &self,
+        active: &mut Vec<Arc<Device>>,
+        attempts: &mut u32,
+        round: usize,
+    ) -> Result<StepVerdict, TrainError> {
+        match poll_group(active) {
+            GroupPoll::Clean => Ok(StepVerdict::Commit),
+            GroupPoll::Transient(fault) => {
+                if *attempts >= self.config.retry.max_retries {
+                    return Err(TrainError::RetriesExhausted {
+                        round,
+                        attempts: *attempts,
+                        fault,
+                    });
+                }
+                *attempts += 1;
+                Ok(StepVerdict::Retry)
+            }
+            GroupPoll::Lost { dead } => {
+                for rank in dead.into_iter().rev() {
+                    active.remove(rank);
+                }
+                if active.is_empty() {
+                    return Err(TrainError::AllDevicesLost { round });
+                }
+                Ok(StepVerdict::Degraded)
+            }
         }
     }
 
@@ -139,8 +298,14 @@ impl MultiGpuTrainer {
     /// replica devices: `mirror_n` instances each — the full `n` under
     /// feature parallelism (gradients are replicated), the shard size
     /// under data parallelism.
-    fn sketch_round(&self, grads: &Gradients, t: usize, mirror_n: usize) -> Gradients {
-        let dev0 = self.group.device(0);
+    fn sketch_round(
+        &self,
+        group: &DeviceGroup,
+        grads: &Gradients,
+        t: usize,
+        mirror_n: usize,
+    ) -> Gradients {
+        let dev0 = group.device(0);
         let _sketch_scope = dev0.prof_scope("sketch", Some(t as u64));
         let plan = plan_sketch(
             dev0,
@@ -149,11 +314,11 @@ impl MultiGpuTrainer {
             self.config.seed.wrapping_add(t as u64),
         );
         let bytes = plan.broadcast_bytes(grads.d);
-        if self.group.len() > 1 && bytes > 0.0 {
-            self.group.broadcast(0, bytes as usize);
+        if group.len() > 1 && bytes > 0.0 {
+            group.broadcast(0, bytes as usize);
         }
         let sketched = apply_sketch(dev0, grads, &plan);
-        for dev in &self.group.devices()[1..] {
+        for dev in &group.devices()[1..] {
             charge_apply(dev, mirror_n, grads.d, &plan);
         }
         sketched
@@ -165,6 +330,7 @@ impl MultiGpuTrainer {
     #[allow(clippy::type_complexity)]
     fn refit_round(
         &self,
+        group: &DeviceGroup,
         tree: Tree,
         leaf_assignments: Vec<(Vec<u32>, Vec<f32>)>,
         leaf_nodes: Vec<usize>,
@@ -177,9 +343,9 @@ impl MultiGpuTrainer {
             leaf_nodes,
             methods_used: BTreeMap::new(),
         };
-        refit_leaves_full_d(self.group.device(0), &mut grown, full, &self.config);
+        refit_leaves_full_d(group.device(0), &mut grown, full, &self.config);
         let d = full.d;
-        for dev in &self.group.devices()[1..] {
+        for dev in &group.devices()[1..] {
             dev.charge_kernel(
                 "leaf_refit_full_d",
                 Phase::LeafValue,
@@ -192,28 +358,30 @@ impl MultiGpuTrainer {
         (grown.tree, grown.leaf_assignments)
     }
 
-    fn fit_feature_parallel(&self, ds: &Dataset) -> TrainReport {
+    fn fit_feature_parallel(&self, ds: &Dataset) -> Result<TrainReport, TrainError> {
         let host_start = Instant::now();
-        let k = self.group.len();
         let n = ds.n();
         let d = ds.d();
         let m = ds.m();
         let start_summaries: Vec<_> = self.group.devices().iter().map(|dv| dv.summary()).collect();
+        let mut active: Vec<Arc<Device>> = self.group.devices().to_vec();
+        let faults_on = active.iter().any(|dv| dv.fault_injector().is_some());
 
         // --- preprocessing, charged per device for its feature share --
-        let ranges = partition_features(m, k);
-        for (dev, &(lo, hi)) in self.group.devices().iter().zip(&ranges) {
-            let share_bytes = (n * (hi - lo) * 4) as f64;
-            dev.charge_ns(
-                "htod_features",
-                Phase::Transfer,
-                dev.model().host_copy_ns(share_bytes),
-            );
-            dev.charge_kernel(
-                "quantile_binning",
-                Phase::Binning,
-                &KernelCost::streaming((n * (hi - lo)) as f64 * 16.0, share_bytes * 2.5),
-            );
+        let mut attempts = 0u32;
+        loop {
+            let group = DeviceGroup::from_devices(active.clone());
+            let ranges = partition_features(m, group.len());
+            charge_fp_preprocess(&group, n, &ranges);
+            if !faults_on {
+                break;
+            }
+            match self.recover_step(&mut active, &mut attempts, usize::MAX)? {
+                StepVerdict::Commit => break,
+                // Retry and degradation both simply re-run the ingest:
+                // the loop recomputes the partition from the survivors.
+                StepVerdict::Retry | StepVerdict::Degraded => {}
+            }
         }
         let binned = BinnedDataset::build(ds.features(), self.config.max_bins);
         let features: Vec<u32> = (0..m as u32).collect();
@@ -239,281 +407,309 @@ impl MultiGpuTrainer {
         let mut hist = NodeHistogram::new(m, d_eff, self.config.max_bins);
 
         for t in 0..self.config.num_trees {
-            // Scope the round on device 0 (the representative timeline;
-            // devices run in lockstep between collectives).
-            let _round_scope = self.group.device(0).prof_scope("round", Some(t as u64));
-            // Gradients are replicated: every device computes them for
-            // all instances (standard in feature-parallel training —
-            // gradients depend on all outputs but no feature exchange).
-            let grads_full = {
-                let g = compute_gradients(
-                    self.group.device(0),
-                    loss.as_ref(),
-                    &scores,
-                    ds.targets(),
-                    n,
-                    d,
-                );
-                for dev in &self.group.devices()[1..] {
-                    dev.charge_kernel(
-                        "grad_hess",
-                        Phase::Gradient,
-                        &KernelCost::streaming(
-                            n as f64 * d as f64 * loss.flops_per_output(),
-                            (n * d * 16) as f64,
-                        ),
+            // Snapshot the round's inputs so a faulted attempt can be
+            // rolled back and re-run (cloned only when injectors are
+            // attached — the fault-free path is untouched).
+            let saved = faults_on.then(|| (scores.clone(), hist_methods.clone()));
+            let mut attempts = 0u32;
+            let committed = loop {
+                let group = DeviceGroup::from_devices(active.clone());
+                let ranges = partition_features(m, group.len());
+                // Scope the round on the lead device (the representative
+                // timeline; devices run in lockstep between collectives).
+                let _round_scope = group.device(0).prof_scope("round", Some(t as u64));
+                // Gradients are replicated: every device computes them for
+                // all instances (standard in feature-parallel training —
+                // gradients depend on all outputs but no feature exchange).
+                let grads_full = {
+                    let g = compute_gradients(
+                        group.device(0),
+                        loss.as_ref(),
+                        &scores,
+                        ds.targets(),
+                        n,
+                        d,
                     );
-                }
-                g
-            };
-            // Sketch once per tree: device 0 selects, the plan is
-            // broadcast, every device applies locally.
-            let (grads, full_for_refit) = if self.config.sketch.is_none() {
-                (grads_full, None)
-            } else {
-                let sketched = self.sketch_round(&grads_full, t, n);
-                (sketched, Some(grads_full))
-            };
-
-            let mut tree = Tree::new(grads.d);
-            let mut leaf_assignments: Vec<(Vec<u32>, Vec<f32>)> = Vec::new();
-            let mut leaf_nodes: Vec<usize> = Vec::new();
-            let root_idx: Vec<u32> = (0..n as u32).collect();
-            let (rg, rh) = grads.sums(&root_idx);
-            let mut frontier = vec![(0usize, root_idx, rg, rh)];
-
-            for depth in 0..self.config.max_depth {
-                let _level_scope = self.group.device(0).prof_scope("level", Some(depth as u64));
-                // --- pass 1: histograms + local candidates per node ---
-                // Candidates for the whole level are exchanged in ONE
-                // all-gather (summary statistics only), not per node.
-                let mut pending: Vec<PendingNode> = Vec::new();
-                let mut candidate_payload: Vec<Vec<u8>> = vec![Vec::new(); self.group.len()];
-                for (tree_node, instances, node_g, node_h) in frontier {
-                    if instances.len() < 2 * self.config.min_instances {
-                        let v = leaf_values(
-                            &node_g,
-                            &node_h,
-                            self.config.lambda,
-                            self.config.learning_rate,
-                        );
-                        tree.set_leaf(tree_node, v.clone());
-                        leaf_nodes.push(tree_node);
-                        leaf_assignments.push((instances, v));
-                        continue;
-                    }
-
-                    // Per-device histogram build over its feature range:
-                    // charge each device for exactly its share.
-                    hist.reset();
-                    for (dev, &(lo, hi)) in self.group.devices().iter().zip(&ranges) {
-                        if lo == hi {
-                            continue;
-                        }
-                        let ctx = HistContext {
-                            device: dev,
-                            data: &binned,
-                            grads: &grads,
-                            features: &features[lo..hi],
-                            bins: self.config.max_bins,
-                            opts: self.config.hist,
-                        };
-                        let method = match self.config.hist.method {
-                            HistogramMethod::Adaptive => {
-                                adaptive::select_method(&ctx, instances.len())
-                            }
-                            mtd => mtd,
-                        };
-                        match method {
-                            HistogramMethod::GlobalMemory => gmem::charge(&ctx, &instances),
-                            HistogramMethod::SharedMemory => smem::charge(&ctx, &instances),
-                            HistogramMethod::SortReduce => sortreduce::charge(&ctx, &instances),
-                            HistogramMethod::Adaptive => unreachable!(),
-                        }
-                        *hist_methods.entry(method).or_insert(0) += 1;
-                    }
-                    // Functional accumulation once (identical results).
-                    let full_ctx = HistContext {
-                        device: self.group.device(0),
-                        data: &binned,
-                        grads: &grads,
-                        features: &features,
-                        bins: self.config.max_bins,
-                        opts: self.config.hist,
-                    };
-                    accumulate_dense(&full_ctx, &instances, &mut hist);
-
-                    // Local best split per device.
-                    let locals: Vec<Option<SplitCandidate>> = self
-                        .group
-                        .devices()
-                        .iter()
-                        .zip(&ranges)
-                        .map(|(dev, &(lo, hi))| {
-                            find_best_split_range(
-                                dev,
-                                &hist,
-                                &features,
-                                lo,
-                                hi,
-                                &node_g,
-                                &node_h,
-                                instances.len() as u32,
-                                &params,
-                            )
-                        })
-                        .collect();
-                    for (payload, c) in candidate_payload.iter_mut().zip(&locals) {
-                        payload.extend(std::iter::repeat_n(
-                            0u8,
-                            16 + c.as_ref().map_or(0, |c| c.left_g.len() * 16),
-                        ));
-                    }
-                    // Global winner: strictly-greater gain wins, so exact
-                    // ties resolve to the lowest feature range — matching
-                    // the single-device global argmax tie-breaking.
-                    let mut best: Option<SplitCandidate> = None;
-                    for c in locals.into_iter().flatten() {
-                        if best.as_ref().is_none_or(|b| c.gain > b.gain) {
-                            best = Some(c);
-                        }
-                    }
-                    pending.push((tree_node, instances, node_g, node_h, best));
-                }
-                if !pending.is_empty() && self.group.len() > 1 {
-                    let _ = self.group.all_gather_bytes(&candidate_payload);
-                }
-
-                // --- pass 2: winners, routing bitmaps, partitions ------
-                let mut next = Vec::new();
-                let mut flag_payload: Vec<Vec<u8>> = vec![Vec::new(); self.group.len()];
-                let mut flag_elems = vec![0usize; self.group.len()];
-                let mut partition_elems = 0usize;
-                for (tree_node, instances, node_g, node_h, best) in pending {
-                    let Some(split) = best else {
-                        let v = leaf_values(
-                            &node_g,
-                            &node_h,
-                            self.config.lambda,
-                            self.config.learning_rate,
-                        );
-                        tree.set_leaf(tree_node, v.clone());
-                        leaf_nodes.push(tree_node);
-                        leaf_assignments.push((instances, v));
-                        continue;
-                    };
-
-                    // The owning device computes the routing flags; the
-                    // bitmaps of the whole level are exchanged in one
-                    // all-gather below, and the flag/partition kernels
-                    // are charged level-batched.
-                    let owner = ranges
-                        .iter()
-                        .position(|&(lo, hi)| {
-                            (split.feature as usize) >= lo && (split.feature as usize) < hi
-                        })
-                        .expect("split feature must belong to a device");
-                    let col = binned.bins.col(split.feature as usize);
-                    let flags: Vec<bool> = instances
-                        .iter()
-                        .map(|&i| col[i as usize] <= split.bin)
-                        .collect();
-                    flag_elems[owner] += instances.len();
-                    flag_payload[owner]
-                        .extend(std::iter::repeat_n(0u8, instances.len().div_ceil(8)));
-
-                    // Every device partitions its (replicated) index list.
-                    partition_elems += instances.len();
-                    crate::sanitize::trace_partition(&self.group.devices()[owner], &flags);
-                    let (left_idx, right_idx) = partition_stable(&instances, &flags);
-
-                    let threshold = binned.cuts.threshold(split.feature as usize, split.bin);
-                    let (l, r) = tree.split_node(tree_node, split.feature, split.bin, threshold);
-                    let right_g: Vec<f64> = node_g
-                        .iter()
-                        .zip(&split.left_g)
-                        .map(|(a, b)| a - b)
-                        .collect();
-                    let right_h: Vec<f64> = node_h
-                        .iter()
-                        .zip(&split.left_h)
-                        .map(|(a, b)| a - b)
-                        .collect();
-                    next.push((l, left_idx, split.left_g, split.left_h));
-                    next.push((r, right_idx, right_g, right_h));
-                }
-                // Level-batched flag + partition kernel charges.
-                for (i, dev) in self.group.devices().iter().enumerate() {
-                    if flag_elems[i] > 0 {
+                    for dev in &group.devices()[1..] {
                         dev.charge_kernel(
-                            "compute_flags_level",
-                            Phase::Partition,
+                            "grad_hess",
+                            Phase::Gradient,
                             &KernelCost::streaming(
-                                flag_elems[i] as f64,
-                                (flag_elems[i] * 5) as f64,
+                                n as f64 * d as f64 * loss.flops_per_output(),
+                                (n * d * 16) as f64,
                             ),
                         );
                     }
-                    if partition_elems > 0 {
+                    g
+                };
+                // Sketch once per tree: device 0 selects, the plan is
+                // broadcast, every device applies locally.
+                let (grads, full_for_refit) = if self.config.sketch.is_none() {
+                    (grads_full, None)
+                } else {
+                    let sketched = self.sketch_round(&group, &grads_full, t, n);
+                    (sketched, Some(grads_full))
+                };
+
+                let mut tree = Tree::new(grads.d);
+                let mut leaf_assignments: Vec<(Vec<u32>, Vec<f32>)> = Vec::new();
+                let mut leaf_nodes: Vec<usize> = Vec::new();
+                let root_idx: Vec<u32> = (0..n as u32).collect();
+                let (rg, rh) = grads.sums(&root_idx);
+                let mut frontier = vec![(0usize, root_idx, rg, rh)];
+
+                for depth in 0..self.config.max_depth {
+                    let _level_scope = group.device(0).prof_scope("level", Some(depth as u64));
+                    // --- pass 1: histograms + local candidates per node ---
+                    // Candidates for the whole level are exchanged in ONE
+                    // all-gather (summary statistics only), not per node.
+                    let mut pending: Vec<PendingNode> = Vec::new();
+                    let mut candidate_payload: Vec<Vec<u8>> = vec![Vec::new(); group.len()];
+                    for (tree_node, instances, node_g, node_h) in frontier {
+                        if instances.len() < 2 * self.config.min_instances {
+                            let v = leaf_values(
+                                &node_g,
+                                &node_h,
+                                self.config.lambda,
+                                self.config.learning_rate,
+                            );
+                            tree.set_leaf(tree_node, v.clone());
+                            leaf_nodes.push(tree_node);
+                            leaf_assignments.push((instances, v));
+                            continue;
+                        }
+
+                        // Per-device histogram build over its feature range:
+                        // charge each device for exactly its share.
+                        hist.reset();
+                        for (dev, &(lo, hi)) in group.devices().iter().zip(&ranges) {
+                            if lo == hi {
+                                continue;
+                            }
+                            let ctx = HistContext {
+                                device: dev,
+                                data: &binned,
+                                grads: &grads,
+                                features: &features[lo..hi],
+                                bins: self.config.max_bins,
+                                opts: self.config.hist,
+                            };
+                            let method = match self.config.hist.method {
+                                HistogramMethod::Adaptive => {
+                                    adaptive::select_method(&ctx, instances.len())
+                                }
+                                mtd => mtd,
+                            };
+                            match method {
+                                HistogramMethod::GlobalMemory => gmem::charge(&ctx, &instances),
+                                HistogramMethod::SharedMemory => smem::charge(&ctx, &instances),
+                                HistogramMethod::SortReduce => sortreduce::charge(&ctx, &instances),
+                                HistogramMethod::Adaptive => unreachable!(),
+                            }
+                            *hist_methods.entry(method).or_insert(0) += 1;
+                        }
+                        // Functional accumulation once (identical results).
+                        let full_ctx = HistContext {
+                            device: group.device(0),
+                            data: &binned,
+                            grads: &grads,
+                            features: &features,
+                            bins: self.config.max_bins,
+                            opts: self.config.hist,
+                        };
+                        accumulate_dense(&full_ctx, &instances, &mut hist);
+
+                        // Local best split per device.
+                        let locals: Vec<Option<SplitCandidate>> = group
+                            .devices()
+                            .iter()
+                            .zip(&ranges)
+                            .map(|(dev, &(lo, hi))| {
+                                find_best_split_range(
+                                    dev,
+                                    &hist,
+                                    &features,
+                                    lo,
+                                    hi,
+                                    &node_g,
+                                    &node_h,
+                                    instances.len() as u32,
+                                    &params,
+                                )
+                            })
+                            .collect();
+                        for (payload, c) in candidate_payload.iter_mut().zip(&locals) {
+                            payload.extend(std::iter::repeat_n(
+                                0u8,
+                                16 + c.as_ref().map_or(0, |c| c.left_g.len() * 16),
+                            ));
+                        }
+                        // Global winner: strictly-greater gain wins, so exact
+                        // ties resolve to the lowest feature range — matching
+                        // the single-device global argmax tie-breaking.
+                        let mut best: Option<SplitCandidate> = None;
+                        for c in locals.into_iter().flatten() {
+                            if best.as_ref().is_none_or(|b| c.gain > b.gain) {
+                                best = Some(c);
+                            }
+                        }
+                        pending.push((tree_node, instances, node_g, node_h, best));
+                    }
+                    if !pending.is_empty() && group.len() > 1 {
+                        let _ = group.all_gather_bytes(&candidate_payload);
+                    }
+
+                    // --- pass 2: winners, routing bitmaps, partitions ------
+                    let mut next = Vec::new();
+                    let mut flag_payload: Vec<Vec<u8>> = vec![Vec::new(); group.len()];
+                    let mut flag_elems = vec![0usize; group.len()];
+                    let mut partition_elems = 0usize;
+                    for (tree_node, instances, node_g, node_h, best) in pending {
+                        let Some(split) = best else {
+                            let v = leaf_values(
+                                &node_g,
+                                &node_h,
+                                self.config.lambda,
+                                self.config.learning_rate,
+                            );
+                            tree.set_leaf(tree_node, v.clone());
+                            leaf_nodes.push(tree_node);
+                            leaf_assignments.push((instances, v));
+                            continue;
+                        };
+
+                        // The owning device computes the routing flags; the
+                        // bitmaps of the whole level are exchanged in one
+                        // all-gather below, and the flag/partition kernels
+                        // are charged level-batched.
+                        let owner = ranges
+                            .iter()
+                            .position(|&(lo, hi)| {
+                                (split.feature as usize) >= lo && (split.feature as usize) < hi
+                            })
+                            .expect("split feature must belong to a device");
+                        let col = binned.bins.col(split.feature as usize);
+                        let flags: Vec<bool> = instances
+                            .iter()
+                            .map(|&i| col[i as usize] <= split.bin)
+                            .collect();
+                        flag_elems[owner] += instances.len();
+                        flag_payload[owner]
+                            .extend(std::iter::repeat_n(0u8, instances.len().div_ceil(8)));
+
+                        // Every device partitions its (replicated) index list.
+                        partition_elems += instances.len();
+                        crate::sanitize::trace_partition(&group.devices()[owner], &flags);
+                        let (left_idx, right_idx) = partition_stable(&instances, &flags);
+
+                        let threshold = binned.cuts.threshold(split.feature as usize, split.bin);
+                        let (l, r) =
+                            tree.split_node(tree_node, split.feature, split.bin, threshold);
+                        let right_g: Vec<f64> = node_g
+                            .iter()
+                            .zip(&split.left_g)
+                            .map(|(a, b)| a - b)
+                            .collect();
+                        let right_h: Vec<f64> = node_h
+                            .iter()
+                            .zip(&split.left_h)
+                            .map(|(a, b)| a - b)
+                            .collect();
+                        next.push((l, left_idx, split.left_g, split.left_h));
+                        next.push((r, right_idx, right_g, right_h));
+                    }
+                    // Level-batched flag + partition kernel charges.
+                    for (i, dev) in group.devices().iter().enumerate() {
+                        if flag_elems[i] > 0 {
+                            dev.charge_kernel(
+                                "compute_flags_level",
+                                Phase::Partition,
+                                &KernelCost::streaming(
+                                    flag_elems[i] as f64,
+                                    (flag_elems[i] * 5) as f64,
+                                ),
+                            );
+                        }
+                        if partition_elems > 0 {
+                            dev.charge_kernel(
+                                "partition_level",
+                                Phase::Partition,
+                                &KernelCost {
+                                    flops: 3.0 * partition_elems as f64,
+                                    dram_bytes: (partition_elems * 17) as f64,
+                                    launches: 2.0,
+                                    ..Default::default()
+                                },
+                            );
+                        }
+                    }
+                    if group.len() > 1 && flag_payload.iter().any(|p| !p.is_empty()) {
+                        let _ = group.all_gather_bytes(&flag_payload);
+                    }
+                    group.barrier();
+                    frontier = next;
+                    if frontier.is_empty() {
+                        break;
+                    }
+                }
+                for (tree_node, instances, node_g, node_h) in frontier {
+                    let v = leaf_values(
+                        &node_g,
+                        &node_h,
+                        self.config.lambda,
+                        self.config.learning_rate,
+                    );
+                    tree.set_leaf(tree_node, v.clone());
+                    leaf_nodes.push(tree_node);
+                    leaf_assignments.push((instances, v));
+                }
+                // Sketched structure, full-output leaves: one gather-reduce
+                // pass over the complete gradients per leaf.
+                let (tree, leaf_assignments) = if let Some(full) = &full_for_refit {
+                    self.refit_round(&group, tree, leaf_assignments, leaf_nodes, full, n)
+                } else {
+                    (tree, leaf_assignments)
+                };
+
+                // Replicated incremental score update on every device.
+                for (i, dev) in group.devices().iter().enumerate() {
+                    if i == 0 {
+                        update_scores_from_leaves(dev, &mut scores, d, &leaf_assignments);
+                    } else {
+                        let touched: usize = leaf_assignments.iter().map(|(v, _)| v.len()).sum();
                         dev.charge_kernel(
-                            "partition_level",
-                            Phase::Partition,
-                            &KernelCost {
-                                flops: 3.0 * partition_elems as f64,
-                                dram_bytes: (partition_elems * 17) as f64,
-                                launches: 2.0,
-                                ..Default::default()
-                            },
+                            "update_scores",
+                            Phase::Predict,
+                            &KernelCost::streaming(
+                                (touched * d) as f64,
+                                (touched * d * 8 + leaf_assignments.len() * d * 4) as f64,
+                            ),
                         );
                     }
                 }
-                if self.group.len() > 1 && flag_payload.iter().any(|p| !p.is_empty()) {
-                    let _ = self.group.all_gather_bytes(&flag_payload);
+                if !faults_on {
+                    break tree;
                 }
-                self.group.barrier();
-                frontier = next;
-                if frontier.is_empty() {
-                    break;
+                match self.recover_step(&mut active, &mut attempts, t)? {
+                    StepVerdict::Commit => break tree,
+                    StepVerdict::Retry => {}
+                    StepVerdict::Degraded => {
+                        // Survivors take over the lost device's columns:
+                        // charge the ingest of the shifted partition before
+                        // re-running the round.
+                        let regrouped = DeviceGroup::from_devices(active.clone());
+                        let new_ranges = partition_features(m, regrouped.len());
+                        charge_fp_preprocess(&regrouped, n, &new_ranges);
+                    }
                 }
-            }
-            for (tree_node, instances, node_g, node_h) in frontier {
-                let v = leaf_values(
-                    &node_g,
-                    &node_h,
-                    self.config.lambda,
-                    self.config.learning_rate,
-                );
-                tree.set_leaf(tree_node, v.clone());
-                leaf_nodes.push(tree_node);
-                leaf_assignments.push((instances, v));
-            }
-            // Sketched structure, full-output leaves: one gather-reduce
-            // pass over the complete gradients per leaf.
-            let (tree, leaf_assignments) = if let Some(full) = &full_for_refit {
-                self.refit_round(tree, leaf_assignments, leaf_nodes, full, n)
-            } else {
-                (tree, leaf_assignments)
+                let (saved_scores, saved_methods) =
+                    saved.as_ref().expect("snapshot exists when faults are on");
+                scores.copy_from_slice(saved_scores);
+                hist_methods = saved_methods.clone();
             };
-
-            // Replicated incremental score update on every device.
-            for (i, dev) in self.group.devices().iter().enumerate() {
-                if i == 0 {
-                    update_scores_from_leaves(dev, &mut scores, d, &leaf_assignments);
-                } else {
-                    let touched: usize = leaf_assignments.iter().map(|(v, _)| v.len()).sum();
-                    dev.charge_kernel(
-                        "update_scores",
-                        Phase::Predict,
-                        &KernelCost::streaming(
-                            (touched * d) as f64,
-                            (touched * d * 8 + leaf_assignments.len() * d * 4) as f64,
-                        ),
-                    );
-                }
-            }
-            trees.push(tree);
+            trees.push(committed);
         }
-        self.group.barrier();
+        DeviceGroup::from_devices(active.clone()).barrier();
 
         let model = Model {
             trees,
@@ -523,15 +719,22 @@ impl MultiGpuTrainer {
             config: self.config.clone(),
         };
         // Group time = slowest device (they are barrier-aligned); report
-        // device 0's phase breakdown as representative.
-        let sim = self.group.device(0).summary().since(&start_summaries[0]);
-        TrainReport {
+        // the surviving lead's phase breakdown as representative.
+        let lead = &active[0];
+        let lead_pos = self
+            .group
+            .devices()
+            .iter()
+            .position(|dv| Arc::ptr_eq(dv, lead))
+            .expect("lead device comes from the original group");
+        let sim = lead.summary().since(&start_summaries[lead_pos]);
+        Ok(TrainReport {
             sim_seconds: sim.total_ns * 1e-9,
             host_seconds: host_start.elapsed().as_secs_f64(),
             sim,
             model,
             hist_methods,
-        }
+        })
     }
 
     /// Data-parallel training: instances sharded per device, per-level
@@ -539,28 +742,27 @@ impl MultiGpuTrainer {
     /// bit-identical to single-device training; only the cost profile
     /// differs (gradients ÷ k, histograms ÷ k, but `m×B×d×2` doubles of
     /// collective traffic per node).
-    fn fit_data_parallel(&self, ds: &Dataset) -> TrainReport {
+    fn fit_data_parallel(&self, ds: &Dataset) -> Result<TrainReport, TrainError> {
         let host_start = Instant::now();
-        let k = self.group.len();
         let n = ds.n();
         let d = ds.d();
         let m = ds.m();
         let start_summaries: Vec<_> = self.group.devices().iter().map(|dv| dv.summary()).collect();
+        let mut active: Vec<Arc<Device>> = self.group.devices().to_vec();
+        let faults_on = active.iter().any(|dv| dv.fault_injector().is_some());
 
         // Each device holds all columns of its instance shard.
-        for (rank, dev) in self.group.devices().iter().enumerate() {
-            let shard = n / k + usize::from(rank < n % k);
-            let bytes = (shard * m * 4) as f64;
-            dev.charge_ns(
-                "htod_features",
-                Phase::Transfer,
-                dev.model().host_copy_ns(bytes),
-            );
-            dev.charge_kernel(
-                "quantile_binning",
-                Phase::Binning,
-                &KernelCost::streaming((shard * m) as f64 * 16.0, bytes * 2.5),
-            );
+        let mut attempts = 0u32;
+        loop {
+            let group = DeviceGroup::from_devices(active.clone());
+            charge_dp_preprocess(&group, n, m);
+            if !faults_on {
+                break;
+            }
+            match self.recover_step(&mut active, &mut attempts, usize::MAX)? {
+                StepVerdict::Commit => break,
+                StepVerdict::Retry | StepVerdict::Degraded => {}
+            }
         }
         let binned = BinnedDataset::build(ds.features(), self.config.max_bins);
         let features: Vec<u32> = (0..m as u32).collect();
@@ -585,232 +787,254 @@ impl MultiGpuTrainer {
         let mut hist = NodeHistogram::new(m, d_eff, self.config.max_bins);
 
         for t in 0..self.config.num_trees {
-            let _round_scope = self.group.device(0).prof_scope("round", Some(t as u64));
-            // Gradients: each device computes its own shard only.
-            let grads_full = {
-                let g = compute_gradients(
-                    self.group.device(0),
-                    loss.as_ref(),
-                    &scores,
-                    ds.targets(),
-                    n,
-                    d,
-                );
-                // Rescale device 0's charge to a shard and mirror it.
-                for dev in self.group.devices() {
-                    if dev.id != 0 {
-                        dev.charge_kernel(
-                            "grad_hess_shard",
-                            Phase::Gradient,
-                            &KernelCost::streaming(
-                                (n / k) as f64 * d as f64 * loss.flops_per_output(),
-                                ((n / k) * d * 16) as f64,
-                            ),
-                        );
+            let saved = faults_on.then(|| (scores.clone(), hist_methods.clone()));
+            let mut attempts = 0u32;
+            let committed = loop {
+                let group = DeviceGroup::from_devices(active.clone());
+                let k = group.len();
+                let _round_scope = group.device(0).prof_scope("round", Some(t as u64));
+                // Gradients: each device computes its own shard only.
+                let grads_full = {
+                    let g = compute_gradients(
+                        group.device(0),
+                        loss.as_ref(),
+                        &scores,
+                        ds.targets(),
+                        n,
+                        d,
+                    );
+                    // Rescale the lead's charge to a shard and mirror it on
+                    // the replica ranks.
+                    for (rank, dev) in group.devices().iter().enumerate() {
+                        if rank != 0 {
+                            dev.charge_kernel(
+                                "grad_hess_shard",
+                                Phase::Gradient,
+                                &KernelCost::streaming(
+                                    (n / k) as f64 * d as f64 * loss.flops_per_output(),
+                                    ((n / k) * d * 16) as f64,
+                                ),
+                            );
+                        }
                     }
-                }
-                g
-            };
-            // Sketch once per tree: device 0 selects, the plan is
-            // broadcast, every device gathers/projects its shard.
-            let (grads, full_for_refit) = if self.config.sketch.is_none() {
-                (grads_full, None)
-            } else {
-                let sketched = self.sketch_round(&grads_full, t, n / k);
-                (sketched, Some(grads_full))
-            };
+                    g
+                };
+                // Sketch once per tree: device 0 selects, the plan is
+                // broadcast, every device gathers/projects its shard.
+                let (grads, full_for_refit) = if self.config.sketch.is_none() {
+                    (grads_full, None)
+                } else {
+                    let sketched = self.sketch_round(&group, &grads_full, t, n / k);
+                    (sketched, Some(grads_full))
+                };
 
-            let mut tree = Tree::new(grads.d);
-            let mut leaf_assignments: Vec<(Vec<u32>, Vec<f32>)> = Vec::new();
-            let mut leaf_nodes: Vec<usize> = Vec::new();
-            let root_idx: Vec<u32> = (0..n as u32).collect();
-            let (rg, rh) = grads.sums(&root_idx);
-            let mut frontier = vec![(0usize, root_idx, rg, rh)];
+                let mut tree = Tree::new(grads.d);
+                let mut leaf_assignments: Vec<(Vec<u32>, Vec<f32>)> = Vec::new();
+                let mut leaf_nodes: Vec<usize> = Vec::new();
+                let root_idx: Vec<u32> = (0..n as u32).collect();
+                let (rg, rh) = grads.sums(&root_idx);
+                let mut frontier = vec![(0usize, root_idx, rg, rh)];
 
-            for depth in 0..self.config.max_depth {
-                let _level_scope = self.group.device(0).prof_scope("level", Some(depth as u64));
-                let mut next = Vec::new();
-                let mut reduced_nodes = 0usize;
-                for (tree_node, instances, node_g, node_h) in frontier {
-                    if instances.len() < 2 * self.config.min_instances {
-                        let v = leaf_values(
-                            &node_g,
-                            &node_h,
-                            self.config.lambda,
-                            self.config.learning_rate,
-                        );
-                        tree.set_leaf(tree_node, v.clone());
-                        leaf_nodes.push(tree_node);
-                        leaf_assignments.push((instances, v));
-                        continue;
-                    }
-                    // Partial histograms: every device runs the kernel
-                    // over its 1/k shard of the node, all features.
-                    for (rank, dev) in self.group.devices().iter().enumerate() {
-                        let shard_len =
-                            instances.len() / k + usize::from(rank < instances.len() % k);
-                        let lo = rank * (instances.len() / k) + rank.min(instances.len() % k);
-                        let shard = &instances[lo..(lo + shard_len).min(instances.len())];
-                        if shard.is_empty() {
+                for depth in 0..self.config.max_depth {
+                    let _level_scope = group.device(0).prof_scope("level", Some(depth as u64));
+                    let mut next = Vec::new();
+                    let mut reduced_nodes = 0usize;
+                    for (tree_node, instances, node_g, node_h) in frontier {
+                        if instances.len() < 2 * self.config.min_instances {
+                            let v = leaf_values(
+                                &node_g,
+                                &node_h,
+                                self.config.lambda,
+                                self.config.learning_rate,
+                            );
+                            tree.set_leaf(tree_node, v.clone());
+                            leaf_nodes.push(tree_node);
+                            leaf_assignments.push((instances, v));
                             continue;
                         }
-                        let ctx = HistContext {
-                            device: dev,
+                        // Partial histograms: every device runs the kernel
+                        // over its 1/k shard of the node, all features.
+                        for (rank, dev) in group.devices().iter().enumerate() {
+                            let shard_len =
+                                instances.len() / k + usize::from(rank < instances.len() % k);
+                            let lo = rank * (instances.len() / k) + rank.min(instances.len() % k);
+                            let shard = &instances[lo..(lo + shard_len).min(instances.len())];
+                            if shard.is_empty() {
+                                continue;
+                            }
+                            let ctx = HistContext {
+                                device: dev,
+                                data: &binned,
+                                grads: &grads,
+                                features: &features,
+                                bins: self.config.max_bins,
+                                opts: self.config.hist,
+                            };
+                            let method = match self.config.hist.method {
+                                HistogramMethod::Adaptive => {
+                                    adaptive::select_method(&ctx, shard.len())
+                                }
+                                mtd => mtd,
+                            };
+                            match method {
+                                HistogramMethod::GlobalMemory => gmem::charge(&ctx, shard),
+                                HistogramMethod::SharedMemory => smem::charge(&ctx, shard),
+                                HistogramMethod::SortReduce => sortreduce::charge(&ctx, shard),
+                                HistogramMethod::Adaptive => unreachable!(),
+                            }
+                            *hist_methods.entry(method).or_insert(0) += 1;
+                        }
+                        // Functional accumulation once (sum of all shards).
+                        let full_ctx = HistContext {
+                            device: group.device(0),
                             data: &binned,
                             grads: &grads,
                             features: &features,
                             bins: self.config.max_bins,
                             opts: self.config.hist,
                         };
-                        let method = match self.config.hist.method {
-                            HistogramMethod::Adaptive => adaptive::select_method(&ctx, shard.len()),
-                            mtd => mtd,
-                        };
-                        match method {
-                            HistogramMethod::GlobalMemory => gmem::charge(&ctx, shard),
-                            HistogramMethod::SharedMemory => smem::charge(&ctx, shard),
-                            HistogramMethod::SortReduce => sortreduce::charge(&ctx, shard),
-                            HistogramMethod::Adaptive => unreachable!(),
-                        }
-                        *hist_methods.entry(method).or_insert(0) += 1;
-                    }
-                    // Functional accumulation once (sum of all shards).
-                    let full_ctx = HistContext {
-                        device: self.group.device(0),
-                        data: &binned,
-                        grads: &grads,
-                        features: &features,
-                        bins: self.config.max_bins,
-                        opts: self.config.hist,
-                    };
-                    hist.reset();
-                    accumulate_dense(&full_ctx, &instances, &mut hist);
-                    reduced_nodes += 1;
+                        hist.reset();
+                        accumulate_dense(&full_ctx, &instances, &mut hist);
+                        reduced_nodes += 1;
 
-                    // After the all-reduce every device holds the full
-                    // histogram and finds the identical best split.
-                    let split = find_best_split_range(
-                        self.group.device(0),
-                        &hist,
-                        &features,
-                        0,
-                        m,
-                        &node_g,
-                        &node_h,
-                        instances.len() as u32,
-                        &params,
-                    );
-                    for dev in &self.group.devices()[1..] {
-                        // Redundant split evaluation on every device.
-                        dev.charge_kernel(
-                            "split_eval_replicated",
-                            Phase::SplitEval,
-                            &KernelCost::streaming(
-                                (m * grads.d * self.config.max_bins) as f64 * 10.0,
-                                (m * grads.d * self.config.max_bins * 16) as f64,
-                            ),
-                        );
-                    }
-
-                    let Some(split) = split else {
-                        let v = leaf_values(
+                        // After the all-reduce every device holds the full
+                        // histogram and finds the identical best split.
+                        let split = find_best_split_range(
+                            group.device(0),
+                            &hist,
+                            &features,
+                            0,
+                            m,
                             &node_g,
                             &node_h,
-                            self.config.lambda,
-                            self.config.learning_rate,
+                            instances.len() as u32,
+                            &params,
                         );
-                        tree.set_leaf(tree_node, v.clone());
-                        leaf_nodes.push(tree_node);
-                        leaf_assignments.push((instances, v));
-                        continue;
-                    };
-                    let col = binned.bins.col(split.feature as usize);
-                    let flags: Vec<bool> = instances
-                        .iter()
-                        .map(|&i| col[i as usize] <= split.bin)
-                        .collect();
-                    crate::sanitize::trace_partition(&self.group.devices()[0], &flags);
-                    let (left_idx, right_idx) = partition_stable(&instances, &flags);
-                    for dev in self.group.devices() {
-                        dev.charge_kernel(
-                            "partition_shard",
-                            Phase::Partition,
-                            &KernelCost {
-                                flops: 3.0 * (instances.len() / k) as f64,
-                                dram_bytes: ((instances.len() / k) * 17) as f64,
-                                launches: 2.0,
-                                ..Default::default()
-                            },
-                        );
+                        for dev in &group.devices()[1..] {
+                            // Redundant split evaluation on every device.
+                            dev.charge_kernel(
+                                "split_eval_replicated",
+                                Phase::SplitEval,
+                                &KernelCost::streaming(
+                                    (m * grads.d * self.config.max_bins) as f64 * 10.0,
+                                    (m * grads.d * self.config.max_bins * 16) as f64,
+                                ),
+                            );
+                        }
+
+                        let Some(split) = split else {
+                            let v = leaf_values(
+                                &node_g,
+                                &node_h,
+                                self.config.lambda,
+                                self.config.learning_rate,
+                            );
+                            tree.set_leaf(tree_node, v.clone());
+                            leaf_nodes.push(tree_node);
+                            leaf_assignments.push((instances, v));
+                            continue;
+                        };
+                        let col = binned.bins.col(split.feature as usize);
+                        let flags: Vec<bool> = instances
+                            .iter()
+                            .map(|&i| col[i as usize] <= split.bin)
+                            .collect();
+                        crate::sanitize::trace_partition(&group.devices()[0], &flags);
+                        let (left_idx, right_idx) = partition_stable(&instances, &flags);
+                        for dev in group.devices() {
+                            dev.charge_kernel(
+                                "partition_shard",
+                                Phase::Partition,
+                                &KernelCost {
+                                    flops: 3.0 * (instances.len() / k) as f64,
+                                    dram_bytes: ((instances.len() / k) * 17) as f64,
+                                    launches: 2.0,
+                                    ..Default::default()
+                                },
+                            );
+                        }
+                        let threshold = binned.cuts.threshold(split.feature as usize, split.bin);
+                        let (l, r) =
+                            tree.split_node(tree_node, split.feature, split.bin, threshold);
+                        let right_g: Vec<f64> = node_g
+                            .iter()
+                            .zip(&split.left_g)
+                            .map(|(a, b)| a - b)
+                            .collect();
+                        let right_h: Vec<f64> = node_h
+                            .iter()
+                            .zip(&split.left_h)
+                            .map(|(a, b)| a - b)
+                            .collect();
+                        next.push((l, left_idx, split.left_g, split.left_h));
+                        next.push((r, right_idx, right_g, right_h));
                     }
-                    let threshold = binned.cuts.threshold(split.feature as usize, split.bin);
-                    let (l, r) = tree.split_node(tree_node, split.feature, split.bin, threshold);
-                    let right_g: Vec<f64> = node_g
-                        .iter()
-                        .zip(&split.left_g)
-                        .map(|(a, b)| a - b)
-                        .collect();
-                    let right_h: Vec<f64> = node_h
-                        .iter()
-                        .zip(&split.left_h)
-                        .map(|(a, b)| a - b)
-                        .collect();
-                    next.push((l, left_idx, split.left_g, split.left_h));
-                    next.push((r, right_idx, right_g, right_h));
-                }
-                // One ring all-reduce per node's histogram, batched as a
-                // single level-wide collective of `reduced_nodes` payloads.
-                if k > 1 && reduced_nodes > 0 {
-                    let bytes = reduced_nodes * hist_len * 8;
-                    let ns = self
-                        .group
-                        .device(0)
-                        .model()
-                        .ring_all_reduce_ns(bytes as f64, k);
-                    for dev in self.group.devices() {
-                        dev.charge_ns("hist_all_reduce", Phase::Comm, ns);
+                    // One ring all-reduce per node's histogram, batched as a
+                    // single level-wide collective of `reduced_nodes` payloads.
+                    if k > 1 && reduced_nodes > 0 {
+                        let bytes = reduced_nodes * hist_len * 8;
+                        let ns = group.device(0).model().ring_all_reduce_ns(bytes as f64, k);
+                        for dev in group.devices() {
+                            dev.charge_ns("hist_all_reduce", Phase::Comm, ns);
+                        }
+                    }
+                    group.barrier();
+                    frontier = next;
+                    if frontier.is_empty() {
+                        break;
                     }
                 }
-                self.group.barrier();
-                frontier = next;
-                if frontier.is_empty() {
-                    break;
-                }
-            }
-            for (tree_node, instances, node_g, node_h) in frontier {
-                let v = leaf_values(
-                    &node_g,
-                    &node_h,
-                    self.config.lambda,
-                    self.config.learning_rate,
-                );
-                tree.set_leaf(tree_node, v.clone());
-                leaf_nodes.push(tree_node);
-                leaf_assignments.push((instances, v));
-            }
-            // Sketched structure, full-output leaves: refit on device 0,
-            // shard-sized mirror charges on the replicas.
-            let (tree, leaf_assignments) = if let Some(full) = &full_for_refit {
-                self.refit_round(tree, leaf_assignments, leaf_nodes, full, n / k)
-            } else {
-                (tree, leaf_assignments)
-            };
-            for (rank, dev) in self.group.devices().iter().enumerate() {
-                if rank == 0 {
-                    update_scores_from_leaves(dev, &mut scores, d, &leaf_assignments);
-                } else {
-                    let touched: usize =
-                        leaf_assignments.iter().map(|(v, _)| v.len()).sum::<usize>() / k;
-                    dev.charge_kernel(
-                        "update_scores_shard",
-                        Phase::Predict,
-                        &KernelCost::streaming((touched * d) as f64, (touched * d * 8) as f64),
+                for (tree_node, instances, node_g, node_h) in frontier {
+                    let v = leaf_values(
+                        &node_g,
+                        &node_h,
+                        self.config.lambda,
+                        self.config.learning_rate,
                     );
+                    tree.set_leaf(tree_node, v.clone());
+                    leaf_nodes.push(tree_node);
+                    leaf_assignments.push((instances, v));
                 }
-            }
-            trees.push(tree);
+                // Sketched structure, full-output leaves: refit on device 0,
+                // shard-sized mirror charges on the replicas.
+                let (tree, leaf_assignments) = if let Some(full) = &full_for_refit {
+                    self.refit_round(&group, tree, leaf_assignments, leaf_nodes, full, n / k)
+                } else {
+                    (tree, leaf_assignments)
+                };
+                for (rank, dev) in group.devices().iter().enumerate() {
+                    if rank == 0 {
+                        update_scores_from_leaves(dev, &mut scores, d, &leaf_assignments);
+                    } else {
+                        let touched: usize =
+                            leaf_assignments.iter().map(|(v, _)| v.len()).sum::<usize>() / k;
+                        dev.charge_kernel(
+                            "update_scores_shard",
+                            Phase::Predict,
+                            &KernelCost::streaming((touched * d) as f64, (touched * d * 8) as f64),
+                        );
+                    }
+                }
+                if !faults_on {
+                    break tree;
+                }
+                match self.recover_step(&mut active, &mut attempts, t)? {
+                    StepVerdict::Commit => break tree,
+                    StepVerdict::Retry => {}
+                    StepVerdict::Degraded => {
+                        // Survivors absorb the lost device's instance shard:
+                        // charge the re-shard ingest before re-running.
+                        charge_dp_preprocess(&DeviceGroup::from_devices(active.clone()), n, m);
+                    }
+                }
+                let (saved_scores, saved_methods) =
+                    saved.as_ref().expect("snapshot exists when faults are on");
+                scores.copy_from_slice(saved_scores);
+                hist_methods = saved_methods.clone();
+            };
+            trees.push(committed);
         }
-        self.group.barrier();
+        DeviceGroup::from_devices(active.clone()).barrier();
 
         let model = Model {
             trees,
@@ -819,14 +1043,21 @@ impl MultiGpuTrainer {
             task: ds.task(),
             config: self.config.clone(),
         };
-        let sim = self.group.device(0).summary().since(&start_summaries[0]);
-        TrainReport {
+        let lead = &active[0];
+        let lead_pos = self
+            .group
+            .devices()
+            .iter()
+            .position(|dv| Arc::ptr_eq(dv, lead))
+            .expect("lead device comes from the original group");
+        let sim = lead.summary().since(&start_summaries[lead_pos]);
+        Ok(TrainReport {
             sim_seconds: sim.total_ns * 1e-9,
             host_seconds: host_start.elapsed().as_secs_f64(),
             sim,
             model,
             hist_methods,
-        }
+        })
     }
 }
 

@@ -55,32 +55,7 @@ pub fn to_bytes(model: &Model) -> Bytes {
     buf.put_slice(&config_json);
     buf.put_u32_le(model.trees.len() as u32);
     for tree in &model.trees {
-        buf.put_u32_le(tree.num_nodes() as u32);
-        for node in tree.nodes() {
-            match node {
-                Node::Split {
-                    feature,
-                    bin,
-                    threshold,
-                    left,
-                    right,
-                } => {
-                    buf.put_u8(0);
-                    buf.put_u32_le(*feature);
-                    buf.put_u8(*bin);
-                    buf.put_f32_le(*threshold);
-                    buf.put_u32_le(*left);
-                    buf.put_u32_le(*right);
-                }
-                Node::Leaf { value } => {
-                    buf.put_u8(1);
-                    debug_assert_eq!(value.len(), model.d);
-                    for &v in value {
-                        buf.put_f32_le(v);
-                    }
-                }
-            }
-        }
+        write_tree(&mut buf, tree, model.d);
     }
     buf.freeze()
 }
@@ -96,6 +71,79 @@ macro_rules! need {
             ));
         }
     };
+}
+pub(crate) use need;
+
+/// Encode one tree in the shared per-node format (tag 0 split / tag 1
+/// leaf). Reused by the checkpoint writer.
+pub(crate) fn write_tree(buf: &mut BytesMut, tree: &Tree, d: usize) {
+    buf.put_u32_le(tree.num_nodes() as u32);
+    for node in tree.nodes() {
+        match node {
+            Node::Split {
+                feature,
+                bin,
+                threshold,
+                left,
+                right,
+            } => {
+                buf.put_u8(0);
+                buf.put_u32_le(*feature);
+                buf.put_u8(*bin);
+                buf.put_f32_le(*threshold);
+                buf.put_u32_le(*left);
+                buf.put_u32_le(*right);
+            }
+            Node::Leaf { value } => {
+                buf.put_u8(1);
+                debug_assert_eq!(value.len(), d);
+                for &v in value {
+                    buf.put_f32_le(v);
+                }
+            }
+        }
+    }
+}
+
+/// Decode one tree in the shared per-node format; `t` labels the tree
+/// in error messages. Reused by the checkpoint reader.
+pub(crate) fn read_tree(buf: &mut &[u8], d: usize, t: usize) -> Result<Tree, String> {
+    need!(buf, 4);
+    let num_nodes = buf.get_u32_le() as usize;
+    if num_nodes == 0 {
+        return Err(format!("tree {t} has no nodes"));
+    }
+    let mut nodes = Vec::with_capacity(num_nodes.min(1 << 24));
+    for _ in 0..num_nodes {
+        need!(buf, 1);
+        match buf.get_u8() {
+            0 => {
+                need!(buf, 4 + 1 + 4 + 4 + 4);
+                let feature = buf.get_u32_le();
+                let bin = buf.get_u8();
+                let threshold = buf.get_f32_le();
+                let left = buf.get_u32_le();
+                let right = buf.get_u32_le();
+                if left as usize >= num_nodes || right as usize >= num_nodes {
+                    return Err(format!("tree {t}: child index out of range"));
+                }
+                nodes.push(Node::Split {
+                    feature,
+                    bin,
+                    threshold,
+                    left,
+                    right,
+                });
+            }
+            1 => {
+                need!(buf, d * 4);
+                let value: Vec<f32> = (0..d).map(|_| buf.get_f32_le()).collect();
+                nodes.push(Node::Leaf { value });
+            }
+            other => return Err(format!("tree {t}: unknown node tag {other}")),
+        }
+    }
+    Tree::from_parts(nodes, d)
 }
 
 /// Deserialize a model from the compact binary format.
@@ -130,42 +178,7 @@ pub fn from_bytes(data: &[u8]) -> Result<Model, String> {
     let num_trees = buf.get_u32_le() as usize;
     let mut trees = Vec::with_capacity(num_trees.min(1 << 20));
     for t in 0..num_trees {
-        need!(buf, 4);
-        let num_nodes = buf.get_u32_le() as usize;
-        if num_nodes == 0 {
-            return Err(format!("tree {t} has no nodes"));
-        }
-        let mut nodes = Vec::with_capacity(num_nodes.min(1 << 24));
-        for _ in 0..num_nodes {
-            need!(buf, 1);
-            match buf.get_u8() {
-                0 => {
-                    need!(buf, 4 + 1 + 4 + 4 + 4);
-                    let feature = buf.get_u32_le();
-                    let bin = buf.get_u8();
-                    let threshold = buf.get_f32_le();
-                    let left = buf.get_u32_le();
-                    let right = buf.get_u32_le();
-                    if left as usize >= num_nodes || right as usize >= num_nodes {
-                        return Err(format!("tree {t}: child index out of range"));
-                    }
-                    nodes.push(Node::Split {
-                        feature,
-                        bin,
-                        threshold,
-                        left,
-                        right,
-                    });
-                }
-                1 => {
-                    need!(buf, d * 4);
-                    let value: Vec<f32> = (0..d).map(|_| buf.get_f32_le()).collect();
-                    nodes.push(Node::Leaf { value });
-                }
-                other => return Err(format!("tree {t}: unknown node tag {other}")),
-            }
-        }
-        trees.push(Tree::from_parts(nodes, d)?);
+        trees.push(read_tree(&mut buf, d, t)?);
     }
     if buf.has_remaining() {
         return Err(format!("{} trailing bytes after model", buf.remaining()));

@@ -21,6 +21,7 @@
 //! regardless of how requests were grouped: rows are independent, and
 //! each row's accumulation order never changes.
 
+use crate::config::ConfigError;
 use crate::predict::PredictMode;
 use crate::serve::DeviceEnsemble;
 use gbdt_data::DenseMatrix;
@@ -100,10 +101,23 @@ pub struct BatchServer {
 }
 
 impl BatchServer {
-    /// Front `ens` with the given micro-batching policy.
-    pub fn new(ens: DeviceEnsemble, cfg: BatchConfig) -> Self {
-        assert!(cfg.max_batch > 0, "max_batch must be positive");
-        BatchServer {
+    /// Front `ens` with the given micro-batching policy. A degenerate
+    /// policy — zero batch size, or a NaN/negative deadline — is a
+    /// [`ConfigError`], never a panic: serving configs arrive from
+    /// operators, not source code.
+    pub fn new(ens: DeviceEnsemble, cfg: BatchConfig) -> Result<Self, ConfigError> {
+        if cfg.max_batch == 0 {
+            return Err(ConfigError::from(
+                "max_batch must be positive (0 would never flush)".to_string(),
+            ));
+        }
+        if cfg.max_delay_ns.is_nan() || cfg.max_delay_ns < 0.0 {
+            return Err(ConfigError::from(format!(
+                "max_delay_ns must be non-negative (got {})",
+                cfg.max_delay_ns
+            )));
+        }
+        Ok(BatchServer {
             ens,
             cfg,
             rows: Vec::new(),
@@ -115,7 +129,7 @@ impl BatchServer {
             first_arrival: None,
             last_arrival: 0.0,
             last_completion: 0.0,
-        }
+        })
     }
 
     /// The resident ensemble.

@@ -23,11 +23,12 @@
 //! paper §3.4.2 — while exposing more parallelism for small batches.
 
 use crate::compiled::CompiledEnsemble;
+use crate::error::ServeError;
 use crate::predict::PredictMode;
 use crate::serve::trace;
 use gbdt_data::DenseMatrix;
 use gpusim::cost::KernelCost;
-use gpusim::{Device, GpuBuffer, Phase};
+use gpusim::{buffer_checksum, Device, GpuBuffer, Phase};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -94,6 +95,10 @@ pub struct DeviceEnsemble {
     node_base: Vec<usize>,
     leaf_base: Vec<usize>,
     d: usize,
+    /// Per-buffer FNV digests captured right after upload, before any
+    /// planned ECC corruption lands; [`DeviceEnsemble::verify`]
+    /// recomputes and compares against these.
+    digests: [(&'static str, u64); 7],
 }
 
 impl DeviceEnsemble {
@@ -119,7 +124,7 @@ impl DeviceEnsemble {
             leaf_values.extend_from_slice(&t.leaf_values);
             roots.push(t.root);
         }
-        DeviceEnsemble {
+        let mut this = DeviceEnsemble {
             feature: device.htod(&feature),
             threshold: device.htod(&threshold),
             left: device.htod(&left),
@@ -131,7 +136,68 @@ impl DeviceEnsemble {
             leaf_base,
             d: ens.d(),
             device,
+            digests: [("", 0); 7],
+        };
+        // Capture the known-good digest of every resident array, then
+        // let any planned ECC corruption land — the upload itself is
+        // verified, later faults are caught by `verify`.
+        this.digests = this.checksums();
+        let device = this.device.clone();
+        device.apply_planned_corruption("serve_feature", &mut this.feature);
+        device.apply_planned_corruption("serve_threshold", &mut this.threshold);
+        device.apply_planned_corruption("serve_left", &mut this.left);
+        device.apply_planned_corruption("serve_right", &mut this.right);
+        device.apply_planned_corruption("serve_leaf_values", &mut this.leaf_values);
+        device.apply_planned_corruption("serve_roots", &mut this.roots);
+        device.apply_planned_corruption("serve_base", &mut this.base);
+        this
+    }
+
+    /// Checksum every resident SoA buffer with the charged
+    /// `buffer_checksum` kernel.
+    fn checksums(&self) -> [(&'static str, u64); 7] {
+        let dev = &self.device;
+        [
+            (
+                "serve_feature",
+                buffer_checksum(dev, "serve_feature", &self.feature),
+            ),
+            (
+                "serve_threshold",
+                buffer_checksum(dev, "serve_threshold", &self.threshold),
+            ),
+            ("serve_left", buffer_checksum(dev, "serve_left", &self.left)),
+            (
+                "serve_right",
+                buffer_checksum(dev, "serve_right", &self.right),
+            ),
+            (
+                "serve_leaf_values",
+                buffer_checksum(dev, "serve_leaf_values", &self.leaf_values),
+            ),
+            (
+                "serve_roots",
+                buffer_checksum(dev, "serve_roots", &self.roots),
+            ),
+            ("serve_base", buffer_checksum(dev, "serve_base", &self.base)),
+        ]
+    }
+
+    /// Re-checksum every resident buffer and compare against the
+    /// digests captured at upload. Returns the first mismatch as
+    /// [`ServeError::Corruption`] — the ECC scrub a real serving fleet
+    /// runs before trusting a long-resident model.
+    pub fn verify(&self) -> Result<(), ServeError> {
+        for (expected, fresh) in self.digests.iter().zip(self.checksums()) {
+            if expected.1 != fresh.1 {
+                return Err(ServeError::Corruption {
+                    buffer: expected.0,
+                    expected: expected.1,
+                    actual: fresh.1,
+                });
+            }
         }
+        Ok(())
     }
 
     /// The device this ensemble is resident on.

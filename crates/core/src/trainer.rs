@@ -1,7 +1,9 @@
 //! The single-GPU training loop (paper Fig. 2): gradients → histograms
 //! → split selection → partition, per tree, fully device-charged.
 
+use crate::checkpoint::Checkpoint;
 use crate::config::{ConfigError, HistogramMethod, TrainConfig};
+use crate::error::TrainError;
 use crate::grad::{compute_gradients, update_scores_from_leaves};
 use crate::grow::grow_tree_pooled;
 use crate::loss::loss_for_task;
@@ -42,6 +44,10 @@ impl TrainReport {
     }
 }
 
+/// Validation curve produced by `fit_impl` when an eval split is
+/// supplied: per-round metric history plus the best iteration.
+type ValidationCurve = (Vec<f64>, usize);
+
 /// Single-device GBDT-MO trainer.
 pub struct GpuTrainer {
     device: Arc<Device>,
@@ -75,13 +81,92 @@ impl GpuTrainer {
     }
 
     /// Train and return just the model.
+    ///
+    /// Panics if the device faults past the retry budget; attach a
+    /// fault injector only through [`GpuTrainer::try_fit`] and friends.
     pub fn fit(&self, ds: &Dataset) -> Model {
         self.fit_report(ds).model
     }
 
-    /// Train with full timing/telemetry report.
+    /// Train with full timing/telemetry report (panicking wrapper over
+    /// [`GpuTrainer::try_fit_report`]).
     pub fn fit_report(&self, ds: &Dataset) -> TrainReport {
-        self.fit_impl(ds, None, None).0
+        self.try_fit_report(ds)
+            .unwrap_or_else(|e| panic!("training failed: {e}"))
+    }
+
+    /// Fallible training: transient kernel faults are retried up to
+    /// [`TrainConfig::with_retry`]'s budget (each redo re-charges the
+    /// round in full), and unrecoverable faults surface as a typed
+    /// [`TrainError`] — never a panic. Without an attached injector
+    /// this is bit-identical to [`GpuTrainer::fit`].
+    pub fn try_fit(&self, ds: &Dataset) -> Result<Model, TrainError> {
+        Ok(self.try_fit_report(ds)?.model)
+    }
+
+    /// Fallible variant of [`GpuTrainer::fit_report`]; see
+    /// [`GpuTrainer::try_fit`] for the fault semantics.
+    pub fn try_fit_report(&self, ds: &Dataset) -> Result<TrainReport, TrainError> {
+        Ok(self.fit_impl(ds, None, None, None, None)?.0)
+    }
+
+    /// Train while snapshotting a [`Checkpoint`] after every committed
+    /// round. `checkpoints[t]` resumes after tree `t`; resuming via
+    /// [`crate::Model::resume_from`] is bit-identical to the
+    /// uninterrupted run.
+    pub fn try_fit_checkpointed(
+        &self,
+        ds: &Dataset,
+    ) -> Result<(TrainReport, Vec<Checkpoint>), TrainError> {
+        let mut checkpoints = Vec::with_capacity(self.config.num_trees);
+        let report = self
+            .fit_impl(ds, None, None, None, Some(&mut checkpoints))?
+            .0;
+        Ok((report, checkpoints))
+    }
+
+    /// Resume training from `checkpoint` against the same dataset,
+    /// finishing the remaining rounds. The report's `sim`/`model`
+    /// cover this run only: preprocessing is re-charged (the fresh
+    /// device must re-upload and re-bin), then rounds
+    /// `checkpoint.completed_trees..num_trees` replay bit-identically
+    /// to an uninterrupted fit.
+    pub fn try_fit_resumed(
+        &self,
+        ds: &Dataset,
+        checkpoint: &Checkpoint,
+    ) -> Result<TrainReport, TrainError> {
+        let ck = checkpoint;
+        if ck.n != ds.n() || ck.d != ds.d() || ck.task != ds.task() {
+            return Err(TrainError::Checkpoint(format!(
+                "checkpoint shape ({} × {}, {:?}) does not match dataset ({} × {}, {:?})",
+                ck.n,
+                ck.d,
+                ck.task,
+                ds.n(),
+                ds.d(),
+                ds.task()
+            )));
+        }
+        if ck.trees.len() != ck.completed_trees {
+            return Err(TrainError::Checkpoint(format!(
+                "checkpoint claims {} completed trees but carries {}",
+                ck.completed_trees,
+                ck.trees.len()
+            )));
+        }
+        if ck.base.len() != ck.d || ck.scores.len() != ck.n * ck.d {
+            return Err(TrainError::Checkpoint(
+                "checkpoint base/score arrays do not match its dimensions".into(),
+            ));
+        }
+        if ck.completed_trees > self.config.num_trees {
+            return Err(TrainError::Checkpoint(format!(
+                "checkpoint has {} trees but the config trains {}",
+                ck.completed_trees, self.config.num_trees
+            )));
+        }
+        Ok(self.fit_impl(ds, None, None, Some(ck), None)?.0)
     }
 
     /// Train against a user-defined loss (the paper's §3.1.1
@@ -93,7 +178,9 @@ impl GpuTrainer {
         ds: &Dataset,
         loss: &dyn crate::loss::MultiOutputLoss,
     ) -> TrainReport {
-        self.fit_impl(ds, None, Some(loss)).0
+        self.fit_impl(ds, None, Some(loss), None, None)
+            .unwrap_or_else(|e| panic!("training failed: {e}"))
+            .0
     }
 
     /// Train with early stopping: after each tree, the mean loss on
@@ -108,7 +195,9 @@ impl GpuTrainer {
     ) -> ValidationReport {
         assert_eq!(train.d(), valid.d(), "train/valid output dims differ");
         assert_eq!(train.m(), valid.m(), "train/valid feature dims differ");
-        let (report, curve) = self.fit_impl(train, Some((valid, patience)), None);
+        let (report, curve) = self
+            .fit_impl(train, Some((valid, patience)), None, None, None)
+            .unwrap_or_else(|e| panic!("training failed: {e}"));
         let (history, best_iteration) = curve.expect("validation requested");
         ValidationReport {
             report,
@@ -122,29 +211,62 @@ impl GpuTrainer {
         ds: &Dataset,
         valid: Option<(&Dataset, usize)>,
         custom_loss: Option<&dyn crate::loss::MultiOutputLoss>,
-    ) -> (TrainReport, Option<(Vec<f64>, usize)>) {
+        resume: Option<&Checkpoint>,
+        mut checkpoints: Option<&mut Vec<Checkpoint>>,
+    ) -> Result<(TrainReport, Option<ValidationCurve>), TrainError> {
         let start_summary = self.device.summary();
         let host_start = Instant::now();
         let n = ds.n();
         let d = ds.d();
         let device = &*self.device;
+        // With no injector attached every poll is `Ok` and no snapshot
+        // is ever taken, so this path is bit-identical to a trainer
+        // without fault handling (regression-tested in tests/chaos.rs).
+        let faults_on = device.fault_injector().is_some();
+        let max_retries = self.config.retry.max_retries;
 
-        // --- preprocessing: upload + quantile binning (charged) -------
-        let prep_scope = device.prof_scope("preprocess", None);
-        let raw_bytes = (n * ds.m() * 4) as f64;
-        device.charge_ns(
-            "htod_features",
-            Phase::Transfer,
-            device.model().host_copy_ns(raw_bytes),
-        );
-        let binned = BinnedDataset::build(ds.features(), self.config.max_bins);
-        device.charge_kernel(
-            "quantile_binning",
-            Phase::Binning,
-            &KernelCost::streaming((n * ds.m()) as f64 * 16.0, raw_bytes * 2.5),
-        );
-        crate::sanitize::trace_quantile_binning(device, n, ds.m(), self.config.max_bins);
-        drop(prep_scope);
+        // --- preprocessing: upload + quantile binning (charged), with
+        // --- bounded retry on transient faults ------------------------
+        let mut prep_attempts = 0u32;
+        let binned = loop {
+            let prep_scope = device.prof_scope("preprocess", None);
+            let raw_bytes = (n * ds.m() * 4) as f64;
+            device.charge_ns(
+                "htod_features",
+                Phase::Transfer,
+                device.model().host_copy_ns(raw_bytes),
+            );
+            let binned = BinnedDataset::build(ds.features(), self.config.max_bins);
+            device.charge_kernel(
+                "quantile_binning",
+                Phase::Binning,
+                &KernelCost::streaming((n * ds.m()) as f64 * 16.0, raw_bytes * 2.5),
+            );
+            crate::sanitize::trace_quantile_binning(device, n, ds.m(), self.config.max_bins);
+            drop(prep_scope);
+            if !faults_on {
+                break binned;
+            }
+            match device.poll_fault() {
+                Ok(()) => break binned,
+                Err(fault) if fault.is_transient() && prep_attempts < max_retries => {
+                    prep_attempts += 1;
+                }
+                Err(fault) if fault.is_transient() => {
+                    return Err(TrainError::RetriesExhausted {
+                        round: usize::MAX,
+                        attempts: prep_attempts,
+                        fault,
+                    });
+                }
+                Err(fault) => {
+                    return Err(TrainError::DeviceLost {
+                        round: usize::MAX,
+                        fault,
+                    });
+                }
+            }
+        };
 
         // --- base scores ----------------------------------------------
         let base = base_scores(ds);
@@ -159,6 +281,16 @@ impl GpuTrainer {
         let mut trees = Vec::with_capacity(self.config.num_trees);
         let mut hist_methods: BTreeMap<HistogramMethod, usize> = BTreeMap::new();
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let mut start_round = 0usize;
+        if let Some(ck) = resume {
+            // Shapes were validated by `try_fit_resumed`; restoring the
+            // trees, score matrix, and mid-stream RNG makes the rounds
+            // below indistinguishable from an uninterrupted run.
+            scores.copy_from_slice(&ck.scores);
+            trees = ck.trees.clone();
+            rng = ChaCha8Rng::from_snapshot(ck.rng.0, ck.rng.1, ck.rng.2);
+            start_round = ck.completed_trees;
+        }
 
         // Early-stopping state (only when a validation set is given).
         let mut valid_scores: Vec<f32> = valid
@@ -177,131 +309,198 @@ impl GpuTrainer {
         // histograms and then stops allocating.
         let mut pool = HistogramPool::new(0, 0, 0);
 
-        for t in 0..self.config.num_trees {
-            // Per-boosting-round profiling scope (no-op when profiling
-            // is off); levels and kernels nest beneath it.
-            let _round_scope = device.prof_scope("round", Some(t as u64));
-            let mut grads_full = compute_gradients(device, loss, &scores, ds.targets(), n, d);
-            if self.config.hist.quantized_gradients {
-                crate::grad::quantize_bf16(device, &mut grads_full);
-            }
-
-            // Stochastic gradient boosting: per-tree row/column samples.
-            let tree_features =
-                sample_fraction(&all_features, self.config.colsample_bytree, &mut rng);
-            let all_rows: Vec<u32> = (0..n as u32).collect();
-            let (root, grads, subsampled);
-            if let Some(goss) = self.config.goss {
-                let (idx, amplified) = goss_sample(&grads_full, goss, &mut rng);
-                // lint:allow(sanitize): host-side RNG rank sampling emits a private index list; no cross-thread access stream to replay
-                device.charge_kernel(
-                    "goss_rank_sample",
-                    Phase::Gradient,
-                    &KernelCost {
-                        // Gradient-norm pass + top-k selection (sort).
-                        flops: (n * d) as f64 + n as f64 * 2.0,
-                        dram_bytes: (n * d * 4 + n * 8) as f64,
-                        sort_keys: n as f64,
-                        launches: 3.0,
-                        ..Default::default()
-                    },
-                );
-                root = idx;
-                grads = amplified;
-                subsampled = true;
-            } else {
-                subsampled = self.config.subsample < 1.0;
-                root = if subsampled {
-                    sample_fraction(&all_rows, self.config.subsample, &mut rng)
-                } else {
-                    all_rows
-                };
-                grads = grads_full;
-            }
-
-            let grown = if self.config.sketch.is_none() {
-                grow_tree_pooled(
-                    device,
-                    &binned,
-                    &grads,
-                    &self.config,
-                    &tree_features,
-                    root,
-                    &mut pool,
+        for t in start_round..self.config.num_trees {
+            // Rollback snapshot for transient-fault retry: taken only
+            // when an injector is attached, so the fault-free hot path
+            // stays allocation-identical to the pre-fault trainer.
+            let saved = faults_on.then(|| {
+                (
+                    scores.clone(),
+                    rng.clone(),
+                    valid_scores.clone(),
+                    history.len(),
+                    best,
                 )
-            } else {
-                // SketchBoost's recipe on the GPU pipeline: search the
-                // tree structure on an n × k sketch (every histogram,
-                // split and partition kernel runs at effective output
-                // dimension k), then refit the leaves on the full
-                // d-dimensional gradients.
-                let sketch_scope = device.prof_scope("sketch", Some(t as u64));
-                let sketched = crate::sketch::sketch_gradients_device(
-                    device,
-                    &grads,
-                    self.config.sketch,
-                    self.config.seed.wrapping_add(t as u64),
-                );
-                drop(sketch_scope);
-                let mut grown = grow_tree_pooled(
-                    device,
-                    &binned,
-                    &sketched,
-                    &self.config,
-                    &tree_features,
-                    root,
-                    &mut pool,
-                );
-                crate::sketch::refit_leaves_full_d(device, &mut grown, &grads, &self.config);
-                grown
-            };
-            if subsampled {
-                // Out-of-sample instances still receive the tree's
-                // contribution: route every instance to its leaf.
-                for i in 0..n {
-                    grown
-                        .tree
-                        .predict_into(ds.features().row(i), &mut scores[i * d..(i + 1) * d]);
+            });
+            let mut attempts = 0u32;
+            let (grown, early_stop) = loop {
+                // Per-boosting-round profiling scope (no-op when profiling
+                // is off); levels and kernels nest beneath it.
+                let _round_scope = device.prof_scope("round", Some(t as u64));
+                let mut grads_full = compute_gradients(device, loss, &scores, ds.targets(), n, d);
+                if self.config.hist.quantized_gradients {
+                    crate::grad::quantize_bf16(device, &mut grads_full);
                 }
-                // lint:allow(sanitize): same disjoint per-instance row scatter as `update_scores`, replayed by trace_update_scores on the dense path
-                device.charge_kernel(
-                    "update_scores_routed",
-                    Phase::Predict,
-                    &KernelCost::streaming(
-                        (n * grown.tree.depth().max(1)) as f64 * 4.0,
-                        (n * (grown.tree.depth().max(1) * 16 + d * 8)) as f64,
-                    ),
-                );
-            } else {
-                update_scores_from_leaves(device, &mut scores, d, &grown.leaf_assignments);
-            }
+
+                // Stochastic gradient boosting: per-tree row/column samples.
+                let tree_features =
+                    sample_fraction(&all_features, self.config.colsample_bytree, &mut rng);
+                let all_rows: Vec<u32> = (0..n as u32).collect();
+                let (root, grads, subsampled);
+                if let Some(goss) = self.config.goss {
+                    let (idx, amplified) = goss_sample(&grads_full, goss, &mut rng);
+                    // lint:allow(sanitize): host-side RNG rank sampling emits a private index list; no cross-thread access stream to replay
+                    device.charge_kernel(
+                        "goss_rank_sample",
+                        Phase::Gradient,
+                        &KernelCost {
+                            // Gradient-norm pass + top-k selection (sort).
+                            flops: (n * d) as f64 + n as f64 * 2.0,
+                            dram_bytes: (n * d * 4 + n * 8) as f64,
+                            sort_keys: n as f64,
+                            launches: 3.0,
+                            ..Default::default()
+                        },
+                    );
+                    root = idx;
+                    grads = amplified;
+                    subsampled = true;
+                } else {
+                    subsampled = self.config.subsample < 1.0;
+                    root = if subsampled {
+                        sample_fraction(&all_rows, self.config.subsample, &mut rng)
+                    } else {
+                        all_rows
+                    };
+                    grads = grads_full;
+                }
+
+                let grown = if self.config.sketch.is_none() {
+                    grow_tree_pooled(
+                        device,
+                        &binned,
+                        &grads,
+                        &self.config,
+                        &tree_features,
+                        root,
+                        &mut pool,
+                    )
+                } else {
+                    // SketchBoost's recipe on the GPU pipeline: search the
+                    // tree structure on an n × k sketch (every histogram,
+                    // split and partition kernel runs at effective output
+                    // dimension k), then refit the leaves on the full
+                    // d-dimensional gradients.
+                    let sketch_scope = device.prof_scope("sketch", Some(t as u64));
+                    let sketched = crate::sketch::sketch_gradients_device(
+                        device,
+                        &grads,
+                        self.config.sketch,
+                        self.config.seed.wrapping_add(t as u64),
+                    );
+                    drop(sketch_scope);
+                    let mut grown = grow_tree_pooled(
+                        device,
+                        &binned,
+                        &sketched,
+                        &self.config,
+                        &tree_features,
+                        root,
+                        &mut pool,
+                    );
+                    crate::sketch::refit_leaves_full_d(device, &mut grown, &grads, &self.config);
+                    grown
+                };
+                if subsampled {
+                    // Out-of-sample instances still receive the tree's
+                    // contribution: route every instance to its leaf.
+                    for i in 0..n {
+                        grown
+                            .tree
+                            .predict_into(ds.features().row(i), &mut scores[i * d..(i + 1) * d]);
+                    }
+                    // lint:allow(sanitize): same disjoint per-instance row scatter as `update_scores`, replayed by trace_update_scores on the dense path
+                    device.charge_kernel(
+                        "update_scores_routed",
+                        Phase::Predict,
+                        &KernelCost::streaming(
+                            (n * grown.tree.depth().max(1)) as f64 * 4.0,
+                            (n * (grown.tree.depth().max(1) * 16 + d * 8)) as f64,
+                        ),
+                    );
+                } else {
+                    update_scores_from_leaves(device, &mut scores, d, &grown.leaf_assignments);
+                }
+
+                let mut early_stop = false;
+                if let Some((vd, patience)) = valid {
+                    let tree = &grown.tree;
+                    for i in 0..vd.n() {
+                        tree.predict_into(
+                            vd.features().row(i),
+                            &mut valid_scores[i * d..(i + 1) * d],
+                        );
+                    }
+                    // lint:allow(sanitize): identical traversal/scatter pattern to `predict`, replayed by trace_predict on the training path
+                    device.charge_kernel(
+                        "validation_predict",
+                        Phase::Predict,
+                        &KernelCost::streaming(
+                            (vd.n() * tree.depth().max(1)) as f64 * 4.0,
+                            (vd.n() * (tree.depth().max(1) * 16 + d * 8)) as f64,
+                        ),
+                    );
+                    let vloss = crate::loss::mean_loss(loss, &valid_scores, vd.targets(), d);
+                    history.push(vloss);
+                    if vloss < best.0 {
+                        best = (vloss, t);
+                    }
+                    if t - best.1 >= patience {
+                        early_stop = true; // no improvement for `patience` trees
+                    }
+                }
+
+                if !faults_on {
+                    break (grown, early_stop);
+                }
+                // Sync point: surface any fault injected by this round's
+                // charges before committing its tree.
+                match device.poll_fault() {
+                    Ok(()) => break (grown, early_stop),
+                    Err(fault) if fault.is_transient() && attempts < max_retries => {
+                        // Roll the mutated state back and re-run the round;
+                        // the faulted attempt's charges stay on the ledger
+                        // and the redo pays full price again.
+                        attempts += 1;
+                        let (s, r, v, hist_len, b) = saved.clone().expect("snapshot exists");
+                        scores = s;
+                        rng = r;
+                        valid_scores = v;
+                        history.truncate(hist_len);
+                        best = b;
+                    }
+                    Err(fault) if fault.is_transient() => {
+                        return Err(TrainError::RetriesExhausted {
+                            round: t,
+                            attempts,
+                            fault,
+                        });
+                    }
+                    Err(fault) => {
+                        return Err(TrainError::DeviceLost { round: t, fault });
+                    }
+                }
+            }; // retry loop
+
             for (m, c) in grown.methods_used {
                 *hist_methods.entry(m).or_insert(0) += c;
             }
             trees.push(grown.tree);
-
-            if let Some((vd, patience)) = valid {
-                let tree = trees.last().expect("just pushed");
-                for i in 0..vd.n() {
-                    tree.predict_into(vd.features().row(i), &mut valid_scores[i * d..(i + 1) * d]);
-                }
-                // lint:allow(sanitize): identical traversal/scatter pattern to `predict`, replayed by trace_predict on the training path
-                device.charge_kernel(
-                    "validation_predict",
-                    Phase::Predict,
-                    &KernelCost::streaming(
-                        (vd.n() * tree.depth().max(1)) as f64 * 4.0,
-                        (vd.n() * (tree.depth().max(1) * 16 + d * 8)) as f64,
-                    ),
-                );
-                let vloss = crate::loss::mean_loss(loss, &valid_scores, vd.targets(), d);
-                history.push(vloss);
-                if vloss < best.0 {
-                    best = (vloss, t);
-                }
-                if t - best.1 >= patience {
-                    break; // no improvement for `patience` trees
-                }
+            if let Some(out) = checkpoints.as_deref_mut() {
+                out.push(Checkpoint {
+                    completed_trees: t + 1,
+                    trees: trees.clone(),
+                    base: base.clone(),
+                    scores: scores.clone(),
+                    rng: rng.snapshot(),
+                    n,
+                    d,
+                    task: ds.task(),
+                    config: self.config.clone(),
+                });
+            }
+            if early_stop {
+                break;
             }
         }
         if valid.is_some() {
@@ -324,7 +523,7 @@ impl GpuTrainer {
             hist_methods,
         };
         let curve = valid.map(|_| (history, best.1));
-        (report, curve)
+        Ok((report, curve))
     }
 }
 

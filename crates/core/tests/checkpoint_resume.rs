@@ -1,0 +1,213 @@
+//! Property test: checkpoint after tree `t`, resume on a fresh device,
+//! and the resumed run is bit-identical to the uninterrupted one — for
+//! every histogram method × output-sketch mode combination.
+//!
+//! "Bit-identical" covers three layers: the grown trees, the final
+//! predictions, and the simulated charge stream (the resumed device's
+//! records after its two preprocess charges must match the tail of the
+//! uninterrupted device's stream exactly, name and bit-pattern).
+
+use gbdt_core::config::{OutputSketch, TrainConfig};
+use gbdt_core::trainer::GpuTrainer;
+use gbdt_core::{Checkpoint, HistOptions, HistogramMethod};
+use gbdt_data::synth::{make_classification, ClassificationSpec};
+use gbdt_data::Dataset;
+use gpusim::{Device, DeviceProps};
+
+fn dataset() -> Dataset {
+    make_classification(&ClassificationSpec {
+        instances: 250,
+        features: 8,
+        classes: 6,
+        informative: 6,
+        seed: 9,
+        ..Default::default()
+    })
+}
+
+fn grid() -> Vec<(HistogramMethod, OutputSketch)> {
+    let methods = [
+        HistogramMethod::GlobalMemory,
+        HistogramMethod::SharedMemory,
+        HistogramMethod::SortReduce,
+        HistogramMethod::Adaptive,
+    ];
+    let sketches = [
+        OutputSketch::None,
+        OutputSketch::TopOutputs(2),
+        OutputSketch::RandomSampling(2),
+        OutputSketch::RandomProjection(2),
+    ];
+    methods
+        .into_iter()
+        .flat_map(|h| sketches.into_iter().map(move |s| (h, s)))
+        .collect()
+}
+
+#[test]
+fn resume_is_bit_identical_across_hist_methods_and_sketches() {
+    let ds = dataset();
+    for (hist, sketch) in grid() {
+        let cfg = TrainConfig {
+            num_trees: 6,
+            max_depth: 3,
+            max_bins: 16,
+            min_instances: 5,
+            hist: HistOptions {
+                method: hist,
+                ..HistOptions::default()
+            },
+            sketch,
+            ..TrainConfig::default()
+        };
+        let label = format!("{hist:?}/{}", sketch.label());
+
+        let dev_a = Device::new(0, DeviceProps::rtx4090());
+        let trainer = GpuTrainer::try_new(dev_a.clone(), cfg.clone())
+            .unwrap_or_else(|e| panic!("{label}: invalid config: {e}"));
+        let (full, checkpoints) = trainer
+            .try_fit_checkpointed(&ds)
+            .unwrap_or_else(|e| panic!("{label}: checkpointed fit failed: {e}"));
+        assert_eq!(checkpoints.len(), 6, "{label}: one checkpoint per tree");
+
+        let ck = checkpoints
+            .iter()
+            .find(|c| c.completed_trees == 3)
+            .unwrap_or_else(|| panic!("{label}: no checkpoint at tree 3"));
+        // Serialization roundtrip must preserve the resume point.
+        let ck = Checkpoint::from_bytes(&ck.to_bytes())
+            .unwrap_or_else(|e| panic!("{label}: checkpoint roundtrip failed: {e}"));
+        assert_eq!(ck.completed_trees, 3);
+
+        let dev_b = Device::new(0, DeviceProps::rtx4090());
+        let resumed = gbdt_core::Model::resume_from(dev_b.clone(), &ck, &ds)
+            .unwrap_or_else(|e| panic!("{label}: resume failed: {e}"));
+
+        assert_eq!(
+            resumed.model.trees, full.model.trees,
+            "{label}: resumed trees diverged"
+        );
+        assert_eq!(
+            resumed.model.predict(ds.features()),
+            full.model.predict(ds.features()),
+            "{label}: resumed predictions diverged"
+        );
+
+        // Charge-stream identity: after its preprocess re-charges
+        // (htod_features + quantile_binning), the resumed device must
+        // book exactly the tail of the uninterrupted stream.
+        let a = dev_a.records();
+        let b = dev_b.records();
+        assert!(b.len() > 2, "{label}: resumed run booked no round work");
+        let tail = &b[2..];
+        assert!(
+            a.len() >= tail.len(),
+            "{label}: resumed stream longer than the full run"
+        );
+        let a_tail = &a[a.len() - tail.len()..];
+        for (x, y) in a_tail.iter().zip(tail) {
+            assert_eq!(x.name, y.name, "{label}: kernel sequence drifted");
+            assert_eq!(
+                x.ns.to_bits(),
+                y.ns.to_bits(),
+                "{label}: {} charge drifted on resume",
+                x.name
+            );
+        }
+    }
+}
+
+/// Resuming from the final checkpoint grows nothing: the model is
+/// already complete and only the preprocess charges are booked.
+#[test]
+fn resume_from_final_checkpoint_is_a_no_op_fit() {
+    let ds = dataset();
+    let cfg = TrainConfig {
+        num_trees: 4,
+        max_depth: 3,
+        max_bins: 16,
+        min_instances: 5,
+        ..TrainConfig::default()
+    };
+    let dev_a = Device::new(0, DeviceProps::rtx4090());
+    let (full, checkpoints) = GpuTrainer::try_new(dev_a, cfg)
+        .expect("valid config")
+        .try_fit_checkpointed(&ds)
+        .expect("fit succeeds");
+    let last = checkpoints.last().expect("checkpoints recorded");
+    assert_eq!(last.completed_trees, 4);
+
+    let dev_b = Device::new(0, DeviceProps::rtx4090());
+    let resumed = gbdt_core::Model::resume_from(dev_b.clone(), last, &ds).expect("resume");
+    assert_eq!(resumed.model.trees, full.model.trees);
+    assert_eq!(
+        dev_b.records().len(),
+        2,
+        "only htod_features + quantile_binning should be charged"
+    );
+}
+
+/// A checkpoint taken against one dataset refuses to resume against a
+/// mismatched one — typed error, not a wrong model.
+#[test]
+fn resume_rejects_mismatched_dataset() {
+    let ds = dataset();
+    let cfg = TrainConfig {
+        num_trees: 3,
+        max_depth: 3,
+        max_bins: 16,
+        min_instances: 5,
+        ..TrainConfig::default()
+    };
+    let (_, checkpoints) = GpuTrainer::try_new(Device::rtx4090(), cfg)
+        .expect("valid config")
+        .try_fit_checkpointed(&ds)
+        .expect("fit succeeds");
+    let ck = &checkpoints[0];
+
+    let other = make_classification(&ClassificationSpec {
+        instances: 100,
+        features: 8,
+        classes: 6,
+        informative: 6,
+        seed: 10,
+        ..Default::default()
+    });
+    let err = gbdt_core::Model::resume_from(Device::rtx4090(), ck, &other)
+        .expect_err("shape mismatch must be rejected");
+    assert!(!err.to_string().is_empty());
+}
+
+/// Corrupted checkpoint bytes are a typed error, never a panic.
+#[test]
+fn corrupted_checkpoint_bytes_are_typed_errors() {
+    let ds = dataset();
+    let cfg = TrainConfig {
+        num_trees: 3,
+        max_depth: 3,
+        max_bins: 16,
+        min_instances: 5,
+        ..TrainConfig::default()
+    };
+    let (_, checkpoints) = GpuTrainer::try_new(Device::rtx4090(), cfg)
+        .expect("valid config")
+        .try_fit_checkpointed(&ds)
+        .expect("fit succeeds");
+    let bytes = checkpoints[1].to_bytes();
+
+    // Truncation at every prefix length must fail cleanly.
+    for len in 0..bytes.len().min(96) {
+        assert!(
+            Checkpoint::from_bytes(&bytes[..len]).is_err(),
+            "truncation to {len} bytes must be rejected"
+        );
+    }
+    // Bad magic.
+    let mut bad = bytes.to_vec();
+    bad[0] ^= 0xFF;
+    assert!(Checkpoint::from_bytes(&bad).is_err());
+    // Bad version.
+    let mut bad = bytes.to_vec();
+    bad[4] = 0xFF;
+    assert!(Checkpoint::from_bytes(&bad).is_err());
+}

@@ -1,0 +1,184 @@
+//! Fuzz-style corruption tests for [`CompiledEnsemble::from_json`].
+//!
+//! Serving artifacts cross a trust boundary: the JSON a server loads
+//! was written by some earlier training job and may have been
+//! truncated, bit-rotted, or hand-edited in transit. The decoder's
+//! contract is that *any* byte string either parses into an ensemble
+//! that passes [`CompiledEnsemble::validate`] or returns `Err` — it
+//! never panics, never hangs, and never yields an ensemble whose
+//! traversal could index out of bounds.
+
+use gbdt_core::config::TrainConfig;
+use gbdt_core::trainer::GpuTrainer;
+use gbdt_core::CompiledEnsemble;
+use gbdt_data::synth::{make_classification, ClassificationSpec};
+use gpusim::Device;
+
+/// Deterministic splitmix64 — the tests need repeatable "randomness"
+/// without pulling an RNG crate into the fixture.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+fn valid_json() -> String {
+    let ds = make_classification(&ClassificationSpec {
+        instances: 200,
+        features: 6,
+        classes: 4,
+        informative: 5,
+        seed: 21,
+        ..Default::default()
+    });
+    let cfg = TrainConfig {
+        num_trees: 4,
+        max_depth: 3,
+        max_bins: 16,
+        min_instances: 5,
+        ..TrainConfig::default()
+    };
+    let model = GpuTrainer::new(Device::rtx4090(), cfg).fit(&ds);
+    serde_json::to_string(&CompiledEnsemble::compile(&model)).expect("ensemble serializes")
+}
+
+/// 300 seeded byte-level mutations (replace, delete, insert, truncate).
+/// Every mutant must decode to `Err` or to a validated ensemble —
+/// exercised by predicting with it — with zero panics.
+#[test]
+fn seeded_byte_mutations_never_panic() {
+    let json = valid_json();
+    assert!(
+        CompiledEnsemble::from_json(&json).is_ok(),
+        "baseline artifact must be valid"
+    );
+    assert!(json.is_ascii(), "serde_json output here is pure ASCII");
+
+    let (mut rejected, mut survived) = (0u32, 0u32);
+    for seed in 0..300u64 {
+        let mut rng = SplitMix(seed.wrapping_mul(0x5851_F42D_4C95_7F2D) + 1);
+        let mut bytes = json.clone().into_bytes();
+        // 1–4 mutations per mutant: single flips are often absorbed by
+        // whitespace-free JSON, stacked ones corrupt structure.
+        for _ in 0..=rng.below(4) {
+            if bytes.is_empty() {
+                break;
+            }
+            let pos = rng.below(bytes.len());
+            match rng.below(4) {
+                0 => bytes[pos] = (rng.next() & 0xFF) as u8,
+                1 => {
+                    bytes.remove(pos);
+                }
+                2 => bytes.insert(pos, (rng.next() & 0x7F) as u8),
+                _ => bytes.truncate(pos),
+            }
+        }
+        let mutant = String::from_utf8_lossy(&bytes);
+        match CompiledEnsemble::from_json(&mutant) {
+            Err(e) => {
+                rejected += 1;
+                assert!(!e.is_empty(), "seed {seed}: error must carry a message");
+            }
+            Ok(ens) => {
+                // A mutation can be semantically neutral (e.g. inside
+                // insignificant digits). Whatever decodes must be safe
+                // to traverse.
+                survived += 1;
+                ens.validate()
+                    .unwrap_or_else(|e| panic!("seed {seed}: decoded ensemble invalid: {e}"));
+                let row = vec![0.5f32; 6];
+                let mut out = vec![0.0f32; ens.d()];
+                ens.predict_row_into(&row, &mut out);
+                assert!(out.iter().all(|v| v.is_finite() || v.is_nan()));
+            }
+        }
+    }
+    assert!(rejected > 0, "no mutant was rejected — mutations too weak");
+    // `survived` may be 0; the property is about panics, not acceptance.
+    let _ = survived;
+}
+
+/// Truncation at every prefix must be a clean `Err` (JSON here is
+/// ASCII, so every prefix is a valid UTF-8 boundary).
+#[test]
+fn every_truncation_is_rejected() {
+    let json = valid_json();
+    for len in 0..json.len() {
+        assert!(
+            CompiledEnsemble::from_json(&json[..len]).is_err(),
+            "prefix of {len} bytes decoded successfully"
+        );
+    }
+}
+
+/// Targeted semantic corruptions: structurally valid JSON whose
+/// content violates ensemble invariants must always be rejected.
+#[test]
+fn semantic_corruptions_are_rejected() {
+    let json = valid_json();
+    let cases: Vec<(&str, String)> = vec![
+        (
+            "zero output dim",
+            regex_replace(&json, "\"d\":", "\"d\":0,\"_x\":"),
+        ),
+        (
+            "base length mismatch",
+            json.replacen("\"base\":[", "\"base\":[1e9,", 1),
+        ),
+        (
+            "wrong type for trees",
+            json.replacen("\"trees\":[", "\"trees\":42,\"_y\":[", 1),
+        ),
+        ("empty object", "{}".to_string()),
+        (
+            "not json at all",
+            "threshold feature left right".to_string(),
+        ),
+        ("json scalar", "17".to_string()),
+        ("json array", "[1,2,3]".to_string()),
+    ];
+    for (name, bad) in cases {
+        assert!(
+            CompiledEnsemble::from_json(&bad).is_err(),
+            "{name}: corrupted artifact decoded successfully"
+        );
+    }
+}
+
+/// Replace the value following `key` with a literal — enough of a
+/// "regex" for the fixed serde_json layout used here.
+fn regex_replace(json: &str, key: &str, with: &str) -> String {
+    let start = json.find(key).expect("key present");
+    let rest = &json[start + key.len()..];
+    let end = rest.find([',', '}']).expect("value terminated");
+    // Keep the displaced value alive under the decoy key so the result
+    // stays well-formed JSON and rejection happens at validation.
+    format!("{}{}{}{}", &json[..start], with, &rest[..end], &rest[end..])
+}
+
+/// Hostile but well-formed inputs must fail fast — no hangs on deep
+/// nesting or absurd sizes.
+#[test]
+fn hostile_inputs_fail_fast() {
+    // Deep nesting.
+    let deep = format!("{}1{}", "[".repeat(5000), "]".repeat(5000));
+    assert!(CompiledEnsemble::from_json(&deep).is_err());
+    // A huge flat array.
+    let mut big = String::from("{\"trees\":[");
+    big.push_str(&"0,".repeat(100_000));
+    big.push_str("0]}");
+    assert!(CompiledEnsemble::from_json(&big).is_err());
+    // Unterminated string.
+    assert!(CompiledEnsemble::from_json("{\"d\":\"").is_err());
+}

@@ -1,0 +1,92 @@
+//! Recovery paths under full memcheck + racecheck.
+//!
+//! Retry, multi-GPU degradation, and checkpoint/resume all *re-execute*
+//! kernels whose first run already registered sanitizer traces; a
+//! replay that re-registers buffers wrongly or races on the recovered
+//! state would only surface here. Each scenario must finish with a
+//! clean sanitizer report on every surviving device.
+
+use gbdt_core::config::TrainConfig;
+use gbdt_core::trainer::GpuTrainer;
+use gbdt_core::{MultiGpuTrainer, RetryPolicy};
+use gbdt_data::synth::{make_classification, ClassificationSpec};
+use gbdt_data::Dataset;
+use gpusim::sanitize::SanitizeMode;
+use gpusim::{Device, DeviceGroup, FaultPlan};
+
+fn dataset() -> Dataset {
+    make_classification(&ClassificationSpec {
+        instances: 200,
+        features: 8,
+        classes: 4,
+        informative: 6,
+        seed: 5,
+        ..Default::default()
+    })
+}
+
+fn cfg() -> TrainConfig {
+    TrainConfig {
+        num_trees: 4,
+        max_depth: 3,
+        max_bins: 16,
+        min_instances: 5,
+        ..TrainConfig::default()
+    }
+}
+
+fn assert_clean(device: &Device, what: &str) {
+    let report = device.sanitize_report().expect("sanitizer enabled");
+    assert!(
+        report.is_clean(),
+        "{what}: sanitizer violations on replayed recovery path:\n{}",
+        report.table()
+    );
+}
+
+#[test]
+fn transient_retry_replays_clean_under_sanitizer() {
+    let ds = dataset();
+    let dev = Device::rtx4090();
+    dev.enable_sanitizer(SanitizeMode::Full);
+    dev.enable_faults(FaultPlan::new().transient_at(20));
+    GpuTrainer::try_new(dev.clone(), cfg().with_retry(RetryPolicy::retries(1)))
+        .expect("valid config")
+        .try_fit(&ds)
+        .expect("one retry suffices");
+    assert_clean(&dev, "transient retry");
+}
+
+#[test]
+fn multi_gpu_degradation_replays_clean_under_sanitizer() {
+    let ds = dataset();
+    let group = DeviceGroup::rtx4090s(2);
+    for dev in group.devices() {
+        dev.enable_sanitizer(SanitizeMode::Full);
+    }
+    group
+        .device(1)
+        .enable_faults(FaultPlan::new().device_lost_at(10));
+    MultiGpuTrainer::try_new(group.clone(), cfg())
+        .expect("valid config")
+        .try_fit(&ds)
+        .expect("survivor finishes");
+    // Only the survivor is held to a clean report: the lost device's
+    // traces stop mid-flight by construction.
+    assert_clean(group.device(0), "degraded multi-GPU");
+}
+
+#[test]
+fn resumed_fit_replays_clean_under_sanitizer() {
+    let ds = dataset();
+    let (_, checkpoints) = GpuTrainer::try_new(Device::rtx4090(), cfg())
+        .expect("valid config")
+        .try_fit_checkpointed(&ds)
+        .expect("fit succeeds");
+    let ck = &checkpoints[1];
+
+    let dev = Device::rtx4090();
+    dev.enable_sanitizer(SanitizeMode::Full);
+    gbdt_core::Model::resume_from(dev.clone(), ck, &ds).expect("resume succeeds");
+    assert_clean(&dev, "resumed fit");
+}

@@ -72,7 +72,8 @@ fn batch_server_is_bit_identical_across_batch_sizes_and_modes() {
                     max_batch,
                     ..BatchConfig::default()
                 },
-            );
+            )
+            .expect("valid batch config");
             let got = serve_all(&mut server, &ds, |_| 0.0);
             assert_eq!(
                 got, reference,
@@ -150,7 +151,8 @@ fn deadline_flushes_stale_batches() {
             max_delay_ns: 5_000.0,
             ..BatchConfig::default()
         },
-    );
+    )
+    .expect("valid batch config");
     let row = ds.features().row(0);
     assert!(server.submit(0.0, row).is_empty());
     assert!(server.submit(1_000.0, row).is_empty());
@@ -181,7 +183,8 @@ fn batching_amortizes_launch_overhead() {
                 max_batch,
                 ..BatchConfig::default()
             },
-        );
+        )
+        .expect("valid batch config");
         let _ = serve_all(&mut server, &ds, |_| 0.0);
         throughput.push(server.stats().throughput_rps);
     }
@@ -191,6 +194,123 @@ fn batching_amortizes_launch_overhead() {
         throughput[1],
         throughput[0]
     );
+}
+
+/// Degenerate batching policies are configuration errors, not panics:
+/// a zero batch size would never flush, and NaN/negative deadlines
+/// compare as never-expired.
+#[test]
+fn degenerate_batch_configs_are_typed_errors() {
+    let (model, _) = trained();
+    let compiled = model.compile();
+    for cfg in [
+        BatchConfig {
+            max_batch: 0,
+            ..BatchConfig::default()
+        },
+        BatchConfig {
+            max_delay_ns: f64::NAN,
+            ..BatchConfig::default()
+        },
+        BatchConfig {
+            max_delay_ns: -1.0,
+            ..BatchConfig::default()
+        },
+    ] {
+        let ens = DeviceEnsemble::upload(Device::rtx4090(), &compiled);
+        let err = match BatchServer::new(ens, cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("degenerate config accepted: {cfg:?}"),
+        };
+        assert!(!err.message().is_empty());
+    }
+}
+
+/// A zero deadline is legal: every arrival finds the pending batch
+/// already expired, so requests flush one behind the arrival stream.
+#[test]
+fn zero_deadline_flushes_every_pending_request() {
+    let (model, ds) = trained();
+    let compiled = model.compile();
+    let ens = DeviceEnsemble::upload(Device::rtx4090(), &compiled);
+    let mut server = BatchServer::new(
+        ens,
+        BatchConfig {
+            max_batch: 1000,
+            max_delay_ns: 0.0,
+            ..BatchConfig::default()
+        },
+    )
+    .expect("zero deadline is valid");
+    let row = ds.features().row(0);
+    assert!(server.submit(0.0, row).is_empty());
+    for i in 1..5u64 {
+        let served = server.submit(i as f64 * 100.0, row);
+        assert_eq!(served.len(), 1, "arrival {i} must flush the pending row");
+        assert_eq!(served[0].rows, 1);
+        assert_eq!(served[0].first_id, i - 1);
+    }
+    assert_eq!(server.flush().expect("last row pending").rows, 1);
+    assert!(server.flush().is_none(), "empty flush must be a no-op");
+}
+
+/// `flush` on a server that never saw a submission is `None`, and the
+/// stats of an idle server are all zeros — no division by an empty
+/// latency set.
+#[test]
+fn empty_flush_and_idle_stats_are_benign() {
+    let (model, _) = trained();
+    let compiled = model.compile();
+    let ens = DeviceEnsemble::upload(Device::rtx4090(), &compiled);
+    let mut server = BatchServer::new(ens, BatchConfig::default()).expect("valid");
+    assert!(server.flush().is_none());
+    let stats = server.stats();
+    assert_eq!(stats.served, 0);
+    assert_eq!(stats.batches, 0);
+    assert_eq!(stats.throughput_rps, 0.0);
+}
+
+/// The upload captures per-buffer digests; a planned ECC flip in any
+/// resident array is caught by `verify` as a typed corruption error
+/// naming the buffer, while a clean upload verifies endlessly.
+#[test]
+fn verify_catches_planted_corruption_in_each_buffer() {
+    let (model, _) = trained();
+    let compiled = model.compile();
+    let clean = DeviceEnsemble::upload(Device::rtx4090(), &compiled);
+    clean.verify().expect("clean upload verifies");
+    clean.verify().expect("verification is idempotent");
+    for buffer in [
+        "serve_feature",
+        "serve_threshold",
+        "serve_left",
+        "serve_right",
+        "serve_leaf_values",
+        "serve_roots",
+        "serve_base",
+    ] {
+        let device = Device::rtx4090();
+        device.enable_faults(gpusim::FaultPlan::new().bit_flip(0, buffer, 3, 11));
+        // Pass the arming index with a throwaway charge, then upload:
+        // the corruption lands after the digests are captured.
+        device.charge_ns("warmup", Phase::Other, 1.0);
+        let ens = DeviceEnsemble::upload(Arc::clone(&device), &compiled);
+        match ens.verify() {
+            Err(gbdt_core::ServeError::Corruption {
+                buffer: b,
+                expected,
+                actual,
+            }) => {
+                assert_eq!(b, buffer);
+                assert_ne!(expected, actual);
+            }
+            other => panic!("expected corruption in {buffer}, got {other:?}"),
+        }
+        assert!(
+            device.poll_fault().is_ok(),
+            "ECC flips must stay silent to the fault poll"
+        );
+    }
 }
 
 /// Zero perturbation: attaching the profiler and sanitizer changes

@@ -2,6 +2,7 @@
 
 use crate::buffer::GpuBuffer;
 use crate::cost::{CostModel, CostParams, KernelCost};
+use crate::fault::{Bits32, FaultInjector, FaultPlan, FaultReport, GpuFault};
 use crate::prof::{ProfScope, ProfileSummary, Profiler};
 use crate::sanitize::{SanitizeMode, SanitizeReport, Sanitizer};
 use crate::timeline::{Ledger, LedgerSummary};
@@ -144,6 +145,7 @@ pub struct Device {
     ledger: Mutex<Ledger>,
     sanitizer: Mutex<Option<Arc<Sanitizer>>>,
     profiler: Mutex<Option<Arc<Profiler>>>,
+    fault: Mutex<Option<Arc<FaultInjector>>>,
 }
 
 impl std::fmt::Debug for Device {
@@ -170,6 +172,7 @@ impl Device {
             ledger: Mutex::new(Ledger::new(Self::DEFAULT_RECORD_LIMIT)),
             sanitizer: Mutex::new(None),
             profiler: Mutex::new(None),
+            fault: Mutex::new(None),
         })
     }
 
@@ -191,6 +194,12 @@ impl Device {
 
     /// Charge one kernel launch described by `cost`.
     pub fn charge_kernel(&self, name: &'static str, phase: Phase, cost: &KernelCost) {
+        if let Some(inj) = self.fault.lock().clone() {
+            if !inj.on_charge(self.id, name) {
+                // Device lost: nothing executes on a fallen device.
+                return;
+            }
+        }
         let ns = self.model.kernel_ns(cost);
         let start_ns = self.ledger.lock().charge(name, phase, ns);
         if let Some(prof) = self.profiler.lock().clone() {
@@ -204,6 +213,11 @@ impl Device {
     /// Charge a raw duration (used by collectives and transfers whose
     /// time is computed outside the kernel model).
     pub fn charge_ns(&self, name: &'static str, phase: Phase, ns: f64) {
+        if let Some(inj) = self.fault.lock().clone() {
+            if !inj.on_charge(self.id, name) {
+                return;
+            }
+        }
         let start_ns = self.ledger.lock().charge(name, phase, ns);
         if let Some(prof) = self.profiler.lock().clone() {
             prof.on_kernel(name, phase, ns, start_ns, 0.0, false);
@@ -309,6 +323,76 @@ impl Device {
             .lock()
             .as_ref()
             .map(|p| p.chrome_trace(self.id))
+    }
+
+    // ---- fault injection ---------------------------------------------------
+
+    /// Attach a fault injector over `plan` (replacing any previous one,
+    /// whose state is dropped). With an empty plan — or no injector at
+    /// all — charges, trees, and nanoseconds are bit-identical to an
+    /// uninstrumented device (regression-tested in
+    /// `crates/core/tests/chaos.rs`).
+    pub fn enable_faults(&self, plan: FaultPlan) {
+        *self.fault.lock() = Some(Arc::new(FaultInjector::new(plan)));
+    }
+
+    /// Detach the fault injector; accumulated state (including a sticky
+    /// device loss) is dropped.
+    pub fn disable_faults(&self) {
+        *self.fault.lock() = None;
+    }
+
+    /// The attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<Arc<FaultInjector>> {
+        self.fault.lock().clone()
+    }
+
+    /// Surface the oldest unreported fault — the simulator's
+    /// `cudaGetLastError` at a sync point. `Ok(())` when no injector is
+    /// attached or nothing fired; transient faults are cleared by the
+    /// poll, device loss is sticky.
+    pub fn poll_fault(&self) -> Result<(), GpuFault> {
+        match self.fault.lock().clone() {
+            Some(inj) => inj.poll(),
+            None => Ok(()),
+        }
+    }
+
+    /// Whether this device has been lost to a planned [`GpuFault`].
+    pub fn is_lost(&self) -> bool {
+        self.fault
+            .lock()
+            .as_ref()
+            .map(|inj| inj.is_lost())
+            .unwrap_or(false)
+    }
+
+    /// Snapshot the fault-injection counters, or `None` when no
+    /// injector is attached.
+    pub fn fault_report(&self) -> Option<FaultReport> {
+        self.fault.lock().as_ref().map(|inj| inj.report())
+    }
+
+    /// Apply any armed bit flips targeting the buffer labelled `label`.
+    /// Silent (no charge, no poll): ECC-style corruption is only
+    /// detectable by re-running [`crate::fault::buffer_checksum`].
+    pub fn apply_planned_corruption<T: Bits32 + Send + Sync>(
+        &self,
+        label: &str,
+        buf: &mut GpuBuffer<T>,
+    ) {
+        let Some(inj) = self.fault.lock().clone() else {
+            return;
+        };
+        if buf.is_empty() {
+            return;
+        }
+        for (elem, bit) in inj.take_flips_for(label) {
+            let idx = (elem % buf.len() as u64) as usize;
+            let bits = buf.as_slice()[idx].to_bits32() ^ (1u32 << (bit % 32));
+            // lint:allow(raw_buffer_mut): injected ECC corruption must bypass the checked mutation paths it exists to test
+            buf.as_mut_slice()[idx] = T::from_bits32(bits);
+        }
     }
 
     /// Reset the ledger to zero (e.g. between benchmark repetitions).

@@ -1,0 +1,501 @@
+//! Deterministic fault injection for the simulated device.
+//!
+//! A [`FaultInjector`] attaches to a [`Device`] exactly like the
+//! sanitizer and profiler (`Device::enable_faults`). It consumes a
+//! [`FaultPlan`] — a seed-derived or hand-built list of fault events
+//! keyed by the device's global charge index — and perturbs the device
+//! in three CUDA-realistic ways:
+//!
+//! * **Transient kernel fault** — the launch is *booked* (its cost is
+//!   paid, mirroring a grid that ran and trapped), and the error
+//!   surfaces at the next [`Device::poll_fault`] call, the analogue of
+//!   `cudaGetLastError` after a sync point. Retryable.
+//! * **Device loss** — the causing charge is booked, then the device
+//!   goes sticky-lost: every later charge is dropped (nothing executes
+//!   on a fallen device) and `poll_fault` keeps returning
+//!   [`GpuFault::DeviceLost`]. Permanent.
+//! * **Bit flip** — ECC-style silent corruption of a *named* buffer.
+//!   Never surfaced by `poll_fault`; it is only detectable by
+//!   comparing [`buffer_checksum`] values before and after.
+//!
+//! Everything is deterministic: the same plan against the same charge
+//! stream injects the same faults, which is what lets the chaos suite
+//! assert bit-identical recovery.
+
+use crate::buffer::GpuBuffer;
+use crate::cost::KernelCost;
+use crate::device::{Device, Phase};
+use crate::sanitize::{AccessKind, MemSpace, ThreadCtx};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One planned fault, keyed by the device-global charge index at which
+/// it triggers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// Global charge index (0-based, counting every `charge_kernel` /
+    /// `charge_ns` on the device) at which this fault fires. Bit flips
+    /// *arm* at this index and apply at the next matching
+    /// [`Device::apply_planned_corruption`] call.
+    pub at_charge: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// The taxonomy of injectable faults.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// A retryable kernel fault: the charge is booked, the error is
+    /// reported at the next [`Device::poll_fault`].
+    Transient,
+    /// Permanent device loss: the causing charge is booked, all later
+    /// charges are dropped, `poll_fault` is forever `Err`.
+    DeviceLost,
+    /// Flip `bit` (mod 32) of element `elem` (mod buffer length) in
+    /// the buffer labelled `buffer`. Silent — detection is via
+    /// [`buffer_checksum`] mismatch, never via `poll_fault`.
+    BitFlip {
+        /// Label of the target buffer, as passed to
+        /// [`Device::apply_planned_corruption`].
+        buffer: String,
+        /// Element index (taken modulo the buffer length).
+        elem: u64,
+        /// Bit position (taken modulo 32).
+        bit: u8,
+    },
+}
+
+/// A deterministic list of fault events, either hand-built or derived
+/// from a seed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+/// SplitMix64 step — the plan generator's only PRNG (no external
+/// dependency, stable across platforms).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// An empty (fault-free) plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// The planned events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Add a transient kernel fault at charge index `at_charge`.
+    pub fn transient_at(mut self, at_charge: u64) -> Self {
+        self.events.push(FaultEvent {
+            at_charge,
+            kind: FaultKind::Transient,
+        });
+        self
+    }
+
+    /// Add a permanent device loss at charge index `at_charge`.
+    pub fn device_lost_at(mut self, at_charge: u64) -> Self {
+        self.events.push(FaultEvent {
+            at_charge,
+            kind: FaultKind::DeviceLost,
+        });
+        self
+    }
+
+    /// Arm an ECC-style bit flip against the buffer labelled `buffer`
+    /// from charge index `at_charge` onward.
+    pub fn bit_flip(mut self, at_charge: u64, buffer: &str, elem: u64, bit: u8) -> Self {
+        self.events.push(FaultEvent {
+            at_charge,
+            kind: FaultKind::BitFlip {
+                buffer: buffer.to_string(),
+                elem,
+                bit,
+            },
+        });
+        self
+    }
+
+    /// Derive a plan from `seed`: 0–3 events at charge indices below
+    /// `horizon`, weighted 3:1 transient vs device loss. Seeds map to
+    /// plans deterministically, so a failing chaos seed replays exactly.
+    pub fn seeded(seed: u64, horizon: u64) -> Self {
+        let mut s = seed ^ 0x5EED_FA17_5EED_FA17;
+        // Warm the state so small consecutive seeds decorrelate.
+        let _ = splitmix64(&mut s);
+        let mut plan = FaultPlan::new();
+        let n_events = (splitmix64(&mut s) % 4) as usize;
+        let horizon = horizon.max(1);
+        for _ in 0..n_events {
+            let at = splitmix64(&mut s) % horizon;
+            plan = if splitmix64(&mut s) % 4 < 3 {
+                plan.transient_at(at)
+            } else {
+                plan.device_lost_at(at)
+            };
+        }
+        plan
+    }
+}
+
+/// A typed fault surfaced by [`Device::poll_fault`] — the simulator's
+/// `cudaError_t`. Never a panic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpuFault {
+    /// A transient kernel fault; the failed work may be retried.
+    Transient {
+        /// Device the fault fired on.
+        device: usize,
+        /// Name of the charged kernel that faulted.
+        kernel: String,
+        /// Global charge index of the faulting launch.
+        charge_index: u64,
+    },
+    /// The device is permanently gone.
+    DeviceLost {
+        /// Device that was lost.
+        device: usize,
+        /// Name of the last kernel charged before the loss.
+        kernel: String,
+        /// Global charge index of the fatal launch.
+        charge_index: u64,
+    },
+}
+
+impl GpuFault {
+    /// The device index the fault fired on.
+    pub fn device(&self) -> usize {
+        match self {
+            GpuFault::Transient { device, .. } | GpuFault::DeviceLost { device, .. } => *device,
+        }
+    }
+
+    /// True for retryable (transient) faults.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, GpuFault::Transient { .. })
+    }
+}
+
+impl std::fmt::Display for GpuFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GpuFault::Transient {
+                device,
+                kernel,
+                charge_index,
+            } => write!(
+                f,
+                "transient kernel fault on device {device}: `{kernel}` (charge #{charge_index})"
+            ),
+            GpuFault::DeviceLost {
+                device,
+                kernel,
+                charge_index,
+            } => write!(
+                f,
+                "device {device} lost at `{kernel}` (charge #{charge_index})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GpuFault {}
+
+/// Counters summarizing what an injector actually did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultReport {
+    /// Charges observed (booked + dropped).
+    pub charges_seen: u64,
+    /// Transient faults injected.
+    pub transient_injected: u64,
+    /// 1 if the device was lost.
+    pub device_lost: u64,
+    /// Bit flips planned.
+    pub flips_planned: u64,
+    /// Bit flips actually applied to a buffer.
+    pub flips_applied: u64,
+    /// Charges dropped because the device was already lost.
+    pub charges_dropped_after_loss: u64,
+}
+
+struct InjectorState {
+    /// Events not yet triggered, keyed by charge index.
+    scheduled: Vec<FaultEvent>,
+    /// First un-polled transient fault.
+    pending: Option<GpuFault>,
+    /// Sticky loss, once triggered.
+    lost: Option<GpuFault>,
+    /// Armed but not yet applied bit flips.
+    armed_flips: Vec<(String, u64, u8)>,
+    report: FaultReport,
+}
+
+/// Seed-driven fault injector, attached to a [`Device`] via
+/// [`Device::enable_faults`]. Thread-safe like the ledger: concurrent
+/// charges serialize on an internal lock, and the in-order-stream
+/// abstraction makes the global charge index well-defined.
+pub struct FaultInjector {
+    charge_counter: AtomicU64,
+    state: Mutex<InjectorState>,
+}
+
+impl FaultInjector {
+    /// Build an injector over `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let flips_planned = plan
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::BitFlip { .. }))
+            .count() as u64;
+        FaultInjector {
+            charge_counter: AtomicU64::new(0),
+            state: Mutex::new(InjectorState {
+                scheduled: plan.events,
+                pending: None,
+                lost: None,
+                armed_flips: Vec::new(),
+                report: FaultReport {
+                    flips_planned,
+                    ..FaultReport::default()
+                },
+            }),
+        }
+    }
+
+    /// Consult the injector for one charge. Returns `true` when the
+    /// charge should be booked, `false` when it must be dropped (the
+    /// device is already lost). Called by the `Device` charge paths.
+    pub(crate) fn on_charge(&self, device: usize, kernel: &'static str) -> bool {
+        let mut st = self.state.lock();
+        st.report.charges_seen += 1;
+        if st.lost.is_some() {
+            st.report.charges_dropped_after_loss += 1;
+            return false;
+        }
+        let idx = self.charge_counter.fetch_add(1, Ordering::SeqCst);
+        // Drain every event scheduled at this index, in plan order.
+        let mut i = 0;
+        while i < st.scheduled.len() {
+            if st.scheduled[i].at_charge != idx {
+                i += 1;
+                continue;
+            }
+            let ev = st.scheduled.remove(i);
+            match ev.kind {
+                FaultKind::Transient => {
+                    st.report.transient_injected += 1;
+                    if st.pending.is_none() {
+                        st.pending = Some(GpuFault::Transient {
+                            device,
+                            kernel: kernel.to_string(),
+                            charge_index: idx,
+                        });
+                    }
+                }
+                FaultKind::DeviceLost => {
+                    st.report.device_lost = 1;
+                    st.lost = Some(GpuFault::DeviceLost {
+                        device,
+                        kernel: kernel.to_string(),
+                        charge_index: idx,
+                    });
+                }
+                FaultKind::BitFlip { buffer, elem, bit } => {
+                    st.armed_flips.push((buffer, elem, bit));
+                }
+            }
+        }
+        // Also arm any flip scheduled at an index the stream already
+        // passed (e.g. a plan built after warm-up charges).
+        let mut j = 0;
+        while j < st.scheduled.len() {
+            if st.scheduled[j].at_charge <= idx
+                && matches!(st.scheduled[j].kind, FaultKind::BitFlip { .. })
+            {
+                let ev = st.scheduled.remove(j);
+                if let FaultKind::BitFlip { buffer, elem, bit } = ev.kind {
+                    st.armed_flips.push((buffer, elem, bit));
+                }
+            } else {
+                j += 1;
+            }
+        }
+        // The causing charge of a loss is still booked; later ones drop.
+        true
+    }
+
+    /// Surface the oldest unreported fault, clearing transient state —
+    /// the `cudaGetLastError` analogue. Loss dominates and is sticky.
+    pub fn poll(&self) -> Result<(), GpuFault> {
+        let mut st = self.state.lock();
+        if let Some(lost) = st.lost.clone() {
+            st.pending = None;
+            return Err(lost);
+        }
+        match st.pending.take() {
+            Some(f) => Err(f),
+            None => Ok(()),
+        }
+    }
+
+    /// Whether the device this injector is attached to has been lost.
+    pub fn is_lost(&self) -> bool {
+        self.state.lock().lost.is_some()
+    }
+
+    /// Remove and return the armed flips matching `label`.
+    pub(crate) fn take_flips_for(&self, label: &str) -> Vec<(u64, u8)> {
+        let mut st = self.state.lock();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < st.armed_flips.len() {
+            if st.armed_flips[i].0 == label {
+                let (_, elem, bit) = st.armed_flips.remove(i);
+                out.push((elem, bit));
+            } else {
+                i += 1;
+            }
+        }
+        st.report.flips_applied += out.len() as u64;
+        out
+    }
+
+    /// Snapshot the injection counters.
+    pub fn report(&self) -> FaultReport {
+        self.state.lock().report.clone()
+    }
+}
+
+/// 4-byte element types whose bit pattern can be checksummed and
+/// corrupted without `unsafe`. Every buffer in the serving SoA layout
+/// (u32 features, i32 children, f32 values) is 32-bit.
+pub trait Bits32: Copy {
+    /// The element's raw 32-bit pattern.
+    fn to_bits32(self) -> u32;
+    /// Rebuild an element from a raw 32-bit pattern.
+    fn from_bits32(bits: u32) -> Self;
+}
+
+impl Bits32 for u32 {
+    fn to_bits32(self) -> u32 {
+        self
+    }
+    fn from_bits32(bits: u32) -> Self {
+        bits
+    }
+}
+
+impl Bits32 for i32 {
+    fn to_bits32(self) -> u32 {
+        self as u32
+    }
+    fn from_bits32(bits: u32) -> Self {
+        bits as i32
+    }
+}
+
+impl Bits32 for f32 {
+    fn to_bits32(self) -> u32 {
+        self.to_bits()
+    }
+    fn from_bits32(bits: u32) -> Self {
+        f32::from_bits(bits)
+    }
+}
+
+/// FNV-1a 64-bit checksum over a device buffer, charged as a
+/// streaming `buffer_checksum` kernel — the ECC scrubber analogue.
+///
+/// The checksum hashes each element's little-endian 32-bit pattern, so
+/// it is bit-exact: any single flipped bit changes the digest.
+pub fn buffer_checksum<T: Bits32 + Send + Sync>(
+    device: &Device,
+    label: &'static str,
+    buf: &GpuBuffer<T>,
+) -> u64 {
+    assert_eq!(
+        buf.device_id(),
+        device.id,
+        "buffer_checksum of buffer on device {} via device {}",
+        buf.device_id(),
+        device.id
+    );
+    let _scope = device.prof_scope("buffer_checksum", None);
+    let bytes = (buf.len() * std::mem::size_of::<T>()) as f64;
+    device.charge_kernel(
+        "buffer_checksum",
+        Phase::Other,
+        &KernelCost::streaming(buf.len() as f64, bytes),
+    );
+    if let Some(san) = device.sanitizer() {
+        let scope = san.scope("buffer_checksum");
+        let id = scope.register(label, buf.len(), MemSpace::Global, true);
+        let stride = (buf.len() / 64).max(1);
+        let mut e = 0;
+        while e < buf.len() {
+            scope.touch(id, ThreadCtx::from_global(e, 256), e, AccessKind::Read);
+            e += stride;
+        }
+    }
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for v in buf.as_slice() {
+        for b in v.to_bits32().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        for seed in 0..50 {
+            assert_eq!(FaultPlan::seeded(seed, 100), FaultPlan::seeded(seed, 100));
+        }
+    }
+
+    #[test]
+    fn seeded_plans_cover_all_kinds() {
+        let (mut transient, mut lost, mut empty) = (0, 0, 0);
+        for seed in 0..200 {
+            let plan = FaultPlan::seeded(seed, 100);
+            if plan.events().is_empty() {
+                empty += 1;
+            }
+            for ev in plan.events() {
+                match ev.kind {
+                    FaultKind::Transient => transient += 1,
+                    FaultKind::DeviceLost => lost += 1,
+                    FaultKind::BitFlip { .. } => {}
+                }
+            }
+        }
+        assert!(transient > 0 && lost > 0 && empty > 0);
+    }
+
+    #[test]
+    fn fnv_checksum_detects_single_bit_flip() {
+        let dev = Device::rtx4090();
+        let mut buf = dev.htod(&[1.0f32, 2.0, 3.0, 4.0]);
+        let before = buffer_checksum(&dev, "t", &buf);
+        let bits = buf.as_slice()[2].to_bits() ^ (1 << 7);
+        buf.as_mut_slice()[2] = f32::from_bits(bits);
+        let after = buffer_checksum(&dev, "t", &buf);
+        assert_ne!(before, after);
+    }
+}

@@ -37,6 +37,7 @@ pub mod buffer;
 pub mod collective;
 pub mod cost;
 pub mod device;
+pub mod fault;
 pub mod launch;
 pub mod occupancy;
 pub mod primitives;
@@ -49,6 +50,9 @@ pub use buffer::GpuBuffer;
 pub use collective::DeviceGroup;
 pub use cost::{CostModel, CostParams, KernelCost};
 pub use device::{Device, DeviceProps, Phase};
+pub use fault::{
+    buffer_checksum, Bits32, FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultReport, GpuFault,
+};
 pub use launch::LaunchCfg;
 pub use prof::{
     KernelStatRow, ProfScope, ProfileSummary, Profiler, ScopeRow, PROFILE_SCHEMA_VERSION,

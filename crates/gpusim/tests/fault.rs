@@ -1,0 +1,206 @@
+//! Fault-injection contract tests: deterministic injection, CUDA-style
+//! deferred error surfacing, sticky device loss, ECC bit flips, and the
+//! zero-perturbation guarantee for empty plans.
+
+use gpusim::fault::buffer_checksum;
+use gpusim::{Device, DeviceProps, FaultKind, FaultPlan, GpuFault, KernelCost, Phase};
+
+fn charge_n(dev: &Device, n: usize) {
+    for _ in 0..n {
+        dev.charge_kernel("k", Phase::Histogram, &KernelCost::streaming(1e6, 1e5));
+    }
+}
+
+#[test]
+fn no_injector_polls_clean() {
+    let dev = Device::rtx4090();
+    charge_n(&dev, 3);
+    assert!(dev.poll_fault().is_ok());
+    assert!(!dev.is_lost());
+    assert!(dev.fault_report().is_none());
+}
+
+#[test]
+fn empty_plan_is_bit_identical_to_uninstrumented() {
+    let plain = Device::new(0, DeviceProps::rtx4090());
+    let faulted = Device::new(0, DeviceProps::rtx4090());
+    faulted.enable_faults(FaultPlan::new());
+    for dev in [&plain, &faulted] {
+        charge_n(dev, 10);
+        dev.charge_ns("htod", Phase::Transfer, 123.5);
+    }
+    assert!(faulted.poll_fault().is_ok());
+    assert_eq!(plain.now_ns().to_bits(), faulted.now_ns().to_bits());
+    let (a, b) = (plain.records(), faulted.records());
+    assert_eq!(a.len(), b.len());
+    for (ra, rb) in a.iter().zip(&b) {
+        assert_eq!(ra.name, rb.name);
+        assert_eq!(ra.ns.to_bits(), rb.ns.to_bits());
+        assert_eq!(ra.start_ns.to_bits(), rb.start_ns.to_bits());
+    }
+}
+
+#[test]
+fn transient_fault_books_the_charge_and_surfaces_once() {
+    let clean = Device::new(0, DeviceProps::rtx4090());
+    let dev = Device::new(0, DeviceProps::rtx4090());
+    dev.enable_faults(FaultPlan::new().transient_at(2));
+    charge_n(&clean, 5);
+    charge_n(&dev, 5);
+    // The faulting launch still pays its cost (the grid ran and trapped).
+    assert_eq!(clean.now_ns().to_bits(), dev.now_ns().to_bits());
+    match dev.poll_fault() {
+        Err(GpuFault::Transient {
+            device,
+            kernel,
+            charge_index,
+        }) => {
+            assert_eq!(device, 0);
+            assert_eq!(kernel, "k");
+            assert_eq!(charge_index, 2);
+        }
+        other => panic!("expected transient fault, got {other:?}"),
+    }
+    // Cleared by the poll, exactly like cudaGetLastError.
+    assert!(dev.poll_fault().is_ok());
+    assert!(!dev.is_lost());
+    let report = dev.fault_report().unwrap();
+    assert_eq!(report.transient_injected, 1);
+    assert_eq!(report.device_lost, 0);
+}
+
+#[test]
+fn two_transients_before_poll_keep_the_first() {
+    let dev = Device::rtx4090();
+    dev.enable_faults(FaultPlan::new().transient_at(1).transient_at(3));
+    charge_n(&dev, 5);
+    match dev.poll_fault() {
+        Err(GpuFault::Transient { charge_index, .. }) => assert_eq!(charge_index, 1),
+        other => panic!("expected transient fault, got {other:?}"),
+    }
+    assert!(dev.poll_fault().is_ok());
+    assert_eq!(dev.fault_report().unwrap().transient_injected, 2);
+}
+
+#[test]
+fn device_loss_is_sticky_and_drops_later_charges() {
+    let dev = Device::rtx4090();
+    dev.enable_faults(FaultPlan::new().device_lost_at(3));
+    charge_n(&dev, 3);
+    let at_loss_boundary = dev.now_ns();
+    charge_n(&dev, 4);
+    // Charge #3 (the fatal one) is booked; #4.. are dropped.
+    assert!(dev.now_ns() > at_loss_boundary);
+    let after_fatal = dev.now_ns();
+    charge_n(&dev, 10);
+    assert_eq!(dev.now_ns().to_bits(), after_fatal.to_bits());
+    assert!(dev.is_lost());
+    for _ in 0..3 {
+        match dev.poll_fault() {
+            Err(GpuFault::DeviceLost { charge_index, .. }) => assert_eq!(charge_index, 3),
+            other => panic!("expected sticky device loss, got {other:?}"),
+        }
+    }
+    let report = dev.fault_report().unwrap();
+    assert_eq!(report.device_lost, 1);
+    assert_eq!(report.charges_dropped_after_loss, 13);
+}
+
+#[test]
+fn loss_dominates_a_pending_transient() {
+    let dev = Device::rtx4090();
+    dev.enable_faults(FaultPlan::new().transient_at(1).device_lost_at(2));
+    charge_n(&dev, 4);
+    assert!(matches!(
+        dev.poll_fault(),
+        Err(GpuFault::DeviceLost {
+            charge_index: 2,
+            ..
+        })
+    ));
+}
+
+#[test]
+fn bit_flip_changes_checksum_and_is_silent_to_poll() {
+    let dev = Device::rtx4090();
+    let host: Vec<f32> = (0..256).map(|i| i as f32 * 0.5).collect();
+    let mut buf = dev.htod(&host);
+    let before = buffer_checksum(&dev, "victim", &buf);
+    dev.enable_faults(FaultPlan::new().bit_flip(0, "victim", 17, 5));
+    charge_n(&dev, 2); // pass the arming index
+    dev.apply_planned_corruption("victim", &mut buf);
+    assert!(dev.poll_fault().is_ok(), "ECC corruption must stay silent");
+    let after = buffer_checksum(&dev, "victim", &buf);
+    assert_ne!(before, after, "checksum must detect the flip");
+    assert_eq!(
+        buf.as_slice()[17].to_bits(),
+        (17.0f32 * 0.5).to_bits() ^ (1 << 5)
+    );
+    let report = dev.fault_report().unwrap();
+    assert_eq!(report.flips_planned, 1);
+    assert_eq!(report.flips_applied, 1);
+    // Flipping the same bit back restores the original digest.
+    dev.enable_faults(FaultPlan::new().bit_flip(0, "victim", 17, 5));
+    charge_n(&dev, 1);
+    dev.apply_planned_corruption("victim", &mut buf);
+    assert_eq!(buffer_checksum(&dev, "victim", &buf), before);
+}
+
+#[test]
+fn corruption_only_hits_the_named_buffer() {
+    let dev = Device::rtx4090();
+    let mut a = dev.htod(&[1.0f32; 32]);
+    let mut b = dev.htod(&[2.0f32; 32]);
+    dev.enable_faults(FaultPlan::new().bit_flip(0, "a", 4, 0));
+    charge_n(&dev, 1);
+    dev.apply_planned_corruption("b", &mut b);
+    assert!(b.as_slice().iter().all(|v| *v == 2.0));
+    dev.apply_planned_corruption("a", &mut a);
+    assert!(a.as_slice().iter().any(|v| *v != 1.0));
+}
+
+#[test]
+fn checksum_is_charged_as_a_kernel() {
+    let dev = Device::rtx4090();
+    let buf = dev.htod(&[0u32; 1024]);
+    let before = dev.now_ns();
+    let _ = buffer_checksum(&dev, "b", &buf);
+    assert!(dev.now_ns() > before);
+    assert!(dev
+        .records()
+        .iter()
+        .any(|r| r.name == "buffer_checksum" && r.phase == Phase::Other));
+}
+
+#[test]
+fn checksum_is_stable_across_reads() {
+    let dev = Device::rtx4090();
+    let buf = dev.htod(&[7i32; 100]);
+    assert_eq!(
+        buffer_checksum(&dev, "b", &buf),
+        buffer_checksum(&dev, "b", &buf)
+    );
+}
+
+#[test]
+fn seeded_plans_replay_identically_on_a_device() {
+    for seed in 0..40u64 {
+        let run = |_tag: &str| {
+            let dev = Device::new(0, DeviceProps::rtx4090());
+            dev.enable_faults(FaultPlan::seeded(seed, 20));
+            charge_n(&dev, 25);
+            (dev.now_ns().to_bits(), dev.poll_fault(), dev.fault_report())
+        };
+        assert_eq!(run("a"), run("b"), "seed {seed} diverged");
+    }
+}
+
+#[test]
+fn seeded_horizon_bounds_event_indices() {
+    for seed in 0..200u64 {
+        for ev in FaultPlan::seeded(seed, 13).events() {
+            assert!(ev.at_charge < 13);
+            assert!(!matches!(ev.kind, FaultKind::BitFlip { .. }));
+        }
+    }
+}

@@ -67,6 +67,29 @@ fn bad_repo_fires_every_v2_rule() {
         .any(|f| f.rule == "unwrap_in_lib" && !f.waived));
 }
 
+/// Fault-recovery charge sites get no special pass: an unchecksummed
+/// fault-path kernel (charged during retry/recovery, no sanitizer
+/// replay, no inventory entry, outside any profiler scope) must trip
+/// the full kernel contract, not slide by as "error handling".
+#[test]
+fn unchecksummed_fault_path_kernel_fires_the_contract() {
+    let ws = Workspace::load(&fixture("bad_repo"));
+    let report = ws.check();
+    for kernel in ["retry_replay", "recovery_checksum"] {
+        for rule in ["sanitize", "prof_coverage", "design_inventory"] {
+            assert!(
+                report.diagnostics.iter().any(|f| {
+                    f.rule == rule
+                        && !f.waived
+                        && f.file.ends_with("fault_path.rs.txt")
+                        && f.message.contains(kernel)
+                }),
+                "rule {rule} did not fire on fault-path kernel {kernel}"
+            );
+        }
+    }
+}
+
 #[test]
 fn bad_repo_schema_header_and_version() {
     let ws = Workspace::load(&fixture("bad_repo"));

@@ -66,6 +66,28 @@ impl ChaCha8Rng {
     pub fn word_pos(&self) -> usize {
         self.cursor
     }
+
+    /// Snapshot the full generator state — key schedule, current
+    /// keystream block, and cursor — for checkpointing. Restoring via
+    /// [`ChaCha8Rng::from_snapshot`] resumes the stream bit-identically.
+    pub fn snapshot(&self) -> ([u32; BLOCK_WORDS], [u32; BLOCK_WORDS], usize) {
+        (self.state, self.buf, self.cursor)
+    }
+
+    /// Rebuild a generator from a [`ChaCha8Rng::snapshot`]. The cursor
+    /// is clamped to the block size so hostile inputs cannot index out
+    /// of bounds.
+    pub fn from_snapshot(
+        state: [u32; BLOCK_WORDS],
+        buf: [u32; BLOCK_WORDS],
+        cursor: usize,
+    ) -> Self {
+        ChaCha8Rng {
+            state,
+            buf,
+            cursor: cursor.min(BLOCK_WORDS),
+        }
+    }
 }
 
 impl SeedableRng for ChaCha8Rng {

@@ -74,6 +74,30 @@ echo "==> bench smoke grid + schema validation + regression gate"
 cargo run --release -q -p gbdt-bench --bin repro -- bench --smoke \
   --out BENCH_repro.json --baseline BENCH_baseline.json --check >/dev/null
 
+echo "==> stream overlap smoke (streamed grid must record overlap savings)"
+# The streamed smoke grid must train bit-identical models while the
+# multi-stream timeline recovers simulated time: the printed multi-GPU
+# serial-vs-streamed comparison and per-record overlap_saved_ns prove
+# the overlap actually engaged.
+cargo run --release -q -p gbdt-bench --bin repro -- bench --smoke --streams 4 \
+  --out /tmp/BENCH_streams.json > /tmp/bench_streams.log
+grep -q "overlap_saved" /tmp/bench_streams.log || {
+  echo "ci: streamed bench printed no overlap savings" >&2
+  exit 1
+}
+grep -qE '"overlap_saved_ns":[1-9]' /tmp/BENCH_streams.json || {
+  echo "ci: no bench record carries nonzero overlap_saved_ns" >&2
+  exit 1
+}
+
+echo "==> stream zero-perturbation gate (observers + streams, bitwise)"
+# Profiler + sanitizer attached to a streamed (4-stream) run must change
+# nothing: model, clock, and every charge record bit-for-bit.
+cargo test -q -p gbdt-core --test streams \
+  observers_do_not_perturb_streamed_training >/dev/null
+cargo test -q -p gbdt-core --test streams \
+  serial_stream_config_is_bitwise_stable_across_methods_and_sketches >/dev/null
+
 echo "==> sanitized serving smoke (both predict modes under full memcheck)"
 # The serving observer test uploads a compiled ensemble and predicts in
 # both parallelization schemes with the sanitizer at SanitizeMode::Full,

@@ -59,6 +59,7 @@ fn golden_report() -> BenchReport {
             scale: 0.25,
             seed: 42,
             smoke: true,
+            streams: 1,
         },
         records: vec![r0, r1],
     }
@@ -84,12 +85,13 @@ fn bench_json_matches_golden_fixture() {
     );
 }
 
-/// The serialized field names are pinned to schema version 3 (v3 added
-/// the `Serve` phase key for the serving subsystem).
+/// The serialized field names are pinned to schema version 4 (v4 added
+/// `overlap_saved_ns` to records and `streams` to the setup for the
+/// multi-stream timeline).
 #[test]
 fn bench_schema_field_names_are_pinned_to_version() {
     assert_eq!(
-        BENCH_SCHEMA_VERSION, 3,
+        BENCH_SCHEMA_VERSION, 4,
         "schema version changed: update the pinned field lists below"
     );
     let v = golden_report().to_value();
@@ -109,7 +111,7 @@ fn bench_schema_field_names_are_pinned_to_version() {
     let skeys: Vec<&str> = setup.iter().map(|(k, _)| k.as_str()).collect();
     assert_eq!(
         skeys,
-        ["trees", "depth", "bins", "scale", "seed", "smoke"],
+        ["trees", "depth", "bins", "scale", "seed", "smoke", "streams"],
         "BenchSetup fields changed — bump BENCH_SCHEMA_VERSION"
     );
 
@@ -133,6 +135,7 @@ fn bench_schema_field_names_are_pinned_to_version() {
             "hist_share",
             "phase_ns",
             "kernel_count",
+            "overlap_saved_ns",
         ],
         "BenchRecord fields changed — bump BENCH_SCHEMA_VERSION"
     );
@@ -161,7 +164,7 @@ fn from_json_rejects_schema_violations() {
     assert!(BenchReport::from_json(&good).is_ok());
 
     // Version bump without a reader upgrade is rejected.
-    let bumped = good.replace("\"schema_version\":3", "\"schema_version\":4");
+    let bumped = good.replace("\"schema_version\":4", "\"schema_version\":5");
     let err = BenchReport::from_json(&bumped).expect_err("must reject");
     assert!(err.contains("schema_version"), "{err}");
 

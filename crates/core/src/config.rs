@@ -358,6 +358,13 @@ impl TrainConfig {
         self.retry = policy;
         self
     }
+
+    /// Builder-style setter for the per-device stream count (`1` =
+    /// the serial schedule).
+    pub fn with_streams(mut self, n: usize) -> Self {
+        self.streams = n;
+        self
+    }
 }
 
 #[cfg(test)]

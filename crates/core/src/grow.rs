@@ -28,7 +28,7 @@
 use crate::config::{HistogramMethod, TrainConfig};
 use crate::grad::Gradients;
 use crate::hist::{
-    accumulate_only, charge_method, method_cost, resolve_method, HistContext, NodeHistogram,
+    accumulate_only, charge_method, charge_method_on, resolve_method, HistContext, NodeHistogram,
 };
 use crate::memory::HistogramPool;
 use crate::split::{
@@ -37,51 +37,78 @@ use crate::split::{
 use crate::tree::Tree;
 use gbdt_data::BinnedDataset;
 use gpusim::cost::KernelCost;
-use gpusim::{Device, Phase};
+use gpusim::{Device, Event, Phase};
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 
-/// Charging policy for per-node histogram kernels: serialized onto the
-/// device's single stream (streams = 1), or overlapped across CUDA-style
-/// streams — one level's node histograms are mutually independent, so a
-/// level's simulated time becomes the *longest stream*, assigned
-/// greedily (LPT) as a real multi-stream scheduler would.
+/// Charging policy for one level's per-node fresh-histogram kernels.
+///
+/// At `streams = 1` every charge goes to the default stream, which
+/// reproduces the serial clock bit for bit. With more streams, each
+/// fresh build issues on the currently least-loaded worker stream
+/// (`1..=streams`): a level's node histograms are mutually independent,
+/// so sibling builds overlap on the simulated timeline up to the
+/// device's occupancy-derived concurrency cap. Every worker stream is
+/// fenced to the level-start clock of the default stream before its
+/// first charge, and [`HistCharges::flush`] joins the default stream to
+/// every used worker's completion fence — so split evaluation and the
+/// partition kernel (default stream) start only after the last build.
+///
+/// Charges still *issue* in node-index order regardless of stream
+/// count: the ledger's record list, the fault injector's charge-index
+/// semantics, and the profiler's aggregates are identical to the serial
+/// schedule. Only start timestamps and the makespan move.
 struct HistCharges {
-    stream_loads: Vec<f64>,
+    streams: usize,
+    /// Default-stream clock at level start (before this level's derive
+    /// subtractions), which is what fresh builds actually depend on.
+    fence: Event,
+    /// Worker streams fenced (and charged) since construction.
+    used: Vec<bool>,
 }
 
 impl HistCharges {
-    fn new(streams: usize) -> Self {
+    fn new(device: &Device, streams: usize) -> Self {
+        let streams = streams.max(1);
         HistCharges {
-            stream_loads: vec![0.0; streams.max(1)],
+            streams,
+            fence: device.record_event(0),
+            used: vec![false; streams + 1],
         }
     }
 
     fn charge(&mut self, ctx: &HistContext<'_>, idx: &[u32], method: HistogramMethod) {
-        if self.stream_loads.len() == 1 {
+        if self.streams == 1 {
             charge_method(ctx, idx, method);
-        } else {
-            // Streamed charging bypasses the builders' own charge()
-            // entry points, so declare the access stream explicitly.
-            crate::sanitize::trace_hist(ctx, idx, method);
-            let ns = ctx.device.model().kernel_ns(&method_cost(ctx, idx, method));
-            // Least-loaded stream first (greedy LPT scheduling).
-            let min = self
-                .stream_loads
-                .iter_mut()
-                .min_by(|a, b| a.partial_cmp(b).expect("finite loads"))
-                .expect("at least one stream");
-            *min += ns;
+            return;
         }
+        // Least-loaded worker stream first (greedy LPT, deterministic:
+        // stream clocks are simulated and ties go to the lowest id).
+        let mut best = 1;
+        let mut best_now = f64::INFINITY;
+        for s in 1..=self.streams {
+            let now = ctx.device.stream_now(s);
+            if now < best_now {
+                best_now = now;
+                best = s;
+            }
+        }
+        if !self.used[best] {
+            ctx.device.wait_event(best, self.fence);
+            self.used[best] = true;
+        }
+        charge_method_on(ctx, idx, method, best);
     }
 
-    /// End of level: the device waits for the slowest stream.
+    /// End of level: the default stream waits for every used worker.
     fn flush(&mut self, device: &Device) {
-        let max = self.stream_loads.iter().cloned().fold(0.0, f64::max);
-        if max > 0.0 {
-            device.charge_ns("hist_level_streamed", Phase::Histogram, max);
+        for (s, used) in self.used.iter_mut().enumerate() {
+            if *used {
+                let done = device.record_event(s);
+                device.wait_event(0, done);
+                *used = false;
+            }
         }
-        self.stream_loads.iter_mut().for_each(|l| *l = 0.0);
     }
 }
 
@@ -259,7 +286,7 @@ pub fn grow_tree_pooled(
         // as batched kernels (paper §3.1.3) — per-node launches would
         // dominate at depth.
         let mut split_charges = LevelSplitCharges::new();
-        let mut hist_charges = HistCharges::new(config.streams);
+        let mut hist_charges = HistCharges::new(device, config.streams);
         let mut partition_elems = 0usize;
 
         // ---- stage 1: histogram build ------------------------------

@@ -48,6 +48,13 @@ pub fn cost_descriptor(ctx: &HistContext<'_>, nn: usize, s: &ContentionStats) ->
 
 /// Charge one node's gmem histogram build using measured statistics.
 pub fn charge(ctx: &HistContext<'_>, idx: &[u32]) {
+    charge_on(ctx, idx, 0);
+}
+
+/// [`charge`] issued on a specific stream, so sibling-node builds can
+/// overlap. The measured statistics and charged nanoseconds are
+/// identical regardless of stream; only the start timestamp moves.
+pub fn charge_on(ctx: &HistContext<'_>, idx: &[u32], stream: usize) {
     let _scope = ctx.device.prof_scope("hist_gmem", None);
     let s = stats::measure(ctx, idx);
     let name = if ctx.opts.warp_packing {
@@ -55,8 +62,11 @@ pub fn charge(ctx: &HistContext<'_>, idx: &[u32]) {
     } else {
         "hist_gmem"
     };
-    ctx.device
-        .charge_kernel(name, Phase::Histogram, &cost_descriptor(ctx, idx.len(), &s));
+    ctx.device.stream(stream).charge_kernel(
+        name,
+        Phase::Histogram,
+        &cost_descriptor(ctx, idx.len(), &s),
+    );
     if let Some(san) = ctx.device.sanitizer() {
         trace(ctx, idx, &san);
     }

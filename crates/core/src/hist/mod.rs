@@ -351,15 +351,28 @@ pub fn method_cost(ctx: &HistContext<'_>, idx: &[u32], method: HistogramMethod) 
 
 /// Charge one node's histogram build with `method` to the device.
 pub fn charge_method(ctx: &HistContext<'_>, idx: &[u32], method: HistogramMethod) {
+    charge_method_on(ctx, idx, method, 0);
+}
+
+/// [`charge_method`] issued on a specific stream, so sibling-node fresh
+/// builds of one level can overlap on the timeline. Charged
+/// nanoseconds, sanitizer traces, and profiler aggregates are identical
+/// regardless of stream; only start timestamps move.
+pub fn charge_method_on(
+    ctx: &HistContext<'_>,
+    idx: &[u32],
+    method: HistogramMethod,
+    stream: usize,
+) {
     match method {
-        HistogramMethod::GlobalMemory => gmem::charge(ctx, idx),
-        HistogramMethod::SharedMemory => smem::charge(ctx, idx),
-        HistogramMethod::SortReduce => sortreduce::charge(ctx, idx),
+        HistogramMethod::GlobalMemory => gmem::charge_on(ctx, idx, stream),
+        HistogramMethod::SharedMemory => smem::charge_on(ctx, idx, stream),
+        HistogramMethod::SortReduce => sortreduce::charge_on(ctx, idx, stream),
         HistogramMethod::Adaptive => {
             // Scope the selector so adaptive picks show up as nested
             // `hist_adaptive/hist_*` paths in the profile.
             let _scope = ctx.device.prof_scope("hist_adaptive", None);
-            charge_method(ctx, idx, resolve_method(ctx, idx.len()))
+            charge_method_on(ctx, idx, resolve_method(ctx, idx.len()), stream)
         }
     }
 }

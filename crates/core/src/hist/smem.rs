@@ -72,6 +72,13 @@ pub fn cost_descriptor(ctx: &HistContext<'_>, nn: usize, s: &ContentionStats) ->
 
 /// Charge one node's smem histogram build using measured statistics.
 pub fn charge(ctx: &HistContext<'_>, idx: &[u32]) {
+    charge_on(ctx, idx, 0);
+}
+
+/// [`charge`] issued on a specific stream, so sibling-node builds can
+/// overlap. The measured statistics and charged nanoseconds are
+/// identical regardless of stream; only the start timestamp moves.
+pub fn charge_on(ctx: &HistContext<'_>, idx: &[u32], stream: usize) {
     let _scope = ctx.device.prof_scope("hist_smem", None);
     let s = stats::measure(ctx, idx);
     let name = if ctx.opts.warp_packing {
@@ -80,8 +87,10 @@ pub fn charge(ctx: &HistContext<'_>, idx: &[u32]) {
         "hist_smem"
     };
     let cost = cost_descriptor(ctx, idx.len(), &s);
-    // lint:allow(canonical_kernel_name): hist_smem/_packed are the shared-memory siblings of hist_gmem/_packed, one char apart by design
-    ctx.device.charge_kernel(name, Phase::Histogram, &cost);
+    ctx.device
+        .stream(stream)
+        // lint:allow(canonical_kernel_name): hist_smem/_packed are the shared-memory siblings of hist_gmem/_packed, one char apart by design
+        .charge_kernel(name, Phase::Histogram, &cost);
     if let Some(san) = ctx.device.sanitizer() {
         trace(ctx, idx, &san);
     }

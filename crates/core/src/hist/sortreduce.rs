@@ -45,8 +45,15 @@ pub fn cost_descriptor(ctx: &HistContext<'_>, nn: usize) -> KernelCost {
 
 /// Charge one node's sort-and-reduce histogram build.
 pub fn charge(ctx: &HistContext<'_>, idx: &[u32]) {
+    charge_on(ctx, idx, 0);
+}
+
+/// [`charge`] issued on a specific stream, so sibling-node builds can
+/// overlap. The charged nanoseconds are identical regardless of stream;
+/// only the start timestamp moves.
+pub fn charge_on(ctx: &HistContext<'_>, idx: &[u32], stream: usize) {
     let _scope = ctx.device.prof_scope("hist_sortreduce", None);
-    ctx.device.charge_kernel(
+    ctx.device.stream(stream).charge_kernel(
         "hist_sort_reduce",
         Phase::Histogram,
         &cost_descriptor(ctx, idx.len()),

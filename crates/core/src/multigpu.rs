@@ -36,10 +36,22 @@ use crate::trainer::{base_scores, TrainReport};
 use crate::tree::Tree;
 use gbdt_data::{BinnedDataset, Dataset};
 use gpusim::cost::KernelCost;
-use gpusim::{Device, DeviceGroup, GpuFault, Phase};
+use gpusim::{Device, DeviceGroup, Event, GpuFault, Phase};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Stream carrying fresh histogram builds when `streams > 1` (stream 0
+/// keeps gradients, split evaluation, and partitioning serial).
+const HIST_STREAM: usize = 1;
+/// Stream carrying level-batched collectives when `streams > 1`: the
+/// NCCL channel runs on its own engine and overlaps compute.
+const COMM_STREAM: usize = 2;
+/// Collectives are modeled as pipelined into this many chunks: the
+/// first reduced chunk lands `1/COMM_CHUNKS` into the transfer, so the
+/// next level's builds overlap the tail (the same convention as the
+/// trainer's chunked ingest copy).
+const COMM_CHUNKS: f64 = 8.0;
 
 /// Frontier entry awaiting its level's collective exchange:
 /// `(tree node, instances, g sums, h sums, local best split)`.
@@ -146,6 +158,43 @@ fn charge_dp_preprocess(group: &DeviceGroup, n: usize, m: usize) {
             &KernelCost::streaming((shard * m) as f64 * 16.0, bytes * 2.5),
         );
     }
+}
+
+/// Book a level-batched collective on every device's comm stream:
+/// all ranks enter together at `fence` (the slowest rank's arrival),
+/// each pays `ns` on its comm engine, and the returned event marks the
+/// collective's completion across the group. The comm streams advance
+/// in lockstep — every rank waits the same fence and charges the same
+/// duration — so the fold over per-device events is exact, not an
+/// approximation.
+fn streamed_collective(
+    devices: &[Arc<Device>],
+    name: &'static str,
+    ns: f64,
+    fence: Event,
+) -> Event {
+    let mut done = fence;
+    for dev in devices {
+        dev.wait_event(COMM_STREAM, fence);
+        dev.stream(COMM_STREAM).charge_ns(name, Phase::Comm, ns);
+        done = done.max(dev.record_event(COMM_STREAM));
+    }
+    done
+}
+
+/// Fold the group's stream-0 clocks into one alignment fence and make
+/// every device wait it: the bulk-synchronous join of streamed mode.
+/// Unlike [`DeviceGroup::barrier`] it books no idle time and leaves
+/// the comm/hist streams free to drain past the level boundary.
+fn align_stream0(devices: &[Arc<Device>]) -> Event {
+    let mut align = Event::at_ns(0.0);
+    for dev in devices {
+        align = align.max(dev.record_event(0));
+    }
+    for dev in devices {
+        dev.wait_event(0, align);
+    }
+    align
 }
 
 /// How training work is decomposed across devices.
@@ -366,6 +415,8 @@ impl MultiGpuTrainer {
         let start_summaries: Vec<_> = self.group.devices().iter().map(|dv| dv.summary()).collect();
         let mut active: Vec<Arc<Device>> = self.group.devices().to_vec();
         let faults_on = active.iter().any(|dv| dv.fault_injector().is_some());
+        let streamed = self.config.streams > 1;
+        let hist_stream = if streamed { HIST_STREAM } else { 0 };
 
         // --- preprocessing, charged per device for its feature share --
         let mut attempts = 0u32;
@@ -457,9 +508,22 @@ impl MultiGpuTrainer {
                 let root_idx: Vec<u32> = (0..n as u32).collect();
                 let (rg, rh) = grads.sums(&root_idx);
                 let mut frontier = vec![(0usize, root_idx, rg, rh)];
+                // Streamed mode: builds of each level start at the previous
+                // level's alignment fence plus the first chunk of any
+                // in-flight collective — the collective's tail overlaps them.
+                let mut level_fence: Option<Event> = None;
 
                 for depth in 0..self.config.max_depth {
                     let _level_scope = group.device(0).prof_scope("level", Some(depth as u64));
+                    if streamed {
+                        for dev in group.devices() {
+                            let f = match level_fence {
+                                Some(f) => f,
+                                None => dev.record_event(0),
+                            };
+                            dev.wait_event(HIST_STREAM, f);
+                        }
+                    }
                     // --- pass 1: histograms + local candidates per node ---
                     // Candidates for the whole level are exchanged in ONE
                     // all-gather (summary statistics only), not per node.
@@ -482,7 +546,10 @@ impl MultiGpuTrainer {
                         // Per-device histogram build over its feature range:
                         // charge each device for exactly its share.
                         hist.reset();
-                        for (dev, &(lo, hi)) in group.devices().iter().zip(&ranges) {
+                        let mut hist_events: Vec<Option<Event>> = vec![None; group.len()];
+                        for (rank, (dev, &(lo, hi))) in
+                            group.devices().iter().zip(&ranges).enumerate()
+                        {
                             if lo == hi {
                                 continue;
                             }
@@ -501,12 +568,21 @@ impl MultiGpuTrainer {
                                 mtd => mtd,
                             };
                             match method {
-                                HistogramMethod::GlobalMemory => gmem::charge(&ctx, &instances),
-                                HistogramMethod::SharedMemory => smem::charge(&ctx, &instances),
-                                HistogramMethod::SortReduce => sortreduce::charge(&ctx, &instances),
+                                HistogramMethod::GlobalMemory => {
+                                    gmem::charge_on(&ctx, &instances, hist_stream)
+                                }
+                                HistogramMethod::SharedMemory => {
+                                    smem::charge_on(&ctx, &instances, hist_stream)
+                                }
+                                HistogramMethod::SortReduce => {
+                                    sortreduce::charge_on(&ctx, &instances, hist_stream)
+                                }
                                 HistogramMethod::Adaptive => unreachable!(),
                             }
                             *hist_methods.entry(method).or_insert(0) += 1;
+                            if streamed {
+                                hist_events[rank] = Some(dev.record_event(HIST_STREAM));
+                            }
                         }
                         // Functional accumulation once (identical results).
                         let full_ctx = HistContext {
@@ -519,12 +595,19 @@ impl MultiGpuTrainer {
                         };
                         accumulate_dense(&full_ctx, &instances, &mut hist);
 
-                        // Local best split per device.
+                        // Local best split per device: each device evaluates
+                        // only its own feature range, so it fences only its
+                        // own fresh build (the cross-device join is the
+                        // candidate all-gather below).
                         let locals: Vec<Option<SplitCandidate>> = group
                             .devices()
                             .iter()
                             .zip(&ranges)
-                            .map(|(dev, &(lo, hi))| {
+                            .zip(&hist_events)
+                            .map(|((dev, &(lo, hi)), built)| {
+                                if let Some(built) = built {
+                                    dev.wait_event(0, *built);
+                                }
                                 find_best_split_range(
                                     dev,
                                     &hist,
@@ -556,7 +639,24 @@ impl MultiGpuTrainer {
                         pending.push((tree_node, instances, node_g, node_h, best));
                     }
                     if !pending.is_empty() && group.len() > 1 {
-                        let _ = group.all_gather_bytes(&candidate_payload);
+                        if streamed {
+                            // Candidates are tiny summary statistics: pass 2
+                            // waits the full exchange before picking winners.
+                            let max_part =
+                                candidate_payload.iter().map(Vec::len).max().unwrap_or(0);
+                            let ns = group
+                                .device(0)
+                                .model()
+                                .all_gather_ns(max_part as f64, group.len());
+                            let fence = align_stream0(group.devices());
+                            let done =
+                                streamed_collective(group.devices(), "all_gather", ns, fence);
+                            for dev in group.devices() {
+                                dev.wait_event(0, done);
+                            }
+                        } else {
+                            let _ = group.all_gather_bytes(&candidate_payload);
+                        }
                     }
 
                     // --- pass 2: winners, routing bitmaps, partitions ------
@@ -643,10 +743,30 @@ impl MultiGpuTrainer {
                             );
                         }
                     }
+                    // Routing bitmaps feed the next level's builds: the
+                    // exchange's tail overlaps them (first-chunk fence).
+                    let mut comm_partial: Option<Event> = None;
                     if group.len() > 1 && flag_payload.iter().any(|p| !p.is_empty()) {
-                        let _ = group.all_gather_bytes(&flag_payload);
+                        if streamed {
+                            let max_part = flag_payload.iter().map(Vec::len).max().unwrap_or(0);
+                            let ns = group
+                                .device(0)
+                                .model()
+                                .all_gather_ns(max_part as f64, group.len());
+                            let fence = align_stream0(group.devices());
+                            let done =
+                                streamed_collective(group.devices(), "all_gather", ns, fence);
+                            comm_partial = Some(done.offset_ns(-ns * (1.0 - 1.0 / COMM_CHUNKS)));
+                        } else {
+                            let _ = group.all_gather_bytes(&flag_payload);
+                        }
                     }
-                    group.barrier();
+                    if streamed {
+                        let align = align_stream0(group.devices());
+                        level_fence = Some(comm_partial.map_or(align, |p| align.max(p)));
+                    } else {
+                        group.barrier();
+                    }
                     frontier = next;
                     if frontier.is_empty() {
                         break;
@@ -750,6 +870,8 @@ impl MultiGpuTrainer {
         let start_summaries: Vec<_> = self.group.devices().iter().map(|dv| dv.summary()).collect();
         let mut active: Vec<Arc<Device>> = self.group.devices().to_vec();
         let faults_on = active.iter().any(|dv| dv.fault_injector().is_some());
+        let streamed = self.config.streams > 1;
+        let hist_stream = if streamed { HIST_STREAM } else { 0 };
 
         // Each device holds all columns of its instance shard.
         let mut attempts = 0u32;
@@ -834,9 +956,22 @@ impl MultiGpuTrainer {
                 let root_idx: Vec<u32> = (0..n as u32).collect();
                 let (rg, rh) = grads.sums(&root_idx);
                 let mut frontier = vec![(0usize, root_idx, rg, rh)];
+                // Streamed mode: each level's fresh builds start at the
+                // previous level's alignment fence plus the first reduced
+                // chunk of the in-flight all-reduce, whose tail they overlap.
+                let mut level_fence: Option<Event> = None;
 
                 for depth in 0..self.config.max_depth {
                     let _level_scope = group.device(0).prof_scope("level", Some(depth as u64));
+                    if streamed {
+                        for dev in group.devices() {
+                            let f = match level_fence {
+                                Some(f) => f,
+                                None => dev.record_event(0),
+                            };
+                            dev.wait_event(HIST_STREAM, f);
+                        }
+                    }
                     let mut next = Vec::new();
                     let mut reduced_nodes = 0usize;
                     for (tree_node, instances, node_g, node_h) in frontier {
@@ -877,12 +1012,30 @@ impl MultiGpuTrainer {
                                 mtd => mtd,
                             };
                             match method {
-                                HistogramMethod::GlobalMemory => gmem::charge(&ctx, shard),
-                                HistogramMethod::SharedMemory => smem::charge(&ctx, shard),
-                                HistogramMethod::SortReduce => sortreduce::charge(&ctx, shard),
+                                HistogramMethod::GlobalMemory => {
+                                    gmem::charge_on(&ctx, shard, hist_stream)
+                                }
+                                HistogramMethod::SharedMemory => {
+                                    smem::charge_on(&ctx, shard, hist_stream)
+                                }
+                                HistogramMethod::SortReduce => {
+                                    sortreduce::charge_on(&ctx, shard, hist_stream)
+                                }
                                 HistogramMethod::Adaptive => unreachable!(),
                             }
                             *hist_methods.entry(method).or_insert(0) += 1;
+                        }
+                        if streamed {
+                            // Split evaluation is replicated and consumes the
+                            // reduced histogram of every shard: join split
+                            // work on the slowest rank's fresh build.
+                            let mut built = Event::at_ns(0.0);
+                            for dev in group.devices() {
+                                built = built.max(dev.record_event(HIST_STREAM));
+                            }
+                            for dev in group.devices() {
+                                dev.wait_event(0, built);
+                            }
                         }
                         // Functional accumulation once (sum of all shards).
                         let full_ctx = HistContext {
@@ -971,14 +1124,33 @@ impl MultiGpuTrainer {
                     }
                     // One ring all-reduce per node's histogram, batched as a
                     // single level-wide collective of `reduced_nodes` payloads.
+                    let mut comm_partial: Option<Event> = None;
                     if k > 1 && reduced_nodes > 0 {
                         let bytes = reduced_nodes * hist_len * 8;
                         let ns = group.device(0).model().ring_all_reduce_ns(bytes as f64, k);
-                        for dev in group.devices() {
-                            dev.charge_ns("hist_all_reduce", Phase::Comm, ns);
+                        if streamed {
+                            // The collective enters when the slowest rank's
+                            // builds finish and drains on the comm engines
+                            // while stream 0 proceeds.
+                            let mut fence = Event::at_ns(0.0);
+                            for dev in group.devices() {
+                                fence = fence.max(dev.record_event(HIST_STREAM));
+                            }
+                            let done =
+                                streamed_collective(group.devices(), "hist_all_reduce", ns, fence);
+                            comm_partial = Some(done.offset_ns(-ns * (1.0 - 1.0 / COMM_CHUNKS)));
+                        } else {
+                            for dev in group.devices() {
+                                dev.charge_ns("hist_all_reduce", Phase::Comm, ns);
+                            }
                         }
                     }
-                    group.barrier();
+                    if streamed {
+                        let align = align_stream0(group.devices());
+                        level_fence = Some(comm_partial.map_or(align, |p| align.max(p)));
+                    } else {
+                        group.barrier();
+                    }
                     frontier = next;
                     if frontier.is_empty() {
                         break;
@@ -1239,6 +1411,70 @@ mod tests {
             dp_comm > fp_comm * 3.0,
             "data-parallel comm share {dp_comm} should dwarf feature-parallel {fp_comm}"
         );
+    }
+
+    #[test]
+    fn streamed_multigpu_overlaps_collectives_without_changing_models() {
+        // The tentpole claim on the multi-GPU paths: with streams > 1
+        // the level-batched collectives drain on the comm engines while
+        // the next level's fresh builds run, shrinking the makespan —
+        // and the trees, predictions, and the *order* of charged
+        // kernels stay bit-identical to the serial schedule.
+        let ds = make_classification(&ClassificationSpec {
+            instances: 6000,
+            features: 24,
+            classes: 8,
+            informative: 16,
+            class_sep: 2.0,
+            seed: 11,
+            ..Default::default()
+        });
+        for strategy in [
+            MultiGpuStrategy::FeatureParallel,
+            MultiGpuStrategy::DataParallel,
+        ] {
+            let cfg1 = TrainConfig {
+                num_trees: 3,
+                ..quick_config()
+            };
+            let cfg4 = TrainConfig {
+                streams: 4,
+                ..cfg1.clone()
+            };
+            let serial = MultiGpuTrainer::with_strategy(DeviceGroup::rtx4090s(2), cfg1, strategy);
+            let r1 = serial.fit_report(&ds);
+            let streamed = MultiGpuTrainer::with_strategy(DeviceGroup::rtx4090s(2), cfg4, strategy);
+            let r4 = streamed.fit_report(&ds);
+            assert_eq!(
+                r1.model.predict(ds.features()),
+                r4.model.predict(ds.features()),
+                "{strategy:?}: streams must not change the model"
+            );
+            assert!(
+                r4.sim_seconds < r1.sim_seconds,
+                "{strategy:?}: streamed {} should beat serial {}",
+                r4.sim_seconds,
+                r1.sim_seconds
+            );
+            assert!(
+                r4.sim.overlap_saved_ns > 0.0,
+                "{strategy:?}: overlap savings must be recorded"
+            );
+            for (d1, d4) in serial
+                .group()
+                .devices()
+                .iter()
+                .zip(streamed.group().devices())
+            {
+                let names1: Vec<&str> = d1.records().iter().map(|r| r.name).collect();
+                let names4: Vec<&str> = d4.records().iter().map(|r| r.name).collect();
+                assert_eq!(
+                    names1, names4,
+                    "{strategy:?}: device {} charge order must not change",
+                    d1.id
+                );
+            }
+        }
     }
 
     #[test]

@@ -21,10 +21,16 @@
 //! regardless of how requests were grouped: rows are independent, and
 //! each row's accumulation order never changes.
 
+use crate::compiled::CompiledEnsemble;
 use crate::config::ConfigError;
 use crate::predict::PredictMode;
 use crate::serve::DeviceEnsemble;
 use gbdt_data::DenseMatrix;
+use gpusim::Event;
+
+/// Copy stream carrying staged model uploads, double-buffered behind
+/// batches flushing on the default stream.
+const UPLOAD_STREAM: usize = 1;
 
 /// Micro-batching policy.
 #[derive(Debug, Clone, Copy)]
@@ -86,6 +92,10 @@ pub struct ServeStats {
 /// Micro-batching server over a resident [`DeviceEnsemble`].
 pub struct BatchServer {
     ens: DeviceEnsemble,
+    /// Next model version mid-upload on the copy stream, and the fence
+    /// marking its transfer + checksum pass complete. Swapped in by the
+    /// first flush that runs after staging.
+    staged: Option<(DeviceEnsemble, Event)>,
     cfg: BatchConfig,
     /// Flattened pending rows (`pending × m`).
     rows: Vec<f32>,
@@ -119,6 +129,7 @@ impl BatchServer {
         }
         Ok(BatchServer {
             ens,
+            staged: None,
             cfg,
             rows: Vec::new(),
             arrivals: Vec::new(),
@@ -135,6 +146,34 @@ impl BatchServer {
     /// The resident ensemble.
     pub fn ensemble(&self) -> &DeviceEnsemble {
         &self.ens
+    }
+
+    /// Stage a new model version behind the live one: the SoA upload
+    /// and its checksum pass run on the copy stream, overlapping any
+    /// batches still flushing on the default stream instead of stalling
+    /// them. The swap is non-blocking: the first flush whose trigger
+    /// finds the upload complete on the timeline serves the new
+    /// version, and earlier flushes keep serving the live one.
+    /// Re-staging before the swap replaces the pending version. The new
+    /// ensemble must keep the live output dimension — scores of
+    /// in-flight and future requests share one shape.
+    pub fn stage(&mut self, ens: &CompiledEnsemble) -> Result<(), ConfigError> {
+        if ens.d() != self.ens.d() {
+            return Err(ConfigError::from(format!(
+                "staged model changes the output dimension ({} -> {})",
+                self.ens.d(),
+                ens.d()
+            )));
+        }
+        let device = self.ens.device().clone();
+        let _scope = device.prof_scope("serve_stage", Some(self.batches));
+        // The copy stream is born idle: fence it to "now" so the upload
+        // cannot book before the work already on the timeline.
+        device.wait_event(UPLOAD_STREAM, device.record_event(0));
+        let staged = DeviceEnsemble::upload_on(device.clone(), ens, UPLOAD_STREAM);
+        let ready = device.record_event(UPLOAD_STREAM);
+        self.staged = Some((staged, ready));
+        Ok(())
     }
 
     /// Submit one row arriving at `arrival_ns` (simulated; must be
@@ -179,6 +218,17 @@ impl BatchServer {
     fn flush_at(&mut self, trigger_ns: f64) -> ServedBatch {
         let device = self.ens.device().clone();
         device.advance_to(trigger_ns);
+        // Non-blocking model swap: a flush that finds the staged upload
+        // already complete on the timeline serves the new version;
+        // earlier flushes keep serving the live one while the copy
+        // stream drains behind them.
+        if let Some((_, ready)) = &self.staged {
+            if ready.ns() <= device.stream_now(0) {
+                let (staged, ready) = self.staged.take().expect("staged upload present");
+                device.wait_event(0, ready);
+                self.ens = staged;
+            }
+        }
         let _scope = device.prof_scope("serve_batch", Some(self.batches));
         let k = self.arrivals.len();
         let m = self.m.expect("flush_at requires pending rows");

@@ -28,7 +28,7 @@ use crate::predict::PredictMode;
 use crate::serve::trace;
 use gbdt_data::DenseMatrix;
 use gpusim::cost::KernelCost;
-use gpusim::{buffer_checksum, Device, GpuBuffer, Phase};
+use gpusim::{buffer_checksum_on, Device, GpuBuffer, Phase};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -105,6 +105,15 @@ impl DeviceEnsemble {
     /// Upload `ens` to `device`, charging the H2D transfer of every
     /// array ([`Phase::Transfer`] via the PCIe cost model).
     pub fn upload(device: Arc<Device>, ens: &CompiledEnsemble) -> Self {
+        Self::upload_on(device, ens, 0)
+    }
+
+    /// [`DeviceEnsemble::upload`] with the transfers and the post-copy
+    /// checksum pass issued on `stream`, so a staged model version can
+    /// double-buffer behind in-flight serving batches on the default
+    /// stream. Callers fence the stream before uploading — streams are
+    /// born idle at t = 0.
+    pub fn upload_on(device: Arc<Device>, ens: &CompiledEnsemble, stream: usize) -> Self {
         let trees = ens.trees();
         let mut feature = Vec::with_capacity(ens.num_nodes());
         let mut threshold = Vec::with_capacity(ens.num_nodes());
@@ -125,13 +134,13 @@ impl DeviceEnsemble {
             roots.push(t.root);
         }
         let mut this = DeviceEnsemble {
-            feature: device.htod(&feature),
-            threshold: device.htod(&threshold),
-            left: device.htod(&left),
-            right: device.htod(&right),
-            leaf_values: device.htod(&leaf_values),
-            roots: device.htod(&roots),
-            base: device.htod(ens.base()),
+            feature: device.htod_on(&feature, stream),
+            threshold: device.htod_on(&threshold, stream),
+            left: device.htod_on(&left, stream),
+            right: device.htod_on(&right, stream),
+            leaf_values: device.htod_on(&leaf_values, stream),
+            roots: device.htod_on(&roots, stream),
+            base: device.htod_on(ens.base(), stream),
             node_base,
             leaf_base,
             d: ens.d(),
@@ -141,7 +150,7 @@ impl DeviceEnsemble {
         // Capture the known-good digest of every resident array, then
         // let any planned ECC corruption land — the upload itself is
         // verified, later faults are caught by `verify`.
-        this.digests = this.checksums();
+        this.digests = this.checksums_on(stream);
         let device = this.device.clone();
         device.apply_planned_corruption("serve_feature", &mut this.feature);
         device.apply_planned_corruption("serve_threshold", &mut this.threshold);
@@ -154,32 +163,44 @@ impl DeviceEnsemble {
     }
 
     /// Checksum every resident SoA buffer with the charged
-    /// `buffer_checksum` kernel.
+    /// `buffer_checksum` kernel on the default stream.
     fn checksums(&self) -> [(&'static str, u64); 7] {
+        self.checksums_on(0)
+    }
+
+    /// [`DeviceEnsemble::checksums`] issued on `stream`: digests are
+    /// identical regardless of stream; only the charge timestamps move.
+    fn checksums_on(&self, stream: usize) -> [(&'static str, u64); 7] {
         let dev = &self.device;
         [
             (
                 "serve_feature",
-                buffer_checksum(dev, "serve_feature", &self.feature),
+                buffer_checksum_on(dev, "serve_feature", &self.feature, stream),
             ),
             (
                 "serve_threshold",
-                buffer_checksum(dev, "serve_threshold", &self.threshold),
+                buffer_checksum_on(dev, "serve_threshold", &self.threshold, stream),
             ),
-            ("serve_left", buffer_checksum(dev, "serve_left", &self.left)),
+            (
+                "serve_left",
+                buffer_checksum_on(dev, "serve_left", &self.left, stream),
+            ),
             (
                 "serve_right",
-                buffer_checksum(dev, "serve_right", &self.right),
+                buffer_checksum_on(dev, "serve_right", &self.right, stream),
             ),
             (
                 "serve_leaf_values",
-                buffer_checksum(dev, "serve_leaf_values", &self.leaf_values),
+                buffer_checksum_on(dev, "serve_leaf_values", &self.leaf_values, stream),
             ),
             (
                 "serve_roots",
-                buffer_checksum(dev, "serve_roots", &self.roots),
+                buffer_checksum_on(dev, "serve_roots", &self.roots, stream),
             ),
-            ("serve_base", buffer_checksum(dev, "serve_base", &self.base)),
+            (
+                "serve_base",
+                buffer_checksum_on(dev, "serve_base", &self.base, stream),
+            ),
         ]
     }
 

@@ -231,11 +231,25 @@ impl GpuTrainer {
         let binned = loop {
             let prep_scope = device.prof_scope("preprocess", None);
             let raw_bytes = (n * ds.m() * 4) as f64;
-            device.charge_ns(
-                "htod_features",
-                Phase::Transfer,
-                device.model().host_copy_ns(raw_bytes),
-            );
+            let copy_ns = device.model().host_copy_ns(raw_bytes);
+            let overlap_ingest = self.config.streams > 1;
+            let copy_done = if overlap_ingest {
+                // Ingest runs on a copy stream (engine work, no SM
+                // contention) and quantize pipelines one chunk behind
+                // it: the binning kernel starts once the first of 8
+                // copy chunks has landed, instead of after the full
+                // transfer. Charge order is identical to the serial
+                // schedule — only start timestamps move.
+                let copy = device.stream(1);
+                copy.wait_event(device.record_event(0));
+                let copy_start = copy.record_event();
+                copy.charge_ns("htod_features", Phase::Transfer, copy_ns);
+                device.wait_event(0, copy_start.offset_ns(copy_ns / 8.0));
+                Some(copy.record_event())
+            } else {
+                device.charge_ns("htod_features", Phase::Transfer, copy_ns);
+                None
+            };
             let binned = BinnedDataset::build(ds.features(), self.config.max_bins);
             device.charge_kernel(
                 "quantile_binning",
@@ -243,6 +257,12 @@ impl GpuTrainer {
                 &KernelCost::streaming((n * ds.m()) as f64 * 16.0, raw_bytes * 2.5),
             );
             crate::sanitize::trace_quantile_binning(device, n, ds.m(), self.config.max_bins);
+            if let Some(done) = copy_done {
+                // Everything after preprocessing reads the device-
+                // resident features: join the copy stream before the
+                // first gradient kernel can issue.
+                device.wait_event(0, done);
+            }
             drop(prep_scope);
             if !faults_on {
                 break binned;

@@ -313,6 +313,116 @@ fn verify_catches_planted_corruption_in_each_buffer() {
     }
 }
 
+/// A staged model version double-buffers behind in-flight batches: its
+/// SoA upload and checksum pass run on the copy stream during the
+/// arrival gaps, and the first flush that finds the upload complete
+/// swaps it in. Batches before the swap serve the old model
+/// bit-identically, batches after serve the new one.
+#[test]
+fn staged_upload_double_buffers_behind_batches() {
+    let (model_a, ds) = trained();
+    let model_b = GpuTrainer::new(
+        Device::rtx4090(),
+        TrainConfig {
+            num_trees: 16,
+            max_depth: 5,
+            max_bins: 32,
+            min_instances: 5,
+            ..TrainConfig::default()
+        },
+    )
+    .fit(&ds);
+    let compiled_a = CompiledEnsemble::compile(&model_a);
+    let compiled_b = CompiledEnsemble::compile(&model_b);
+    let ref_a = compiled_a.predict(ds.features());
+    let ref_b = compiled_b.predict(ds.features());
+
+    let device = Device::rtx4090();
+    let ens = DeviceEnsemble::upload(Arc::clone(&device), &compiled_a);
+    let d = ens.d();
+    let mut server = BatchServer::new(
+        ens,
+        BatchConfig {
+            max_batch: 50,
+            ..BatchConfig::default()
+        },
+    )
+    .expect("valid batch config");
+
+    // Rows arrive 1 ms apart: batch kernels and the staged upload are
+    // microseconds, so the copy drains long before the next trigger.
+    let n = ds.features().rows();
+    let mut batches = Vec::new();
+    for i in 0..n {
+        let arrival = i as f64 * 1e6;
+        if i == 150 {
+            server.stage(&compiled_b).expect("same output dimension");
+        }
+        batches.extend(server.submit(arrival, ds.features().row(i)));
+    }
+    batches.extend(server.flush());
+    assert_eq!(batches.len(), 6);
+
+    for b in &batches {
+        let reference = if b.first_id < 150 { &ref_a } else { &ref_b };
+        let start = b.first_id as usize * d;
+        assert_eq!(
+            b.scores,
+            reference[start..start + b.rows * d],
+            "batch at id {} served the wrong model version",
+            b.first_id
+        );
+    }
+
+    // The upload ran on the copy stream, and it ran at stage time —
+    // inside the arrival gap, before the swapping flush's trigger —
+    // not serialized into the swap.
+    let swap_trigger_ns = 199e6;
+    let copies: Vec<_> = device
+        .records()
+        .into_iter()
+        .filter(|r| r.stream == 1)
+        .collect();
+    assert_eq!(
+        copies.len(),
+        14,
+        "7 htod transfers + 7 checksum kernels on the copy stream"
+    );
+    for r in &copies {
+        assert!(
+            r.start_ns + r.ns <= swap_trigger_ns,
+            "{} on the copy stream finished at {} ns, after the swap trigger",
+            r.name,
+            r.start_ns + r.ns
+        );
+    }
+
+    // Staging a model with a different output dimension is rejected.
+    let tiny = make_classification(&ClassificationSpec {
+        instances: 100,
+        features: 12,
+        classes: 2,
+        informative: 6,
+        seed: 9,
+        ..Default::default()
+    });
+    let model_c = GpuTrainer::new(
+        Device::rtx4090(),
+        TrainConfig {
+            num_trees: 2,
+            max_depth: 3,
+            max_bins: 16,
+            min_instances: 5,
+            ..TrainConfig::default()
+        },
+    )
+    .fit(&tiny);
+    let err = server
+        .stage(&CompiledEnsemble::compile(&model_c))
+        .expect_err("dimension change must be rejected");
+    assert!(err.message().contains("output dimension"));
+}
+
 /// Zero perturbation: attaching the profiler and sanitizer changes
 /// neither the results nor the charged cost stream, and the sanitized
 /// run is clean in both predict modes.

@@ -1,0 +1,234 @@
+//! Stream-schedule invariants on the training paths.
+//!
+//! The multi-stream timeline must be invisible to everything except
+//! start timestamps and the makespan:
+//!
+//! * `streams = 1` keeps every charge on the default stream with zero
+//!   recorded overlap — the schedule is the old serial clock (the
+//!   gpusim property suite proves the stream-0 scheduler is bitwise
+//!   identical to the plain serial ledger);
+//! * `streams > 1` changes neither the model nor the *order* of the
+//!   charge stream, only shortens the timeline;
+//! * observers (profiler/sanitizer), faults, and checkpoint/resume all
+//!   keep their guarantees on streamed schedules.
+
+use gbdt_core::config::{OutputSketch, TrainConfig};
+use gbdt_core::trainer::GpuTrainer;
+use gbdt_core::{HistOptions, HistogramMethod, RetryPolicy};
+use gbdt_data::synth::{make_classification, ClassificationSpec};
+use gbdt_data::Dataset;
+use gpusim::sanitize::SanitizeMode;
+use gpusim::{Device, DeviceProps, FaultPlan};
+
+fn dataset() -> Dataset {
+    make_classification(&ClassificationSpec {
+        instances: 250,
+        features: 8,
+        classes: 6,
+        informative: 6,
+        seed: 9,
+        ..Default::default()
+    })
+}
+
+fn grid() -> Vec<(HistogramMethod, OutputSketch)> {
+    let methods = [
+        HistogramMethod::GlobalMemory,
+        HistogramMethod::SharedMemory,
+        HistogramMethod::SortReduce,
+        HistogramMethod::Adaptive,
+    ];
+    let sketches = [
+        OutputSketch::None,
+        OutputSketch::TopOutputs(2),
+        OutputSketch::RandomSampling(2),
+        OutputSketch::RandomProjection(2),
+    ];
+    methods
+        .into_iter()
+        .flat_map(|h| sketches.into_iter().map(move |s| (h, s)))
+        .collect()
+}
+
+fn config(hist: HistogramMethod, sketch: OutputSketch, streams: usize) -> TrainConfig {
+    TrainConfig {
+        num_trees: 4,
+        max_depth: 3,
+        max_bins: 16,
+        min_instances: 5,
+        hist: HistOptions {
+            method: hist,
+            ..HistOptions::default()
+        },
+        sketch,
+        streams,
+        ..TrainConfig::default()
+    }
+}
+
+/// `streams = 1` is the serial schedule: every charge sits on the
+/// default stream, nothing is saved by overlap, and the run is
+/// bit-for-bit reproducible — clock, durations, and start stamps —
+/// across every histogram method × sketch mode.
+#[test]
+fn serial_stream_config_is_bitwise_stable_across_methods_and_sketches() {
+    let ds = dataset();
+    for (hist, sketch) in grid() {
+        let label = format!("{hist:?}/{}", sketch.label());
+        let mut runs = Vec::new();
+        for _ in 0..2 {
+            let dev = Device::new(0, DeviceProps::rtx4090());
+            let model = GpuTrainer::new(dev.clone(), config(hist, sketch, 1)).fit(&ds);
+            runs.push((model.predict(ds.features()), dev.now_ns(), dev.records()));
+            let summary = dev.summary();
+            assert_eq!(
+                summary.overlap_saved_ns.to_bits(),
+                0.0f64.to_bits(),
+                "{label}: serial schedule must save nothing"
+            );
+        }
+        let (p1, t1, r1) = &runs[0];
+        let (p2, t2, r2) = &runs[1];
+        assert_eq!(p1, p2, "{label}: predictions drifted between runs");
+        assert_eq!(t1.to_bits(), t2.to_bits(), "{label}: clock drifted");
+        assert_eq!(r1.len(), r2.len(), "{label}: charge count drifted");
+        for (a, b) in r1.iter().zip(r2) {
+            assert_eq!(a.name, b.name, "{label}: charge order drifted");
+            assert_eq!(a.ns.to_bits(), b.ns.to_bits(), "{label}: {} ns", a.name);
+            assert_eq!(
+                a.start_ns.to_bits(),
+                b.start_ns.to_bits(),
+                "{label}: {} start",
+                a.name
+            );
+            assert_eq!(a.stream, 0, "{label}: {} left the default stream", a.name);
+        }
+    }
+}
+
+/// Streams shorten the single-device timeline without touching the
+/// model, the charge order, or the charged durations, across the full
+/// method × sketch grid; the shrinkage is recorded as overlap savings.
+#[test]
+fn streamed_training_preserves_model_and_charge_order() {
+    let ds = dataset();
+    for (hist, sketch) in grid() {
+        let label = format!("{hist:?}/{}", sketch.label());
+        let d1 = Device::new(0, DeviceProps::rtx4090());
+        let serial = GpuTrainer::new(d1.clone(), config(hist, sketch, 1)).fit(&ds);
+        let d4 = Device::new(0, DeviceProps::rtx4090());
+        let streamed = GpuTrainer::new(d4.clone(), config(hist, sketch, 4)).fit(&ds);
+
+        assert_eq!(
+            serial.predict(ds.features()),
+            streamed.predict(ds.features()),
+            "{label}: streams changed the model"
+        );
+        assert!(
+            d4.now_ns() <= d1.now_ns(),
+            "{label}: streamed clock {} exceeds serial {}",
+            d4.now_ns(),
+            d1.now_ns()
+        );
+        let saved = d4.summary().overlap_saved_ns;
+        assert!(saved > 0.0, "{label}: no overlap was recorded");
+        let (r1, r4) = (d1.records(), d4.records());
+        assert_eq!(r1.len(), r4.len(), "{label}: charge count changed");
+        for (a, b) in r1.iter().zip(&r4) {
+            assert_eq!(a.name, b.name, "{label}: charge order changed");
+            assert_eq!(
+                a.ns.to_bits(),
+                b.ns.to_bits(),
+                "{label}: {} duration changed",
+                a.name
+            );
+        }
+    }
+}
+
+/// Zero perturbation on streamed schedules: attaching the profiler and
+/// the sanitizer changes neither the model nor a single bit of the
+/// charge stream — names, durations, start stamps, and stream ids.
+#[test]
+fn observers_do_not_perturb_streamed_training() {
+    let ds = dataset();
+    let cfg = config(HistogramMethod::Adaptive, OutputSketch::TopOutputs(2), 4);
+
+    let plain_dev = Device::new(0, DeviceProps::rtx4090());
+    let plain = GpuTrainer::new(plain_dev.clone(), cfg.clone()).fit(&ds);
+
+    let observed_dev = Device::new(0, DeviceProps::rtx4090());
+    observed_dev.enable_profiler();
+    observed_dev.enable_sanitizer(SanitizeMode::Full);
+    let observed = GpuTrainer::new(observed_dev.clone(), cfg).fit(&ds);
+
+    assert_eq!(
+        plain.predict(ds.features()),
+        observed.predict(ds.features()),
+        "observers perturbed the model"
+    );
+    assert_eq!(
+        plain_dev.now_ns().to_bits(),
+        observed_dev.now_ns().to_bits(),
+        "observers perturbed the clock"
+    );
+    let (a, b) = (plain_dev.records(), observed_dev.records());
+    assert_eq!(a.len(), b.len(), "observers perturbed the charge count");
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.ns.to_bits(), y.ns.to_bits(), "{} ns drifted", x.name);
+        assert_eq!(
+            x.start_ns.to_bits(),
+            y.start_ns.to_bits(),
+            "{} start drifted",
+            x.name
+        );
+        assert_eq!(x.stream, y.stream, "{} changed stream", x.name);
+    }
+    let report = observed_dev.sanitize_report().expect("sanitizer attached");
+    assert!(report.is_clean(), "violations: {}", report.table());
+}
+
+/// Fault recovery and checkpoint/resume keep their bit-identity
+/// guarantees when the schedule is streamed: a transient mid-training
+/// fault retries into the same model, and resuming from a checkpoint
+/// reproduces the uninterrupted streamed run.
+#[test]
+fn faults_and_checkpoints_hold_on_streamed_paths() {
+    let ds = dataset();
+    let cfg = config(HistogramMethod::Adaptive, OutputSketch::None, 4);
+
+    let clean_dev = Device::new(0, DeviceProps::rtx4090());
+    let clean = GpuTrainer::new(clean_dev.clone(), cfg.clone()).fit(&ds);
+
+    let faulty_dev = Device::new(0, DeviceProps::rtx4090());
+    faulty_dev.enable_faults(FaultPlan::new().transient_at(40));
+    let recovered = GpuTrainer::new(
+        faulty_dev.clone(),
+        cfg.clone().with_retry(RetryPolicy::retries(1)),
+    )
+    .try_fit(&ds)
+    .expect("transient fault must be retried");
+    assert_eq!(
+        clean.predict(ds.features()),
+        recovered.predict(ds.features()),
+        "fault recovery diverged on the streamed schedule"
+    );
+
+    let ck_dev = Device::new(0, DeviceProps::rtx4090());
+    let (full, checkpoints) = GpuTrainer::new(ck_dev.clone(), cfg.clone())
+        .try_fit_checkpointed(&ds)
+        .expect("checkpointed fit");
+    let ck = checkpoints
+        .iter()
+        .find(|c| c.completed_trees == 2)
+        .expect("checkpoint after tree 2");
+    let resume_dev = Device::new(0, DeviceProps::rtx4090());
+    let resumed = GpuTrainer::new(resume_dev.clone(), cfg)
+        .try_fit_resumed(&ds, ck)
+        .expect("resume");
+    assert_eq!(
+        full.model.trees, resumed.model.trees,
+        "resume diverged on the streamed schedule"
+    );
+}

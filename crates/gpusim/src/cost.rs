@@ -247,6 +247,21 @@ impl CostModel {
         serialized > streaming
     }
 
+    /// True when a launch's streaming work `max(compute, dram)` exceeds
+    /// one kernel-launch overhead — i.e. the grid is large enough to
+    /// fill the SMs for longer than it takes to launch it. The stream
+    /// scheduler uses this to size a kernel's compute-slot footprint:
+    /// a saturating kernel takes every slot (co-resident compute
+    /// serializes behind it, as on real hardware), while a small
+    /// launch-bound kernel takes one slot and overlaps with siblings.
+    /// Deliberately *not* shared with [`CostModel::kernel_ns`] so the
+    /// charged time's float summation order stays untouched.
+    pub fn saturates_device(&self, c: &KernelCost) -> bool {
+        let p = &self.params;
+        let streaming = (c.flops / p.flops()).max(c.dram_bytes / p.dram_bw);
+        streaming > p.launch_overhead_sec
+    }
+
     /// Time to move `bytes` across the host link (H2D or D2H), ns.
     pub fn host_copy_ns(&self, bytes: f64) -> f64 {
         (bytes / self.params.pcie_bw + self.params.p2p_latency_sec) * 1e9
@@ -330,6 +345,16 @@ mod tests {
             ..base
         };
         assert!(m.kernel_ns(&contended) > m.kernel_ns(&base));
+    }
+
+    #[test]
+    fn saturation_classification_follows_streaming_vs_launch_overhead() {
+        let m = model();
+        // A tiny kernel streams for far less than one launch overhead:
+        // it leaves SMs free for co-resident work.
+        assert!(!m.saturates_device(&KernelCost::streaming(1e3, 1e3)));
+        // A 1 GB streaming kernel occupies the SMs for ~1 ms ≫ 1.2 µs.
+        assert!(m.saturates_device(&KernelCost::streaming(0.0, 1e9)));
     }
 
     #[test]

@@ -3,9 +3,10 @@
 use crate::buffer::GpuBuffer;
 use crate::cost::{CostModel, CostParams, KernelCost};
 use crate::fault::{Bits32, FaultInjector, FaultPlan, FaultReport, GpuFault};
+use crate::occupancy::{occupancy, BlockResources, SmLimits};
 use crate::prof::{ProfScope, ProfileSummary, Profiler};
 use crate::sanitize::{SanitizeMode, SanitizeReport, Sanitizer};
-use crate::timeline::{Ledger, LedgerSummary};
+use crate::timeline::{Event, Ledger, LedgerSummary};
 use crate::KernelRecord;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -130,13 +131,18 @@ impl DeviceProps {
     }
 }
 
-/// A simulated GPU with a single in-order stream.
+/// A simulated GPU with multiple in-order streams.
 ///
 /// All kernels execute functionally on the host; their simulated duration
-/// is computed by the [`CostModel`] and accumulated in a ledger. `Device`
-/// is `Sync`: concurrent charges are serialized by an internal lock, and
-/// the in-order-stream abstraction means only subtotal order (not
-/// interleaving) matters.
+/// is computed by the [`CostModel`] and accumulated in a ledger whose
+/// timeline models CUDA streams: each stream is an in-order queue with
+/// its own clock, [`Event`] fences add cross-stream edges, and compute
+/// kernels contend for an occupancy-derived number of concurrent-kernel
+/// slots (see [`Device::compute_slots`]). Stream 0 is the default
+/// stream; code that never names a stream behaves exactly as the old
+/// single-stream device, bit for bit. `Device` is `Sync`: concurrent
+/// charges are serialized by an internal lock, and the in-order-stream
+/// abstraction means only subtotal order (not interleaving) matters.
 pub struct Device {
     /// Device index within its group (0-based, mirrors `cudaSetDevice`).
     pub id: usize,
@@ -146,6 +152,49 @@ pub struct Device {
     sanitizer: Mutex<Option<Arc<Sanitizer>>>,
     profiler: Mutex<Option<Arc<Profiler>>>,
     fault: Mutex<Option<Arc<FaultInjector>>>,
+}
+
+/// A lightweight handle binding a [`Device`] to a stream id, so call
+/// sites can write `device.stream(s).charge_kernel(...)` with the same
+/// method names (and the same kernel contract obligations) as the
+/// default-stream interface.
+#[derive(Clone, Copy)]
+pub struct Stream<'a> {
+    device: &'a Device,
+    id: usize,
+}
+
+impl<'a> Stream<'a> {
+    /// The stream id this handle charges on.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Charge one kernel launch described by `cost` on this stream.
+    pub fn charge_kernel(&self, name: &'static str, phase: Phase, cost: &KernelCost) {
+        self.device.charge_kernel_on(name, phase, cost, self.id);
+    }
+
+    /// Charge a raw duration on this stream (engine work — transfers and
+    /// collectives — which never contends for compute slots).
+    pub fn charge_ns(&self, name: &'static str, phase: Phase, ns: f64) {
+        self.device.charge_ns_on(name, phase, ns, self.id);
+    }
+
+    /// Fence the work issued to this stream so far.
+    pub fn record_event(&self) -> Event {
+        self.device.record_event(self.id)
+    }
+
+    /// Make subsequent work on this stream start no earlier than `event`.
+    pub fn wait_event(&self, event: Event) {
+        self.device.wait_event(self.id, event);
+    }
+
+    /// Completion clock of this stream, nanoseconds.
+    pub fn now_ns(&self) -> f64 {
+        self.device.stream_now(self.id)
+    }
 }
 
 impl std::fmt::Debug for Device {
@@ -165,15 +214,30 @@ impl Device {
     /// Create device `id` with the given properties.
     pub fn new(id: usize, props: DeviceProps) -> Arc<Self> {
         let model = CostModel::new(props.cost.clone());
+        let slots = Self::derive_compute_slots();
         Arc::new(Device {
             id,
             props,
             model,
-            ledger: Mutex::new(Ledger::new(Self::DEFAULT_RECORD_LIMIT)),
+            ledger: Mutex::new(Ledger::with_slots(Self::DEFAULT_RECORD_LIMIT, slots)),
             sanitizer: Mutex::new(None),
             profiler: Mutex::new(None),
             fault: Mutex::new(None),
         })
+    }
+
+    /// Concurrent-kernel slots from the occupancy model: blocks per SM
+    /// at the canonical histogram launch shape (256 threads, 16 KiB of
+    /// shared memory, 32 registers per thread). A launch-bound kernel
+    /// occupies one slot; a kernel the cost model says saturates the
+    /// SMs takes all of them and serializes with co-resident compute.
+    fn derive_compute_slots() -> u32 {
+        let shape = BlockResources {
+            threads: 256,
+            smem_bytes: 16 * 1024,
+            regs_per_thread: 32,
+        };
+        occupancy(shape, &SmLimits::default()).blocks_per_sm.max(1)
     }
 
     /// Shortcut: a single RTX 4090-like device.
@@ -192,8 +256,23 @@ impl Device {
         &self.model
     }
 
-    /// Charge one kernel launch described by `cost`.
+    /// Charge one kernel launch described by `cost` on the default stream.
     pub fn charge_kernel(&self, name: &'static str, phase: Phase, cost: &KernelCost) {
+        self.charge_kernel_on(name, phase, cost, 0);
+    }
+
+    /// Charge one kernel launch described by `cost` on `stream`.
+    ///
+    /// The kernel occupies one compute slot, or every slot when the
+    /// cost model says it saturates the SMs — co-resident kernels on
+    /// other streams then serialize exactly as real hardware would.
+    pub fn charge_kernel_on(
+        &self,
+        name: &'static str,
+        phase: Phase,
+        cost: &KernelCost,
+        stream: usize,
+    ) {
         if let Some(inj) = self.fault.lock().clone() {
             if !inj.on_charge(self.id, name) {
                 // Device lost: nothing executes on a fallen device.
@@ -201,30 +280,86 @@ impl Device {
             }
         }
         let ns = self.model.kernel_ns(cost);
-        let start_ns = self.ledger.lock().charge(name, phase, ns);
+        let slots = if self.model.saturates_device(cost) {
+            self.ledger.lock().compute_slots()
+        } else {
+            1
+        };
+        let start_ns = self
+            .ledger
+            .lock()
+            .charge_scheduled(stream, name, phase, ns, slots);
         if let Some(prof) = self.profiler.lock().clone() {
             // Observer only: the ledger charge above is complete and the
             // profiler never feeds anything back into it.
             let limited = self.model.serialization_limited(cost);
-            prof.on_kernel(name, phase, ns, start_ns, cost.dram_bytes, limited);
+            prof.on_kernel(name, phase, ns, start_ns, cost.dram_bytes, limited, stream);
         }
     }
 
-    /// Charge a raw duration (used by collectives and transfers whose
-    /// time is computed outside the kernel model).
+    /// Charge a raw duration on the default stream (used by collectives
+    /// and transfers whose time is computed outside the kernel model).
     pub fn charge_ns(&self, name: &'static str, phase: Phase, ns: f64) {
+        self.charge_ns_on(name, phase, ns, 0);
+    }
+
+    /// Charge a raw duration on `stream`. Engine work: consumes no
+    /// compute slots, so it overlaps freely with kernels on other
+    /// streams (copy and collective engines do not contend for SMs).
+    pub fn charge_ns_on(&self, name: &'static str, phase: Phase, ns: f64, stream: usize) {
         if let Some(inj) = self.fault.lock().clone() {
             if !inj.on_charge(self.id, name) {
                 return;
             }
         }
-        let start_ns = self.ledger.lock().charge(name, phase, ns);
+        let start_ns = self
+            .ledger
+            .lock()
+            .charge_scheduled(stream, name, phase, ns, 0);
         if let Some(prof) = self.profiler.lock().clone() {
-            prof.on_kernel(name, phase, ns, start_ns, 0.0, false);
+            prof.on_kernel(name, phase, ns, start_ns, 0.0, false, stream);
         }
     }
 
-    /// Current simulated time, nanoseconds.
+    /// A charge handle bound to `stream`. Stream 0 is the default
+    /// stream; other ids are created lazily, born idle at t = 0 —
+    /// fence a fresh stream ([`Stream::wait_event`]) before its first
+    /// charge when the work logically depends on anything.
+    pub fn stream(&self, id: usize) -> Stream<'_> {
+        Stream { device: self, id }
+    }
+
+    /// Fence the work issued to `stream` so far.
+    pub fn record_event(&self, stream: usize) -> Event {
+        self.ledger.lock().record_event(stream)
+    }
+
+    /// Make subsequent work on `stream` start no earlier than `event`.
+    /// Events are plain timestamps, so fences recorded on *another*
+    /// device compose here too (cross-device collective edges).
+    pub fn wait_event(&self, stream: usize, event: Event) {
+        self.ledger.lock().wait_event(stream, event);
+    }
+
+    /// Device-wide synchronization (`cudaDeviceSynchronize`): every
+    /// stream clock joins the makespan. Books no idle time, and is a
+    /// no-op when only the default stream has been used.
+    pub fn sync(&self) {
+        self.ledger.lock().sync_streams();
+    }
+
+    /// Completion clock of `stream`, nanoseconds (0 if never touched).
+    pub fn stream_now(&self, stream: usize) -> f64 {
+        self.ledger.lock().stream_now(stream)
+    }
+
+    /// Concurrent-kernel slots available to co-resident compute.
+    pub fn compute_slots(&self) -> u32 {
+        self.ledger.lock().compute_slots()
+    }
+
+    /// Current simulated time, nanoseconds: the timeline makespan (max
+    /// over stream clocks and barrier targets).
     pub fn now_ns(&self) -> f64 {
         self.ledger.lock().total_ns()
     }
@@ -414,8 +549,22 @@ impl Device {
 
     /// Copy host data to a new device buffer (`cudaMemcpyHostToDevice`).
     pub fn htod<T: Copy + Send + Sync>(&self, host: &[T]) -> GpuBuffer<T> {
+        self.htod_on(host, 0)
+    }
+
+    /// Copy host data to a new device buffer on `stream` (an async H2D
+    /// issued to a copy stream, `cudaMemcpyAsync`). The returned buffer
+    /// is functionally complete immediately; consumers on other streams
+    /// must wait a fence recorded after this call before charging work
+    /// that reads it.
+    pub fn htod_on<T: Copy + Send + Sync>(&self, host: &[T], stream: usize) -> GpuBuffer<T> {
         let bytes = std::mem::size_of_val(host) as f64;
-        self.charge_ns("htod", Phase::Transfer, self.model.host_copy_ns(bytes));
+        self.charge_ns_on(
+            "htod",
+            Phase::Transfer,
+            self.model.host_copy_ns(bytes),
+            stream,
+        );
         GpuBuffer::from_vec(self.id, host.to_vec())
     }
 

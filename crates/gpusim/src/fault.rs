@@ -422,6 +422,19 @@ pub fn buffer_checksum<T: Bits32 + Send + Sync>(
     label: &'static str,
     buf: &GpuBuffer<T>,
 ) -> u64 {
+    buffer_checksum_on(device, label, buf, 0)
+}
+
+/// [`buffer_checksum`] issued on a specific stream, so scrubs of a
+/// staged upload can overlap in-flight compute on other streams. The
+/// digest is identical regardless of stream; only the charge's start
+/// timestamp differs.
+pub fn buffer_checksum_on<T: Bits32 + Send + Sync>(
+    device: &Device,
+    label: &'static str,
+    buf: &GpuBuffer<T>,
+    stream: usize,
+) -> u64 {
     assert_eq!(
         buf.device_id(),
         device.id,
@@ -431,7 +444,7 @@ pub fn buffer_checksum<T: Bits32 + Send + Sync>(
     );
     let _scope = device.prof_scope("buffer_checksum", None);
     let bytes = (buf.len() * std::mem::size_of::<T>()) as f64;
-    device.charge_kernel(
+    device.stream(stream).charge_kernel(
         "buffer_checksum",
         Phase::Other,
         &KernelCost::streaming(buf.len() as f64, bytes),

@@ -21,7 +21,8 @@
 //! | CUDA concept            | gpusim equivalent                          |
 //! |-------------------------|--------------------------------------------|
 //! | `cudaDeviceProp`        | [`DeviceProps`]                            |
-//! | device + stream         | [`Device`] (single in-order stream)        |
+//! | device                  | [`Device`]                                 |
+//! | streams + events        | [`Device::stream`], [`Event`] fences       |
 //! | `cudaMalloc`/`cudaMemcpy`| [`Device::alloc_zeroed`], [`Device::htod`] |
 //! | kernel launch           | [`Device::charge_kernel`] + [`launch::run_blocks`] |
 //! | Thrust/CUB primitives   | [`primitives`]                             |
@@ -49,9 +50,10 @@ pub mod warp;
 pub use buffer::GpuBuffer;
 pub use collective::DeviceGroup;
 pub use cost::{CostModel, CostParams, KernelCost};
-pub use device::{Device, DeviceProps, Phase};
+pub use device::{Device, DeviceProps, Phase, Stream};
 pub use fault::{
-    buffer_checksum, Bits32, FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultReport, GpuFault,
+    buffer_checksum, buffer_checksum_on, Bits32, FaultEvent, FaultInjector, FaultKind, FaultPlan,
+    FaultReport, GpuFault,
 };
 pub use launch::LaunchCfg;
 pub use prof::{
@@ -61,7 +63,7 @@ pub use sanitize::{
     AccessKind, MemSpace, SanitizeMode, SanitizeReport, Sanitizer, ThreadCtx, Violation,
     ViolationKind,
 };
-pub use timeline::{KernelRecord, LedgerSummary};
+pub use timeline::{Event, KernelRecord, LedgerSummary};
 
 /// Seconds represented as `f64` nanoseconds, the unit of the ledger.
 pub type Nanos = f64;

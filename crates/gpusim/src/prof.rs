@@ -32,7 +32,10 @@ use std::collections::BTreeMap;
 /// Bump rule: any field rename/removal or semantic change to an existing
 /// field bumps this; purely additive fields may keep it, but the golden
 /// schema test must be updated either way.
-pub const PROFILE_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: kernel trace events carry their stream id in `tid`, so each
+/// stream renders as its own track; previously `tid` was always 0.
+pub const PROFILE_SCHEMA_VERSION: u32 = 2;
 
 /// Default cap on retained trace events (kernels + scopes). Aggregates
 /// stay exact past the cap; only the Chrome trace loses detail.
@@ -60,6 +63,9 @@ struct TraceEvent {
     cat: &'static str,
     start_ns: f64,
     dur_ns: f64,
+    /// Stream the charge was issued on — rendered as the Chrome-trace
+    /// `tid`, so each stream gets its own track. Scope events use 0.
+    stream: u64,
 }
 
 #[derive(Default)]
@@ -105,8 +111,10 @@ impl Profiler {
     }
 
     /// Record one charged kernel. Called by the device *after* the
-    /// ledger charge; `start_ns` is the device clock before the charge.
-    /// `limited` marks a launch dominated by serialized terms.
+    /// ledger charge; `start_ns` is the issuing stream's clock before
+    /// the charge and `stream` the stream it was issued on. `limited`
+    /// marks a launch dominated by serialized terms.
+    #[allow(clippy::too_many_arguments)]
     pub fn on_kernel(
         &self,
         name: &'static str,
@@ -115,6 +123,7 @@ impl Profiler {
         start_ns: f64,
         dram_bytes: f64,
         limited: bool,
+        stream: usize,
     ) {
         let mut inner = self.inner.lock();
         let stat = inner.kernels.entry((name, phase)).or_default();
@@ -136,6 +145,7 @@ impl Profiler {
                 cat: phase.name(),
                 start_ns,
                 dur_ns: ns,
+                stream: stream as u64,
             },
         );
     }
@@ -167,6 +177,7 @@ impl Profiler {
                 cat: "scope",
                 start_ns,
                 dur_ns: end_ns - start_ns,
+                stream: 0,
             },
         );
     }
@@ -246,7 +257,7 @@ impl Profiler {
                     ("ts".to_string(), Value::Float(e.start_ns * 1e-3)),
                     ("dur".to_string(), Value::Float(e.dur_ns * 1e-3)),
                     ("pid".to_string(), Value::UInt(device_id as u64)),
-                    ("tid".to_string(), Value::UInt(0)),
+                    ("tid".to_string(), Value::UInt(e.stream)),
                 ])
             })
             .collect();
@@ -436,10 +447,10 @@ mod tests {
     #[test]
     fn kernel_aggregates_accumulate() {
         let p = Profiler::default();
-        p.on_kernel("k", Phase::Histogram, 10.0, 0.0, 100.0, true);
-        p.on_kernel("k", Phase::Histogram, 30.0, 10.0, 300.0, true);
-        p.on_kernel("k", Phase::Histogram, 20.0, 40.0, 200.0, false);
-        p.on_kernel("other", Phase::SplitEval, 5.0, 60.0, 0.0, false);
+        p.on_kernel("k", Phase::Histogram, 10.0, 0.0, 100.0, true, 0);
+        p.on_kernel("k", Phase::Histogram, 30.0, 10.0, 300.0, true, 0);
+        p.on_kernel("k", Phase::Histogram, 20.0, 40.0, 200.0, false, 0);
+        p.on_kernel("other", Phase::SplitEval, 5.0, 60.0, 0.0, false, 0);
         let ledger = crate::LedgerSummary::default();
         let s = p.summarize("dev", &ledger);
         assert_eq!(s.kernels.len(), 2);
@@ -483,7 +494,7 @@ mod tests {
     fn event_limit_sheds_but_aggregates_stay_exact() {
         let p = Profiler::new(2);
         for i in 0..5 {
-            p.on_kernel("k", Phase::Other, 1.0, i as f64, 0.0, false);
+            p.on_kernel("k", Phase::Other, 1.0, i as f64, 0.0, false, 0);
         }
         assert_eq!(p.dropped_events(), 3);
         let s = p.summarize("dev", &crate::LedgerSummary::default());
@@ -495,7 +506,7 @@ mod tests {
     #[test]
     fn chrome_trace_is_valid_and_scaled_to_micros() {
         let p = Profiler::default();
-        p.on_kernel("k", Phase::Histogram, 2000.0, 1000.0, 0.0, false);
+        p.on_kernel("k", Phase::Histogram, 2000.0, 1000.0, 0.0, false, 0);
         let json = p.chrome_trace(3);
         let v: serde::Value = serde_json::from_str(&json).expect("valid JSON");
         let obj = v.as_object().expect("object envelope");
@@ -511,6 +522,31 @@ mod tests {
         assert_eq!(get("ts"), Some(serde::Value::Float(1.0)));
         assert_eq!(get("dur"), Some(serde::Value::Float(2.0)));
         assert_eq!(get("pid"), Some(serde::Value::UInt(3)));
+        assert_eq!(get("tid"), Some(serde::Value::UInt(0)));
+    }
+
+    #[test]
+    fn chrome_trace_renders_streams_as_separate_tracks() {
+        let p = Profiler::default();
+        p.on_kernel("a", Phase::Histogram, 10.0, 0.0, 0.0, false, 1);
+        p.on_kernel("b", Phase::Histogram, 10.0, 0.0, 0.0, false, 2);
+        let json = p.chrome_trace(0);
+        let v: serde::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = v
+            .as_object()
+            .and_then(|o| {
+                o.iter()
+                    .find(|(k, _)| k == "traceEvents")
+                    .and_then(|(_, v)| v.as_array())
+            })
+            .expect("traceEvents array");
+        let tid = |i: usize| {
+            events[i]
+                .as_object()
+                .and_then(|ev| ev.iter().find(|(k, _)| k == "tid").map(|(_, v)| v.clone()))
+        };
+        assert_eq!(tid(0), Some(serde::Value::UInt(1)));
+        assert_eq!(tid(1), Some(serde::Value::UInt(2)));
     }
 
     #[test]

@@ -6,6 +6,7 @@ use gpusim::primitives::{
     exclusive_scan_u32, reduce_by_key_sorted, reduce_sum_f64, segmented_reduce_sum_f64,
     sort_by_key_u32,
 };
+use gpusim::timeline::Ledger;
 use gpusim::warp::{
     atomic_replay_degree, atomic_replay_excess, bank_conflict_degree, sectors_touched,
 };
@@ -176,5 +177,63 @@ proptest! {
         let m = CostModel::new(CostParams::rtx4090());
         prop_assert!(m.ring_all_reduce_ns(bytes * 2.0, k) >= m.ring_all_reduce_ns(bytes, k));
         prop_assert!(m.ring_all_reduce_ns(bytes, k + 1) >= m.ring_all_reduce_ns(bytes, k) * 0.8);
+    }
+
+    /// The multi-stream makespan is sandwiched between the critical
+    /// path (no schedule can beat the busiest stream, nor the longest
+    /// single charge) and the serial sum (overlap never slows things
+    /// down), and `overlap_saved_ns` is exactly their gap.
+    #[test]
+    fn stream_makespan_is_bounded_by_critical_path_and_serial_sum(
+        charges in proptest::collection::vec(
+            (0usize..4, 0.0f64..1e6, 0u32..3), 1..200),
+        slots in 1u32..8,
+    ) {
+        let mut l = Ledger::with_slots(0, slots);
+        let mut per_stream = [0.0f64; 4];
+        let mut serial_sum = 0.0;
+        let mut longest = 0.0f64;
+        for &(s, ns, k) in &charges {
+            l.charge_scheduled(s, "k", Phase::Other, ns, k);
+            per_stream[s] += ns;
+            serial_sum += ns;
+            longest = longest.max(ns);
+        }
+        let critical = per_stream.iter().cloned().fold(longest, f64::max);
+        let makespan = l.total_ns();
+        prop_assert!(makespan <= serial_sum * (1.0 + 1e-12) + 1e-9,
+            "makespan {makespan} exceeds serial sum {serial_sum}");
+        prop_assert!(makespan >= critical * (1.0 - 1e-12) - 1e-9,
+            "makespan {makespan} beats critical path {critical}");
+        let saved = l.overlap_saved_ns();
+        prop_assert!((saved - (serial_sum - makespan)).abs()
+            <= 1e-9 * (1.0 + serial_sum.abs()),
+            "overlap_saved {saved} != serial {serial_sum} - makespan {makespan}");
+        // Phase subtotals are schedule-independent: the exact charged sum.
+        prop_assert!((l.phase_ns(Phase::Other) - serial_sum).abs()
+            <= 1e-9 * (1.0 + serial_sum.abs()));
+    }
+
+    /// Issuing every charge on the default stream reproduces the plain
+    /// serial ledger bit-for-bit — clock, subtotals, and start stamps —
+    /// regardless of the slot footprints involved.
+    #[test]
+    fn default_stream_schedule_is_bitwise_serial(
+        charges in proptest::collection::vec((0.0f64..1e6, 0u32..9), 1..100),
+        slots in 1u32..8,
+    ) {
+        let mut serial = Ledger::new(1000);
+        let mut streamed = Ledger::with_slots(1000, slots);
+        for &(ns, k) in &charges {
+            let a = serial.charge("k", Phase::Histogram, ns);
+            let b = streamed.charge_scheduled(0, "k", Phase::Histogram, ns, k);
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "start stamps diverged");
+        }
+        prop_assert_eq!(serial.total_ns().to_bits(), streamed.total_ns().to_bits());
+        prop_assert_eq!(
+            serial.phase_ns(Phase::Histogram).to_bits(),
+            streamed.phase_ns(Phase::Histogram).to_bits()
+        );
+        prop_assert_eq!(streamed.overlap_saved_ns().to_bits(), 0.0f64.to_bits());
     }
 }

@@ -11,7 +11,8 @@
 use gpusim::{Device, Phase, ProfileSummary, PROFILE_SCHEMA_VERSION};
 use serde::{Deserialize, Serialize};
 
-/// A fixed, fully deterministic profiled workload.
+/// A fixed, fully deterministic profiled workload, including a
+/// multi-stream section so the fixture pins per-stream `tid` tracks.
 fn golden_device() -> std::sync::Arc<Device> {
     let device = Device::rtx4090();
     device.enable_profiler();
@@ -24,8 +25,18 @@ fn golden_device() -> std::sync::Arc<Device> {
         }
         {
             let _level = device.prof_scope("level", Some(1));
-            device.charge_ns("hist_build", Phase::Histogram, 800.0);
-            device.charge_ns("partition", Phase::Partition, 150.5);
+            // Sibling hist builds fan out onto streams 1 and 2 after a
+            // fence on the default stream, then join back.
+            let fence = device.record_event(0);
+            device.wait_event(1, fence);
+            device.wait_event(2, fence);
+            device
+                .stream(1)
+                .charge_ns("hist_build", Phase::Histogram, 800.0);
+            device
+                .stream(2)
+                .charge_ns("partition", Phase::Partition, 150.5);
+            device.sync();
         }
     }
     device.charge_ns("predict", Phase::Predict, 50.25);
@@ -112,7 +123,7 @@ fn chrome_trace_field_names_are_stable() {
 #[test]
 fn profile_summary_schema_is_pinned_to_version() {
     assert_eq!(
-        PROFILE_SCHEMA_VERSION, 1,
+        PROFILE_SCHEMA_VERSION, 2,
         "schema version changed: update the pinned field lists below \
          to match the new layout"
     );

@@ -45,7 +45,8 @@ if cargo run --release -q -p repo-lint -- --contract-root crates/lint/fixtures/b
   echo "ci: repo-lint failed to flag the bad_repo contract violations" >&2
   exit 1
 fi
-for rule in canonical_kernel_name phase_in_bench_schema prof_coverage sanitize \
+for rule in canonical_kernel_name metric_name_canonical phase_in_bench_schema \
+            prof_coverage sanitize \
             design_inventory hashmap_iteration unordered_float_reduce \
             waiver_without_reason; do
   # `|| true` inside the pipeline: the analyzer exits 1 on violations,
@@ -142,5 +143,32 @@ echo "==> repo-lint fault-path fixture (unchecksummed recovery kernel must fire)
 # prof_coverage and design_inventory.
 cargo test -q -p repo-lint --test golden_json \
   unchecksummed_fault_path_kernel_fires_the_contract >/dev/null
+
+echo "==> telemetry zero-perturbation gate (registry on/off/toggled, bitwise)"
+# The metrics registry and flight recorder must be pure observers:
+# trees, predictions, clocks, and every charge record bit-identical
+# with telemetry attached, detached, or toggled mid-run — across the
+# hist-method × sketch grid, multi-GPU, and serving.
+cargo test -q -p gbdt-core --test telemetry >/dev/null
+
+echo "==> telemetry golden schema gate (Prometheus + JSON exporters pinned)"
+# The schema-versioned JSON export and the Prometheus text exposition
+# are golden-pinned; drift fails here before it reaches a dashboard.
+cargo test -q -p telemetry >/dev/null
+
+echo "==> unified run report smoke (phase ns must reconcile bitwise with the ledger)"
+# `repro report` trains + serves on one telemetry-carrying device and
+# exits nonzero unless every per-phase nanosecond total in the registry
+# matches the device ledger bit-for-bit, both directions.
+cargo run --release -q -p gbdt-bench --bin repro -- report --smoke \
+  --out /tmp/REPORT_repro.json --prom /tmp/metrics.prom >/dev/null
+grep -q 'telemetry_schema_version' /tmp/REPORT_repro.json || {
+  echo "ci: run report missing telemetry schema version" >&2
+  exit 1
+}
+grep -q 'rounds_total' /tmp/metrics.prom || {
+  echo "ci: Prometheus exposition missing training counters" >&2
+  exit 1
+}
 
 echo "ci: all checks passed"

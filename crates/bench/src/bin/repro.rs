@@ -38,6 +38,15 @@
 //!              writes schema-versioned SERVE_repro.json and enforces
 //!              the ≥5× batched-speedup, bit-identity and tree>instance
 //!              cost invariants; `--baseline F --check` diff-gates
+//!   report     unified run report: trains and serves one instrumented
+//!              run with the telemetry registry, profiler and fault
+//!              injector all attached, verifies the registry's per-phase
+//!              nanoseconds reconcile bitwise with the ledger, and joins
+//!              telemetry + ProfileSummary + ledger counters +
+//!              FaultReport + serve stats into one human-readable table
+//!              and one machine-readable REPORT_repro.json
+//!              (TELEMETRY_SCHEMA_VERSION); `--prom F` also writes the
+//!              Prometheus text exposition
 //!   all        everything above
 //! ```
 //!
@@ -76,6 +85,7 @@ struct Opts {
     trace: Option<String>,
     batch: usize,
     streams: usize,
+    prom: Option<String>,
 }
 
 impl Default for Opts {
@@ -97,6 +107,7 @@ impl Default for Opts {
             trace: None,
             batch: 256,
             streams: 1,
+            prom: None,
         }
     }
 }
@@ -111,13 +122,15 @@ impl Opts {
     }
 }
 
-const USAGE: &str = "usage: repro <datasets|table2|table3|table4|fig4|fig5|fig6a|fig6b|fig7|ablations|hostbench|sanitize|bench|serve|chaos|all> [flags]\n\
+const USAGE: &str = "usage: repro <datasets|table2|table3|table4|fig4|fig5|fig6a|fig6b|fig7|ablations|hostbench|sanitize|bench|serve|report|chaos|all> [flags]\n\
 flags: --trees N --depth N --bins N --scale F --gpus K --seed S --full\n\
 bench: --smoke --out FILE --baseline FILE --check --update-baseline\n\
        --sketch LABEL (none|topK|randK|projK, e.g. top4) --trace FILE\n\
        --streams N (device streams per GPU; 1 = serial schedule)\n\
 serve: --smoke --batch N --out FILE (default SERVE_repro.json)\n\
        --baseline FILE --check --update-baseline\n\
+report: --smoke --batch N --out FILE (default REPORT_repro.json)\n\
+        --prom FILE (Prometheus text exposition of the run's registry)\n\
 chaos: --smoke (reduced sweep) --seed S --gpus K";
 
 /// Parse a sketch label (`OutputSketch::label()` inverse): `none`, or
@@ -174,6 +187,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<(String, Opts), 
             "--trace" => opts.trace = Some(grab("--trace")?),
             "--batch" => opts.batch = parse_value(grab("--batch")?, "--batch")?,
             "--streams" => opts.streams = parse_value(grab("--streams")?, "--streams")?,
+            "--prom" => opts.prom = Some(grab("--prom")?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -213,6 +227,11 @@ fn main() {
         }
         "serve" => {
             if !serve_cmd(&opts) {
+                std::process::exit(1);
+            }
+        }
+        "report" => {
+            if !report_cmd(&opts) {
                 std::process::exit(1);
             }
         }
@@ -1428,6 +1447,12 @@ fn bench_cmd(opts: &Opts) -> bool {
         setup,
         records,
     };
+    // Ledger health: report-never-gate. Shed records or clamped
+    // negative charges deserve a human's eye on every run, baseline or
+    // not, without ever failing CI.
+    for note in gbdt_bench::report::health_notes(&report) {
+        println!("bench: note — {note}");
+    }
     if let Err(e) = std::fs::write(&opts.out, report.to_json()) {
         eprintln!("error: cannot write {}: {e}", opts.out);
         return false;
@@ -1753,6 +1778,284 @@ fn serve_cmd(opts: &Opts) -> bool {
     true
 }
 
+/// `repro report`: the unified observability surface. One instrumented
+/// run — training plus a serving burst on the *same* device — with the
+/// telemetry registry, hierarchical profiler and (eventless) fault
+/// injector all attached, then a bitwise reconciliation of the
+/// registry's `phase_ns` against the ledger's `by_phase`: the registry
+/// observes every charge through the same clamp, in the same order, so
+/// the two accumulations must agree to the last bit or the telemetry
+/// layer has perturbed or missed something. The joined report lands as
+/// a human-readable set of tables and one machine-readable JSON
+/// document under `TELEMETRY_SCHEMA_VERSION`.
+fn report_cmd(opts: &Opts) -> bool {
+    use gbdt_core::{BatchConfig, BatchServer, DeviceEnsemble, PredictMode, ServedBatch};
+    use gpusim::{FaultPlan, TELEMETRY_SCHEMA_VERSION};
+    use serde::{Serialize, Value};
+
+    if opts.batch == 0 {
+        eprintln!("error: --batch must be positive");
+        return false;
+    }
+    let (scale_mult, mut cfg) = if opts.smoke {
+        (opts.scale * 0.25, bench_config(3, 4, 32))
+    } else {
+        (opts.scale, opts.config())
+    };
+    cfg.streams = opts.streams;
+    let (train, test, name) = bench_dataset(PaperDataset::NusWide, scale_mult, opts.seed);
+
+    // One device carries the whole run so every observer sees the same
+    // timeline. The fault injector gets an *empty* plan: it observes
+    // (and counts) every charge without ever firing, so the report's
+    // FaultReport section is populated on a healthy run too.
+    let device = Device::rtx4090();
+    let tel = device.enable_telemetry();
+    device.enable_profiler();
+    device.enable_faults(FaultPlan::default());
+
+    println!("== report: unified instrumented run ({name}) ==");
+    let r = GpuTrainer::new(device.clone(), cfg.clone()).fit_report(&train);
+
+    // Serving burst on the same device, mirroring `repro serve`'s
+    // batched leg.
+    let compiled = r.model.compile();
+    if let Err(e) = compiled.validate() {
+        eprintln!("error: compiled ensemble failed validation: {e}");
+        return false;
+    }
+    let ens = DeviceEnsemble::upload(device.clone(), &compiled);
+    let mut server = match BatchServer::new(
+        ens,
+        BatchConfig {
+            max_batch: opts.batch,
+            mode: PredictMode::InstanceLevel,
+            ..BatchConfig::default()
+        },
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: invalid batch config: {e}");
+            return false;
+        }
+    };
+    let n = test.features().rows();
+    let d = r.model.d;
+    let reference = r.model.predict(test.features());
+    let t0 = device.now_ns();
+    let mut out = vec![0.0f32; n * d];
+    let mut deliver = |b: ServedBatch| {
+        let start = b.first_id as usize * d;
+        out[start..start + b.scores.len()].copy_from_slice(&b.scores);
+    };
+    for i in 0..n {
+        for b in server.submit(t0, test.features().row(i)) {
+            deliver(b);
+        }
+    }
+    if let Some(b) = server.flush() {
+        deliver(b);
+    }
+    if out != reference {
+        eprintln!("error: served scores diverged from Model::predict");
+        return false;
+    }
+    let stats = server.stats();
+
+    // Bitwise phase reconciliation: same key set, same bits.
+    let ledger = device.summary();
+    let snap = tel.snapshot();
+    let mut recon_rows = Vec::new();
+    let mut recon_ok = true;
+    for (phase, &ledger_ns) in &ledger.by_phase {
+        let tel_ns = snap.phase_ns.get(phase.name()).copied();
+        let ok = tel_ns.map(f64::to_bits) == Some(ledger_ns.to_bits());
+        recon_ok &= ok;
+        recon_rows.push(vec![
+            phase.name().to_string(),
+            format!("{ledger_ns:.0}"),
+            tel_ns.map_or("MISSING".to_string(), |v| format!("{v:.0}")),
+            if ok {
+                "ok".to_string()
+            } else {
+                "MISMATCH".to_string()
+            },
+        ]);
+    }
+    for key in snap.phase_ns.keys() {
+        if !ledger.by_phase.keys().any(|p| p.name() == key) {
+            recon_ok = false;
+            recon_rows.push(vec![
+                key.clone(),
+                "MISSING".to_string(),
+                format!("{:.0}", snap.phase_ns[key]),
+                "MISMATCH".to_string(),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["phase", "ledger (ns)", "telemetry (ns)", "recon"],
+            &recon_rows
+        )
+    );
+
+    let counter_rows: Vec<Vec<String>> = snap
+        .counters
+        .iter()
+        .map(|(k, v)| vec![k.clone(), v.to_string()])
+        .collect();
+    println!("{}", render_table(&["counter", "value"], &counter_rows));
+    let gauge_rows: Vec<Vec<String>> = snap
+        .gauges
+        .iter()
+        .map(|(k, v)| vec![k.clone(), format!("{v:.4}")])
+        .collect();
+    println!("{}", render_table(&["gauge", "value"], &gauge_rows));
+
+    let profile = device.profile_summary().expect("profiler enabled");
+    let fault = device.fault_report().expect("injector attached");
+    println!(
+        "train: {:.4} sim-s ({:.3} host-s), {} kernels, {} ledger drops, {} negative charges",
+        r.sim_seconds,
+        r.host_seconds,
+        ledger.kernel_count,
+        ledger.dropped_records,
+        ledger.negative_charges
+    );
+    println!(
+        "serve: {} requests in {} batches, p50 {:.0} ns, p99 {:.0} ns, {:.0} rows/s",
+        stats.served, stats.batches, stats.p50_ns, stats.p99_ns, stats.throughput_rps
+    );
+    println!(
+        "faults: {} charges seen, {} transient, {} lost",
+        fault.charges_seen, fault.transient_injected, fault.device_lost
+    );
+    println!(
+        "recorder: {} charges, {} faults, {} spans observed; reconciliation {}",
+        snap.charges_recorded,
+        snap.faults_recorded,
+        snap.spans_recorded,
+        if recon_ok { "OK (bitwise)" } else { "FAILED" }
+    );
+
+    // Machine-readable join. `telemetry` embeds the registry's own
+    // schema-versioned envelope; the top level repeats the version so
+    // consumers can gate before descending.
+    let doc = Value::Object(vec![
+        (
+            "telemetry_schema_version".to_string(),
+            Value::UInt(TELEMETRY_SCHEMA_VERSION as u64),
+        ),
+        (
+            "setup".to_string(),
+            Value::Object(vec![
+                ("dataset".to_string(), Value::String(name.clone())),
+                ("trees".to_string(), Value::UInt(cfg.num_trees as u64)),
+                ("depth".to_string(), Value::UInt(cfg.max_depth as u64)),
+                ("bins".to_string(), Value::UInt(cfg.max_bins as u64)),
+                ("scale".to_string(), Value::Float(scale_mult)),
+                ("seed".to_string(), Value::UInt(opts.seed)),
+                ("smoke".to_string(), Value::Bool(opts.smoke)),
+                ("batch".to_string(), Value::UInt(opts.batch as u64)),
+                ("streams".to_string(), Value::UInt(opts.streams as u64)),
+            ]),
+        ),
+        ("reconciliation_ok".to_string(), Value::Bool(recon_ok)),
+        ("telemetry".to_string(), tel.to_value()),
+        ("profile".to_string(), profile.to_value()),
+        ("ledger".to_string(), ledger.to_value()),
+        (
+            "fault_report".to_string(),
+            Value::Object(vec![
+                ("charges_seen".to_string(), Value::UInt(fault.charges_seen)),
+                (
+                    "transient_injected".to_string(),
+                    Value::UInt(fault.transient_injected),
+                ),
+                ("device_lost".to_string(), Value::UInt(fault.device_lost)),
+                (
+                    "flips_planned".to_string(),
+                    Value::UInt(fault.flips_planned),
+                ),
+                (
+                    "flips_applied".to_string(),
+                    Value::UInt(fault.flips_applied),
+                ),
+                (
+                    "charges_dropped_after_loss".to_string(),
+                    Value::UInt(fault.charges_dropped_after_loss),
+                ),
+            ]),
+        ),
+        (
+            "serve".to_string(),
+            Value::Object(vec![
+                ("served".to_string(), Value::UInt(stats.served)),
+                ("batches".to_string(), Value::UInt(stats.batches)),
+                ("p50_ns".to_string(), Value::Float(stats.p50_ns)),
+                ("p90_ns".to_string(), Value::Float(stats.p90_ns)),
+                ("p99_ns".to_string(), Value::Float(stats.p99_ns)),
+                ("max_ns".to_string(), Value::Float(stats.max_ns)),
+                (
+                    "throughput_rps".to_string(),
+                    Value::Float(stats.throughput_rps),
+                ),
+            ]),
+        ),
+    ]);
+
+    // `--out` defaults to the bench report's name; report writes its
+    // own file unless the flag was passed explicitly.
+    let out = if opts.out == "BENCH_repro.json" {
+        "REPORT_repro.json".to_string()
+    } else {
+        opts.out.clone()
+    };
+    let json = serde_json::to_string(&doc).expect("report floats are finite");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("error: cannot write {out}: {e}");
+        return false;
+    }
+    println!("(wrote unified run report to {out})");
+    // Round-trip: the file on disk must parse and carry the version.
+    match std::fs::read_to_string(&out)
+        .map_err(|e| e.to_string())
+        .and_then(|text| serde_json::from_str::<Value>(&text).map_err(|e| e.to_string()))
+    {
+        Ok(parsed) => {
+            let version = parsed
+                .as_object()
+                .and_then(|o| o.iter().find(|(k, _)| k == "telemetry_schema_version"))
+                .map(|(_, v)| v.clone());
+            if version != Some(Value::UInt(TELEMETRY_SCHEMA_VERSION as u64)) {
+                eprintln!("error: {out} lost its telemetry_schema_version tag");
+                return false;
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {out} failed JSON round-trip: {e}");
+            return false;
+        }
+    }
+
+    if let Some(path) = &opts.prom {
+        if let Err(e) = std::fs::write(path, tel.prometheus()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return false;
+        }
+        println!("(wrote Prometheus exposition to {path})");
+    }
+
+    if recon_ok {
+        println!("report: OK — telemetry reconciles bitwise with the ledger");
+    } else {
+        eprintln!("report: FAILED — telemetry/ledger phase mismatch (see table above)");
+    }
+    recon_ok
+}
+
 #[cfg(test)]
 mod cli_tests {
     use super::*;
@@ -1809,6 +2112,15 @@ mod cli_tests {
         }
         assert!(parse_sketch("topk").is_err());
         assert!(parse_sketch("banana").is_err());
+    }
+
+    #[test]
+    fn parses_report_flags() {
+        let (cmd, opts) =
+            parse_args(argv(&["report", "--smoke", "--prom", "metrics.prom"])).unwrap();
+        assert_eq!(cmd, "report");
+        assert!(opts.smoke);
+        assert_eq!(opts.prom.as_deref(), Some("metrics.prom"));
     }
 
     #[test]

@@ -30,7 +30,11 @@ use std::collections::BTreeMap;
 /// v4: records gained `overlap_saved_ns` (simulated ns recovered by
 /// multi-stream overlap) and the setup gained `streams` — overlap is
 /// *reported* by the gate, never gated (see [`overlap_notes`]).
-pub const BENCH_SCHEMA_VERSION: u32 = 4;
+/// v5: records gained the ledger health counters `dropped_records` and
+/// `negative_charges` — surfaced by [`health_notes`], never gated (a
+/// shed record keeps subtotals exact; a clamped negative charge is a
+/// cost-model bug to investigate, not a perf regression).
+pub const BENCH_SCHEMA_VERSION: u32 = 5;
 
 /// Maximum tolerated relative drift of the histogram share before the
 /// diff gate fails (the issue's >10 % criterion).
@@ -126,6 +130,14 @@ pub struct BenchRecord {
     /// Informational: reported by [`overlap_notes`], never gated — the
     /// timeline is already covered by `sim_seconds`/`hist_share`.
     pub overlap_saved_ns: f64,
+    /// Ledger records shed past the retention limit during the fit
+    /// (phase subtotals stay exact). Health counter: surfaced by
+    /// [`health_notes`], never gated.
+    pub dropped_records: u64,
+    /// Charges clamped at the ledger's non-negativity floor during the
+    /// fit — each one is a cost-model bug made visible. Health counter:
+    /// surfaced by [`health_notes`], never gated.
+    pub negative_charges: u64,
 }
 
 /// A full schema-versioned benchmark report (`BENCH_repro.json`).
@@ -212,7 +224,34 @@ pub fn make_record(
         phase_ns,
         kernel_count: sim.kernel_count,
         overlap_saved_ns: sim.overlap_saved_ns,
+        dropped_records: sim.dropped_records,
+        negative_charges: sim.negative_charges,
     }
+}
+
+/// Ledger health warnings for a run: one line per record with a nonzero
+/// `dropped_records` or `negative_charges` counter. Report-never-gate:
+/// both conditions deserve a human's eye (lost trace detail; a
+/// cost-model expression that went negative) but neither changes the
+/// gated quantities, so CI prints them and stays green.
+pub fn health_notes(current: &BenchReport) -> Vec<String> {
+    let mut notes = Vec::new();
+    for r in &current.records {
+        let id = format!("{}/{}/{}", r.dataset, r.hist_method, r.sketch);
+        if r.dropped_records > 0 {
+            notes.push(format!(
+                "{id}: ledger shed {} records past its retention limit (subtotals stay exact)",
+                r.dropped_records
+            ));
+        }
+        if r.negative_charges > 0 {
+            notes.push(format!(
+                "{id}: {} charges clamped at the ledger's non-negativity floor (cost-model bug?)",
+                r.negative_charges
+            ));
+        }
+    }
+    notes
 }
 
 /// Informational overlap report for `--check` runs: one line per record
@@ -333,6 +372,8 @@ mod tests {
             phase_ns,
             kernel_count: 10,
             overlap_saved_ns: 0.0,
+            dropped_records: 0,
+            negative_charges: 0,
         }
     }
 
@@ -490,6 +531,27 @@ mod tests {
             91.0,
         );
         assert_eq!(r.overlap_saved_ns, 37.5);
+    }
+
+    #[test]
+    fn health_counters_are_reported_but_never_gated() {
+        let base = report(vec![rec("mnist", "gmem", "accuracy%", 90.0, 0.7)]);
+        let mut sick = base.clone();
+        sick.records[0].dropped_records = 3;
+        sick.records[0].negative_charges = 1;
+        // The gate stays green against a clean baseline…
+        assert!(diff_gate(&sick, &base).is_empty());
+        // …while the health channel names both counters.
+        let notes = health_notes(&sick);
+        assert_eq!(notes.len(), 2, "{notes:?}");
+        assert!(notes[0].contains("shed 3 records"), "{notes:?}");
+        assert!(notes[1].contains("clamped"), "{notes:?}");
+        // A healthy run stays silent.
+        assert!(health_notes(&base).is_empty());
+        // The counters survive the JSON round-trip.
+        let back = BenchReport::from_json(&sick.to_json()).expect("roundtrip");
+        assert_eq!(back.records[0].dropped_records, 3);
+        assert_eq!(back.records[0].negative_charges, 1);
     }
 
     #[test]

@@ -85,13 +85,14 @@ fn bench_json_matches_golden_fixture() {
     );
 }
 
-/// The serialized field names are pinned to schema version 4 (v4 added
+/// The serialized field names are pinned to schema version 5 (v4 added
 /// `overlap_saved_ns` to records and `streams` to the setup for the
-/// multi-stream timeline).
+/// multi-stream timeline; v5 added the `dropped_records` /
+/// `negative_charges` ledger health counters to records).
 #[test]
 fn bench_schema_field_names_are_pinned_to_version() {
     assert_eq!(
-        BENCH_SCHEMA_VERSION, 4,
+        BENCH_SCHEMA_VERSION, 5,
         "schema version changed: update the pinned field lists below"
     );
     let v = golden_report().to_value();
@@ -136,6 +137,8 @@ fn bench_schema_field_names_are_pinned_to_version() {
             "phase_ns",
             "kernel_count",
             "overlap_saved_ns",
+            "dropped_records",
+            "negative_charges",
         ],
         "BenchRecord fields changed — bump BENCH_SCHEMA_VERSION"
     );
@@ -164,7 +167,7 @@ fn from_json_rejects_schema_violations() {
     assert!(BenchReport::from_json(&good).is_ok());
 
     // Version bump without a reader upgrade is rejected.
-    let bumped = good.replace("\"schema_version\":4", "\"schema_version\":5");
+    let bumped = good.replace("\"schema_version\":5", "\"schema_version\":6");
     let err = BenchReport::from_json(&bumped).expect_err("must reject");
     assert!(err.contains("schema_version"), "{err}");
 

@@ -427,6 +427,10 @@ pub fn grow_tree_pooled(
                 finalize_leaf(&mut tree, instances, &g, &h);
                 continue;
             };
+            if let Some(tel) = device.telemetry() {
+                // Observer only: the split decision above is final.
+                tel.hist_observe("train.split_gain", split.gain);
+            }
 
             // Partition instances by the winning condition (Algorithm 1
             // lines 16–17); the scan-based partition kernel for all of

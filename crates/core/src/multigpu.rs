@@ -36,7 +36,7 @@ use crate::trainer::{base_scores, TrainReport};
 use crate::tree::Tree;
 use gbdt_data::{BinnedDataset, Dataset};
 use gpusim::cost::KernelCost;
-use gpusim::{Device, DeviceGroup, Event, GpuFault, Phase};
+use gpusim::{Device, DeviceGroup, Event, GpuFault, Phase, Telemetry};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -197,6 +197,36 @@ fn align_stream0(devices: &[Arc<Device>]) -> Event {
     align
 }
 
+/// The group's shared telemetry registry, if any device carries one.
+/// `MultiGpuTrainer` users attach one registry to every member (see
+/// `Device::attach_telemetry`), so the first hit is the group's.
+fn group_telemetry(devices: &[Arc<Device>]) -> Option<Arc<Telemetry>> {
+    devices.iter().find_map(|dv| dv.telemetry())
+}
+
+/// Count collective payload bytes on the group's registry. Pure
+/// observer: called after the collective's charges are booked.
+fn tel_collective_bytes(devices: &[Arc<Device>], bytes: f64) {
+    if let Some(tel) = group_telemetry(devices) {
+        tel.counter_add("multigpu.collective_bytes", bytes as u64);
+    }
+}
+
+/// Record the pre-barrier clock spread across the surviving devices —
+/// how unevenly the group's makespans landed before the final join.
+fn tel_makespan_skew(devices: &[Arc<Device>]) {
+    if let Some(tel) = group_telemetry(devices) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for dev in devices {
+            let now = dev.now_ns();
+            lo = lo.min(now);
+            hi = hi.max(now);
+        }
+        tel.gauge_set("multigpu.makespan_skew_ns", (hi - lo).max(0.0));
+    }
+}
+
 /// How training work is decomposed across devices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MultiGpuStrategy {
@@ -316,25 +346,45 @@ impl MultiGpuTrainer {
         attempts: &mut u32,
         round: usize,
     ) -> Result<StepVerdict, TrainError> {
+        // Observer only (may be `None`): counters and postmortems are
+        // recorded on the group's shared registry after the recovery
+        // decision is already made.
+        let tel = group_telemetry(self.group.devices());
         match poll_group(active) {
             GroupPoll::Clean => Ok(StepVerdict::Commit),
             GroupPoll::Transient(fault) => {
                 if *attempts >= self.config.retry.max_retries {
-                    return Err(TrainError::RetriesExhausted {
+                    let err = TrainError::RetriesExhausted {
                         round,
                         attempts: *attempts,
                         fault,
-                    });
+                    };
+                    if let Some(tl) = &tel {
+                        tl.counter_inc("train.faults_total");
+                        tl.record_postmortem(&err.to_string());
+                    }
+                    return Err(err);
                 }
                 *attempts += 1;
+                if let Some(tl) = &tel {
+                    tl.counter_inc("train.faults_total");
+                    tl.counter_inc("train.retries_total");
+                }
                 Ok(StepVerdict::Retry)
             }
             GroupPoll::Lost { dead } => {
                 for rank in dead.into_iter().rev() {
                     active.remove(rank);
                 }
+                if let Some(tl) = &tel {
+                    tl.counter_inc("train.faults_total");
+                }
                 if active.is_empty() {
-                    return Err(TrainError::AllDevicesLost { round });
+                    let err = TrainError::AllDevicesLost { round };
+                    if let Some(tl) = &tel {
+                        tl.record_postmortem(&err.to_string());
+                    }
+                    return Err(err);
                 }
                 Ok(StepVerdict::Degraded)
             }
@@ -365,6 +415,7 @@ impl MultiGpuTrainer {
         let bytes = plan.broadcast_bytes(grads.d);
         if group.len() > 1 && bytes > 0.0 {
             group.broadcast(0, bytes as usize);
+            tel_collective_bytes(group.devices(), bytes);
         }
         let sketched = apply_sketch(dev0, grads, &plan);
         for dev in &group.devices()[1..] {
@@ -639,11 +690,11 @@ impl MultiGpuTrainer {
                         pending.push((tree_node, instances, node_g, node_h, best));
                     }
                     if !pending.is_empty() && group.len() > 1 {
+                        let max_part = candidate_payload.iter().map(Vec::len).max().unwrap_or(0);
+                        tel_collective_bytes(group.devices(), (max_part * group.len()) as f64);
                         if streamed {
                             // Candidates are tiny summary statistics: pass 2
                             // waits the full exchange before picking winners.
-                            let max_part =
-                                candidate_payload.iter().map(Vec::len).max().unwrap_or(0);
                             let ns = group
                                 .device(0)
                                 .model()
@@ -747,8 +798,9 @@ impl MultiGpuTrainer {
                     // exchange's tail overlaps them (first-chunk fence).
                     let mut comm_partial: Option<Event> = None;
                     if group.len() > 1 && flag_payload.iter().any(|p| !p.is_empty()) {
+                        let max_part = flag_payload.iter().map(Vec::len).max().unwrap_or(0);
+                        tel_collective_bytes(group.devices(), (max_part * group.len()) as f64);
                         if streamed {
-                            let max_part = flag_payload.iter().map(Vec::len).max().unwrap_or(0);
                             let ns = group
                                 .device(0)
                                 .model()
@@ -829,6 +881,9 @@ impl MultiGpuTrainer {
             };
             trees.push(committed);
         }
+        // Clock spread is only visible before the final barrier joins
+        // every stream to the group makespan.
+        tel_makespan_skew(&active);
         DeviceGroup::from_devices(active.clone()).barrier();
 
         let model = Model {
@@ -1127,6 +1182,7 @@ impl MultiGpuTrainer {
                     let mut comm_partial: Option<Event> = None;
                     if k > 1 && reduced_nodes > 0 {
                         let bytes = reduced_nodes * hist_len * 8;
+                        tel_collective_bytes(group.devices(), bytes as f64);
                         let ns = group.device(0).model().ring_all_reduce_ns(bytes as f64, k);
                         if streamed {
                             // The collective enters when the slowest rank's
@@ -1206,6 +1262,9 @@ impl MultiGpuTrainer {
             };
             trees.push(committed);
         }
+        // Clock spread is only visible before the final barrier joins
+        // every stream to the group makespan.
+        tel_makespan_skew(&active);
         DeviceGroup::from_devices(active.clone()).barrier();
 
         let model = Model {

@@ -199,6 +199,11 @@ impl BatchServer {
         self.rows.extend_from_slice(row);
         self.arrivals.push(arrival_ns);
         self.next_id += 1;
+        if let Some(tel) = self.ens.device().telemetry() {
+            // Observer only: the queue state is already decided.
+            tel.counter_inc("serve.requests_total");
+            tel.gauge_set("serve.queue_depth", self.arrivals.len() as f64);
+        }
         if self.arrivals.len() >= self.cfg.max_batch {
             served.push(self.flush_at(arrival_ns));
         }
@@ -237,6 +242,20 @@ impl BatchServer {
         let completed_ns = device.now_ns();
         for &arrival in &self.arrivals {
             self.latencies.push(completed_ns - arrival);
+        }
+        if let Some(tel) = device.telemetry() {
+            // Latency observations feed the registry histogram; the
+            // nearest-rank percentiles in `stats()` stay the source of
+            // truth and are unaffected.
+            tel.counter_inc("serve.batches_total");
+            tel.gauge_set("serve.queue_depth", 0.0);
+            tel.gauge_set(
+                "serve.batch_fill_ratio",
+                k as f64 / self.cfg.max_batch as f64,
+            );
+            for &arrival in &self.arrivals {
+                tel.hist_observe("serve.latency_ns", completed_ns - arrival);
+            }
         }
         self.arrivals.clear();
         self.batches += 1;

@@ -211,11 +211,17 @@ impl DeviceEnsemble {
     pub fn verify(&self) -> Result<(), ServeError> {
         for (expected, fresh) in self.digests.iter().zip(self.checksums()) {
             if expected.1 != fresh.1 {
-                return Err(ServeError::Corruption {
+                let err = ServeError::Corruption {
                     buffer: expected.0,
                     expected: expected.1,
                     actual: fresh.1,
-                });
+                };
+                // Observer only: the verdict is already decided; the
+                // flight recorder keeps what the device was serving.
+                if let Some(tel) = self.device.telemetry() {
+                    tel.record_postmortem(&err.to_string());
+                }
+                return Err(err);
             }
         }
         Ok(())

@@ -224,6 +224,11 @@ impl GpuTrainer {
         // without fault handling (regression-tested in tests/chaos.rs).
         let faults_on = device.fault_injector().is_some();
         let max_retries = self.config.retry.max_retries;
+        // Pure observer (like the profiler): metric updates below are
+        // host-side only, charge nothing, and never feed back — with
+        // `None` every telemetry block is skipped entirely, so attached
+        // vs. detached runs stay bit-identical (tests/telemetry.rs).
+        let tel = device.telemetry();
 
         // --- preprocessing: upload + quantile binning (charged), with
         // --- bounded retry on transient faults ------------------------
@@ -271,19 +276,33 @@ impl GpuTrainer {
                 Ok(()) => break binned,
                 Err(fault) if fault.is_transient() && prep_attempts < max_retries => {
                     prep_attempts += 1;
+                    if let Some(t) = &tel {
+                        t.counter_inc("train.faults_total");
+                        t.counter_inc("train.retries_total");
+                    }
                 }
                 Err(fault) if fault.is_transient() => {
-                    return Err(TrainError::RetriesExhausted {
+                    let err = TrainError::RetriesExhausted {
                         round: usize::MAX,
                         attempts: prep_attempts,
                         fault,
-                    });
+                    };
+                    if let Some(t) = &tel {
+                        t.counter_inc("train.faults_total");
+                        t.record_postmortem(&err.to_string());
+                    }
+                    return Err(err);
                 }
                 Err(fault) => {
-                    return Err(TrainError::DeviceLost {
+                    let err = TrainError::DeviceLost {
                         round: usize::MAX,
                         fault,
-                    });
+                    };
+                    if let Some(t) = &tel {
+                        t.counter_inc("train.faults_total");
+                        t.record_postmortem(&err.to_string());
+                    }
+                    return Err(err);
                 }
             }
         };
@@ -482,6 +501,10 @@ impl GpuTrainer {
                         // the faulted attempt's charges stay on the ledger
                         // and the redo pays full price again.
                         attempts += 1;
+                        if let Some(tl) = &tel {
+                            tl.counter_inc("train.faults_total");
+                            tl.counter_inc("train.retries_total");
+                        }
                         let (s, r, v, hist_len, b) = saved.clone().expect("snapshot exists");
                         scores = s;
                         rng = r;
@@ -490,22 +513,45 @@ impl GpuTrainer {
                         best = b;
                     }
                     Err(fault) if fault.is_transient() => {
-                        return Err(TrainError::RetriesExhausted {
+                        let err = TrainError::RetriesExhausted {
                             round: t,
                             attempts,
                             fault,
-                        });
+                        };
+                        if let Some(tl) = &tel {
+                            tl.counter_inc("train.faults_total");
+                            tl.record_postmortem(&err.to_string());
+                        }
+                        return Err(err);
                     }
                     Err(fault) => {
-                        return Err(TrainError::DeviceLost { round: t, fault });
+                        let err = TrainError::DeviceLost { round: t, fault };
+                        if let Some(tl) = &tel {
+                            tl.counter_inc("train.faults_total");
+                            tl.record_postmortem(&err.to_string());
+                        }
+                        return Err(err);
                     }
                 }
             }; // retry loop
 
             for (m, c) in grown.methods_used {
                 *hist_methods.entry(m).or_insert(0) += c;
+                if let Some(tl) = &tel {
+                    tl.counter_add(hist_method_metric(m), c as u64);
+                }
             }
             trees.push(grown.tree);
+            if let Some(tl) = &tel {
+                tl.counter_inc("train.rounds_total");
+                // Host-side only: the loss is computed from the already-
+                // committed score matrix, charges nothing, and uses no RNG.
+                tl.gauge_set(
+                    "train.loss",
+                    crate::loss::mean_loss(loss, &scores, ds.targets(), d),
+                );
+                tl.gauge_set("train.pool_high_water", pool.allocated() as f64);
+            }
             if let Some(out) = checkpoints.as_deref_mut() {
                 out.push(Checkpoint {
                     completed_trees: t + 1,
@@ -518,6 +564,9 @@ impl GpuTrainer {
                     task: ds.task(),
                     config: self.config.clone(),
                 });
+                if let Some(tl) = &tel {
+                    tl.counter_inc("train.checkpoints_total");
+                }
             }
             if early_stop {
                 break;
@@ -535,6 +584,9 @@ impl GpuTrainer {
             config: self.config.clone(),
         };
         let sim = self.device.summary().since(&start_summary);
+        if let Some(tl) = &tel {
+            tl.gauge_set("train.overlap_saved_ns", sim.overlap_saved_ns);
+        }
         let report = TrainReport {
             sim_seconds: sim.total_ns * 1e-9,
             host_seconds: host_start.elapsed().as_secs_f64(),
@@ -557,6 +609,18 @@ pub struct ValidationReport {
     pub history: Vec<f64>,
     /// Index of the tree after which validation loss was lowest.
     pub best_iteration: usize,
+}
+
+/// Canonical telemetry counter for each histogram method. Descriptive
+/// suffixes (not `gmem`/`smem`) keep every pair of metric names at
+/// edit distance ≥ 2, as the `metric_name_canonical` lint demands.
+fn hist_method_metric(m: HistogramMethod) -> &'static str {
+    match m {
+        HistogramMethod::GlobalMemory => "train.hist_method_global",
+        HistogramMethod::SharedMemory => "train.hist_method_shared",
+        HistogramMethod::SortReduce => "train.hist_method_sortreduce",
+        HistogramMethod::Adaptive => "train.hist_method_adaptive",
+    }
 }
 
 /// GOSS (LightGBM): keep the `top_rate` fraction of instances with the

@@ -1,0 +1,129 @@
+//! Property tests of [`BatchServer::stats`]'s nearest-rank
+//! percentiles.
+//!
+//! The percentile estimator feeds both the serving benchmark's gate and
+//! the telemetry report, so its order statistics must be trustworthy at
+//! *every* population size — including the degenerate ones batching
+//! produces naturally (a lone request before the first flush, a
+//! two-request deadline batch). Nearest-rank over a sorted sample is
+//! monotone in the quantile by construction; these tests pin that down
+//! against the implementation, plus the n=1 identity: with a single
+//! sample every percentile *is* that sample.
+
+use gbdt_core::config::TrainConfig;
+use gbdt_core::serve::{BatchConfig, BatchServer, DeviceEnsemble};
+use gbdt_core::trainer::GpuTrainer;
+use gbdt_core::CompiledEnsemble;
+use gbdt_data::synth::{make_classification, ClassificationSpec};
+use gpusim::Device;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One tiny trained ensemble shared across all proptest cases: the
+/// percentile math only cares about the latency population, not the
+/// model, so the expensive fit runs once.
+fn fixture() -> &'static (CompiledEnsemble, Vec<f32>) {
+    static FIXTURE: OnceLock<(CompiledEnsemble, Vec<f32>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let ds = make_classification(&ClassificationSpec {
+            instances: 120,
+            features: 6,
+            classes: 2,
+            informative: 4,
+            seed: 77,
+            ..Default::default()
+        });
+        let model = GpuTrainer::new(
+            Device::rtx4090(),
+            TrainConfig {
+                num_trees: 2,
+                max_depth: 3,
+                max_bins: 16,
+                min_instances: 5,
+                ..TrainConfig::default()
+            },
+        )
+        .fit(&ds);
+        let row = ds.features().row(0).to_vec();
+        (model.compile(), row)
+    })
+}
+
+/// Drive a server through the given arrival schedule (sorted to satisfy
+/// the monotone-arrival contract) and return its stats.
+fn serve_schedule(arrivals: &[f64], max_batch: usize) -> gbdt_core::serve::ServeStats {
+    let (compiled, row) = fixture();
+    let device = Device::rtx4090();
+    let ens = DeviceEnsemble::upload(device, compiled);
+    let mut server = BatchServer::new(
+        ens,
+        BatchConfig {
+            max_batch,
+            ..BatchConfig::default()
+        },
+    )
+    .expect("valid config");
+    for &t in arrivals {
+        server.submit(t, row);
+    }
+    server.flush();
+    server.stats()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `p50 ≤ p90 ≤ p99 ≤ max` over every population the batching
+    /// policy can produce — including tiny ones (1, 2, 3 requests)
+    /// where a rank off-by-one would cross the order statistics.
+    #[test]
+    fn percentiles_are_monotone_at_every_population(
+        raw in proptest::collection::vec(0u64..5_000_000u64, 1..40),
+        max_batch in 1usize..9,
+    ) {
+        let mut arrivals: Vec<f64> = raw.iter().map(|&t| t as f64).collect();
+        arrivals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let stats = serve_schedule(&arrivals, max_batch);
+        prop_assert_eq!(stats.served, arrivals.len() as u64);
+        prop_assert!(
+            stats.p50_ns <= stats.p90_ns,
+            "p50 {} > p90 {}", stats.p50_ns, stats.p90_ns
+        );
+        prop_assert!(
+            stats.p90_ns <= stats.p99_ns,
+            "p90 {} > p99 {}", stats.p90_ns, stats.p99_ns
+        );
+        prop_assert!(
+            stats.p99_ns <= stats.max_ns,
+            "p99 {} > max {}", stats.p99_ns, stats.max_ns
+        );
+        // Latencies are completion − arrival with completion ≥ arrival.
+        prop_assert!(stats.p50_ns >= 0.0);
+    }
+}
+
+/// With exactly one served request, every percentile — and the max —
+/// equals the sole sample.
+#[test]
+fn single_sample_percentiles_all_equal_the_sample() {
+    let stats = serve_schedule(&[1234.0], 8);
+    assert_eq!(stats.served, 1);
+    assert!(stats.max_ns > 0.0, "one real latency must be recorded");
+    assert_eq!(stats.p50_ns.to_bits(), stats.max_ns.to_bits());
+    assert_eq!(stats.p90_ns.to_bits(), stats.max_ns.to_bits());
+    assert_eq!(stats.p99_ns.to_bits(), stats.max_ns.to_bits());
+}
+
+/// An empty population reports zeros, not NaNs or panics.
+#[test]
+fn empty_population_reports_zeros() {
+    let (compiled, _) = fixture();
+    let ens = DeviceEnsemble::upload(Device::rtx4090(), compiled);
+    let server = BatchServer::new(ens, BatchConfig::default()).expect("valid config");
+    let stats = server.stats();
+    assert_eq!(stats.served, 0);
+    assert_eq!(stats.p50_ns, 0.0);
+    assert_eq!(stats.p99_ns, 0.0);
+    assert_eq!(stats.max_ns, 0.0);
+    assert_eq!(stats.throughput_rps, 0.0);
+}

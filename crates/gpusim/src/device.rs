@@ -11,6 +11,7 @@ use crate::KernelRecord;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+use telemetry::Telemetry;
 
 /// Training-pipeline phase a kernel is attributed to. Used to regenerate
 /// the paper's Figure 4 breakdown (histogram share of total time).
@@ -152,6 +153,7 @@ pub struct Device {
     sanitizer: Mutex<Option<Arc<Sanitizer>>>,
     profiler: Mutex<Option<Arc<Profiler>>>,
     fault: Mutex<Option<Arc<FaultInjector>>>,
+    telemetry: Mutex<Option<Arc<Telemetry>>>,
 }
 
 /// A lightweight handle binding a [`Device`] to a stream id, so call
@@ -223,6 +225,7 @@ impl Device {
             sanitizer: Mutex::new(None),
             profiler: Mutex::new(None),
             fault: Mutex::new(None),
+            telemetry: Mutex::new(None),
         })
     }
 
@@ -295,6 +298,10 @@ impl Device {
             let limited = self.model.serialization_limited(cost);
             prof.on_kernel(name, phase, ns, start_ns, cost.dram_bytes, limited, stream);
         }
+        if let Some(tel) = self.telemetry.lock().clone() {
+            // Same observer contract as the profiler above.
+            tel.record_charge(self.id, name, phase.name(), ns, start_ns, stream);
+        }
     }
 
     /// Charge a raw duration on the default stream (used by collectives
@@ -318,6 +325,9 @@ impl Device {
             .charge_scheduled(stream, name, phase, ns, 0);
         if let Some(prof) = self.profiler.lock().clone() {
             prof.on_kernel(name, phase, ns, start_ns, 0.0, false, stream);
+        }
+        if let Some(tel) = self.telemetry.lock().clone() {
+            tel.record_charge(self.id, name, phase.name(), ns, start_ns, stream);
         }
     }
 
@@ -366,7 +376,19 @@ impl Device {
 
     /// Raise the device clock to `target_ns`, booking idle time.
     pub fn advance_to(&self, target_ns: f64) {
-        self.ledger.lock().advance_to(target_ns);
+        let gap = {
+            let mut ledger = self.ledger.lock();
+            let gap = target_ns - ledger.total_ns();
+            ledger.advance_to(target_ns);
+            gap
+        };
+        // Mirror the ledger's idle booking (same gap, same order) so
+        // the telemetry `Idle` phase reconciles bitwise.
+        if gap > 0.0 {
+            if let Some(tel) = self.telemetry.lock().clone() {
+                tel.record_idle(gap);
+            }
+        }
     }
 
     /// Snapshot of the ledger.
@@ -460,6 +482,38 @@ impl Device {
             .map(|p| p.chrome_trace(self.id))
     }
 
+    // ---- telemetry ---------------------------------------------------------
+
+    /// Attach a fresh telemetry registry (replacing any previous one,
+    /// whose state is dropped) and return it. Purely observational,
+    /// like the sanitizer and profiler: attached or not, trees, clocks,
+    /// and charge records are bit-identical (regression-tested in
+    /// `crates/core/tests/telemetry.rs`).
+    pub fn enable_telemetry(&self) -> Arc<Telemetry> {
+        let tel = Arc::new(Telemetry::new());
+        *self.telemetry.lock() = Some(Arc::clone(&tel));
+        tel
+    }
+
+    /// Attach an existing registry — several devices (a multi-GPU
+    /// group) can share one, interleaving their flight-recorder events
+    /// by recording order.
+    pub fn attach_telemetry(&self, tel: Arc<Telemetry>) {
+        *self.telemetry.lock() = Some(tel);
+    }
+
+    /// Detach telemetry; accumulated state lives on in any clones of
+    /// the returned `Arc`, but this device stops recording.
+    pub fn disable_telemetry(&self) {
+        *self.telemetry.lock() = None;
+    }
+
+    /// The attached telemetry registry, if any. `None` (the default)
+    /// keeps the charge hot path free of recording overhead.
+    pub fn telemetry(&self) -> Option<Arc<Telemetry>> {
+        self.telemetry.lock().clone()
+    }
+
     // ---- fault injection ---------------------------------------------------
 
     /// Attach a fault injector over `plan` (replacing any previous one,
@@ -487,10 +541,18 @@ impl Device {
     /// attached or nothing fired; transient faults are cleared by the
     /// poll, device loss is sticky.
     pub fn poll_fault(&self) -> Result<(), GpuFault> {
-        match self.fault.lock().clone() {
+        let res = match self.fault.lock().clone() {
             Some(inj) => inj.poll(),
             None => Ok(()),
+        };
+        if let Err(ref fault) = res {
+            // Observer only: the poll result is already decided; the
+            // flight recorder just remembers what surfaced.
+            if let Some(tel) = self.telemetry.lock().clone() {
+                tel.record_fault(self.id, &fault.to_string());
+            }
         }
+        res
     }
 
     /// Whether this device has been lost to a planned [`GpuFault`].

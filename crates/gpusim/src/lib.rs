@@ -63,6 +63,9 @@ pub use sanitize::{
     AccessKind, MemSpace, SanitizeMode, SanitizeReport, Sanitizer, ThreadCtx, Violation,
     ViolationKind,
 };
+pub use telemetry::{
+    FlightEvent, Postmortem, Telemetry, TelemetrySnapshot, TELEMETRY_SCHEMA_VERSION,
+};
 pub use timeline::{Event, KernelRecord, LedgerSummary};
 
 /// Seconds represented as `f64` nanoseconds, the unit of the ledger.

@@ -293,6 +293,11 @@ struct ScopeState {
     start_ns: f64,
 }
 
+struct TelSpanState {
+    tel: std::sync::Arc<telemetry::Telemetry>,
+    start_ns: f64,
+}
+
 /// RAII guard for a hierarchical profiling scope, opened via
 /// [`Device::prof_scope`](crate::Device::prof_scope).
 ///
@@ -300,9 +305,15 @@ struct ScopeState {
 /// allocation beyond the `Option`), keeping the hot path clean. Scope
 /// boundaries are timestamped on the simulated clock, so enabling
 /// profiling cannot perturb them.
+///
+/// Telemetry spans layer on the same guard through an independent
+/// second slot: with a telemetry registry attached the scope also
+/// lands in the flight recorder (profiler attached or not), again
+/// timestamped purely on the simulated clock.
 pub struct ProfScope<'a> {
     device: &'a crate::Device,
     state: Option<ScopeState>,
+    tel_state: Option<TelSpanState>,
 }
 
 impl<'a> ProfScope<'a> {
@@ -310,22 +321,31 @@ impl<'a> ProfScope<'a> {
     /// level number) is appended to the trace label but not the
     /// aggregation path, so all rounds fold into one `round` row.
     pub fn open(device: &'a crate::Device, kind: &'static str, index: Option<u64>) -> Self {
+        let label = match index {
+            Some(i) => format!("{kind} {i}"),
+            None => kind.to_string(),
+        };
         let state = device.profiler().map(|prof| {
             let start_ns = device.now_ns();
             let (path, depth) = prof.scope_enter(kind);
-            let label = match index {
-                Some(i) => format!("{kind} {i}"),
-                None => kind.to_string(),
-            };
             ScopeState {
                 prof,
                 path,
-                label,
+                label: label.clone(),
                 depth,
                 start_ns,
             }
         });
-        ProfScope { device, state }
+        let tel_state = device.telemetry().map(|tel| {
+            let start_ns = device.now_ns();
+            tel.span_enter(device.id, &label);
+            TelSpanState { tel, start_ns }
+        });
+        ProfScope {
+            device,
+            state,
+            tel_state,
+        }
     }
 }
 
@@ -335,6 +355,10 @@ impl Drop for ProfScope<'_> {
             let end_ns = self.device.now_ns();
             st.prof
                 .scope_exit(&st.path, st.label, st.depth, st.start_ns, end_ns);
+        }
+        if let Some(ts) = self.tel_state.take() {
+            let end_ns = self.device.now_ns();
+            ts.tel.span_exit(self.device.id, ts.start_ns, end_ns);
         }
     }
 }

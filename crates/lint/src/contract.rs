@@ -9,6 +9,10 @@
 //! - `canonical_kernel_name` — names are `lower_snake` and no two production
 //!   kernel names sit one edit apart (typo guard); sibling families that
 //!   legitimately differ by one character carry a reasoned waiver.
+//! - `metric_name_canonical` — telemetry registry names (`counter_add` /
+//!   `counter_inc` / `gauge_set` / `hist_observe` first arguments) are
+//!   dotted `lower_snake` and no two production metric names sit one edit
+//!   apart — a typo'd metric silently forks its time series.
 //! - `phase_in_bench_schema` — every charged `Phase::…` exists in the enum
 //!   and has a `"…"` key in the bench schema (both per-site and enum-level).
 //! - `prof_coverage` — every `charge_kernel` site is reachable from a
@@ -142,6 +146,12 @@ fn is_lower_snake(name: &str) -> bool {
     }
     name.chars()
         .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// Canonical telemetry metric name: dot-separated `lower_snake` segments
+/// (`train.hist_method_shared`), at least one segment, none empty.
+fn is_lower_snake_dotted(name: &str) -> bool {
+    !name.is_empty() && name.split('.').all(is_lower_snake)
 }
 
 /// A workspace to check: device-charged library crates (core, gpusim) whose
@@ -370,6 +380,59 @@ impl Workspace {
             }
         }
 
+        // metric_name_canonical: telemetry registry names follow the same
+        // discipline as kernel names — dotted lower_snake charset, then
+        // near-duplicate (edit distance 1) detection between distinct
+        // production metric names. A typo'd metric silently forks a time
+        // series, so the rarer spelling is flagged exactly as for kernels.
+        let mut metric_sites: BTreeMap<String, Vec<(&SourceFile, &crate::file::MetricSite)>> =
+            BTreeMap::new();
+        for sf in self.all_files() {
+            for m in &sf.metrics {
+                if m.is_test {
+                    continue;
+                }
+                for n in &m.names {
+                    metric_sites.entry(n.clone()).or_default().push((sf, m));
+                }
+            }
+        }
+        for (name, sites) in &metric_sites {
+            if !is_lower_snake_dotted(name) {
+                let (sf, m) = sites[0];
+                findings.push(Finding::new(
+                    "metric_name_canonical",
+                    &sf.path,
+                    m.line,
+                    format!(
+                        "metric name \"{name}\" is not dotted lower_snake (`[a-z][a-z0-9_]*` segments joined by `.`)"
+                    ),
+                ));
+            }
+        }
+        let metric_names: Vec<&String> = metric_sites.keys().collect();
+        for i in 0..metric_names.len() {
+            for j in (i + 1)..metric_names.len() {
+                let (a, b) = (metric_names[i], metric_names[j]);
+                if a.len() < 6 || b.len() < 6 || !one_edit_apart(a, b) {
+                    continue;
+                }
+                let (na, nb) = (metric_sites[a].len(), metric_sites[b].len());
+                let flagged = if na < nb { a } else { b };
+                let other = if flagged == a { b } else { a };
+                for (sf, m) in &metric_sites[flagged] {
+                    findings.push(Finding::new(
+                        "metric_name_canonical",
+                        &sf.path,
+                        m.line,
+                        format!(
+                            "metric name \"{flagged}\" is one edit away from \"{other}\" — likely a typo forking the time series; rename, or waive if the two are genuine siblings"
+                        ),
+                    ));
+                }
+            }
+        }
+
         // Full contract (prof / sanitize / design) for literal charge_kernel
         // sites in the device-charged crates.
         let covered = self.prof_covered_names();
@@ -546,6 +609,67 @@ mod tests {
             .collect();
         assert_eq!(canon.len(), 1, "{:?}", r.diagnostics);
         assert!(canon[0].message.contains("k_fime_one"));
+    }
+
+    #[test]
+    fn metric_name_charset_and_near_duplicate_fire() {
+        // Bad charset: a capitalized segment.
+        let w = ws(&[(
+            "crates/core/src/m.rs",
+            "fn a(tel: &Telemetry) {\n    tel.counter_inc(\"train.Rounds_total\");\n}\n",
+        )]);
+        let r = w.check();
+        assert!(
+            rules(&r).contains(&"metric_name_canonical"),
+            "{:?}",
+            r.diagnostics
+        );
+        // Near-duplicate: the rarer spelling is flagged, the common one not.
+        let w2 = ws(&[(
+            "crates/core/src/m.rs",
+            "fn a(tel: &Telemetry) {\n    tel.gauge_set(\"serve.queue_depth\", 1.0);\n    tel.gauge_set(\"serve.queue_depth\", 2.0);\n    tel.gauge_set(\"serve.queue_dept\", 3.0);\n}\n",
+        )]);
+        let r2 = w2.check();
+        let canon: Vec<_> = r2
+            .diagnostics
+            .iter()
+            .filter(|f| f.rule == "metric_name_canonical")
+            .collect();
+        assert_eq!(canon.len(), 1, "{:?}", r2.diagnostics);
+        assert!(canon[0].message.contains("serve.queue_dept"), "{canon:?}");
+        // Clean dotted names pass; a local binding resolves both literals.
+        let w3 = ws(&[(
+            "crates/core/src/m.rs",
+            "fn a(tel: &Telemetry, fast: bool) {\n    let name = if fast { \"train.loss\" } else { \"train.rounds_total\" };\n    tel.gauge_set(name, 1.0);\n    tel.hist_observe(\"train.split_gain\", 0.5);\n}\n",
+        )]);
+        let r3 = w3.check();
+        assert!(
+            !rules(&r3).contains(&"metric_name_canonical"),
+            "{:?}",
+            r3.diagnostics
+        );
+    }
+
+    #[test]
+    fn metric_sites_in_tests_are_exempt_and_waivers_attach() {
+        let w = ws(&[(
+            "crates/core/src/m.rs",
+            "#[cfg(test)]\nmod t {\n    fn x(tel: &Telemetry) { tel.counter_inc(\"Test.Only\"); }\n}\n",
+        )]);
+        let r = w.check();
+        assert!(
+            !rules(&r).contains(&"metric_name_canonical"),
+            "{:?}",
+            r.diagnostics
+        );
+        // A reasoned waiver suppresses a genuine-sibling near-dup.
+        let w2 = ws(&[(
+            "crates/core/src/m.rs",
+            "fn a(tel: &Telemetry) {\n    tel.counter_inc(\"train.pass1_total\");\n    tel.counter_inc(\"train.pass1_total\");\n    // lint:allow(metric_name_canonical): pass2 is a genuine sibling of pass1\n    tel.counter_inc(\"train.pass2_total\");\n}\n",
+        )]);
+        let r2 = w2.check();
+        assert!(rules(&r2).is_empty(), "{:?}", r2.diagnostics);
+        assert_eq!(r2.summary.waived, 1);
     }
 
     #[test]

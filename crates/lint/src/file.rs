@@ -36,6 +36,21 @@ pub struct ChargeSite {
     pub is_test: bool,
 }
 
+/// One telemetry metric call site (`counter_add` / `counter_inc` /
+/// `gauge_set` / `hist_observe`).
+#[derive(Debug, Clone)]
+pub struct MetricSite {
+    pub line: u32,
+    /// Line of the closing `)` — waivers attach over `[line-1, end_line]`
+    /// exactly as for charge sites.
+    pub end_line: u32,
+    /// Statically resolved metric names: literal first argument, or every
+    /// literal a local `let name = …` binding can take; empty when the name
+    /// is dynamic (a parameter or helper-function result).
+    pub names: Vec<String>,
+    pub is_test: bool,
+}
+
 #[derive(Debug, Clone)]
 pub struct FnInfo {
     pub name: String,
@@ -58,6 +73,8 @@ pub struct SourceFile {
     pub fns: Vec<FnInfo>,
     pub waivers: Vec<Waiver>,
     pub charges: Vec<ChargeSite>,
+    /// Telemetry registry call sites, for the metric-name contract.
+    pub metrics: Vec<MetricSite>,
     /// Kernel names opened via a literal sanitizer `.scope("name")` outside
     /// test code — evidence the kernel has an access-trace replay.
     pub scope_names: BTreeSet<String>,
@@ -330,6 +347,7 @@ impl SourceFile {
         let mut fns = collect_fns(&toks, &masked);
         let waivers = parse_waivers(&lexed.comments);
         let mut charges = Vec::new();
+        let mut metrics = Vec::new();
         let mut scope_names = BTreeSet::new();
 
         let mut i = 0usize;
@@ -363,7 +381,11 @@ impl SourceFile {
             }
             let is_charge = id == "charge_kernel" || id == "charge_ns";
             let is_scope = id == "scope" && i > 0 && punct_at(&toks, i - 1, '.');
-            if !is_charge && !is_scope {
+            let is_metric = matches!(
+                id,
+                "counter_add" | "counter_inc" | "gauge_set" | "hist_observe"
+            );
+            if !is_charge && !is_scope && !is_metric {
                 i += 1;
                 continue;
             }
@@ -414,6 +436,16 @@ impl SourceFile {
                 i = open;
                 continue;
             }
+            if is_metric {
+                metrics.push(MetricSite {
+                    line: toks[i].line,
+                    end_line: toks[close.min(toks.len() - 1)].line,
+                    names,
+                    is_test: masked[i],
+                });
+                i = open;
+                continue;
+            }
             if let Some(fi) = fi {
                 fns[fi].has_charge = true;
             }
@@ -449,6 +481,7 @@ impl SourceFile {
             fns,
             waivers,
             charges,
+            metrics,
             scope_names,
         }
     }
@@ -613,13 +646,19 @@ pub fn apply_waivers(findings: &mut Vec<Finding>, files: &[&SourceFile]) {
         let Some(sf) = files.iter().find(|s| s.path == f.file) else {
             continue;
         };
-        // Charge-site findings may span multiple lines; everything else is
-        // single-line.
+        // Charge- and metric-site findings may span multiple lines;
+        // everything else is single-line.
         let span_end = sf
             .charges
             .iter()
             .find(|c| c.line == f.line)
             .map(|c| c.end_line)
+            .or_else(|| {
+                sf.metrics
+                    .iter()
+                    .find(|m| m.line == f.line)
+                    .map(|m| m.end_line)
+            })
             .unwrap_or(f.line);
         let waiver_lines: BTreeSet<u32> = sf.waivers.iter().map(|w| w.line).collect();
         for w in &sf.waivers {

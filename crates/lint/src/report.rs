@@ -14,6 +14,7 @@ pub const RULE_IDS: &[&str] = &[
     "uncharged_launch",
     "phase_in_bench_schema",
     "canonical_kernel_name",
+    "metric_name_canonical",
     "prof_coverage",
     "sanitize",
     "design_inventory",

@@ -41,6 +41,7 @@ fn bad_repo_fires_every_v2_rule() {
     for rule in [
         "phase_in_bench_schema",
         "canonical_kernel_name",
+        "metric_name_canonical",
         "prof_coverage",
         "sanitize",
         "design_inventory",
